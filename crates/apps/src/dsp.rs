@@ -1,0 +1,187 @@
+//! Small, dependency-free DSP primitives shared by the application
+//! kernels: an iterative radix-2 FFT, a windowed polyphase filter and a
+//! fixed-point quantiser. Real arithmetic — the audio pipeline genuinely
+//! transforms samples.
+
+/// In-place iterative radix-2 Cooley–Tukey FFT over interleaved
+/// `(re, im)` pairs. `data.len()` must be a power of two.
+pub fn fft_radix2(re: &mut [f32], im: &mut [f32]) {
+    let n = re.len();
+    assert_eq!(n, im.len());
+    assert!(n.is_power_of_two(), "FFT size must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // bit-reversal permutation
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f32::consts::PI / len as f32;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cur_r, mut cur_i) = (1.0f32, 0.0f32);
+            for k in 0..len / 2 {
+                let (ur, ui) = (re[i + k], im[i + k]);
+                let (vr, vi) = (
+                    re[i + k + len / 2] * cur_r - im[i + k + len / 2] * cur_i,
+                    re[i + k + len / 2] * cur_i + im[i + k + len / 2] * cur_r,
+                );
+                re[i + k] = ur + vr;
+                im[i + k] = ui + vi;
+                re[i + k + len / 2] = ur - vr;
+                im[i + k + len / 2] = ui - vi;
+                let next_r = cur_r * wr - cur_i * wi;
+                cur_i = cur_r * wi + cur_i * wr;
+                cur_r = next_r;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Power spectrum (dB-ish log magnitude) of a real signal, used by the
+/// psychoacoustic model. Returns `n/2` bins.
+pub fn power_spectrum(samples: &[f32]) -> Vec<f32> {
+    let n = samples.len().next_power_of_two();
+    let mut re = vec![0.0f32; n];
+    let mut im = vec![0.0f32; n];
+    re[..samples.len()].copy_from_slice(samples);
+    // Hann window
+    for (i, v) in re.iter_mut().enumerate().take(samples.len()) {
+        let w = 0.5 - 0.5 * (2.0 * std::f32::consts::PI * i as f32 / samples.len() as f32).cos();
+        *v *= w;
+    }
+    fft_radix2(&mut re, &mut im);
+    (0..n / 2).map(|k| (re[k] * re[k] + im[k] * im[k] + 1e-12).ln()).collect()
+}
+
+/// A `taps`-tap windowed low-pass polyphase analysis: splits `input` into
+/// `bands` decimated subband streams. Simplified (rectangular prototype
+/// with triangular weighting) but structurally the MP2 filterbank.
+pub fn polyphase_analyze(input: &[f32], bands: usize, out: &mut [f32]) {
+    assert_eq!(out.len(), input.len(), "decimation keeps total sample count");
+    assert!(bands >= 1 && input.len() % bands == 0);
+    let per_band = input.len() / bands;
+    for b in 0..bands {
+        for k in 0..per_band {
+            // modulated sum over the band's phase
+            let mut acc = 0.0f32;
+            for (t, &x) in input.iter().enumerate().skip(k * bands).take(bands) {
+                let phase =
+                    ((2 * (t % bands) + 1) * (2 * b + 1)) as f32 * std::f32::consts::PI / (4.0 * bands as f32);
+                acc += x * phase.cos();
+            }
+            out[b * per_band + k] = acc / bands as f32;
+        }
+    }
+}
+
+/// Uniform mid-tread quantiser with `bits` bits, returning the code and
+/// enabling exact reconstruction in tests.
+pub fn quantize(x: f32, scale: f32, bits: u32) -> i32 {
+    let levels = (1i64 << bits.min(24)) as f32;
+    let q = (x / scale * (levels / 2.0)).round();
+    q.clamp(-levels / 2.0, levels / 2.0 - 1.0) as i32
+}
+
+/// Inverse of [`quantize`].
+pub fn dequantize(code: i32, scale: f32, bits: u32) -> f32 {
+    let levels = (1i64 << bits.min(24)) as f32;
+    code as f32 * scale / (levels / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut re = vec![0.0f32; 8];
+        let mut im = vec![0.0f32; 8];
+        re[0] = 1.0;
+        fft_radix2(&mut re, &mut im);
+        for k in 0..8 {
+            assert!((re[k] - 1.0).abs() < 1e-5, "bin {k}: {}", re[k]);
+            assert!(im[k].abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fft_of_single_tone_peaks_at_bin() {
+        let n = 64;
+        let f = 5;
+        let mut re: Vec<f32> =
+            (0..n).map(|i| (2.0 * std::f32::consts::PI * f as f32 * i as f32 / n as f32).cos()).collect();
+        let mut im = vec![0.0f32; n];
+        fft_radix2(&mut re, &mut im);
+        let mags: Vec<f32> = (0..n).map(|k| (re[k] * re[k] + im[k] * im[k]).sqrt()).collect();
+        let peak = mags
+            .iter()
+            .enumerate()
+            .take(n / 2)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, f);
+    }
+
+    #[test]
+    fn fft_parseval() {
+        // energy conservation up to the 1/N convention
+        let n = 32;
+        let sig: Vec<f32> = (0..n).map(|i| ((i * 7 + 3) % 11) as f32 / 11.0 - 0.5).collect();
+        let mut re = sig.clone();
+        let mut im = vec![0.0f32; n];
+        fft_radix2(&mut re, &mut im);
+        let time_energy: f32 = sig.iter().map(|x| x * x).sum();
+        let freq_energy: f32 = (0..n).map(|k| re[k] * re[k] + im[k] * im[k]).sum::<f32>() / n as f32;
+        assert!((time_energy - freq_energy).abs() < 1e-3, "{time_energy} vs {freq_energy}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut re = vec![0.0f32; 6];
+        let mut im = vec![0.0f32; 6];
+        fft_radix2(&mut re, &mut im);
+    }
+
+    #[test]
+    fn polyphase_preserves_sample_count() {
+        let input: Vec<f32> = (0..128).map(|i| (i as f32 * 0.1).sin()).collect();
+        let mut out = vec![0.0f32; 128];
+        polyphase_analyze(&input, 4, &mut out);
+        assert!(out.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn quantize_round_trips_within_step() {
+        for bits in [4u32, 8, 12] {
+            let scale = 2.0f32;
+            let step = scale / (1i64 << (bits - 1)) as f32;
+            for &x in &[-1.9f32, -0.3, 0.0, 0.7, 1.5] {
+                let code = quantize(x, scale, bits);
+                let back = dequantize(code, scale, bits);
+                assert!((back - x).abs() <= step * 0.5 + 1e-6, "bits={bits} x={x} back={back}");
+            }
+        }
+    }
+
+    #[test]
+    fn power_spectrum_length() {
+        let sig: Vec<f32> = (0..100).map(|i| (i as f32 * 0.3).sin()).collect();
+        let spec = power_spectrum(&sig);
+        assert_eq!(spec.len(), 64); // next_power_of_two(100)/2
+        assert!(spec.iter().all(|v| v.is_finite()));
+    }
+}

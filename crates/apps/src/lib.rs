@@ -1,0 +1,35 @@
+//! Application suite: realistic streaming workloads with both a task
+//! graph (for the scheduler) and executable kernels (for the
+//! `cellstream-rt` emulator).
+//!
+//! The paper's abstract evaluates "a number of applications, ranging from
+//! a real audio encoder to complex random task graphs". The random
+//! graphs live in `cellstream-daggen::paper`; this crate supplies the
+//! hand-built applications:
+//!
+//! * [`audio`] — an MPEG-1 Layer-II–style audio encoder: framing →
+//!   4-lane polyphase subband analysis ‖ FFT psychoacoustic model (peek 1:
+//!   the masking model looks one frame ahead) → scale-factor/SMR → bit
+//!   allocation → 4-lane quantisation → bitstream mux.
+//! * [`video`] — a video filter chain: tile decode → denoise → scale ‖
+//!   motion estimation (peek 2: two future tiles) → overlay → entropy
+//!   encode.
+//! * [`cipher`] — a real-time encryption pipeline: chunker → 4 parallel
+//!   ChaCha20 lanes → tag accumulator → framer, with an RFC 7539 test
+//!   vector pinning the ChaCha core.
+//!
+//! Every app exposes `graph()` (costs/peeks/payloads set to plausible
+//! Cell-era magnitudes) and `kernels()` (real DSP/crypto arithmetic that
+//! actually computes the thing, runnable end-to-end under
+//! `cellstream_rt::run`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audio;
+pub mod cipher;
+pub mod dsp;
+pub mod video;
+
+#[cfg(test)]
+mod tests;

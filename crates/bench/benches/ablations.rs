@@ -1,0 +1,84 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md §5:
+//!
+//! * **DMA constraints (1j)/(1k)** — solve cost with and without the
+//!   DMA-queue rows (the quality effect is reported by the `ablations`
+//!   binary; here we measure what the rows cost the solver).
+//! * **Buffer dedup** — the paper's deliberately-simple duplicated-buffer
+//!   accounting vs. the §4.2 "future optimisation" that shares buffers
+//!   between co-mapped neighbours.
+//! * **Formulation encodings** — the paper's verbatim β encoding vs. the
+//!   compact γ encoding, LP-relaxation solve time on the same instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cellstream_core::steady::buffers::BufferPlan;
+use cellstream_core::{Formulation, FormulationConfig, FormKind};
+use cellstream_daggen::{generate, CostParams, DagGenParams};
+use cellstream_milp::model::LpOptions;
+use cellstream_platform::CellSpec;
+
+fn small_graph() -> cellstream_graph::StreamGraph {
+    generate(
+        "ablate",
+        &DagGenParams { n: 16, fat: 0.5, regular: 0.5, density: 0.25, jump: 2, costs: CostParams::default() },
+        0xAB1A7E,
+    )
+    .unwrap()
+}
+
+fn bench_dma_rows(c: &mut Criterion) {
+    let g = small_graph();
+    let spec = CellSpec::qs22();
+    let mut group = c.benchmark_group("ablation/dma_rows");
+    for (label, dma) in [("with_dma", true), ("without_dma", false)] {
+        group.bench_function(label, |b| {
+            let form = Formulation::build(
+                &g,
+                &spec,
+                &FormulationConfig { kind: FormKind::Compact, dma_constraints: dma },
+            );
+            b.iter(|| black_box(form.model.solve_lp(&LpOptions::default()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_formulation_encodings(c: &mut Criterion) {
+    let g = small_graph();
+    let spec = CellSpec::with_spes(3);
+    let mut group = c.benchmark_group("ablation/encoding");
+    for (label, kind) in [("paper_beta", FormKind::Paper), ("compact_gamma", FormKind::Compact)] {
+        group.bench_function(label, |b| {
+            let form = Formulation::build(
+                &g,
+                &spec,
+                &FormulationConfig { kind, dma_constraints: true },
+            );
+            b.iter(|| black_box(form.model.solve_lp(&LpOptions::default()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_buffer_accounting(c: &mut Criterion) {
+    let g = generate(
+        "buffers",
+        &DagGenParams { n: 60, fat: 0.5, regular: 0.5, density: 0.2, jump: 2, costs: CostParams::default() },
+        7,
+    )
+    .unwrap();
+    let plan = BufferPlan::new(&g);
+    let tasks: Vec<_> = g.task_ids().collect();
+    let mut group = c.benchmark_group("ablation/buffer_accounting");
+    group.bench_function("duplicated_paper", |b| {
+        b.iter(|| black_box(plan.for_tasks(tasks.iter())))
+    });
+    group.bench_function("dedup_future_work", |b| {
+        b.iter(|| black_box(plan.for_tasks_dedup(&g, &tasks)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dma_rows, bench_formulation_encodings, bench_buffer_accounting);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks of the core machinery: simplex pivots,
+//! mapping evaluation, discrete-event simulation, graph generation and
+//! the heuristics.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use cellstream_core::{evaluate, Mapping};
+use cellstream_daggen::{generate, paper, CostParams, DagGenParams};
+use cellstream_heuristics::{comm_aware_greedy, greedy_cpu, greedy_mem, local_search, LocalSearchOptions};
+use cellstream_milp::model::{Cmp, LpOptions, Model, VarKind};
+use cellstream_platform::{CellSpec, PeId};
+use cellstream_sim::{simulate, SimConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_lp(n_vars: usize, n_cons: usize, seed: u64) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Model::new("bench");
+    let vars: Vec<_> = (0..n_vars)
+        .map(|i| m.add_var(format!("x{i}"), 0.0, rng.gen_range(1.0..4.0), rng.gen_range(-3.0..3.0), VarKind::Continuous))
+        .collect();
+    for _ in 0..n_cons {
+        let mut terms = Vec::new();
+        for &v in &vars {
+            if rng.gen_bool(0.3) {
+                terms.push((v, rng.gen_range(-2.0..4.0f64)));
+            }
+        }
+        if !terms.is_empty() {
+            m.add_con(terms, Cmp::Le, rng.gen_range(1.0..10.0));
+        }
+    }
+    m
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let small = random_lp(30, 20, 1);
+    let medium = random_lp(200, 120, 2);
+    c.bench_function("simplex/lp_30x20", |b| {
+        b.iter(|| black_box(small.solve_lp(&LpOptions::default()).unwrap()))
+    });
+    c.bench_function("simplex/lp_200x120", |b| {
+        b.iter(|| black_box(medium.solve_lp(&LpOptions::default()).unwrap()))
+    });
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let g = paper::at_base_ccr(&paper::graph2());
+    let spec = CellSpec::qs22();
+    let m = greedy_cpu(&g, &spec);
+    c.bench_function("eval/graph2_94tasks", |b| {
+        b.iter(|| black_box(evaluate(&g, &spec, &m).unwrap()))
+    });
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let g = paper::at_base_ccr(&paper::graph1());
+    let spec = CellSpec::qs22();
+    let m = greedy_cpu(&g, &spec);
+    c.bench_function("sim/graph1_500_instances", |b| {
+        b.iter(|| black_box(simulate(&g, &spec, &m, &SimConfig::calibrated(), 500).unwrap()))
+    });
+}
+
+fn bench_daggen(c: &mut Criterion) {
+    let params = DagGenParams { n: 94, fat: 0.55, regular: 0.5, density: 0.12, jump: 3, costs: CostParams::default() };
+    c.bench_function("daggen/generate_94", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(generate("bench", &params, seed).unwrap())
+        })
+    });
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let g = paper::at_base_ccr(&paper::graph1());
+    let spec = CellSpec::qs22();
+    c.bench_function("heuristics/greedy_mem", |b| b.iter(|| black_box(greedy_mem(&g, &spec))));
+    c.bench_function("heuristics/greedy_cpu", |b| b.iter(|| black_box(greedy_cpu(&g, &spec))));
+    c.bench_function("heuristics/comm_aware", |b| b.iter(|| black_box(comm_aware_greedy(&g, &spec))));
+    c.bench_function("heuristics/local_search_1round", |b| {
+        b.iter_batched(
+            || greedy_cpu(&g, &spec),
+            |start| {
+                black_box(local_search(
+                    &g,
+                    &spec,
+                    &start,
+                    &LocalSearchOptions { max_rounds: 1, ..Default::default() },
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    use cellstream_core::schedule::PeriodicSchedule;
+    let g = paper::at_base_ccr(&paper::graph3());
+    let spec = CellSpec::qs22();
+    let m = Mapping::all_on(&g, PeId(0));
+    let report = evaluate(&g, &spec, &m).unwrap();
+    c.bench_function("schedule/build_chain50", |b| {
+        b.iter(|| black_box(PeriodicSchedule::build(&g, &spec, &m, &report)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_simplex,
+    bench_eval,
+    bench_sim,
+    bench_daggen,
+    bench_heuristics,
+    bench_schedule
+);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Quality-effect ablations (the *what changes*, complementing the
+//! Criterion `ablations` bench which measures the *cost*):
+//!
+//! 1. **DMA constraints (1j)/(1k)**: optimal period with and without the
+//!    queue limits — how much throughput the hardware's DMA stacks cost.
+//! 2. **Buffer dedup (§4.2 future work)**: local-store bytes needed per
+//!    SPE under the paper's duplicated buffers vs. shared buffers for
+//!    co-mapped neighbours, on the MILP mappings.
+//! 3. **Gap sweep**: solution quality vs. B&B stopping gap (the paper's
+//!    5 % against exact and looser stops).
+//!
+//! Output: tables on stdout + `crates/bench/results/ablations.csv`.
+
+use cellstream_bench::{mip_options, seed_stack, write_csv};
+use cellstream_core::steady::buffers::BufferPlan;
+use cellstream_core::{solve, FormulationConfig, SolveOptions};
+use cellstream_daggen::paper;
+use cellstream_platform::CellSpec;
+
+fn main() {
+    let spec = CellSpec::qs22();
+    let g = paper::at_base_ccr(&paper::graph1());
+    let mut rows = Vec::new();
+
+    // --- 1. DMA constraint ablation ---------------------------------------
+    println!("# Ablation 1: DMA-queue constraints (graph 1, CCR 0.775)");
+    let mut periods = Vec::new();
+    for dma in [true, false] {
+        let outcome = solve(
+            &g,
+            &spec,
+            &SolveOptions {
+                formulation: FormulationConfig { dma_constraints: dma, ..Default::default() },
+                seeds: seed_stack(&g, &spec),
+                mip: mip_options(),
+                ..Default::default()
+            },
+        )
+        .expect("solve runs");
+        println!(
+            "  dma_constraints={dma:<5}  period {:.3} us  (cut edges: {})",
+            outcome.period * 1e6,
+            outcome.mapping.n_cut_edges(&g)
+        );
+        rows.push(format!("dma,{dma},{:.6e}", outcome.period));
+        periods.push(outcome.period);
+    }
+    println!(
+        "  -> queue limits cost {:.1}% of throughput on this instance\n",
+        100.0 * (periods[0] - periods[1]) / periods[0]
+    );
+
+    // --- 2. buffer dedup ----------------------------------------------------
+    println!("# Ablation 2: duplicated vs shared buffers for co-mapped neighbours");
+    let outcome = solve(
+        &g,
+        &spec,
+        &SolveOptions { seeds: seed_stack(&g, &spec), mip: mip_options(), ..Default::default() },
+    )
+    .expect("solve runs");
+    let plan = BufferPlan::new(&g);
+    let mut saved_total = 0.0;
+    for pe in spec.spes() {
+        let tasks: Vec<_> = outcome.mapping.tasks_on(pe).collect();
+        if tasks.is_empty() {
+            continue;
+        }
+        let dup = plan.for_tasks(tasks.iter());
+        let dedup = plan.for_tasks_dedup(&g, &tasks);
+        saved_total += dup - dedup;
+        println!(
+            "  {pe}: {:>8.1} KiB duplicated, {:>8.1} KiB shared ({:.0}% saved)",
+            dup / 1024.0,
+            dedup / 1024.0,
+            100.0 * (dup - dedup) / dup.max(1.0)
+        );
+        rows.push(format!("buffers,{pe},{dup:.0},{dedup:.0}"));
+    }
+    println!("  -> total local store the future-work optimisation frees: {:.1} KiB\n", saved_total / 1024.0);
+
+    // --- 3. gap sweep --------------------------------------------------------
+    println!("# Ablation 3: B&B stopping gap vs solution quality (graph 1)");
+    for gap in [0.25, 0.10, 0.05, 0.01] {
+        let mut opts = mip_options();
+        opts.rel_gap = gap;
+        let o = solve(
+            &g,
+            &spec,
+            &SolveOptions { seeds: seed_stack(&g, &spec), mip: opts, ..Default::default() },
+        )
+        .expect("solve runs");
+        println!(
+            "  gap target {:>5.2}: period {:.3} us, wall {:>6.1}s, nodes {:>5}, status {:?}",
+            gap,
+            o.period * 1e6,
+            o.wall.as_secs_f64(),
+            o.nodes,
+            o.status
+        );
+        rows.push(format!("gap,{gap},{:.6e},{:.2},{}", o.period, o.wall.as_secs_f64(), o.nodes));
+    }
+
+    write_csv("ablations.csv", "ablation,key,value1,value2,value3", &rows);
+}

@@ -1,0 +1,56 @@
+//! **Figure 6**: throughput as a function of the number of processed
+//! instances — theoretical (model) line vs. experimental (simulated)
+//! ramp-up, for random graph 1 at CCR 0.775 on the QS22 with 8 SPEs.
+//!
+//! Paper's observations to reproduce: steady state is reached after
+//! ~1000 instances, and the experimental plateau sits at ≈95 % of the
+//! LP-predicted throughput.
+//!
+//! Output: the series on stdout + `crates/bench/results/fig6.csv`.
+
+use cellstream_bench::{lp_mapping, predicted_throughput, sim_instances, write_csv};
+use cellstream_daggen::paper;
+use cellstream_platform::CellSpec;
+use cellstream_sim::{simulate, SimConfig};
+
+fn main() {
+    let g = paper::at_base_ccr(&paper::graph1());
+    let spec = CellSpec::qs22();
+    eprintln!("fig6: {} tasks, {} edges, CCR 0.775, {spec}", g.n_tasks(), g.n_edges());
+
+    let outcome = lp_mapping(&g, &spec);
+    let theoretical = predicted_throughput(&g, &spec, &outcome.mapping);
+    eprintln!(
+        "MILP mapping: period {:.3} us, gap {:.1}%, {} nodes, {:.1}s",
+        outcome.period * 1e6,
+        outcome.gap * 100.0,
+        outcome.nodes,
+        outcome.wall.as_secs_f64()
+    );
+
+    let n = sim_instances();
+    let trace = simulate(&g, &spec, &outcome.mapping, &SimConfig::calibrated(), n)
+        .expect("LP mapping is feasible");
+
+    println!("# Figure 6: throughput vs processed instances");
+    println!("# theoretical throughput: {theoretical:.1} instances/s");
+    println!("{:>10} {:>18} {:>18}", "instances", "experimental(/s)", "theoretical(/s)");
+    let mut rows = Vec::new();
+    for (count, rho) in trace.throughput_curve(40) {
+        println!("{count:>10} {rho:>18.1} {theoretical:>18.1}");
+        rows.push(format!("{count},{rho:.3},{theoretical:.3}"));
+    }
+    let steady = trace.steady_state_throughput();
+    let ratio = steady / theoretical;
+    println!("\nsteady-state: {steady:.1}/s = {:.1}% of theoretical (paper: ~95%)", ratio * 100.0);
+
+    // where does the ramp flatten? first instance count whose cumulative
+    // throughput reaches 90% of the steady plateau
+    let cum = trace.cumulative_throughput();
+    let knee = cum.iter().position(|&r| r >= 0.9 * steady).unwrap_or(0) + 1;
+    println!("steady state reached after ~{knee} instances (paper: ~1000)");
+
+    rows.push(format!("# steady_ratio,{ratio:.4}"));
+    rows.push(format!("# knee_instances,{knee}"));
+    write_csv("fig6.csv", "instances,experimental,theoretical", &rows);
+}

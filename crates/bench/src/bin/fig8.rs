@@ -1,0 +1,56 @@
+//! **Figure 8**: measured speed-up of the MILP mapping as a function of
+//! the communication-to-computation ratio, for the three evaluation
+//! graphs on the 8-SPE QS22.
+//!
+//! Paper's shape to reproduce: speed-up declines monotonically (modulo
+//! noise) as the CCR rises from 0.775 to 4.6, approaching 1 — "eventually,
+//! the best policy is to map all tasks to the PPE".
+//!
+//! Output: a table on stdout + `crates/bench/results/fig8.csv`.
+
+use cellstream_bench::{lp_mapping, measured_throughput, ppe_only_throughput, quick_mode, write_csv};
+use cellstream_daggen::paper;
+use cellstream_graph::ccr::paper_ccr_sweep;
+use cellstream_platform::CellSpec;
+
+fn main() {
+    let spec = CellSpec::qs22();
+    let ccrs: Vec<f64> = if quick_mode() {
+        vec![0.775, 2.3, 4.6]
+    } else {
+        paper_ccr_sweep().to_vec()
+    };
+
+    let graphs = paper::all_graphs();
+    println!("# Figure 8: speed-up vs CCR (8 SPEs, MILP mappings)");
+    print!("{:>8}", "CCR");
+    for g in &graphs {
+        print!(" {:>16}", g.name());
+    }
+    println!();
+
+    let mut rows = Vec::new();
+    for &target in &ccrs {
+        print!("{target:>8.3}");
+        let mut cells = vec![format!("{target:.3}")];
+        for base in &graphs {
+            let variants = paper::ccr_variants(base);
+            let (_, g) = variants
+                .iter()
+                .min_by(|a, b| {
+                    (a.0 - target).abs().partial_cmp(&(b.0 - target).abs()).expect("finite")
+                })
+                .expect("six variants");
+            let outcome = lp_mapping(g, &spec);
+            let ppe_rho = ppe_only_throughput(g, &spec);
+            let su = measured_throughput(g, &spec, &outcome.mapping)
+                .map_or(f64::NAN, |r| r / ppe_rho);
+            print!(" {su:>16.2}");
+            cells.push(format!("{su:.4}"));
+        }
+        println!();
+        rows.push(cells.join(","));
+    }
+    write_csv("fig8.csv", "ccr,graph1,graph2,graph3", &rows);
+    println!("\npaper shape check: every column should trend downward toward ~1.");
+}

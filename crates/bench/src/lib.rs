@@ -1,0 +1,146 @@
+//! Shared harness for the figure-regeneration binaries
+//! (`fig6`, `fig7`, `fig8`, `tab_lp`, `ablations`) and the Criterion
+//! micro-benchmarks.
+//!
+//! Conventions:
+//!
+//! * **Measured throughput** always comes from the calibrated
+//!   discrete-event simulator ([`cellstream_sim::SimConfig::calibrated`])
+//!   — the reproduction's analogue of the paper's QS22 runs — while
+//!   **predicted throughput** comes from the analytic evaluator, exactly
+//!   as the paper contrasts its LP predictions with hardware runs.
+//! * **Speed-ups** are normalised to the *measured* PPE-only throughput
+//!   (§6.4.2).
+//! * The MILP runs with the paper's 5 % gap, seeded with both §6.3
+//!   greedies, the comm-aware greedy and a multi-start local-search
+//!   refinement — see EXPERIMENTS.md for why the seeds matter when the
+//!   in-repo B&B replaces CPLEX.
+//! * `CELLSTREAM_QUICK=1` shrinks sweeps and budgets by ~10x for smoke
+//!   runs; the recorded EXPERIMENTS.md numbers use full mode.
+
+#![forbid(unsafe_code)]
+
+use cellstream_core::{evaluate, solve, Mapping, SolveOptions};
+use cellstream_graph::StreamGraph;
+use cellstream_heuristics as heur;
+use cellstream_milp::bb::MipOptions;
+use cellstream_milp::model::LpOptions;
+use cellstream_platform::{CellSpec, PeId};
+use cellstream_sim::{simulate, SimConfig, SimError};
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Duration;
+
+/// `true` when `CELLSTREAM_QUICK=1`: smaller sweeps, smaller budgets.
+pub fn quick_mode() -> bool {
+    std::env::var("CELLSTREAM_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Instances to simulate per measurement.
+pub fn sim_instances() -> u64 {
+    if quick_mode() { 1500 } else { 10_000 }
+}
+
+/// The MILP budget per solve.
+pub fn mip_options() -> MipOptions {
+    if quick_mode() {
+        MipOptions {
+            rel_gap: 0.05,
+            time_limit: Duration::from_secs(10),
+            max_nodes: 60,
+            lp: LpOptions { max_iterations: 8_000, ..Default::default() },
+            ..Default::default()
+        }
+    } else {
+        MipOptions {
+            rel_gap: 0.05,
+            time_limit: Duration::from_secs(120),
+            max_nodes: 600,
+            lp: LpOptions { max_iterations: 60_000, ..Default::default() },
+            ..Default::default()
+        }
+    }
+}
+
+/// The heuristic seed stack: both §6.3 greedies, the comm-aware greedy,
+/// and the best multi-start local-search refinement.
+pub fn seed_stack(g: &StreamGraph, spec: &CellSpec) -> Vec<Mapping> {
+    let gm = heur::greedy_mem(g, spec);
+    let gc = heur::greedy_cpu(g, spec);
+    let ca = heur::comm_aware_greedy(g, spec);
+    let opts = heur::LocalSearchOptions {
+        max_rounds: if quick_mode() { 16 } else { 64 },
+        ..Default::default()
+    };
+    let (ls, _) = heur::search::multi_start(
+        g,
+        spec,
+        &[gm.clone(), gc.clone(), ca.clone(), Mapping::all_on(g, PeId(0))],
+        &opts,
+    );
+    vec![gm, gc, ca, ls]
+}
+
+/// Solve the MILP with the full seed stack and the figure budget.
+pub fn lp_mapping(g: &StreamGraph, spec: &CellSpec) -> cellstream_core::SolveOutcome {
+    solve(g, spec, &SolveOptions { seeds: seed_stack(g, spec), mip: mip_options(), ..Default::default() })
+        .expect("mapping solve never fails (PPE-only fallback)")
+}
+
+/// Measured steady-state throughput of a mapping on the calibrated
+/// simulator; `None` for infeasible/stalled runs.
+pub fn measured_throughput(g: &StreamGraph, spec: &CellSpec, m: &Mapping) -> Option<f64> {
+    match simulate(g, spec, m, &SimConfig::calibrated(), sim_instances()) {
+        Ok(trace) => Some(trace.steady_state_throughput()),
+        Err(SimError::BadMapping(_)) => None,
+        Err(e) => {
+            eprintln!("warning: simulation failed: {e}");
+            None
+        }
+    }
+}
+
+/// Measured PPE-only throughput (the speed-up denominator of §6.4.2).
+pub fn ppe_only_throughput(g: &StreamGraph, spec: &CellSpec) -> f64 {
+    measured_throughput(g, spec, &Mapping::all_on(g, PeId(0))).expect("PPE-only always simulates")
+}
+
+/// Model-predicted throughput of a mapping.
+pub fn predicted_throughput(g: &StreamGraph, spec: &CellSpec, m: &Mapping) -> f64 {
+    evaluate(g, spec, m).expect("valid mapping").throughput
+}
+
+/// Write a CSV file under `crates/bench/results/`, creating directories.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::path::PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").unwrap();
+    for r in rows {
+        writeln!(f, "{r}").unwrap();
+    }
+    eprintln!("wrote {}", path.display());
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellstream_daggen::{chain, CostParams};
+
+    #[test]
+    fn harness_measures_consistently() {
+        std::env::set_var("CELLSTREAM_QUICK", "1");
+        let g = chain("h", 6, &CostParams::default(), 3);
+        let spec = CellSpec::with_spes(2);
+        let rho = ppe_only_throughput(&g, &spec);
+        assert!(rho > 0.0);
+        let seeds = seed_stack(&g, &spec);
+        assert_eq!(seeds.len(), 4);
+        for m in &seeds {
+            // every seed must at least evaluate
+            let _ = predicted_throughput(&g, &spec, m);
+        }
+    }
+}

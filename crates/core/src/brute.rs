@@ -1,0 +1,82 @@
+//! Exhaustive optimal mapping for tiny instances.
+//!
+//! Enumerates all `n^K` assignments and keeps the feasible one with the
+//! smallest period. Exponential — guarded to `n^K ≤ 10^7` — and used by
+//! the test-suite to certify the MILP solver and the §3.2 reduction.
+
+use crate::eval::evaluate;
+use crate::mapping::Mapping;
+use cellstream_graph::StreamGraph;
+use cellstream_platform::{CellSpec, PeId};
+
+/// The best feasible mapping and its period, or `None` when no feasible
+/// mapping exists (cannot happen on platforms with a PPE, which has no
+/// local-store or DMA limits).
+pub fn optimal_mapping(g: &StreamGraph, spec: &CellSpec) -> Option<(Mapping, f64)> {
+    let n = spec.n_pes();
+    let k = g.n_tasks();
+    let combos = (n as f64).powi(k as i32);
+    assert!(
+        combos <= 1e7,
+        "brute force would enumerate {combos:.0} mappings; use the MILP solver"
+    );
+
+    let mut best: Option<(Mapping, f64)> = None;
+    let mut assignment = vec![0usize; k];
+    loop {
+        let mapping = Mapping::new(g, spec, assignment.iter().map(|&i| PeId(i)).collect())
+            .expect("assignment in range");
+        let report = evaluate(g, spec, &mapping).expect("valid mapping");
+        if report.is_feasible() && best.as_ref().is_none_or(|(_, p)| report.period < *p) {
+            best = Some((mapping, report.period));
+        }
+        // odometer increment
+        let mut pos = 0;
+        loop {
+            if pos == k {
+                return best;
+            }
+            assignment[pos] += 1;
+            if assignment[pos] < n {
+                break;
+            }
+            assignment[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellstream_daggen::{chain, CostParams};
+    use cellstream_platform::CellSpec;
+
+    #[test]
+    fn single_task_goes_to_fastest_pe() {
+        use cellstream_graph::{StreamGraph, TaskSpec};
+        let mut b = StreamGraph::builder("one");
+        b.add_task(TaskSpec::new("t").ppe_cost(4e-6).spe_cost(1e-6));
+        let g = b.build().unwrap();
+        let spec = CellSpec::with_spes(2);
+        let (m, period) = optimal_mapping(&g, &spec).unwrap();
+        assert!(spec.is_spe(m.pe_of(cellstream_graph::TaskId(0))));
+        assert!((period - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brute_force_beats_or_matches_ppe_only() {
+        let g = chain("c", 5, &CostParams::default(), 11);
+        let spec = CellSpec::with_spes(2);
+        let (_, period) = optimal_mapping(&g, &spec).unwrap();
+        let ppe = crate::solve::ppe_only_outcome(&g, &spec);
+        assert!(period <= ppe.period + 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "brute force")]
+    fn refuses_huge_instances() {
+        let g = chain("c", 30, &CostParams::default(), 1);
+        let _ = optimal_mapping(&g, &CellSpec::qs22());
+    }
+}

@@ -1,0 +1,118 @@
+//! Textual rendering of periodic schedules, in the spirit of the paper's
+//! Figure 3(b): one lane per processing element, one column per time
+//! quantum, repeated over a window of periods.
+
+use crate::schedule::PeriodicSchedule;
+use cellstream_graph::StreamGraph;
+use cellstream_platform::CellSpec;
+use std::fmt::Write as _;
+
+/// Render `periods` consecutive steady-state periods as an ASCII Gantt
+/// chart with `cols_per_period` columns per period. Each cell shows the
+/// task occupying the PE at that instant (`·` = idle). Task labels are
+/// single characters cycling through `0-9a-z`.
+pub fn gantt(
+    g: &StreamGraph,
+    spec: &CellSpec,
+    sched: &PeriodicSchedule,
+    periods: usize,
+    cols_per_period: usize,
+) -> String {
+    assert!(periods >= 1 && cols_per_period >= 1);
+    let label = |k: usize| -> char {
+        const ALPHABET: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+        ALPHABET[k % ALPHABET.len()] as char
+    };
+    let mut out = String::new();
+    let dt = sched.period / cols_per_period as f64;
+    let _ = writeln!(
+        out,
+        "period T = {:.3} us, {} period(s), one column = {:.3} us",
+        sched.period * 1e6,
+        periods,
+        dt * 1e6
+    );
+    // legend
+    let _ = write!(out, "legend:");
+    for t in g.task_ids() {
+        let _ = write!(out, " {}={}", label(t.index()), g.task(t).name);
+    }
+    let _ = writeln!(out);
+
+    for pe in spec.pes() {
+        let _ = write!(out, "{:>6} |", pe.to_string());
+        for p in 0..periods {
+            for c in 0..cols_per_period {
+                let instant = (c as f64 + 0.5) * dt;
+                let mut cell = '·';
+                for slot in sched.slots.iter().filter(|s| s.pe == pe) {
+                    if instant >= slot.offset && instant < slot.offset + slot.duration {
+                        cell = label(slot.task.index());
+                        break;
+                    }
+                }
+                let _ = write!(out, "{cell}");
+            }
+            if p + 1 < periods {
+                let _ = write!(out, "|");
+            }
+        }
+        let _ = writeln!(out, "|");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::mapping::Mapping;
+    use cellstream_daggen::{chain, CostParams};
+    use cellstream_platform::PeId;
+
+    #[test]
+    fn gantt_renders_all_pes_and_legend() {
+        let g = chain("c", 3, &CostParams::default(), 1);
+        let spec = CellSpec::with_spes(2);
+        let m = Mapping::new(&g, &spec, vec![PeId(0), PeId(1), PeId(2)]).unwrap();
+        let report = evaluate(&g, &spec, &m).unwrap();
+        let sched = PeriodicSchedule::build(&g, &spec, &m, &report);
+        let art = gantt(&g, &spec, &sched, 2, 20);
+        assert!(art.contains("PE0 |"));
+        assert!(art.contains("PE1 |"));
+        assert!(art.contains("PE2 |"));
+        assert!(art.contains("legend: 0=T0 1=T1 2=T2"));
+        // two periods => a separator bar inside each lane
+        let lane = art.lines().find(|l| l.contains("PE0 |")).unwrap();
+        assert_eq!(lane.matches('|').count(), 3, "{lane}");
+    }
+
+    #[test]
+    fn busy_pe_shows_its_task() {
+        // a memory-traffic-free task fully occupies its compute-bound period
+        let mut b = cellstream_graph::StreamGraph::builder("one");
+        b.add_task(cellstream_graph::TaskSpec::new("T0").uniform_cost(1e-6));
+        let g = b.build().unwrap();
+        let spec = CellSpec::with_spes(0);
+        let m = Mapping::all_on(&g, PeId(0));
+        let report = evaluate(&g, &spec, &m).unwrap();
+        let sched = PeriodicSchedule::build(&g, &spec, &m, &report);
+        let art = gantt(&g, &spec, &sched, 1, 10);
+        // single task fully occupies its period: no idle dots on PE0
+        let lane = art.lines().find(|l| l.contains("PE0")).unwrap();
+        assert!(!lane.contains('·'), "{lane}");
+        assert!(lane.contains("0000000000"), "{lane}");
+    }
+
+    #[test]
+    fn idle_pe_is_dots() {
+        let g = chain("c", 1, &CostParams::default(), 2);
+        let spec = CellSpec::with_spes(1);
+        let m = Mapping::all_on(&g, PeId(0));
+        let report = evaluate(&g, &spec, &m).unwrap();
+        let sched = PeriodicSchedule::build(&g, &spec, &m, &report);
+        let art = gantt(&g, &spec, &sched, 1, 8);
+        let lane = art.lines().find(|l| l.contains("PE1")).unwrap();
+        assert!(lane.contains("········"), "{lane}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Local-store buffer sizing (paper §4.2).
+//!
+//! Because PEs are not synchronised on the same instance, each edge
+//! `D_{k,l}` must buffer every instance produced but not yet consumed in
+//! steady state:
+//!
+//! ```text
+//! buff(k,l) = data(k,l) · (firstPeriod(Tl) − firstPeriod(Tk))   bytes
+//! ```
+//!
+//! A PE processing task `Tk` allocates buffers for **all** incoming data
+//! `D_{j,k}` *and* all outgoing data `D_{k,l}` — "both buffers have to be
+//! allocated into the SPE's memory even if one of the neighbor tasks is
+//! mapped on the same SPE" (the co-mapping optimisation is future work in
+//! the paper; `dedup_co_mapped` implements it for the ablation bench).
+
+use crate::steady::first_period::first_periods;
+use cellstream_graph::{EdgeId, StreamGraph, TaskId};
+
+/// Precomputed buffer plan for a graph: per-edge buffer bytes and per-task
+/// totals. Mapping-independent (see [`first_periods`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferPlan {
+    /// `firstPeriod` per task.
+    pub first_period: Vec<u64>,
+    /// Buffer size in bytes per edge.
+    pub edge_bytes: Vec<f64>,
+    /// Total buffer bytes a PE must reserve to host each task
+    /// (sum over the task's incoming and outgoing edges).
+    pub task_bytes: Vec<f64>,
+    /// Number of instance slots per edge
+    /// (`firstPeriod(dst) − firstPeriod(src)`).
+    pub edge_slots: Vec<u64>,
+}
+
+impl BufferPlan {
+    /// Build the plan for a graph.
+    pub fn new(g: &StreamGraph) -> Self {
+        let first_period = first_periods(g);
+        let mut edge_bytes = Vec::with_capacity(g.n_edges());
+        let mut edge_slots = Vec::with_capacity(g.n_edges());
+        for e in g.edges() {
+            let span = first_period[e.dst.index()] - first_period[e.src.index()];
+            edge_slots.push(span);
+            edge_bytes.push(e.data_bytes * span as f64);
+        }
+        let mut task_bytes = vec![0.0; g.n_tasks()];
+        for (ei, e) in g.edges().iter().enumerate() {
+            task_bytes[e.src.index()] += edge_bytes[ei];
+            task_bytes[e.dst.index()] += edge_bytes[ei];
+        }
+        BufferPlan { first_period, edge_bytes, task_bytes, edge_slots }
+    }
+
+    /// Buffer bytes for one edge.
+    pub fn for_edge(&self, e: EdgeId) -> f64 {
+        self.edge_bytes[e.index()]
+    }
+
+    /// Buffer bytes a host PE reserves for one task.
+    pub fn for_task(&self, t: TaskId) -> f64 {
+        self.task_bytes[t.index()]
+    }
+
+    /// Local-store bytes needed on a PE hosting exactly the given tasks,
+    /// under the paper's simple scheme (no co-mapping dedup).
+    pub fn for_tasks<'a>(&self, tasks: impl Iterator<Item = &'a TaskId>) -> f64 {
+        tasks.map(|t| self.task_bytes[t.index()]).sum()
+    }
+
+    /// Local-store bytes for a set of tasks **with** the paper's
+    /// future-work optimisation: an edge between two co-hosted tasks is
+    /// counted once instead of twice. Used by the ablation bench.
+    pub fn for_tasks_dedup(&self, g: &StreamGraph, tasks: &[TaskId]) -> f64 {
+        let mut on_pe = vec![false; g.n_tasks()];
+        for t in tasks {
+            on_pe[t.index()] = true;
+        }
+        let mut total = 0.0;
+        for (ei, e) in g.edges().iter().enumerate() {
+            let src_here = on_pe[e.src.index()];
+            let dst_here = on_pe[e.dst.index()];
+            match (src_here, dst_here) {
+                (true, true) => total += self.edge_bytes[ei],      // shared once
+                (true, false) | (false, true) => total += self.edge_bytes[ei],
+                (false, false) => {}
+            }
+        }
+        total
+    }
+}
+
+/// Convenience: buffer bytes of a single edge.
+pub fn buffer_bytes(g: &StreamGraph, e: EdgeId) -> f64 {
+    BufferPlan::new(g).for_edge(e)
+}
+
+/// Convenience: buffer bytes a host reserves for a single task.
+pub fn task_buffer_bytes(g: &StreamGraph, t: TaskId) -> f64 {
+    BufferPlan::new(g).for_task(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellstream_graph::{StreamGraph, TaskSpec};
+
+    fn two_chain(data: f64, peek: u32) -> StreamGraph {
+        let mut b = StreamGraph::builder("c");
+        let a = b.add_task(TaskSpec::new("a"));
+        let z = b.add_task(TaskSpec::new("z").peek(peek));
+        b.add_edge(a, z, data).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn buffer_is_data_times_period_span() {
+        let g = two_chain(100.0, 0);
+        let plan = BufferPlan::new(&g);
+        // firstPeriod: [0, 2] -> span 2 -> 200 bytes
+        assert_eq!(plan.edge_slots, vec![2]);
+        assert_eq!(plan.for_edge(cellstream_graph::EdgeId(0)), 200.0);
+    }
+
+    #[test]
+    fn peek_inflates_buffers() {
+        let g = two_chain(100.0, 2);
+        let plan = BufferPlan::new(&g);
+        // firstPeriod: [0, 4] -> 400 bytes
+        assert_eq!(plan.for_edge(cellstream_graph::EdgeId(0)), 400.0);
+    }
+
+    #[test]
+    fn task_bytes_count_both_directions() {
+        // a -> m -> z: m pays for both its in and out buffers
+        let mut b = StreamGraph::builder("c");
+        let a = b.add_task(TaskSpec::new("a"));
+        let m = b.add_task(TaskSpec::new("m"));
+        let z = b.add_task(TaskSpec::new("z"));
+        b.add_edge(a, m, 10.0).unwrap();
+        b.add_edge(m, z, 20.0).unwrap();
+        let g = b.build().unwrap();
+        let plan = BufferPlan::new(&g);
+        // fp = [0,2,4]; buff(a,m) = 20, buff(m,z) = 40
+        assert_eq!(plan.for_task(cellstream_graph::TaskId(1)), 60.0);
+        assert_eq!(plan.for_task(cellstream_graph::TaskId(0)), 20.0);
+        assert_eq!(plan.for_task(cellstream_graph::TaskId(2)), 40.0);
+    }
+
+    #[test]
+    fn dedup_counts_co_mapped_edges_once() {
+        let mut b = StreamGraph::builder("c");
+        let a = b.add_task(TaskSpec::new("a"));
+        let m = b.add_task(TaskSpec::new("m"));
+        b.add_edge(a, m, 10.0).unwrap();
+        let g = b.build().unwrap();
+        let plan = BufferPlan::new(&g);
+        let both = [cellstream_graph::TaskId(0), cellstream_graph::TaskId(1)];
+        // simple scheme: 20 (a's out) + 20 (m's in) = 40
+        assert_eq!(plan.for_tasks(both.iter()), 40.0);
+        // dedup: the same physical buffer serves both = 20
+        assert_eq!(plan.for_tasks_dedup(&g, &both), 20.0);
+    }
+
+    #[test]
+    fn dedup_equals_simple_when_no_co_mapping() {
+        let g = cellstream_daggen::paper::graph1();
+        let plan = BufferPlan::new(&g);
+        for t in g.task_ids().take(10) {
+            let single = [t];
+            assert!(
+                (plan.for_tasks(single.iter()) - plan.for_tasks_dedup(&g, &single)).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn plan_totals_conserve_edge_bytes() {
+        let g = cellstream_daggen::paper::graph1();
+        let plan = BufferPlan::new(&g);
+        let from_tasks: f64 = plan.task_bytes.iter().sum();
+        let from_edges: f64 = plan.edge_bytes.iter().sum();
+        assert!((from_tasks - 2.0 * from_edges).abs() < 1e-6); // each edge counted twice
+    }
+}

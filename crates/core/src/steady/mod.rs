@@ -1,0 +1,8 @@
+//! Steady-state machinery: `firstPeriod` indices and buffer sizing
+//! (paper §3.1 and §4.2).
+
+pub mod buffers;
+pub mod first_period;
+
+pub use buffers::{buffer_bytes, task_buffer_bytes, BufferPlan};
+pub use first_period::first_periods;

@@ -1,0 +1,143 @@
+//! Deterministic structured generators: chains, fork-join, diamonds.
+//!
+//! The paper's third evaluation graph is *"a simple chain graph with 50
+//! tasks"*; fork-join and diamond shapes are used by the test-suites and
+//! examples.
+
+use crate::cost::CostParams;
+use cellstream_graph::StreamGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A linear pipeline `T0 -> T1 -> … -> T{n-1}` with randomly drawn costs.
+pub fn chain(name: &str, n: usize, costs: &CostParams, seed: u64) -> StreamGraph {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = StreamGraph::builder(name);
+    let ids: Vec<_> = (0..n).map(|i| b.add_task(costs.draw_task(&mut rng, format!("T{i}")))).collect();
+    for w in ids.windows(2) {
+        b.add_edge(w[0], w[1], costs.draw_edge_bytes(&mut rng)).expect("chain edges are unique");
+    }
+    costs.attach_memory_traffic(&b.build().expect("chain is a DAG"))
+}
+
+/// Fork-join: one source fans out to `width` parallel workers which all
+/// feed one sink. The classic shape of data-parallel stages inside a
+/// stream (e.g. the per-subband filters of an audio encoder).
+pub fn fork_join(name: &str, width: usize, costs: &CostParams, seed: u64) -> StreamGraph {
+    assert!(width >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = StreamGraph::builder(name);
+    let src = b.add_task(costs.draw_task(&mut rng, "fork".into()));
+    let sink_spec = costs.draw_task(&mut rng, "join".into());
+    let workers: Vec<_> = (0..width)
+        .map(|i| b.add_task(costs.draw_task(&mut rng, format!("W{i}"))))
+        .collect();
+    let sink = b.add_task(sink_spec);
+    for &w in &workers {
+        b.add_edge(src, w, costs.draw_edge_bytes(&mut rng)).expect("unique");
+        b.add_edge(w, sink, costs.draw_edge_bytes(&mut rng)).expect("unique");
+    }
+    costs.attach_memory_traffic(&b.build().expect("fork-join is a DAG"))
+}
+
+/// A stack of `depth` diamonds: each diamond is `a -> {b, c} -> d`, chained
+/// `d_i -> a_{i+1}`. Stresses the buffer accounting, because every level
+/// doubles the number of co-live data instances.
+pub fn diamond(name: &str, depth: usize, costs: &CostParams, seed: u64) -> StreamGraph {
+    assert!(depth >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = StreamGraph::builder(name);
+    let mut prev_tail = None;
+    for lvl in 0..depth {
+        let a = b.add_task(costs.draw_task(&mut rng, format!("a{lvl}")));
+        let left = b.add_task(costs.draw_task(&mut rng, format!("b{lvl}")));
+        let right = b.add_task(costs.draw_task(&mut rng, format!("c{lvl}")));
+        let d = b.add_task(costs.draw_task(&mut rng, format!("d{lvl}")));
+        b.add_edge(a, left, costs.draw_edge_bytes(&mut rng)).expect("unique");
+        b.add_edge(a, right, costs.draw_edge_bytes(&mut rng)).expect("unique");
+        b.add_edge(left, d, costs.draw_edge_bytes(&mut rng)).expect("unique");
+        b.add_edge(right, d, costs.draw_edge_bytes(&mut rng)).expect("unique");
+        if let Some(tail) = prev_tail {
+            b.add_edge(tail, a, costs.draw_edge_bytes(&mut rng)).expect("unique");
+        }
+        prev_tail = Some(d);
+    }
+    costs.attach_memory_traffic(&b.build().expect("diamond stack is a DAG"))
+}
+
+/// A tiny fixed three-task example matching the paper's Figure 3(a):
+/// `T1 -> T2`, `T1 -> T3`, with `peek(T3) = 1`. Costs are `uniform_cost`
+/// so doc-examples stay readable.
+pub fn figure3() -> StreamGraph {
+    use cellstream_graph::TaskSpec;
+    let mut b = StreamGraph::builder("figure3");
+    let t1 = b.add_task(TaskSpec::new("T1").uniform_cost(1e-6));
+    let t2 = b.add_task(TaskSpec::new("T2").uniform_cost(1e-6));
+    let t3 = b.add_task(TaskSpec::new("T3").uniform_cost(1e-6).peek(1));
+    b.add_edge(t1, t2, 1024.0).expect("unique");
+    b.add_edge(t1, t3, 1024.0).expect("unique");
+    b.build().expect("figure 3 is a DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellstream_graph::algo;
+
+    #[test]
+    fn chain_shape() {
+        let g = chain("c", 10, &CostParams::default(), 1);
+        assert_eq!(g.n_tasks(), 10);
+        assert_eq!(g.n_edges(), 9);
+        assert_eq!(algo::critical_path_hops(&g), 9);
+        assert_eq!(g.sources().count(), 1);
+        assert_eq!(g.sinks().count(), 1);
+    }
+
+    #[test]
+    fn single_task_chain() {
+        let g = chain("c1", 1, &CostParams::default(), 1);
+        assert_eq!(g.n_tasks(), 1);
+        assert_eq!(g.n_edges(), 0);
+        // a lone task both reads and writes memory
+        let t = g.task(cellstream_graph::TaskId(0));
+        assert!(t.read_bytes > 0.0 && t.write_bytes > 0.0);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let g = fork_join("fj", 5, &CostParams::default(), 2);
+        assert_eq!(g.n_tasks(), 7);
+        assert_eq!(g.n_edges(), 10);
+        assert_eq!(algo::critical_path_hops(&g), 2);
+        let fork = g.find("fork").unwrap();
+        assert_eq!(g.successors(fork).count(), 5);
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let g = diamond("d", 3, &CostParams::default(), 3);
+        assert_eq!(g.n_tasks(), 12);
+        assert_eq!(g.n_edges(), 4 * 3 + 2);
+        assert_eq!(g.sources().count(), 1);
+        assert_eq!(g.sinks().count(), 1);
+    }
+
+    #[test]
+    fn figure3_matches_paper() {
+        let g = figure3();
+        assert_eq!(g.n_tasks(), 3);
+        let t3 = g.find("T3").unwrap();
+        assert_eq!(g.task(t3).peek, 1);
+        let t1 = g.find("T1").unwrap();
+        assert_eq!(g.successors(t1).count(), 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = diamond("d", 4, &CostParams::default(), 77);
+        let b = diamond("d", 4, &CostParams::default(), 77);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,150 @@
+//! Graphviz (DOT) export, in the style of the paper's Figure 5 labels
+//! (`cost ppe / cost spe / peek / stateless|stateful`).
+
+use crate::graph::StreamGraph;
+use crate::task::TaskId;
+use std::fmt::Write as _;
+
+/// Options controlling [`to_dot`].
+#[derive(Debug, Clone, Copy)]
+pub struct DotOptions {
+    /// Include per-task cost / peek / stateful annotations.
+    pub verbose_labels: bool,
+    /// Include edge byte counts.
+    pub edge_labels: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions { verbose_labels: true, edge_labels: true }
+    }
+}
+
+/// Render the graph as a DOT digraph.
+pub fn to_dot(g: &StreamGraph, opts: DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(g.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+    for t in g.task_ids() {
+        let task = g.task(t);
+        if opts.verbose_labels {
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}\\ncost ppe: {:.3e}\\ncost spe: {:.3e}\\npeek: {}\\n{}\"];",
+                t.index(),
+                sanitize(&task.name),
+                task.w_ppe,
+                task.w_spe,
+                task.peek,
+                if task.stateful { "stateful" } else { "stateless" },
+            );
+        } else {
+            let _ = writeln!(out, "  n{} [label=\"{}\"];", t.index(), sanitize(&task.name));
+        }
+    }
+    for e in g.edges() {
+        if opts.edge_labels {
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"{} B\"];",
+                e.src.index(),
+                e.dst.index(),
+                e.data_bytes
+            );
+        } else {
+            let _ = writeln!(out, "  n{} -> n{};", e.src.index(), e.dst.index());
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render with a mapping: tasks are clustered by processing element, as in
+/// the paper's Figure 2(c). `assignment[t]` is the PE index of task `t`.
+pub fn to_dot_with_mapping(g: &StreamGraph, assignment: &[usize]) -> String {
+    assert_eq!(assignment.len(), g.n_tasks(), "assignment must cover every task");
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(g.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+    let max_pe = assignment.iter().copied().max().unwrap_or(0);
+    for pe in 0..=max_pe {
+        let members: Vec<TaskId> = g.task_ids().filter(|t| assignment[t.index()] == pe).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "  subgraph cluster_pe{pe} {{");
+        let _ = writeln!(out, "    label=\"PE {pe}\";");
+        for t in members {
+            let _ = writeln!(out, "    n{} [label=\"{}\"];", t.index(), sanitize(&g.task(t).name));
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for e in g.edges() {
+        let _ = writeln!(out, "  n{} -> n{};", e.src.index(), e.dst.index());
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn sanitize(s: &str) -> String {
+    s.replace('"', "'").replace('\n', " ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskSpec;
+
+    fn tiny() -> StreamGraph {
+        let mut b = StreamGraph::builder("tiny");
+        let a = b.add_task(TaskSpec::new("src").peek(1).stateful());
+        let c = b.add_task(TaskSpec::new("dst"));
+        b.add_edge(a, c, 128.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_nodes_edges_and_annotations() {
+        let dot = to_dot(&tiny(), DotOptions::default());
+        assert!(dot.contains("digraph \"tiny\""));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("peek: 1"));
+        assert!(dot.contains("stateful"));
+        assert!(dot.contains("128 B"));
+    }
+
+    #[test]
+    fn plain_labels_omit_costs() {
+        let dot = to_dot(&tiny(), DotOptions { verbose_labels: false, edge_labels: false });
+        assert!(!dot.contains("cost ppe"));
+        assert!(!dot.contains("128 B"));
+        assert!(dot.contains("n0 -> n1"));
+    }
+
+    #[test]
+    fn mapping_clusters_by_pe() {
+        let dot = to_dot_with_mapping(&tiny(), &[0, 2]);
+        assert!(dot.contains("cluster_pe0"));
+        assert!(dot.contains("cluster_pe2"));
+        assert!(!dot.contains("cluster_pe1"));
+        assert!(dot.contains("label=\"PE 0\""));
+    }
+
+    #[test]
+    fn quotes_in_names_are_sanitised() {
+        let mut b = StreamGraph::builder("we\"ird");
+        b.add_task(TaskSpec::new("ta\"sk"));
+        let g = b.build().unwrap();
+        let dot = to_dot(&g, DotOptions::default());
+        assert!(!dot.contains("ta\"sk"));
+        assert!(dot.contains("ta'sk"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every task")]
+    fn mapping_length_checked() {
+        let _ = to_dot_with_mapping(&tiny(), &[0]);
+    }
+}

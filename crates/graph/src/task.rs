@@ -1,0 +1,188 @@
+//! Tasks of a streaming application and their per-instance costs.
+
+use cellstream_platform::PeKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a task inside one [`StreamGraph`](crate::StreamGraph):
+/// a dense index `0..K`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct TaskId(pub usize);
+
+impl TaskId {
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The paper numbers tasks from 1 (T1..TK); we keep zero-based ids
+        // internally and render the id verbatim to avoid off-by-one
+        // confusion in logs.
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Immutable description of one task, as stored in a built graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Human-readable name (unique within a graph).
+    pub name: String,
+    /// `wPPE(T_k)`: seconds to process one instance on a PPE.
+    pub w_ppe: f64,
+    /// `wSPE(T_k)`: seconds to process one instance on an SPE.
+    pub w_spe: f64,
+    /// `peek_k`: number of *future* instances of every input this task
+    /// must hold before processing instance `i` (paper §2.2; e.g. video
+    /// encoders that code the difference between successive images).
+    pub peek: u32,
+    /// `read_k`: bytes read from main memory per instance.
+    pub read_bytes: f64,
+    /// `write_k`: bytes written to main memory per instance.
+    pub write_bytes: f64,
+    /// Whether the task carries internal state across instances.
+    pub stateful: bool,
+}
+
+impl Task {
+    /// Processing time of one instance on a PE of the given kind
+    /// (the unrelated-machine cost lookup).
+    pub fn cost_on(&self, kind: PeKind) -> f64 {
+        match kind {
+            PeKind::Ppe => self.w_ppe,
+            PeKind::Spe => self.w_spe,
+        }
+    }
+
+    /// The SPE *affinity* of the task: `wPPE / wSPE`. Values above 1 mean
+    /// the task runs faster on an SPE.
+    pub fn spe_affinity(&self) -> f64 {
+        self.w_ppe / self.w_spe
+    }
+}
+
+/// Builder-style specification of a task, consumed by
+/// [`GraphBuilder::add_task`](crate::GraphBuilder::add_task).
+///
+/// Defaults: both costs `1.0 s`, `peek = 0`, no memory traffic, stateless.
+///
+/// ```
+/// use cellstream_graph::TaskSpec;
+/// let spec = TaskSpec::new("fft")
+///     .ppe_cost(3.2e-3)
+///     .spe_cost(0.4e-3)
+///     .peek(1)
+///     .reads(4096.0)
+///     .writes(1024.0)
+///     .stateful();
+/// assert_eq!(spec.peek, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Task name.
+    pub name: String,
+    /// Seconds per instance on a PPE.
+    pub w_ppe: f64,
+    /// Seconds per instance on an SPE.
+    pub w_spe: f64,
+    /// Lookahead depth in instances.
+    pub peek: u32,
+    /// Main-memory bytes read per instance.
+    pub read_bytes: f64,
+    /// Main-memory bytes written per instance.
+    pub write_bytes: f64,
+    /// Whether the task carries state across instances.
+    pub stateful: bool,
+}
+
+impl TaskSpec {
+    /// A stateless task with unit costs and no memory traffic.
+    pub fn new(name: impl Into<String>) -> Self {
+        TaskSpec {
+            name: name.into(),
+            w_ppe: 1.0,
+            w_spe: 1.0,
+            peek: 0,
+            read_bytes: 0.0,
+            write_bytes: 0.0,
+            stateful: false,
+        }
+    }
+
+    /// Set `wPPE` (seconds per instance).
+    pub fn ppe_cost(mut self, w: f64) -> Self {
+        self.w_ppe = w;
+        self
+    }
+
+    /// Set `wSPE` (seconds per instance).
+    pub fn spe_cost(mut self, w: f64) -> Self {
+        self.w_spe = w;
+        self
+    }
+
+    /// Set both costs at once (a *related* task, same speed everywhere).
+    pub fn uniform_cost(mut self, w: f64) -> Self {
+        self.w_ppe = w;
+        self.w_spe = w;
+        self
+    }
+
+    /// Set the peek depth.
+    pub fn peek(mut self, p: u32) -> Self {
+        self.peek = p;
+        self
+    }
+
+    /// Set the main-memory read volume per instance.
+    pub fn reads(mut self, bytes: f64) -> Self {
+        self.read_bytes = bytes;
+        self
+    }
+
+    /// Set the main-memory write volume per instance.
+    pub fn writes(mut self, bytes: f64) -> Self {
+        self.write_bytes = bytes;
+        self
+    }
+
+    /// Mark the task as stateful.
+    pub fn stateful(mut self) -> Self {
+        self.stateful = true;
+        self
+    }
+
+    /// Validate the spec: costs must be positive finite, traffic
+    /// non-negative finite.
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        if !(self.w_ppe.is_finite() && self.w_ppe > 0.0) {
+            return Err(format!("task '{}': wPPE must be positive, got {}", self.name, self.w_ppe));
+        }
+        if !(self.w_spe.is_finite() && self.w_spe > 0.0) {
+            return Err(format!("task '{}': wSPE must be positive, got {}", self.name, self.w_spe));
+        }
+        for (label, v) in [("read", self.read_bytes), ("write", self.write_bytes)] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("task '{}': {label} bytes must be >= 0, got {v}", self.name));
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn into_task(self) -> Task {
+        Task {
+            name: self.name,
+            w_ppe: self.w_ppe,
+            w_spe: self.w_spe,
+            peek: self.peek,
+            read_bytes: self.read_bytes,
+            write_bytes: self.write_bytes,
+            stateful: self.stateful,
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Communication-aware greedy (extension heuristic, paper §7).
+//!
+//! The paper's greedies fail because they ignore data transfers. This
+//! variant keeps their one-pass, no-backtracking shape but scores each
+//! candidate PE by the **period of the partial mapping** (tasks seen so
+//! far), computed by the exact evaluator on the induced subgraph — so
+//! interface bandwidth, memory reads/writes and compute load all count.
+//! Infeasible placements (local store, DMA) are skipped outright.
+
+use cellstream_core::steady::buffers::BufferPlan;
+use cellstream_core::Mapping;
+use cellstream_graph::StreamGraph;
+use cellstream_platform::{CellSpec, PeId, PeKind};
+
+/// One-pass greedy that minimises the partial-mapping period at each step.
+pub fn comm_aware_greedy(g: &StreamGraph, spec: &CellSpec) -> Mapping {
+    let plan = BufferPlan::new(g);
+    let budget = spec.local_store_budget() as f64;
+    let mut mem_used = vec![0.0f64; spec.n_pes()];
+    let mut dma_in = vec![0u32; spec.n_pes()];
+    let mut dma_ppe = vec![0u32; spec.n_pes()];
+    // incremental loads for the score
+    let mut compute = vec![0.0f64; spec.n_pes()];
+    let mut in_bytes = vec![0.0f64; spec.n_pes()];
+    let mut out_bytes = vec![0.0f64; spec.n_pes()];
+    let bw = spec.interface_bw().as_bytes_per_s();
+
+    let mut assignment: Vec<Option<PeId>> = vec![None; g.n_tasks()];
+
+    for &t in g.topo_order() {
+        let task = g.task(t);
+        let need = plan.for_task(t);
+        let mut best: Option<(PeId, f64)> = None;
+        for pe in spec.pes() {
+            let i = pe.index();
+            // feasibility pre-checks for SPEs
+            if spec.is_spe(pe) {
+                if mem_used[i] + need > budget {
+                    continue;
+                }
+                let new_dma_in = dma_in[i]
+                    + g.predecessors(t)
+                        .filter(|p| assignment[p.index()].is_some_and(|ppe| ppe != pe))
+                        .count() as u32;
+                if new_dma_in > spec.dma_in_limit() {
+                    continue;
+                }
+            }
+            // score: the period of the partial mapping if t goes on pe
+            let mut worst = compute[i] + task.cost_on(spec.kind_of(pe));
+            let mut in_b = in_bytes[i] + task.read_bytes;
+            let mut out_b = out_bytes[i] + task.write_bytes;
+            for e in g.in_edges(t) {
+                let edge = g.edge(*e);
+                if let Some(src_pe) = assignment[edge.src.index()] {
+                    if src_pe != pe {
+                        in_b += edge.data_bytes;
+                    }
+                }
+            }
+            // predecessors' outgoing loads change too; fold into the score
+            for e in g.in_edges(t) {
+                let edge = g.edge(*e);
+                if let Some(src_pe) = assignment[edge.src.index()] {
+                    if src_pe != pe {
+                        let src_out = out_bytes[src_pe.index()] + edge.data_bytes;
+                        worst = worst.max(src_out / bw);
+                    }
+                }
+            }
+            worst = worst.max(in_b / bw).max(out_b / bw);
+            let _ = &mut out_b;
+            if best.as_ref().is_none_or(|(_, b)| worst < *b) {
+                best = Some((pe, worst));
+            }
+        }
+        let (pe, _) = best.expect("the PPE always qualifies");
+        // commit
+        let i = pe.index();
+        assignment[t.index()] = Some(pe);
+        compute[i] += task.cost_on(spec.kind_of(pe));
+        in_bytes[i] += task.read_bytes;
+        out_bytes[i] += task.write_bytes;
+        if spec.is_spe(pe) {
+            mem_used[i] += need;
+        }
+        for e in g.in_edges(t) {
+            let edge = g.edge(*e);
+            if let Some(src_pe) = assignment[edge.src.index()] {
+                if src_pe != pe {
+                    in_bytes[i] += edge.data_bytes;
+                    out_bytes[src_pe.index()] += edge.data_bytes;
+                    if spec.is_spe(pe) {
+                        dma_in[i] += 1;
+                    }
+                    if spec.is_spe(src_pe) && spec.kind_of(pe) == PeKind::Ppe {
+                        dma_ppe[src_pe.index()] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let assignment: Vec<PeId> = assignment.into_iter().map(|o| o.expect("all assigned")).collect();
+    Mapping::new(g, spec, assignment).expect("constructed within bounds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellstream_core::evaluate;
+    use cellstream_daggen::{chain, CostParams};
+
+    #[test]
+    fn comm_aware_feasible_and_not_worse_than_ppe_only() {
+        for seed in [1, 5, 9] {
+            let g = chain("c", 12, &CostParams::default(), seed);
+            let spec = CellSpec::qs22();
+            let m = comm_aware_greedy(&g, &spec);
+            let r = evaluate(&g, &spec, &m).unwrap();
+            let ppe = evaluate(&g, &spec, &Mapping::all_on(&g, PeId(0))).unwrap();
+            assert!(
+                r.period <= ppe.period + 1e-12,
+                "seed {seed}: {} vs PPE-only {}",
+                r.period,
+                ppe.period
+            );
+        }
+    }
+
+    #[test]
+    fn keeps_heavy_communicators_together() {
+        use cellstream_graph::{StreamGraph, TaskSpec};
+        // two tasks exchanging a huge datum: cutting the edge would make
+        // the interfaces the bottleneck, so they must stay co-mapped
+        let mut b = StreamGraph::builder("pair");
+        let a = b.add_task(TaskSpec::new("a").ppe_cost(1e-6).spe_cost(0.9e-6));
+        let z = b.add_task(TaskSpec::new("z").ppe_cost(1e-6).spe_cost(0.9e-6));
+        b.add_edge(a, z, 2.0e6).unwrap(); // 80us on the wire >> 1us compute
+        let g = b.build().unwrap();
+        let spec = CellSpec::with_spes(2);
+        let m = comm_aware_greedy(&g, &spec);
+        assert_eq!(
+            m.pe_of(cellstream_graph::TaskId(0)),
+            m.pe_of(cellstream_graph::TaskId(1)),
+            "heavy edge must not be cut: {m}"
+        );
+    }
+
+    #[test]
+    fn respects_local_store() {
+        let g = chain("c", 30, &CostParams::default(), 13);
+        let spec = CellSpec::ps3();
+        let m = comm_aware_greedy(&g, &spec);
+        let r = evaluate(&g, &spec, &m).unwrap();
+        assert!(
+            !r.violations.iter().any(|v| matches!(v, cellstream_core::Violation::LocalStore { .. })),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = chain("c", 15, &CostParams::default(), 3);
+        let spec = CellSpec::qs22();
+        assert_eq!(comm_aware_greedy(&g, &spec), comm_aware_greedy(&g, &spec));
+    }
+}

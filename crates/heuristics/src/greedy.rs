@@ -1,0 +1,158 @@
+//! The paper's two reference heuristics (§6.3), implemented to the letter.
+//!
+//! Both process tasks in topological order and never revisit a decision
+//! ("Both strategies are greedy strategies: they map the tasks one after
+//! the other, and never go back on a previous decision").
+
+use cellstream_core::steady::buffers::BufferPlan;
+use cellstream_core::Mapping;
+use cellstream_graph::StreamGraph;
+use cellstream_platform::{CellSpec, PeId, PeKind};
+
+/// *GreedyMem*: place each task on the SPE with enough free local store
+/// and the least-loaded memory; if no SPE fits, on the PPE.
+///
+/// Paper: "Given a task, it selects the SPEs which have enough free
+/// memory to host the task and its buffers. Among those SPEs, the one
+/// with the least loaded memory is chosen. If no SPE can host the task,
+/// it is allocated on the PPE."
+pub fn greedy_mem(g: &StreamGraph, spec: &CellSpec) -> Mapping {
+    let plan = BufferPlan::new(g);
+    let budget = spec.local_store_budget() as f64;
+    let mut mem_used = vec![0.0f64; spec.n_pes()];
+    let mut assignment = vec![PeId(0); g.n_tasks()];
+
+    for &t in g.topo_order() {
+        let need = plan.for_task(t);
+        let candidate = spec
+            .spes()
+            .filter(|pe| mem_used[pe.index()] + need <= budget)
+            .min_by(|a, b| {
+                mem_used[a.index()]
+                    .partial_cmp(&mem_used[b.index()])
+                    .expect("memory loads are finite")
+                    .then(a.index().cmp(&b.index()))
+            });
+        match candidate {
+            Some(pe) => {
+                mem_used[pe.index()] += need;
+                assignment[t.index()] = pe;
+            }
+            None => assignment[t.index()] = spec.pe(0), // PPE fallback
+        }
+    }
+    Mapping::new(g, spec, assignment).expect("greedy output is structurally valid")
+}
+
+/// *GreedyCpu*: place each task on the PE (SPE **or** PPE) with enough
+/// memory and the smallest computation load.
+///
+/// Paper: "among the processing elements (SPEs and PPE) with enough
+/// memory to host a task, it selects the one with the smallest
+/// computation load."
+pub fn greedy_cpu(g: &StreamGraph, spec: &CellSpec) -> Mapping {
+    let plan = BufferPlan::new(g);
+    let budget = spec.local_store_budget() as f64;
+    let mut mem_used = vec![0.0f64; spec.n_pes()];
+    let mut cpu_load = vec![0.0f64; spec.n_pes()];
+    let mut assignment = vec![PeId(0); g.n_tasks()];
+
+    for &t in g.topo_order() {
+        let need = plan.for_task(t);
+        let candidate = spec
+            .pes()
+            .filter(|&pe| {
+                // the PPE's main memory is unconstrained (paper §2.1)
+                spec.kind_of(pe) == PeKind::Ppe || mem_used[pe.index()] + need <= budget
+            })
+            .min_by(|a, b| {
+                cpu_load[a.index()]
+                    .partial_cmp(&cpu_load[b.index()])
+                    .expect("loads are finite")
+                    .then(a.index().cmp(&b.index()))
+            })
+            .expect("the PPE always qualifies");
+        if spec.is_spe(candidate) {
+            mem_used[candidate.index()] += need;
+        }
+        cpu_load[candidate.index()] += g.task(t).cost_on(spec.kind_of(candidate));
+        assignment[t.index()] = candidate;
+    }
+    Mapping::new(g, spec, assignment).expect("greedy output is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellstream_core::evaluate;
+    use cellstream_daggen::{chain, CostParams};
+    use cellstream_platform::CellSpecBuilder;
+
+    #[test]
+    fn greedy_mem_prefers_spes() {
+        let g = chain("c", 6, &CostParams::default(), 3);
+        let spec = CellSpec::with_spes(4);
+        let m = greedy_mem(&g, &spec);
+        // small chain: everything fits on SPEs, PPE unused
+        assert_eq!(m.count_on(PeId(0)), 0);
+        let report = evaluate(&g, &spec, &m).unwrap();
+        // greedy_mem respects the memory budget by construction
+        assert!(!report
+            .violations
+            .iter()
+            .any(|v| matches!(v, cellstream_core::Violation::LocalStore { .. })));
+    }
+
+    #[test]
+    fn greedy_mem_falls_back_to_ppe_when_stores_full() {
+        // tiny local store: nothing fits on the single SPE
+        let spec = CellSpecBuilder::default()
+            .spes(1)
+            .local_store(cellstream_platform::ByteSize::kib(65))
+            .code_size(cellstream_platform::ByteSize::kib(64))
+            .build()
+            .unwrap();
+        let g = chain("c", 5, &CostParams::default(), 3); // buffers are tens of kB
+        let m = greedy_mem(&g, &spec);
+        assert_eq!(m.count_on(PeId(0)), 5, "all tasks must fall back to the PPE");
+    }
+
+    #[test]
+    fn greedy_mem_spreads_by_least_loaded_memory() {
+        let g = chain("c", 4, &CostParams::default(), 9);
+        let spec = CellSpec::with_spes(4);
+        let m = greedy_mem(&g, &spec);
+        // least-loaded rule scatters consecutive tasks across empty SPEs
+        let used: std::collections::BTreeSet<_> = m.assignment().iter().collect();
+        assert!(used.len() >= 3, "expected scattering, got {m}");
+    }
+
+    #[test]
+    fn greedy_cpu_balances_compute() {
+        let g = chain("c", 8, &CostParams::default(), 5);
+        let spec = CellSpec::with_spes(4);
+        let m = greedy_cpu(&g, &spec);
+        let report = evaluate(&g, &spec, &m).unwrap();
+        // compute should be spread: no single PE carries everything
+        let max_load = report.compute_load.iter().cloned().fold(0.0, f64::max);
+        let total: f64 = report.compute_load.iter().sum();
+        assert!(max_load < total, "greedy_cpu must use several PEs: {m}");
+    }
+
+    #[test]
+    fn greedy_cpu_uses_ppe_too() {
+        // With zero SPEs both heuristics collapse to PPE-only.
+        let g = chain("c", 4, &CostParams::default(), 2);
+        let spec = CellSpec::with_spes(0);
+        assert_eq!(greedy_cpu(&g, &spec).count_on(PeId(0)), 4);
+        assert_eq!(greedy_mem(&g, &spec).count_on(PeId(0)), 4);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = chain("c", 10, &CostParams::default(), 8);
+        let spec = CellSpec::ps3();
+        assert_eq!(greedy_mem(&g, &spec), greedy_mem(&g, &spec));
+        assert_eq!(greedy_cpu(&g, &spec), greedy_cpu(&g, &spec));
+    }
+}

@@ -1,0 +1,45 @@
+//! Mapping heuristics.
+//!
+//! The two **reference heuristics of paper §6.3** — both greedy, both
+//! memory-aware, both deliberately communication-blind (that blindness is
+//! exactly what Figure 7 exposes):
+//!
+//! * [`greedy_mem`] — *GreedyMem*: walk tasks in topological order; among
+//!   the SPEs with enough free local store for the task's buffers, pick
+//!   the one with the **least loaded memory**; fall back to the PPE.
+//! * [`greedy_cpu`] — *GreedyCpu*: same walk, but among all PEs (SPEs and
+//!   the PPE) with enough memory, pick the one with the **smallest
+//!   computation load**.
+//!
+//! Plus the extension heuristics the paper's conclusion calls for
+//! ("design involved mapping heuristics which approach the optimal
+//! throughput"):
+//!
+//! * [`local_search`] — steepest-descent task-move/swap refinement of any
+//!   starting mapping, driven by the exact evaluator;
+//! * [`comm_aware_greedy`] — greedy that scores candidate PEs by the
+//!   *period* the partial mapping would have (so communication and DMA
+//!   pressure count), not just memory or compute;
+//! * [`anneal`] — simulated annealing over single-task moves, for
+//!   escaping the local optima where steepest descent stops.
+//!
+//! Every heuristic returns a structurally valid mapping; feasibility of
+//! the greedy outputs follows from their memory checks (DMA limits can
+//! still be violated — the paper's greedies ignore them too, and the
+//! evaluator reports it).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod annealing;
+pub mod comm_aware;
+pub mod greedy;
+pub mod search;
+
+pub use annealing::{anneal, AnnealingOptions};
+pub use comm_aware::comm_aware_greedy;
+pub use greedy::{greedy_cpu, greedy_mem};
+pub use search::{local_search, LocalSearchOptions};
+
+#[cfg(test)]
+mod tests;

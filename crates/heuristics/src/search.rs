@@ -1,0 +1,187 @@
+//! Local search over mappings (extension heuristic, paper §7 future work).
+//!
+//! Steepest-descent on the exact evaluator: repeatedly try moving any
+//! single task to any other PE (and optionally swapping two tasks), keep
+//! the best improving neighbour, stop at a local optimum. Infeasible
+//! neighbours are discarded, so starting from a feasible mapping the
+//! result stays feasible. Deterministic given a deterministic start.
+
+use cellstream_core::{evaluate, Mapping};
+use cellstream_graph::StreamGraph;
+use cellstream_platform::CellSpec;
+
+/// Options for [`local_search`].
+#[derive(Debug, Clone)]
+pub struct LocalSearchOptions {
+    /// Maximum improving rounds (each round scans all neighbours).
+    pub max_rounds: usize,
+    /// Also consider swapping pairs of tasks (O(K²·n) per round instead
+    /// of O(K·n)).
+    pub swaps: bool,
+    /// Minimum relative improvement to accept a move.
+    pub min_gain: f64,
+}
+
+impl Default for LocalSearchOptions {
+    fn default() -> Self {
+        LocalSearchOptions { max_rounds: 64, swaps: false, min_gain: 1e-9 }
+    }
+}
+
+/// Refine `start` by steepest descent. Returns the refined mapping and
+/// its period.
+pub fn local_search(
+    g: &StreamGraph,
+    spec: &CellSpec,
+    start: &Mapping,
+    opts: &LocalSearchOptions,
+) -> (Mapping, f64) {
+    let mut current = start.clone();
+    let mut current_period = period_or_inf(g, spec, &current);
+
+    for _ in 0..opts.max_rounds {
+        let mut best: Option<(Mapping, f64)> = None;
+
+        // single-task moves
+        for t in g.task_ids() {
+            let from = current.pe_of(t);
+            for to in spec.pes() {
+                if to == from {
+                    continue;
+                }
+                let cand = current.with_move(t, to);
+                let p = period_or_inf(g, spec, &cand);
+                if p < best.as_ref().map_or(current_period, |(_, bp)| *bp) {
+                    best = Some((cand, p));
+                }
+            }
+        }
+
+        // pairwise swaps
+        if opts.swaps {
+            for a in g.task_ids() {
+                for b in g.task_ids().skip(a.index() + 1) {
+                    let (pa, pb) = (current.pe_of(a), current.pe_of(b));
+                    if pa == pb {
+                        continue;
+                    }
+                    let cand = current.with_move(a, pb).with_move(b, pa);
+                    let p = period_or_inf(g, spec, &cand);
+                    if p < best.as_ref().map_or(current_period, |(_, bp)| *bp) {
+                        best = Some((cand, p));
+                    }
+                }
+            }
+        }
+
+        match best {
+            Some((cand, p)) if p < current_period * (1.0 - opts.min_gain) => {
+                current = cand;
+                current_period = p;
+            }
+            _ => break, // local optimum
+        }
+    }
+    (current, current_period)
+}
+
+fn period_or_inf(g: &StreamGraph, spec: &CellSpec, m: &Mapping) -> f64 {
+    match evaluate(g, spec, m) {
+        Ok(r) if r.is_feasible() => r.period,
+        _ => f64::INFINITY,
+    }
+}
+
+/// Run local search from several starts (e.g. both greedies and PPE-only)
+/// and keep the best. The usual entry point for "the best heuristic
+/// answer without the MILP".
+pub fn multi_start(
+    g: &StreamGraph,
+    spec: &CellSpec,
+    starts: &[Mapping],
+    opts: &LocalSearchOptions,
+) -> (Mapping, f64) {
+    assert!(!starts.is_empty(), "need at least one start");
+    starts
+        .iter()
+        .map(|s| local_search(g, spec, s, opts))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("periods are comparable"))
+        .expect("at least one start")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellstream_daggen::{chain, CostParams};
+    use cellstream_platform::PeId;
+
+    #[test]
+    fn search_never_worsens() {
+        let g = chain("c", 8, &CostParams::default(), 21);
+        let spec = CellSpec::with_spes(3);
+        let start = Mapping::all_on(&g, PeId(0));
+        let start_period = period_or_inf(&g, &spec, &start);
+        let (refined, period) = local_search(&g, &spec, &start, &LocalSearchOptions::default());
+        assert!(period <= start_period);
+        assert!(period_or_inf(&g, &spec, &refined) == period);
+    }
+
+    #[test]
+    fn search_improves_ppe_only_on_offloadable_work() {
+        // chain with SPE-friendly tasks: moving anything off the PPE helps
+        let g = chain("c", 6, &CostParams::default(), 4);
+        let spec = CellSpec::with_spes(4);
+        let start = Mapping::all_on(&g, PeId(0));
+        let (_, period) = local_search(&g, &spec, &start, &LocalSearchOptions::default());
+        let ppe_period = period_or_inf(&g, &spec, &start);
+        assert!(
+            period < ppe_period,
+            "local search should offload something: {period} vs {ppe_period}"
+        );
+    }
+
+    #[test]
+    fn swaps_extend_the_neighbourhood() {
+        let g = chain("c", 8, &CostParams::default(), 31);
+        let spec = CellSpec::with_spes(2);
+        let start = Mapping::all_on(&g, PeId(0));
+        let (_, no_swap) = local_search(&g, &spec, &start, &LocalSearchOptions::default());
+        let (_, with_swap) = local_search(
+            &g,
+            &spec,
+            &start,
+            &LocalSearchOptions { swaps: true, ..Default::default() },
+        );
+        assert!(with_swap <= no_swap + 1e-15);
+    }
+
+    #[test]
+    fn multi_start_takes_the_best() {
+        let g = chain("c", 7, &CostParams::default(), 17);
+        let spec = CellSpec::with_spes(2);
+        let starts = vec![
+            Mapping::all_on(&g, PeId(0)),
+            crate::greedy::greedy_cpu(&g, &spec),
+            crate::greedy::greedy_mem(&g, &spec),
+        ];
+        let (_, best) = multi_start(&g, &spec, &starts, &LocalSearchOptions::default());
+        for s in &starts {
+            let (_, single) = local_search(&g, &spec, s, &LocalSearchOptions::default());
+            assert!(best <= single + 1e-15);
+        }
+    }
+
+    #[test]
+    fn zero_rounds_returns_start() {
+        let g = chain("c", 5, &CostParams::default(), 2);
+        let spec = CellSpec::ps3();
+        let start = Mapping::all_on(&g, PeId(0));
+        let (m, _) = local_search(
+            &g,
+            &spec,
+            &start,
+            &LocalSearchOptions { max_rounds: 0, ..Default::default() },
+        );
+        assert_eq!(m, start);
+    }
+}

@@ -1,0 +1,357 @@
+//! Branch-and-bound over binary variables.
+//!
+//! Mirrors the way the paper uses CPLEX (§6): *"we used the ability of
+//! CPLEX to stop its computation as soon as its solution is within 5 % of
+//! the optimal solution"* — [`MipOptions::rel_gap`] defaults to `0.05`
+//! and the search stops as soon as
+//! `(incumbent − best_bound) / incumbent ≤ rel_gap`.
+//!
+//! Design notes:
+//!
+//! * **Best-first** node selection (min-heap on the parent LP bound) so the
+//!   global bound rises as fast as possible — that is what closes the gap.
+//! * Branching on the **most fractional** binary.
+//! * Nodes fix binaries by *bound tightening* (`lo = hi ∈ {0,1}`), which the
+//!   bounded-variable simplex absorbs with zero extra rows.
+//! * Callers may **seed incumbents** (e.g. greedy heuristic mappings) and
+//!   provide an **integral completion** callback that rounds a fractional
+//!   relaxation to a feasible point; both often let the search terminate at
+//!   the root node.
+
+use crate::model::{LpOptions, LpStatus, Model, SolveError, VarId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// How a MIP solve terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MipStatus {
+    /// Incumbent proven optimal (gap ~ 0).
+    Optimal,
+    /// Stopped because the relative gap fell below [`MipOptions::rel_gap`].
+    GapReached,
+    /// Stopped on the node limit; incumbent may be sub-optimal.
+    NodeLimit,
+    /// Stopped on the time limit; incumbent may be sub-optimal.
+    TimeLimit,
+    /// No feasible integral point exists.
+    Infeasible,
+    /// The LP relaxation is unbounded.
+    Unbounded,
+}
+
+/// Options for [`solve_mip`].
+#[derive(Clone)]
+pub struct MipOptions {
+    /// Relative optimality gap at which to stop (paper: 0.05).
+    pub rel_gap: f64,
+    /// Absolute gap at which to stop.
+    pub abs_gap: f64,
+    /// Maximum number of explored nodes.
+    pub max_nodes: u64,
+    /// Wall-clock budget.
+    pub time_limit: Duration,
+    /// LP sub-solver options.
+    pub lp: LpOptions,
+    /// Tolerance for considering a relaxed binary integral.
+    pub int_tol: f64,
+}
+
+impl Default for MipOptions {
+    fn default() -> Self {
+        MipOptions {
+            rel_gap: 0.05,
+            abs_gap: 1e-9,
+            max_nodes: 10_000,
+            time_limit: Duration::from_secs(60),
+            lp: LpOptions::default(),
+            int_tol: 1e-6,
+        }
+    }
+}
+
+/// Result of a MIP solve.
+#[derive(Debug, Clone)]
+pub struct MipResult {
+    /// Termination status.
+    pub status: MipStatus,
+    /// Best feasible integral point found, with its objective.
+    pub incumbent: Option<(f64, Vec<f64>)>,
+    /// Best proven lower bound on the optimum (minimisation).
+    pub best_bound: f64,
+    /// Achieved relative gap (`(inc − bound)/|inc|`), `INFINITY` if no
+    /// incumbent.
+    pub gap: f64,
+    /// Number of branch-and-bound nodes whose LP was solved.
+    pub nodes: u64,
+    /// Total simplex iterations across all node LPs.
+    pub lp_iterations: u64,
+}
+
+struct Node {
+    bound: f64,
+    fixings: Vec<(VarId, bool)>,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; we want the smallest bound on top.
+        other.bound.partial_cmp(&self.bound).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// A callback that attempts to complete a fractional relaxation into a
+/// feasible integral point. Returns `(objective, full x)` on success. The
+/// solver re-checks feasibility, so a buggy completion can never corrupt
+/// the incumbent.
+pub type Completion<'a> = dyn Fn(&[f64]) -> Option<(f64, Vec<f64>)> + 'a;
+
+/// Solve `model` to integral optimality (within the configured gap).
+///
+/// `seeds` are known-feasible integral points (objective is recomputed and
+/// feasibility verified). `completion` is invoked on every node's
+/// fractional solution to harvest early incumbents.
+pub fn solve_mip(
+    model: &Model,
+    opts: &MipOptions,
+    seeds: &[Vec<f64>],
+    completion: Option<&Completion<'_>>,
+) -> Result<MipResult, SolveError> {
+    let start = Instant::now();
+    let binaries = model.binary_vars();
+    let mut nodes_done: u64 = 0;
+    let mut lp_iterations: u64 = 0;
+
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    let feas_tol = 1e-6;
+    for seed in seeds {
+        if seed.len() == model.n_vars() && model.max_violation(seed) <= feas_tol {
+            let obj = model.objective_of(seed);
+            if incumbent.as_ref().is_none_or(|(best, _)| obj < *best) {
+                incumbent = Some((obj, seed.clone()));
+            }
+        }
+    }
+
+    // Root relaxation.
+    let root = model.solve_lp(&opts.lp)?;
+    lp_iterations += root.iterations;
+    nodes_done += 1;
+    match root.status {
+        LpStatus::Infeasible => {
+            return Ok(MipResult {
+                status: MipStatus::Infeasible,
+                incumbent: None,
+                best_bound: f64::INFINITY,
+                gap: f64::INFINITY,
+                nodes: nodes_done,
+                lp_iterations,
+            });
+        }
+        LpStatus::Unbounded => {
+            return Ok(MipResult {
+                status: MipStatus::Unbounded,
+                incumbent,
+                best_bound: f64::NEG_INFINITY,
+                gap: f64::INFINITY,
+                nodes: nodes_done,
+                lp_iterations,
+            });
+        }
+        LpStatus::Optimal | LpStatus::IterLimit => {}
+    }
+
+    let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+    // An LP stopped on its iteration limit does not yield a valid bound.
+    let root_bound =
+        if root.status == LpStatus::Optimal { root.objective } else { f64::NEG_INFINITY };
+    let mut global_bound = root_bound;
+    process_solution(
+        model,
+        &root.x,
+        root_bound,
+        &binaries,
+        opts,
+        completion,
+        &mut incumbent,
+        &mut heap,
+        Vec::new(),
+    );
+
+    let gap_of = |inc: &Option<(f64, Vec<f64>)>, bound: f64| -> f64 {
+        match inc {
+            None => f64::INFINITY,
+            Some((obj, _)) => {
+                if obj.abs() < 1e-30 {
+                    (obj - bound).abs()
+                } else {
+                    (obj - bound) / obj.abs()
+                }
+            }
+        }
+    };
+
+    let status;
+    loop {
+        // Global lower bound = smallest bound among open nodes (best-first:
+        // the heap top), capped by the incumbent when the tree is exhausted.
+        global_bound = match (heap.peek(), &incumbent) {
+            (Some(n), Some((inc, _))) => n.bound.min(*inc),
+            (Some(n), None) => n.bound,
+            (None, Some((inc, _))) => *inc,
+            (None, None) => global_bound,
+        };
+        let gap = gap_of(&incumbent, global_bound);
+        if incumbent.is_some() && (gap <= opts.rel_gap || gap <= opts.abs_gap) {
+            status = if heap.is_empty() || gap <= opts.abs_gap {
+                MipStatus::Optimal
+            } else {
+                MipStatus::GapReached
+            };
+            break;
+        }
+        let Some(node) = heap.pop() else {
+            status = if incumbent.is_some() { MipStatus::Optimal } else { MipStatus::Infeasible };
+            break;
+        };
+        // prune against incumbent (within gap)
+        if let Some((inc_obj, _)) = &incumbent {
+            let cutoff = inc_obj - opts.rel_gap * inc_obj.abs() - opts.abs_gap;
+            if node.bound >= cutoff {
+                // best-first: all remaining nodes are at least as bad
+                global_bound = node.bound.min(*inc_obj);
+                status = MipStatus::GapReached;
+                break;
+            }
+        }
+        if nodes_done >= opts.max_nodes {
+            status = MipStatus::NodeLimit;
+            global_bound = node.bound;
+            break;
+        }
+        if start.elapsed() > opts.time_limit {
+            status = MipStatus::TimeLimit;
+            global_bound = node.bound;
+            break;
+        }
+
+        // Solve the node LP with its fixings applied.
+        let mut child = model.clone();
+        for &(v, val) in &node.fixings {
+            let b = if val { 1.0 } else { 0.0 };
+            child.set_bounds(v, b, b);
+        }
+        let sol = match child.solve_lp(&opts.lp) {
+            Ok(s) => s,
+            Err(_) => continue, // contradictory fixings: infeasible subtree
+        };
+        lp_iterations += sol.iterations;
+        nodes_done += 1;
+        match sol.status {
+            LpStatus::Infeasible => continue,
+            LpStatus::Unbounded => {
+                // Cannot happen if the root is bounded, but be safe.
+                continue;
+            }
+            LpStatus::Optimal | LpStatus::IterLimit => {}
+        }
+        let node_bound =
+            if sol.status == LpStatus::Optimal { sol.objective } else { node.bound };
+        if let Some((inc_obj, _)) = &incumbent {
+            if sol.status == LpStatus::Optimal && sol.objective >= *inc_obj - opts.abs_gap {
+                continue; // dominated
+            }
+        }
+        process_solution(
+            model,
+            &sol.x,
+            node_bound,
+            &binaries,
+            opts,
+            completion,
+            &mut incumbent,
+            &mut heap,
+            node.fixings,
+        );
+    }
+
+    let gap = gap_of(&incumbent, global_bound);
+    Ok(MipResult {
+        status,
+        incumbent,
+        best_bound: global_bound,
+        gap,
+        nodes: nodes_done,
+        lp_iterations,
+    })
+}
+
+/// Handle one solved relaxation: record incumbents (direct integral or via
+/// completion) and push child nodes when branching is needed.
+#[allow(clippy::too_many_arguments)]
+fn process_solution(
+    model: &Model,
+    x: &[f64],
+    objective: f64,
+    binaries: &[VarId],
+    opts: &MipOptions,
+    completion: Option<&Completion<'_>>,
+    incumbent: &mut Option<(f64, Vec<f64>)>,
+    heap: &mut BinaryHeap<Node>,
+    fixings: Vec<(VarId, bool)>,
+) {
+    // most fractional binary
+    let mut branch_var: Option<VarId> = None;
+    let mut best_frac = opts.int_tol;
+    for &v in binaries {
+        let f = (x[v.0] - x[v.0].round()).abs();
+        if f > best_frac {
+            best_frac = f;
+            branch_var = Some(v);
+        }
+    }
+
+    match branch_var {
+        None => {
+            // Integral! Snap and record.
+            let mut snapped = x.to_vec();
+            for &v in binaries {
+                snapped[v.0] = snapped[v.0].round();
+            }
+            if model.max_violation(&snapped) <= 1e-6 {
+                let obj = model.objective_of(&snapped);
+                if incumbent.as_ref().is_none_or(|(best, _)| obj < *best) {
+                    *incumbent = Some((obj, snapped));
+                }
+            }
+        }
+        Some(v) => {
+            if let Some(complete) = completion {
+                if let Some((_, full)) = complete(x) {
+                    if full.len() == model.n_vars() && model.max_violation(&full) <= 1e-6 {
+                        let obj = model.objective_of(&full);
+                        if incumbent.as_ref().is_none_or(|(best, _)| obj < *best) {
+                            *incumbent = Some((obj, full));
+                        }
+                    }
+                }
+            }
+            for val in [x[v.0] >= 0.5, x[v.0] < 0.5] {
+                let mut f = fixings.clone();
+                f.push((v, val));
+                heap.push(Node { bound: objective, fixings: f });
+            }
+        }
+    }
+}

@@ -1,0 +1,508 @@
+//! Cross-validation of the LP/MIP solver against brute force.
+
+use crate::bb::{solve_mip, MipOptions, MipStatus};
+use crate::model::{Cmp, LpOptions, LpStatus, Model, VarKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// ---------------------------------------------------------------------------
+// LP vs. brute-force vertex enumeration
+// ---------------------------------------------------------------------------
+
+/// Brute-force LP optimum for a model with only `≤` constraints and boxed
+/// variables, by enumerating all vertices: every choice of n active
+/// constraints among (rows + bounds) — feasible intersections only.
+/// Exponential; used for n ≤ 3.
+fn brute_force_lp(model: &Model) -> Option<f64> {
+    let n = model.n_vars();
+    assert!(n <= 3, "brute force only for tiny LPs");
+    // planes: rows (as a·x = b) + bound planes
+    let mut planes: Vec<(Vec<f64>, f64)> = Vec::new();
+    for c in &model.cons {
+        let mut a = vec![0.0; n];
+        for &(j, v) in &c.terms {
+            a[j] = v;
+        }
+        planes.push((a, c.rhs));
+    }
+    for j in 0..n {
+        let (lo, hi) = model.bounds(crate::model::VarId(j));
+        let mut a = vec![0.0; n];
+        a[j] = 1.0;
+        planes.push((a.clone(), lo));
+        if hi.is_finite() {
+            planes.push((a, hi));
+        }
+    }
+    let mut best: Option<f64> = None;
+    let idx: Vec<usize> = (0..planes.len()).collect();
+    let combos = choose(&idx, n);
+    for combo in combos {
+        let a: Vec<Vec<f64>> = combo.iter().map(|&i| planes[i].0.clone()).collect();
+        let b: Vec<f64> = combo.iter().map(|&i| planes[i].1).collect();
+        if let Some(x) = solve_dense(&a, &b) {
+            if model.max_violation(&x) <= 1e-7 {
+                let obj = model.objective_of(&x);
+                best = Some(best.map_or(obj, |b: f64| b.min(obj)));
+            }
+        }
+    }
+    best
+}
+
+fn choose(items: &[usize], k: usize) -> Vec<Vec<usize>> {
+    if k == 0 {
+        return vec![vec![]];
+    }
+    if items.len() < k {
+        return vec![];
+    }
+    let mut out = Vec::new();
+    for (i, &first) in items.iter().enumerate() {
+        for mut rest in choose(&items[i + 1..], k - 1) {
+            rest.insert(0, first);
+            out.push(rest);
+        }
+    }
+    out
+}
+
+/// Gaussian elimination for tiny square systems; None if singular.
+fn solve_dense(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    let mut m: Vec<Vec<f64>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, &rhs)| {
+            let mut r = row.clone();
+            r.push(rhs);
+            r
+        })
+        .collect();
+    for col in 0..n {
+        let piv = (col..n).max_by(|&i, &j| {
+            m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap()
+        })?;
+        if m[piv][col].abs() < 1e-10 {
+            return None;
+        }
+        m.swap(col, piv);
+        let d = m[col][col];
+        for v in m[col].iter_mut() {
+            *v /= d;
+        }
+        for r in 0..n {
+            if r != col {
+                let f = m[r][col];
+                if f != 0.0 {
+                    for c2 in 0..=n {
+                        let sub = f * m[col][c2];
+                        m[r][c2] -= sub;
+                    }
+                }
+            }
+        }
+    }
+    Some((0..n).map(|i| m[i][n]).collect())
+}
+
+fn arb_tiny_lp() -> impl Strategy<Value = Model> {
+    // 2-3 vars, 1-4 <= constraints, coefficients in [-5,5], bounds [0, 0..8]
+    (2usize..=3, 1usize..=4, any::<u64>()).prop_map(|(n, mcount, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Model::new("prop");
+        for j in 0..n {
+            let hi = rng.gen_range(1.0..8.0);
+            let obj = rng.gen_range(-5.0..5.0f64);
+            m.add_var(format!("x{j}"), 0.0, hi, obj, VarKind::Continuous);
+        }
+        for _ in 0..mcount {
+            let terms: Vec<_> = (0..n)
+                .map(|j| (crate::model::VarId(j), rng.gen_range(-5.0..5.0f64)))
+                .collect();
+            // keep rhs >= 0 so origin stays feasible: brute force and
+            // simplex then always agree on feasibility
+            let rhs = rng.gen_range(0.0..10.0);
+            m.add_con(terms, Cmp::Le, rhs);
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_simplex_matches_vertex_enumeration(m in arb_tiny_lp()) {
+        let sol = m.solve_lp(&LpOptions::default()).unwrap();
+        prop_assert_eq!(sol.status, LpStatus::Optimal);
+        let brute = brute_force_lp(&m).expect("origin is feasible");
+        // brute force enumerates vertices; optimum of a bounded LP is at one
+        prop_assert!((sol.objective - brute).abs() <= 1e-6 * (1.0 + brute.abs()),
+            "simplex {} vs brute {}", sol.objective, brute);
+        prop_assert!(m.max_violation(&sol.x) <= 1e-7);
+    }
+
+    #[test]
+    fn prop_lp_solution_feasible_and_bounded_by_relaxation(m in arb_tiny_lp()) {
+        let sol = m.solve_lp(&LpOptions::default()).unwrap();
+        prop_assert_eq!(sol.status, LpStatus::Optimal);
+        prop_assert!(m.max_violation(&sol.x) <= 1e-7);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MIP vs. exhaustive enumeration
+// ---------------------------------------------------------------------------
+
+/// Exhaustive optimum over all binary assignments (continuous vars must be
+/// absent). None if infeasible.
+fn brute_force_binary(model: &Model) -> Option<f64> {
+    let bins = model.binary_vars();
+    assert_eq!(bins.len(), model.n_vars());
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << bins.len()) {
+        let x: Vec<f64> = (0..bins.len())
+            .map(|i| if mask & (1 << i) != 0 { 1.0 } else { 0.0 })
+            .collect();
+        if model.max_violation(&x) <= 1e-9 {
+            let obj = model.objective_of(&x);
+            best = Some(best.map_or(obj, |b: f64| b.min(obj)));
+        }
+    }
+    best
+}
+
+fn exact_opts() -> MipOptions {
+    MipOptions { rel_gap: 0.0, abs_gap: 1e-9, ..Default::default() }
+}
+
+#[test]
+fn knapsack_small() {
+    // max 10a + 13b + 7c st 3a + 4b + 2c <= 6  -> a+c (17) vs b+c (20) -> 20
+    let mut m = Model::new("knap");
+    let a = m.add_var("a", 0.0, 1.0, -10.0, VarKind::Binary);
+    let b = m.add_var("b", 0.0, 1.0, -13.0, VarKind::Binary);
+    let c = m.add_var("c", 0.0, 1.0, -7.0, VarKind::Binary);
+    m.add_con(vec![(a, 3.0), (b, 4.0), (c, 2.0)], Cmp::Le, 6.0);
+    let res = solve_mip(&m, &exact_opts(), &[], None).unwrap();
+    let (obj, x) = res.incumbent.expect("feasible");
+    assert!((obj + 20.0).abs() < 1e-9, "{obj}");
+    assert_eq!(x.iter().map(|v| v.round() as i32).collect::<Vec<_>>(), vec![0, 1, 1]);
+    assert_eq!(res.status, MipStatus::Optimal);
+}
+
+#[test]
+fn infeasible_mip() {
+    let mut m = Model::new("inf");
+    let a = m.add_var("a", 0.0, 1.0, 1.0, VarKind::Binary);
+    let b = m.add_var("b", 0.0, 1.0, 1.0, VarKind::Binary);
+    m.add_con(vec![(a, 1.0), (b, 1.0)], Cmp::Ge, 3.0);
+    let res = solve_mip(&m, &exact_opts(), &[], None).unwrap();
+    assert_eq!(res.status, MipStatus::Infeasible);
+    assert!(res.incumbent.is_none());
+}
+
+#[test]
+fn lp_relaxation_fractional_but_mip_integral() {
+    // max a + b st 2a + 2b <= 3: LP gives 1.5, MIP gives 1
+    let mut m = Model::new("frac");
+    let a = m.add_var("a", 0.0, 1.0, -1.0, VarKind::Binary);
+    let b = m.add_var("b", 0.0, 1.0, -1.0, VarKind::Binary);
+    m.add_con(vec![(a, 2.0), (b, 2.0)], Cmp::Le, 3.0);
+    let lp = m.solve_lp(&LpOptions::default()).unwrap();
+    assert!((lp.objective + 1.5).abs() < 1e-8);
+    let res = solve_mip(&m, &exact_opts(), &[], None).unwrap();
+    let (obj, _) = res.incumbent.unwrap();
+    assert!((obj + 1.0).abs() < 1e-9, "{obj}");
+}
+
+#[test]
+fn seeds_are_validated_not_trusted() {
+    let mut m = Model::new("seed");
+    let a = m.add_var("a", 0.0, 1.0, -1.0, VarKind::Binary);
+    m.add_con(vec![(a, 1.0)], Cmp::Le, 0.0); // forces a = 0
+    // seed claims a=1 (infeasible) — must be rejected
+    let res = solve_mip(&m, &exact_opts(), &[vec![1.0]], None).unwrap();
+    let (obj, x) = res.incumbent.unwrap();
+    assert_eq!(x[0], 0.0);
+    assert!(obj.abs() < 1e-9);
+}
+
+#[test]
+fn good_seed_short_circuits_search() {
+    // With rel_gap = 0.05 and an optimal seed, zero branching is needed if
+    // the root relaxation is within 5%.
+    let mut m = Model::new("warm");
+    let vars: Vec<_> = (0..6)
+        .map(|i| m.add_var(format!("v{i}"), 0.0, 1.0, -(1.0 + i as f64), VarKind::Binary))
+        .collect();
+    let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+    m.add_con(terms, Cmp::Le, 6.0); // all fit: optimum takes everything
+    let seed = vec![1.0; 6];
+    let res = solve_mip(&m, &MipOptions::default(), &[seed], None).unwrap();
+    let (obj, _) = res.incumbent.unwrap();
+    assert!((obj + 21.0).abs() < 1e-9);
+    assert!(res.nodes <= 2, "root should settle it, used {} nodes", res.nodes);
+}
+
+#[test]
+fn completion_callback_harvests_incumbents() {
+    // Completion rounds everything up if feasible.
+    let mut m = Model::new("cb");
+    let a = m.add_var("a", 0.0, 1.0, -3.0, VarKind::Binary);
+    let b = m.add_var("b", 0.0, 1.0, -2.0, VarKind::Binary);
+    m.add_con(vec![(a, 2.0), (b, 2.0)], Cmp::Le, 3.0);
+    let completion = |x: &[f64]| -> Option<(f64, Vec<f64>)> {
+        // keep the largest coordinate only
+        let mut full = vec![0.0; x.len()];
+        let argmax = if x[0] >= x[1] { 0 } else { 1 };
+        full[argmax] = 1.0;
+        Some((0.0, full))
+    };
+    let res = solve_mip(&m, &exact_opts(), &[], Some(&completion)).unwrap();
+    let (obj, _) = res.incumbent.unwrap();
+    assert!((obj + 3.0).abs() < 1e-9, "{obj}");
+}
+
+#[test]
+fn gap_mode_stops_early_but_reports_gap() {
+    // An instance where the LP bound is weak: equality-partition knapsack.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut m = Model::new("gap");
+    let n = 14;
+    let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..20.0)).collect();
+    let vars: Vec<_> = (0..n)
+        .map(|i| m.add_var(format!("v{i}"), 0.0, 1.0, -weights[i], VarKind::Binary))
+        .collect();
+    let cap: f64 = weights.iter().sum::<f64>() * 0.5;
+    m.add_con(vars.iter().map(|&v| (v, 1.0_f64)).zip(weights.iter()).map(|((v, _), &w)| (v, w)).collect(), Cmp::Le, cap);
+    let res = solve_mip(&m, &MipOptions { rel_gap: 0.05, ..Default::default() }, &[], None).unwrap();
+    let (obj, _) = res.incumbent.expect("always feasible");
+    assert!(res.gap <= 0.05 + 1e-12, "gap {} too large", res.gap);
+    assert!(obj <= res.best_bound * (1.0 - 0.0) + 1e-9 || obj >= res.best_bound);
+}
+
+#[test]
+fn mixed_integer_continuous() {
+    // min T st T >= 3a + 1, T >= 4(1-a)  — pick a to minimise max(3a+1, 4-4a)
+    // a=1 -> T=4 vs T=0 -> max 4; a=0 -> max(1,4)=4; fractional would do
+    // better but a is binary: both give 4.
+    let mut m = Model::new("mix");
+    let t = m.add_var("T", 0.0, f64::INFINITY, 1.0, VarKind::Continuous);
+    let a = m.add_var("a", 0.0, 1.0, 0.0, VarKind::Binary);
+    m.add_con(vec![(t, 1.0), (a, -3.0)], Cmp::Ge, 1.0);
+    m.add_con(vec![(t, 1.0), (a, 4.0)], Cmp::Ge, 4.0);
+    let res = solve_mip(&m, &exact_opts(), &[], None).unwrap();
+    let (obj, _) = res.incumbent.unwrap();
+    assert!((obj - 4.0).abs() < 1e-8, "{obj}");
+}
+
+#[test]
+fn node_limit_respected() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut m = Model::new("nl");
+    let n = 16;
+    let vars: Vec<_> = (0..n)
+        .map(|i| m.add_var(format!("v{i}"), 0.0, 1.0, -rng.gen_range(1.0..9.0f64), VarKind::Binary))
+        .collect();
+    let terms: Vec<_> = vars.iter().map(|&v| (v, rng.gen_range(1.0..9.0f64))).collect();
+    m.add_con(terms, Cmp::Le, 20.0);
+    let res = solve_mip(
+        &m,
+        &MipOptions { rel_gap: 0.0, max_nodes: 3, ..Default::default() },
+        &[],
+        None,
+    )
+    .unwrap();
+    assert!(res.nodes <= 4); // root + up to limit
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_mip_matches_exhaustive(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(3..=8usize);
+        let mut m = Model::new("prop-mip");
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.add_var(format!("v{i}"), 0.0, 1.0, rng.gen_range(-9.0..9.0f64), VarKind::Binary))
+            .collect();
+        for _ in 0..rng.gen_range(1..=3usize) {
+            let terms: Vec<_> = vars.iter().map(|&v| (v, rng.gen_range(-4.0..6.0f64))).collect();
+            let rhs = rng.gen_range(0.0..12.0); // 0-vector feasible
+            m.add_con(terms, Cmp::Le, rhs);
+        }
+        let brute = brute_force_binary(&m).expect("zero vector feasible");
+        let res = solve_mip(&m, &exact_opts(), &[], None).unwrap();
+        let (obj, x) = res.incumbent.expect("feasible");
+        prop_assert!(m.max_violation(&x) <= 1e-7);
+        prop_assert!((obj - brute).abs() <= 1e-6 * (1.0 + brute.abs()),
+            "bb {} vs brute {}", obj, brute);
+        // the reported bound must be a true lower bound
+        prop_assert!(res.best_bound <= brute + 1e-6 * (1.0 + brute.abs()));
+    }
+
+    #[test]
+    fn prop_gap_contract_holds(seed in any::<u64>()) {
+        // With rel_gap = 0.1, incumbent must be within 10% of the true optimum.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(4..=8usize);
+        let mut m = Model::new("prop-gap");
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.add_var(format!("v{i}"), 0.0, 1.0, -rng.gen_range(0.5..9.0f64), VarKind::Binary))
+            .collect();
+        let terms: Vec<_> = vars.iter().map(|&v| (v, rng.gen_range(0.5..6.0f64))).collect();
+        let rhs = rng.gen_range(2.0..10.0);
+        m.add_con(terms, Cmp::Le, rhs);
+        let brute = brute_force_binary(&m).expect("zero feasible");
+        let res = solve_mip(
+            &m,
+            &MipOptions { rel_gap: 0.1, ..Default::default() },
+            &[],
+            None,
+        ).unwrap();
+        let (obj, _) = res.incumbent.expect("feasible");
+        // obj <= brute * (1 - 0.1) would mean better than optimal: impossible.
+        prop_assert!(obj >= brute - 1e-7);
+        // the gap contract: obj within 10% of optimum (both negative here)
+        prop_assert!(obj <= brute * (1.0 - 0.1) + 1e-7 || (obj - brute) <= 0.1 * brute.abs() + 1e-7,
+            "obj {} optimum {}", obj, brute);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stress and edge cases
+// ---------------------------------------------------------------------------
+
+#[test]
+fn assignment_mip_matches_hungarian_style_brute_force() {
+    // 4 tasks x 3 machines assignment: minimize total cost with
+    // sum_j x[t][j] = 1 — the structure of the paper's constraint (1b).
+    let costs = [
+        [4.0, 2.0, 8.0],
+        [3.0, 7.0, 5.0],
+        [9.0, 1.0, 6.0],
+        [2.0, 2.0, 2.0],
+    ];
+    let mut m = Model::new("assign");
+    let mut x = Vec::new();
+    for (t, row) in costs.iter().enumerate() {
+        let mut r = Vec::new();
+        for (j, &c) in row.iter().enumerate() {
+            r.push(m.add_var(format!("x{t}{j}"), 0.0, 1.0, c, VarKind::Binary));
+        }
+        m.add_con(r.iter().map(|&v| (v, 1.0)).collect(), Cmp::Eq, 1.0);
+        x.push(r);
+    }
+    let res = solve_mip(&m, &exact_opts(), &[], None).unwrap();
+    let (obj, _) = res.incumbent.unwrap();
+    // optimum: 2 + 3 + 1 + 2 = 8
+    assert!((obj - 8.0).abs() < 1e-9, "{obj}");
+    assert_eq!(res.status, MipStatus::Optimal);
+}
+
+#[test]
+fn large_lp_with_many_bounded_variables_stays_sane() {
+    // 400 bounded variables, 80 random <= rows: exercises the implicit
+    // upper-bound handling at a size where explicit bound rows would
+    // double the tableau.
+    let mut rng = StdRng::seed_from_u64(2024);
+    let mut m = Model::new("large");
+    let vars: Vec<_> = (0..400)
+        .map(|i| {
+            m.add_var(format!("x{i}"), 0.0, rng.gen_range(0.5..2.0), -rng.gen_range(0.1..1.0), VarKind::Continuous)
+        })
+        .collect();
+    for _ in 0..80 {
+        let mut terms = Vec::new();
+        for &v in &vars {
+            if rng.gen_bool(0.1) {
+                terms.push((v, rng.gen_range(0.2..2.0f64)));
+            }
+        }
+        if !terms.is_empty() {
+            m.add_con(terms, Cmp::Le, rng.gen_range(4.0..20.0));
+        }
+    }
+    let sol = m.solve_lp(&LpOptions::default()).unwrap();
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert!(m.max_violation(&sol.x) <= 1e-6, "violation {}", m.max_violation(&sol.x));
+    // maximization (negative costs) with upper bounds: objective strictly
+    // negative, bounded below by the sum of bounds
+    let lower: f64 = (0..400).map(|i| {
+        let (_, hi) = m.bounds(crate::model::VarId(i));
+        -hi
+    }).sum();
+    assert!(sol.objective >= lower && sol.objective < 0.0);
+}
+
+#[test]
+fn mixed_eq_le_ge_system() {
+    // min x+y+z st x+y+z = 6, x >= 1, y <= 2, x - z <= 0
+    // objective fixed at 6; check a consistent vertex is returned
+    let mut m = Model::new("mix3");
+    let x = m.add_var("x", 0.0, f64::INFINITY, 1.0, VarKind::Continuous);
+    let y = m.add_var("y", 0.0, f64::INFINITY, 1.0, VarKind::Continuous);
+    let z = m.add_var("z", 0.0, f64::INFINITY, 1.0, VarKind::Continuous);
+    m.add_con(vec![(x, 1.0), (y, 1.0), (z, 1.0)], Cmp::Eq, 6.0);
+    m.add_con(vec![(x, 1.0)], Cmp::Ge, 1.0);
+    m.add_con(vec![(y, 1.0)], Cmp::Le, 2.0);
+    m.add_con(vec![(x, 1.0), (z, -1.0)], Cmp::Le, 0.0);
+    let sol = m.solve_lp(&LpOptions::default()).unwrap();
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert!((sol.objective - 6.0).abs() < 1e-8);
+    assert!(m.max_violation(&sol.x) <= 1e-7);
+}
+
+#[test]
+fn binary_fixing_via_bounds_like_branch_and_bound() {
+    // fixing binaries through set_bounds must behave like substitution
+    let mut m = Model::new("fix");
+    let a = m.add_var("a", 0.0, 1.0, -5.0, VarKind::Binary);
+    let b = m.add_var("b", 0.0, 1.0, -3.0, VarKind::Binary);
+    m.add_con(vec![(a, 1.0), (b, 1.0)], Cmp::Le, 1.0);
+    // free: take a (obj -5)
+    let free = solve_mip(&m, &exact_opts(), &[], None).unwrap();
+    assert!((free.incumbent.unwrap().0 + 5.0).abs() < 1e-9);
+    // a fixed to 0: must take b
+    let mut m0 = m.clone();
+    m0.set_bounds(a, 0.0, 0.0);
+    let fixed = solve_mip(&m0, &exact_opts(), &[], None).unwrap();
+    assert!((fixed.incumbent.unwrap().0 + 3.0).abs() < 1e-9);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_mip_with_equalities_matches_exhaustive(seed in any::<u64>()) {
+        // binaries with one equality row (pick exactly k) + one <= row
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(4..=7usize);
+        let k = rng.gen_range(1..=n / 2) as f64;
+        let mut m = Model::new("prop-eq");
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.add_var(format!("v{i}"), 0.0, 1.0, rng.gen_range(-5.0..5.0f64), VarKind::Binary))
+            .collect();
+        m.add_con(vars.iter().map(|&v| (v, 1.0)).collect(), Cmp::Eq, k);
+        let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..3.0)).collect();
+        m.add_con(
+            vars.iter().zip(&weights).map(|(&v, &w)| (v, w)).collect(),
+            Cmp::Le,
+            weights.iter().sum::<f64>(), // always satisfiable
+        );
+        let brute = brute_force_binary(&m);
+        let res = solve_mip(&m, &exact_opts(), &[], None).unwrap();
+        match brute {
+            Some(opt) => {
+                let (obj, _) = res.incumbent.expect("brute force found a point");
+                prop_assert!((obj - opt).abs() <= 1e-6 * (1.0 + opt.abs()),
+                    "bb {} vs brute {}", obj, opt);
+            }
+            None => prop_assert_eq!(res.status, MipStatus::Infeasible),
+        }
+    }
+}

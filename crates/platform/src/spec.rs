@@ -1,0 +1,349 @@
+//! The Cell platform specification: processing elements, interfaces and
+//! DMA limits (paper §2.1, Figure 1(b)).
+
+use crate::units::{Bandwidth, ByteSize};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The two classes of processing element on the Cell.
+///
+/// Compute costs follow the *unrelated machines* model: a task has one
+/// processing time on a PPE and an independent one on an SPE (paper §2.1:
+/// "a PPE can be fast for a given task Tk and slow for another one Tl,
+/// while a SPE can be slower for Tk but faster for Tl").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PeKind {
+    /// Power Processing Element: the general-purpose PowerPC core with
+    /// transparent access to main memory.
+    Ppe,
+    /// Synergistic Processing Element: 128-bit SIMD core with a private
+    /// 256 kB local store, reachable only through explicit DMA.
+    Spe,
+}
+
+impl fmt::Display for PeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeKind::Ppe => write!(f, "PPE"),
+            PeKind::Spe => write!(f, "SPE"),
+        }
+    }
+}
+
+/// Identifier of a processing element.
+///
+/// Follows the paper's indexing convention: ids `0..nP` are PPEs, ids
+/// `nP..nP+nS` are SPEs. The id is an index into [`CellSpec`] tables and
+/// into mapping vectors.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct PeId(pub usize);
+
+impl PeId {
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for PeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PE{}", self.0)
+    }
+}
+
+/// Errors produced when building a [`CellSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The platform must contain at least one PPE (it runs the OS and the
+    /// control thread of the scheduling framework).
+    NoPpe,
+    /// The replicated code image does not fit in the SPE local store.
+    CodeLargerThanLocalStore {
+        /// Size of the code image.
+        code: ByteSize,
+        /// Size of the local store.
+        local_store: ByteSize,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::NoPpe => write!(f, "a Cell platform needs at least one PPE"),
+            SpecError::CodeLargerThanLocalStore { code, local_store } => write!(
+                f,
+                "code image ({code}) does not fit in the SPE local store ({local_store})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Full description of a Cell platform instance.
+///
+/// Immutable once built; construct through [`CellSpec::builder`] or one of
+/// the presets ([`CellSpec::ps3`], [`CellSpec::qs22`],
+/// [`CellSpec::with_spes`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellSpec {
+    n_ppe: usize,
+    n_spe: usize,
+    /// Per-interface bandwidth `bw` in each direction (paper: 25 GB/s).
+    interface_bw: Bandwidth,
+    /// Aggregate EIB bandwidth (paper: 200 GB/s). Recorded for reporting;
+    /// the model treats the ring as contention-free because the aggregate
+    /// equals the sum of the eight interfaces.
+    eib_bw: Bandwidth,
+    /// SPE local store size `LS` (paper: 256 kB).
+    local_store: ByteSize,
+    /// Size of the replicated code image (`code` in constraint (1i)).
+    code_size: ByteSize,
+    /// Maximum concurrent incoming DMA transfers per SPE (paper: 16).
+    dma_in_limit: u32,
+    /// Maximum concurrent transfers on an SPE's PPE proxy queue (paper: 8).
+    dma_ppe_limit: u32,
+}
+
+impl CellSpec {
+    /// Start building a custom platform. Defaults match the paper's QS22
+    /// parameters with one PPE and eight SPEs.
+    pub fn builder() -> CellSpecBuilder {
+        CellSpecBuilder::default()
+    }
+
+    /// Sony PlayStation 3: one Cell with one PPE and **six** usable SPEs.
+    pub fn ps3() -> Self {
+        Self::with_spes(6)
+    }
+
+    /// IBM QS22 restricted to a single Cell processor, as in the paper's
+    /// experiments (§6: "we first focus on optimizing the performance for
+    /// a single Cell processor"): one PPE and eight SPEs.
+    pub fn qs22() -> Self {
+        Self::with_spes(8)
+    }
+
+    /// One PPE and `n_spe` SPEs with the paper's default parameters.
+    /// Used for the SPE-count sweeps of Figure 7.
+    pub fn with_spes(n_spe: usize) -> Self {
+        CellSpecBuilder::default()
+            .spes(n_spe)
+            .build()
+            .expect("default parameters are valid")
+    }
+
+    /// Number of PPE cores (`nP`).
+    pub fn n_ppe(&self) -> usize {
+        self.n_ppe
+    }
+
+    /// Number of SPE cores (`nS`).
+    pub fn n_spe(&self) -> usize {
+        self.n_spe
+    }
+
+    /// Total number of processing elements (`n = nP + nS`).
+    pub fn n_pes(&self) -> usize {
+        self.n_ppe + self.n_spe
+    }
+
+    /// The `i`-th processing element. Panics if out of range.
+    pub fn pe(&self, i: usize) -> PeId {
+        assert!(i < self.n_pes(), "PE index {i} out of range 0..{}", self.n_pes());
+        PeId(i)
+    }
+
+    /// Iterate over all PE ids (PPEs first, then SPEs).
+    pub fn pes(&self) -> impl Iterator<Item = PeId> + '_ {
+        (0..self.n_pes()).map(PeId)
+    }
+
+    /// Iterate over PPE ids only.
+    pub fn ppes(&self) -> impl Iterator<Item = PeId> + '_ {
+        (0..self.n_ppe).map(PeId)
+    }
+
+    /// Iterate over SPE ids only.
+    pub fn spes(&self) -> impl Iterator<Item = PeId> + '_ {
+        (self.n_ppe..self.n_pes()).map(PeId)
+    }
+
+    /// The class of a processing element.
+    pub fn kind_of(&self, pe: PeId) -> PeKind {
+        assert!(pe.0 < self.n_pes(), "{pe} out of range");
+        if pe.0 < self.n_ppe {
+            PeKind::Ppe
+        } else {
+            PeKind::Spe
+        }
+    }
+
+    /// `true` iff `pe` is an SPE.
+    pub fn is_spe(&self, pe: PeId) -> bool {
+        self.kind_of(pe) == PeKind::Spe
+    }
+
+    /// Per-direction interface bandwidth `bw`.
+    pub fn interface_bw(&self) -> Bandwidth {
+        self.interface_bw
+    }
+
+    /// Aggregate EIB bandwidth.
+    pub fn eib_bw(&self) -> Bandwidth {
+        self.eib_bw
+    }
+
+    /// SPE local store size `LS`.
+    pub fn local_store(&self) -> ByteSize {
+        self.local_store
+    }
+
+    /// Size of the replicated code image.
+    pub fn code_size(&self) -> ByteSize {
+        self.code_size
+    }
+
+    /// Bytes of local store available for stream buffers: `LS - code`
+    /// (right-hand side of constraint (1i)).
+    pub fn local_store_budget(&self) -> u64 {
+        self.local_store.saturating_sub(self.code_size).bytes()
+    }
+
+    /// Maximum concurrent incoming DMA transfers per SPE (constraint (1j)).
+    pub fn dma_in_limit(&self) -> u32 {
+        self.dma_in_limit
+    }
+
+    /// Maximum concurrent SPE↔PPE proxy-queue transfers (constraint (1k)).
+    pub fn dma_ppe_limit(&self) -> u32 {
+        self.dma_ppe_limit
+    }
+}
+
+impl fmt::Display for CellSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Cell[{} PPE + {} SPE, bw={}, LS={}, code={}, DMA {}in/{}ppe]",
+            self.n_ppe,
+            self.n_spe,
+            self.interface_bw,
+            self.local_store,
+            self.code_size,
+            self.dma_in_limit,
+            self.dma_ppe_limit
+        )
+    }
+}
+
+/// Builder for [`CellSpec`]. Defaults are the paper's parameters:
+/// 1 PPE, 8 SPEs, 25 GB/s interfaces, 200 GB/s EIB, 256 kB local store,
+/// 64 kB code image, 16 incoming / 8 proxy DMA slots.
+#[derive(Debug, Clone)]
+pub struct CellSpecBuilder {
+    n_ppe: usize,
+    n_spe: usize,
+    interface_bw: Bandwidth,
+    eib_bw: Bandwidth,
+    local_store: ByteSize,
+    code_size: ByteSize,
+    dma_in_limit: u32,
+    dma_ppe_limit: u32,
+}
+
+impl Default for CellSpecBuilder {
+    fn default() -> Self {
+        CellSpecBuilder {
+            n_ppe: 1,
+            n_spe: 8,
+            interface_bw: Bandwidth::gb_per_s(25.0),
+            eib_bw: Bandwidth::gb_per_s(200.0),
+            local_store: ByteSize::kib(256),
+            // The paper replicates the whole application code in every
+            // local store but never reports its size; 64 kB is a
+            // representative figure for their framework plus task code and
+            // is the default assumed by our reproduction (calibration
+            // discussed in DESIGN.md §4).
+            code_size: ByteSize::kib(64),
+            dma_in_limit: 16,
+            dma_ppe_limit: 8,
+        }
+    }
+}
+
+impl CellSpecBuilder {
+    /// Set the number of PPE cores.
+    pub fn ppes(mut self, n: usize) -> Self {
+        self.n_ppe = n;
+        self
+    }
+
+    /// Set the number of SPE cores.
+    pub fn spes(mut self, n: usize) -> Self {
+        self.n_spe = n;
+        self
+    }
+
+    /// Set the per-direction interface bandwidth.
+    pub fn interface_bw(mut self, bw: Bandwidth) -> Self {
+        self.interface_bw = bw;
+        self
+    }
+
+    /// Set the aggregate EIB bandwidth (reporting only).
+    pub fn eib_bw(mut self, bw: Bandwidth) -> Self {
+        self.eib_bw = bw;
+        self
+    }
+
+    /// Set the SPE local store size.
+    pub fn local_store(mut self, ls: ByteSize) -> Self {
+        self.local_store = ls;
+        self
+    }
+
+    /// Set the size of the replicated code image.
+    pub fn code_size(mut self, code: ByteSize) -> Self {
+        self.code_size = code;
+        self
+    }
+
+    /// Set the incoming DMA concurrency limit per SPE.
+    pub fn dma_in_limit(mut self, n: u32) -> Self {
+        self.dma_in_limit = n;
+        self
+    }
+
+    /// Set the SPE↔PPE proxy-queue concurrency limit.
+    pub fn dma_ppe_limit(mut self, n: u32) -> Self {
+        self.dma_ppe_limit = n;
+        self
+    }
+
+    /// Validate and build the specification.
+    pub fn build(self) -> Result<CellSpec, SpecError> {
+        if self.n_ppe == 0 {
+            return Err(SpecError::NoPpe);
+        }
+        if self.code_size.bytes() >= self.local_store.bytes() && self.n_spe > 0 {
+            return Err(SpecError::CodeLargerThanLocalStore {
+                code: self.code_size,
+                local_store: self.local_store,
+            });
+        }
+        Ok(CellSpec {
+            n_ppe: self.n_ppe,
+            n_spe: self.n_spe,
+            interface_bw: self.interface_bw,
+            eib_bw: self.eib_bw,
+            local_store: self.local_store,
+            code_size: self.code_size,
+            dma_in_limit: self.dma_in_limit,
+            dma_ppe_limit: self.dma_ppe_limit,
+        })
+    }
+}

@@ -1,0 +1,150 @@
+use crate::{CellSpec, CellSpecBuilder, PeId, PeKind, SpecError};
+use crate::units::{Bandwidth, ByteSize};
+use proptest::prelude::*;
+
+#[test]
+fn ps3_has_six_spes() {
+    let ps3 = CellSpec::ps3();
+    assert_eq!(ps3.n_ppe(), 1);
+    assert_eq!(ps3.n_spe(), 6);
+    assert_eq!(ps3.n_pes(), 7);
+}
+
+#[test]
+fn qs22_single_cell_has_eight_spes() {
+    let qs = CellSpec::qs22();
+    assert_eq!(qs.n_ppe(), 1);
+    assert_eq!(qs.n_spe(), 8);
+    assert_eq!(qs.n_pes(), 9);
+}
+
+#[test]
+fn paper_indexing_convention_ppes_first() {
+    let spec = CellSpec::with_spes(4);
+    assert_eq!(spec.kind_of(PeId(0)), PeKind::Ppe);
+    for i in 1..5 {
+        assert_eq!(spec.kind_of(PeId(i)), PeKind::Spe);
+    }
+    let ppes: Vec<_> = spec.ppes().collect();
+    let spes: Vec<_> = spec.spes().collect();
+    assert_eq!(ppes, vec![PeId(0)]);
+    assert_eq!(spes, vec![PeId(1), PeId(2), PeId(3), PeId(4)]);
+}
+
+#[test]
+fn pes_iterator_covers_everything_in_order() {
+    let spec = CellSpec::with_spes(3);
+    let all: Vec<_> = spec.pes().collect();
+    assert_eq!(all, vec![PeId(0), PeId(1), PeId(2), PeId(3)]);
+}
+
+#[test]
+fn default_parameters_match_paper() {
+    let spec = CellSpec::qs22();
+    assert!((spec.interface_bw().as_bytes_per_s() - 25e9).abs() < 1.0);
+    assert!((spec.eib_bw().as_bytes_per_s() - 200e9).abs() < 1.0);
+    assert_eq!(spec.local_store(), ByteSize::kib(256));
+    assert_eq!(spec.dma_in_limit(), 16);
+    assert_eq!(spec.dma_ppe_limit(), 8);
+}
+
+#[test]
+fn local_store_budget_subtracts_code() {
+    let spec = CellSpecBuilder::default()
+        .local_store(ByteSize::kib(256))
+        .code_size(ByteSize::kib(96))
+        .build()
+        .unwrap();
+    assert_eq!(spec.local_store_budget(), 160 * 1024);
+}
+
+#[test]
+fn builder_rejects_zero_ppes() {
+    let err = CellSpecBuilder::default().ppes(0).build().unwrap_err();
+    assert_eq!(err, SpecError::NoPpe);
+}
+
+#[test]
+fn builder_rejects_code_bigger_than_local_store() {
+    let err = CellSpecBuilder::default()
+        .local_store(ByteSize::kib(128))
+        .code_size(ByteSize::kib(256))
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, SpecError::CodeLargerThanLocalStore { .. }));
+    // ... but a pure-PPE platform does not care about local stores.
+    assert!(CellSpecBuilder::default()
+        .spes(0)
+        .local_store(ByteSize::kib(128))
+        .code_size(ByteSize::kib(256))
+        .build()
+        .is_ok());
+}
+
+#[test]
+fn zero_spes_is_a_valid_degenerate_platform() {
+    // Figure 7 sweeps nS from 0 upward; nS = 0 is the PPE-only baseline.
+    let spec = CellSpec::with_spes(0);
+    assert_eq!(spec.n_pes(), 1);
+    assert_eq!(spec.spes().count(), 0);
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn pe_accessor_checks_bounds() {
+    let spec = CellSpec::ps3();
+    let _ = spec.pe(7); // PS3 has PEs 0..=6
+}
+
+#[test]
+fn display_is_informative() {
+    let s = format!("{}", CellSpec::qs22());
+    assert!(s.contains("1 PPE"), "{s}");
+    assert!(s.contains("8 SPE"), "{s}");
+    assert!(s.contains("25.0 GB/s"), "{s}");
+}
+
+#[test]
+fn serde_round_trip() {
+    let spec = CellSpec::ps3();
+    let json = serde_json::to_string(&spec).unwrap();
+    let back: CellSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(spec, back);
+}
+
+proptest! {
+    #[test]
+    fn prop_indexing_partition(n_ppe in 1usize..4, n_spe in 0usize..16) {
+        let spec = CellSpecBuilder::default().ppes(n_ppe).spes(n_spe).build().unwrap();
+        prop_assert_eq!(spec.n_pes(), n_ppe + n_spe);
+        prop_assert_eq!(spec.ppes().count(), n_ppe);
+        prop_assert_eq!(spec.spes().count(), n_spe);
+        for pe in spec.pes() {
+            let kind = spec.kind_of(pe);
+            prop_assert_eq!(kind == PeKind::Ppe, pe.index() < n_ppe);
+            prop_assert_eq!(spec.is_spe(pe), kind == PeKind::Spe);
+        }
+    }
+
+    #[test]
+    fn prop_budget_never_exceeds_local_store(ls_kib in 1u64..1024, code_kib in 0u64..1024) {
+        prop_assume!(code_kib < ls_kib);
+        let spec = CellSpecBuilder::default()
+            .local_store(ByteSize::kib(ls_kib))
+            .code_size(ByteSize::kib(code_kib))
+            .build()
+            .unwrap();
+        prop_assert!(spec.local_store_budget() <= spec.local_store().bytes());
+        prop_assert_eq!(spec.local_store_budget(), (ls_kib - code_kib) * 1024);
+    }
+
+    #[test]
+    fn prop_bandwidth_transfer_time_linear(gb in 1.0f64..100.0, bytes in 0.0f64..1e12) {
+        let bw = Bandwidth::gb_per_s(gb);
+        let t = bw.transfer_time(bytes);
+        prop_assert!(t >= 0.0);
+        // doubling the payload doubles the time
+        let t2 = bw.transfer_time(bytes * 2.0);
+        prop_assert!((t2 - 2.0 * t).abs() <= 1e-9 * t2.max(1.0));
+    }
+}

@@ -1,0 +1,186 @@
+//! Single-producer / single-consumer instance rings with peek windows.
+//!
+//! One ring per edge, `firstPeriod(dst) − firstPeriod(src)` slots of
+//! `data_bytes` each (§4.2). The producer thread writes instance `i` into
+//! slot `i mod S`; the consumer of a task with peek `p` reads slots
+//! `i ..= i+p` at once and releases slot `i` afterwards. Slot reuse is
+//! prevented by the produced/consumed counters, so each `Mutex` is
+//! uncontended in steady state — it exists to keep the crate free of
+//! `unsafe`.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-capacity SPSC ring of byte slots.
+#[derive(Debug)]
+pub struct EdgeRing {
+    slots: Vec<Mutex<Vec<u8>>>,
+    produced: AtomicU64,
+    consumed: AtomicU64,
+    capacity: u64,
+}
+
+impl EdgeRing {
+    /// A ring of `capacity` slots of `slot_bytes` bytes each.
+    pub fn new(capacity: u64, slot_bytes: usize) -> Self {
+        assert!(capacity >= 1, "a ring needs at least one slot");
+        EdgeRing {
+            slots: (0..capacity).map(|_| Mutex::new(vec![0u8; slot_bytes])).collect(),
+            produced: AtomicU64::new(0),
+            consumed: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Instances produced so far.
+    pub fn produced(&self) -> u64 {
+        self.produced.load(Ordering::Acquire)
+    }
+
+    /// Instances consumed (released) so far.
+    pub fn consumed(&self) -> u64 {
+        self.consumed.load(Ordering::Acquire)
+    }
+
+    /// `true` when the producer may write the next instance.
+    pub fn can_produce(&self) -> bool {
+        self.produced() - self.consumed() < self.capacity
+    }
+
+    /// Write the next instance through `fill` and publish it.
+    /// Caller must be the unique producer and must have checked
+    /// [`can_produce`](Self::can_produce).
+    pub fn produce(&self, fill: impl FnOnce(&mut [u8])) {
+        let i = self.produced.load(Ordering::Relaxed);
+        assert!(
+            i - self.consumed() < self.capacity,
+            "produce() without a free slot — back-pressure violated"
+        );
+        {
+            let mut slot = self.slots[(i % self.capacity) as usize].lock();
+            fill(&mut slot);
+        }
+        self.produced.store(i + 1, Ordering::Release);
+    }
+
+    /// `true` when instances `i ..= i_last` are all available to read.
+    pub fn window_ready(&self, i_last: u64) -> bool {
+        self.produced() > i_last
+    }
+
+    /// Read instances `first ..= last` (the peek window) through `read`.
+    /// The slices appear in instance order.
+    pub fn with_window<R>(&self, first: u64, last: u64, read: impl FnOnce(&[&[u8]]) -> R) -> R {
+        assert!(last >= first);
+        assert!(last - first < self.capacity, "peek window larger than the ring");
+        assert!(self.window_ready(last), "window not ready");
+        assert!(first >= self.consumed(), "window already released");
+        let guards: Vec<_> = (first..=last)
+            .map(|i| self.slots[(i % self.capacity) as usize].lock())
+            .collect();
+        let slices: Vec<&[u8]> = guards.iter().map(|g| g.as_slice()).collect();
+        read(&slices)
+    }
+
+    /// Release instance `i` (and everything before it), freeing its slot
+    /// for the producer. Caller must be the unique consumer.
+    pub fn release(&self, i: u64) {
+        debug_assert!(i >= self.consumed.load(Ordering::Relaxed));
+        self.consumed.store(i + 1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produce_consume_round_trip() {
+        let ring = EdgeRing::new(3, 8);
+        assert!(ring.can_produce());
+        ring.produce(|s| s.copy_from_slice(&7u64.to_le_bytes()));
+        assert_eq!(ring.produced(), 1);
+        assert!(ring.window_ready(0));
+        let v = ring.with_window(0, 0, |w| u64::from_le_bytes(w[0].try_into().unwrap()));
+        assert_eq!(v, 7);
+        ring.release(0);
+        assert_eq!(ring.consumed(), 1);
+    }
+
+    #[test]
+    fn backpressure_blocks_producer() {
+        let ring = EdgeRing::new(2, 4);
+        ring.produce(|_| {});
+        ring.produce(|_| {});
+        assert!(!ring.can_produce(), "ring is full");
+        ring.release(0);
+        assert!(ring.can_produce(), "released slot is reusable");
+    }
+
+    #[test]
+    fn peek_window_sees_consecutive_instances() {
+        let ring = EdgeRing::new(4, 8);
+        for i in 0u64..3 {
+            ring.produce(|s| s.copy_from_slice(&i.to_le_bytes()));
+        }
+        assert!(ring.window_ready(2));
+        ring.with_window(0, 2, |w| {
+            for (k, slice) in w.iter().enumerate() {
+                assert_eq!(u64::from_le_bytes((*slice).try_into().unwrap()), k as u64);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "back-pressure violated")]
+    fn producing_into_full_ring_panics() {
+        let ring = EdgeRing::new(1, 1);
+        ring.produce(|_| {});
+        ring.produce(|_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "window not ready")]
+    fn early_window_panics() {
+        let ring = EdgeRing::new(2, 1);
+        ring.with_window(0, 0, |_| ());
+    }
+
+    #[test]
+    fn threaded_smoke() {
+        // a real producer/consumer pair pushing 10k instances through a
+        // 3-slot ring
+        let ring = EdgeRing::new(3, 8);
+        let n = 10_000u64;
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let mut i = 0u64;
+                while i < n {
+                    if ring.can_produce() {
+                        ring.produce(|s| s.copy_from_slice(&i.to_le_bytes()));
+                        i += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+            scope.spawn(|| {
+                for i in 0..n {
+                    while !ring.window_ready(i) {
+                        std::hint::spin_loop();
+                    }
+                    let v = ring.with_window(i, i, |w| u64::from_le_bytes(w[0].try_into().unwrap()));
+                    assert_eq!(v, i, "FIFO order violated");
+                    ring.release(i);
+                }
+            });
+        });
+        assert_eq!(ring.produced(), n);
+        assert_eq!(ring.consumed(), n);
+    }
+}

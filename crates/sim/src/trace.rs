@@ -1,0 +1,134 @@
+//! Run traces: per-instance completion times and throughput curves.
+//!
+//! This is the raw material of Figure 6 ("Throughput achieved depending on
+//! the number of instances"): the cumulative throughput after `i`
+//! instances is `i / t_i`, which ramps up through the pipeline fill and
+//! converges to the steady-state rate.
+
+/// The result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct RunTrace {
+    /// `completions[i]` = time at which instance `i` left the pipeline
+    /// (max over sink tasks). Strictly increasing.
+    pub completions: Vec<f64>,
+    /// Total simulation events processed (cost metric).
+    pub events: u64,
+    /// Bytes that entered each PE's incoming interface over the run.
+    pub bytes_in: Vec<f64>,
+    /// Bytes that left each PE's outgoing interface over the run.
+    pub bytes_out: Vec<f64>,
+}
+
+impl RunTrace {
+    /// Number of instances completed.
+    pub fn n_instances(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Total simulated time.
+    pub fn total_time(&self) -> f64 {
+        *self.completions.last().expect("non-empty trace")
+    }
+
+    /// Cumulative throughput after each instance: `(i+1) / t_i`.
+    pub fn cumulative_throughput(&self) -> Vec<f64> {
+        self.completions
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i + 1) as f64 / t)
+            .collect()
+    }
+
+    /// The Figure 6 curve, downsampled: `(instance_count, cumulative
+    /// throughput)` at `points` roughly equally spaced instance counts.
+    pub fn throughput_curve(&self, points: usize) -> Vec<(u64, f64)> {
+        assert!(points >= 2);
+        let n = self.completions.len();
+        let cum = self.cumulative_throughput();
+        let mut out = Vec::with_capacity(points);
+        for p in 0..points {
+            let idx = ((p as f64 / (points - 1) as f64) * (n - 1) as f64).round() as usize;
+            out.push(((idx + 1) as u64, cum[idx]));
+        }
+        out.dedup_by_key(|&mut (i, _)| i);
+        out
+    }
+
+    /// Steady-state throughput, measured over the `[0.5·n, 0.85·n]`
+    /// instance window: the pipeline-fill transient at the start *and*
+    /// the pipeline-drain speed-up at the end (once sources run out of
+    /// stream, periods shorten) are both excluded.
+    pub fn steady_state_throughput(&self) -> f64 {
+        let n = self.completions.len();
+        assert!(n >= 8, "need a few instances to estimate steady state");
+        let lo = n / 2;
+        let hi = ((n as f64 * 0.85) as usize).clamp(lo + 1, n - 1);
+        let dt = self.completions[hi] - self.completions[lo];
+        (hi - lo) as f64 / dt
+    }
+
+    /// Instantaneous period averaged over the last `window` instances.
+    pub fn tail_period(&self, window: usize) -> f64 {
+        let n = self.completions.len();
+        assert!(window >= 1 && window < n);
+        (self.completions[n - 1] - self.completions[n - 1 - window]) / window as f64
+    }
+
+    /// Average utilisation of each PE's incoming interface over the run
+    /// (fraction of `bw`), from the per-PE byte totals.
+    pub fn in_utilisation(&self, bw_bytes_per_s: f64) -> Vec<f64> {
+        let t = self.total_time();
+        self.bytes_in.iter().map(|&b| b / (bw_bytes_per_s * t)).collect()
+    }
+
+    /// Average utilisation of each PE's outgoing interface over the run.
+    pub fn out_utilisation(&self, bw_bytes_per_s: f64) -> Vec<f64> {
+        let t = self.total_time();
+        self.bytes_out.iter().map(|&b| b / (bw_bytes_per_s * t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_trace(period: f64, warmup: f64, n: usize) -> RunTrace {
+        RunTrace {
+            completions: (0..n).map(|i| warmup + period * (i + 1) as f64).collect(),
+            events: 0,
+            bytes_in: Vec::new(),
+            bytes_out: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn steady_state_recovers_period() {
+        let tr = linear_trace(0.01, 0.5, 1000);
+        let rho = tr.steady_state_throughput();
+        assert!((rho - 100.0).abs() < 1e-6, "{rho}");
+        assert!((tr.tail_period(100) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cumulative_ramps_up_to_steady() {
+        // warm-up delays early instances, so cumulative throughput starts
+        // low and climbs toward 1/period
+        let tr = linear_trace(0.01, 1.0, 2000);
+        let cum = tr.cumulative_throughput();
+        assert!(cum[0] < cum[1999]);
+        assert!(cum[1999] < 100.0); // never exceeds the steady rate
+        assert!(cum[1999] > 90.0); // but approaches it
+    }
+
+    #[test]
+    fn curve_downsamples_monotonically() {
+        let tr = linear_trace(0.01, 1.0, 500);
+        let curve = tr.throughput_curve(20);
+        assert!(curve.len() <= 20 && curve.len() >= 2);
+        assert_eq!(curve[0].0, 1);
+        assert_eq!(curve.last().unwrap().0, 500);
+        for w in curve.windows(2) {
+            assert!(w[1].0 > w[0].0);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Cross-crate integration: the full pipeline from graph generation
+//! through optimal mapping, periodic schedule, simulation and execution.
+
+use cellstream::core::schedule::PeriodicSchedule;
+use cellstream::core::{evaluate, solve, Mapping, SolveOptions};
+use cellstream::daggen::{generate, CostParams, DagGenParams};
+use cellstream::heuristics::{greedy_cpu, greedy_mem};
+use cellstream::platform::{CellSpec, PeId};
+use cellstream::rt::{ChecksumKernel, Kernel, RtConfig};
+use cellstream::sim::{simulate, SimConfig};
+use std::sync::Arc;
+
+fn medium_graph(seed: u64) -> cellstream::graph::StreamGraph {
+    generate(
+        "e2e",
+        &DagGenParams { n: 18, fat: 0.5, regular: 0.5, density: 0.25, jump: 2, costs: CostParams::default() },
+        seed,
+    )
+    .unwrap()
+}
+
+#[test]
+fn generate_solve_simulate_execute() {
+    let g = medium_graph(0xE2E);
+    let spec = CellSpec::ps3();
+
+    // 1. schedule: MILP with greedy seeds
+    let outcome = solve(
+        &g,
+        &spec,
+        &SolveOptions {
+            seeds: vec![greedy_mem(&g, &spec), greedy_cpu(&g, &spec)],
+            ..SolveOptions::default()
+        },
+    )
+    .unwrap();
+    let report = evaluate(&g, &spec, &outcome.mapping).unwrap();
+    assert!(report.is_feasible());
+    assert!((report.period - outcome.period).abs() < 1e-15);
+
+    // 2. periodic schedule is consistent
+    let sched = PeriodicSchedule::build(&g, &spec, &outcome.mapping, &report);
+    for pe in spec.pes() {
+        assert!(sched.utilisation(pe) <= 1.0 + 1e-9);
+    }
+
+    // 3. simulation approaches the model
+    let trace = simulate(&g, &spec, &outcome.mapping, &SimConfig::ideal(), 1500).unwrap();
+    let sim_rho = trace.steady_state_throughput();
+    assert!(sim_rho <= report.throughput * 1.01, "sim cannot beat the model");
+    assert!(sim_rho >= report.throughput * 0.85, "sim {} vs model {}", sim_rho, report.throughput);
+
+    // 4. the same mapping executes for real
+    let kernels: Vec<Arc<dyn Kernel>> =
+        (0..g.n_tasks()).map(|_| Arc::new(ChecksumKernel) as Arc<dyn Kernel>).collect();
+    let stats = cellstream::rt::run(
+        &g,
+        &spec,
+        &outcome.mapping,
+        &kernels,
+        &RtConfig { n_instances: 200, ..RtConfig::default() },
+    )
+    .unwrap();
+    assert!(stats.processed.iter().all(|&c| c == 200));
+}
+
+#[test]
+fn milp_beats_or_matches_heuristics_end_to_end() {
+    let g = medium_graph(77);
+    let spec = CellSpec::qs22();
+    let gm = greedy_mem(&g, &spec);
+    let gc = greedy_cpu(&g, &spec);
+    let outcome = solve(
+        &g,
+        &spec,
+        &SolveOptions { seeds: vec![gm.clone(), gc.clone()], ..SolveOptions::default() },
+    )
+    .unwrap();
+    for m in [gm, gc] {
+        let r = evaluate(&g, &spec, &m).unwrap();
+        if r.is_feasible() {
+            assert!(outcome.period <= r.period + 1e-15);
+        }
+    }
+}
+
+#[test]
+fn speedup_grows_with_spes_like_figure7() {
+    // The qualitative Figure 7 shape on a small instance: optimal
+    // throughput is monotone in the number of SPEs.
+    let g = medium_graph(31);
+    let mut last_period = f64::INFINITY;
+    for spes in [0usize, 2, 4, 6] {
+        let spec = CellSpec::with_spes(spes);
+        let outcome = solve(
+            &g,
+            &spec,
+            &SolveOptions {
+                seeds: vec![greedy_cpu(&g, &spec)],
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            outcome.period <= last_period * 1.05 + 1e-12,
+            "{spes} SPEs: period {} worse than with fewer SPEs {}",
+            outcome.period,
+            last_period
+        );
+        last_period = last_period.min(outcome.period);
+    }
+}
+
+#[test]
+fn ppe_only_platform_degenerates_gracefully() {
+    let g = medium_graph(5);
+    let spec = CellSpec::with_spes(0);
+    let outcome = solve(&g, &spec, &SolveOptions::default()).unwrap();
+    // with no SPEs the only feasible mapping is PPE-only
+    assert_eq!(outcome.mapping, Mapping::all_on(&g, PeId(0)));
+    let trace = simulate(&g, &spec, &outcome.mapping, &SimConfig::ideal(), 500).unwrap();
+    let report = evaluate(&g, &spec, &outcome.mapping).unwrap();
+    let rho = trace.steady_state_throughput();
+    assert!((rho - report.throughput).abs() / report.throughput < 0.02);
+}
