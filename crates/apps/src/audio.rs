@@ -41,9 +41,8 @@ pub const ALLOC_BYTES: f64 = 64.0;
 /// unrelated-machine mix described in the module docs.
 pub fn graph() -> Result<StreamGraph, GraphError> {
     let mut b = StreamGraph::builder("audio-encoder");
-    let framer = b.add_task(
-        TaskSpec::new("framer").ppe_cost(0.8e-6).spe_cost(0.9e-6).reads(FRAME_BYTES),
-    );
+    let framer =
+        b.add_task(TaskSpec::new("framer").ppe_cost(0.8e-6).spe_cost(0.9e-6).reads(FRAME_BYTES));
     let mut subbands = Vec::new();
     for lane in 0..LANES {
         subbands.push(b.add_task(
@@ -56,9 +55,7 @@ pub fn graph() -> Result<StreamGraph, GraphError> {
         // one frame ahead
         TaskSpec::new("psycho").ppe_cost(4.0e-6).spe_cost(2.0e-6).peek(1),
     );
-    let scalefactor = b.add_task(
-        TaskSpec::new("scalefactor").ppe_cost(1.2e-6).spe_cost(0.8e-6),
-    );
+    let scalefactor = b.add_task(TaskSpec::new("scalefactor").ppe_cost(1.2e-6).spe_cost(0.8e-6));
     let bitalloc = b.add_task(
         // branchy table logic: faster on the PPE, stateful (running bit
         // reservoir)
@@ -66,9 +63,9 @@ pub fn graph() -> Result<StreamGraph, GraphError> {
     );
     let mut quants = Vec::new();
     for lane in 0..LANES {
-        quants.push(b.add_task(
-            TaskSpec::new(format!("quant{lane}")).ppe_cost(2.0e-6).spe_cost(0.7e-6),
-        ));
+        quants.push(
+            b.add_task(TaskSpec::new(format!("quant{lane}")).ppe_cost(2.0e-6).spe_cost(0.7e-6)),
+        );
     }
     let mux = b.add_task(
         TaskSpec::new("mux").ppe_cost(0.9e-6).spe_cost(1.4e-6).stateful().writes(FRAME_BYTES / 4.0),
@@ -180,7 +177,7 @@ pub fn kernels() -> Vec<Arc<dyn Kernel>> {
         |_ctx: &KernelCtx<'_>, inp: &[Window<'_>], out: &mut [&mut [u8]]| {
             let smr = read_f32s(inp[0].instances[0]);
             let budget = 384i32; // bits per lane per frame
-            let mut bits = vec![2i32; 16];
+            let mut bits = [2i32; 16];
             let mut left = budget - 32;
             // give bits to the loudest bands first
             let mut order: Vec<usize> = (0..16).collect();

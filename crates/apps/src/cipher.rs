@@ -131,7 +131,6 @@ pub fn kernels(key: [u8; 32], nonce: [u8; 12]) -> Vec<Arc<dyn Kernel>> {
     // lanes: real ChaCha20 with per-lane counter spacing
     let blocks_per_lane = lane_len.div_ceil(64) as u32;
     for lane in 0..LANES {
-        let key = key; // copy into the closure
         v.push(Arc::new(ClosureKernel(
             move |ctx: &KernelCtx<'_>, inp: &[Window<'_>], out: &mut [&mut [u8]]| {
                 let mut buf = inp[0].instances[0].to_vec();

@@ -70,15 +70,15 @@ pub fn power_spectrum(samples: &[f32]) -> Vec<f32> {
 /// with triangular weighting) but structurally the MP2 filterbank.
 pub fn polyphase_analyze(input: &[f32], bands: usize, out: &mut [f32]) {
     assert_eq!(out.len(), input.len(), "decimation keeps total sample count");
-    assert!(bands >= 1 && input.len() % bands == 0);
+    assert!(bands >= 1 && input.len().is_multiple_of(bands));
     let per_band = input.len() / bands;
     for b in 0..bands {
         for k in 0..per_band {
             // modulated sum over the band's phase
             let mut acc = 0.0f32;
             for (t, &x) in input.iter().enumerate().skip(k * bands).take(bands) {
-                let phase =
-                    ((2 * (t % bands) + 1) * (2 * b + 1)) as f32 * std::f32::consts::PI / (4.0 * bands as f32);
+                let phase = ((2 * (t % bands) + 1) * (2 * b + 1)) as f32 * std::f32::consts::PI
+                    / (4.0 * bands as f32);
                 acc += x * phase.cos();
             }
             out[b * per_band + k] = acc / bands as f32;
@@ -120,8 +120,9 @@ mod tests {
     fn fft_of_single_tone_peaks_at_bin() {
         let n = 64;
         let f = 5;
-        let mut re: Vec<f32> =
-            (0..n).map(|i| (2.0 * std::f32::consts::PI * f as f32 * i as f32 / n as f32).cos()).collect();
+        let mut re: Vec<f32> = (0..n)
+            .map(|i| (2.0 * std::f32::consts::PI * f as f32 * i as f32 / n as f32).cos())
+            .collect();
         let mut im = vec![0.0f32; n];
         fft_radix2(&mut re, &mut im);
         let mags: Vec<f32> = (0..n).map(|k| (re[k] * re[k] + im[k] * im[k]).sqrt()).collect();
@@ -144,7 +145,8 @@ mod tests {
         let mut im = vec![0.0f32; n];
         fft_radix2(&mut re, &mut im);
         let time_energy: f32 = sig.iter().map(|x| x * x).sum();
-        let freq_energy: f32 = (0..n).map(|k| re[k] * re[k] + im[k] * im[k]).sum::<f32>() / n as f32;
+        let freq_energy: f32 =
+            (0..n).map(|k| re[k] * re[k] + im[k] * im[k]).sum::<f32>() / n as f32;
         assert!((time_energy - freq_energy).abs() < 1e-3, "{time_energy} vs {freq_energy}");
     }
 

@@ -2,34 +2,49 @@
 //! executes.
 
 use crate::{audio, cipher, video};
+use cellstream_core::scheduler::PlanContext;
 use cellstream_core::{evaluate, Mapping};
-use cellstream_heuristics::{greedy_cpu, local_search, LocalSearchOptions};
+use cellstream_heuristics::{greedy_cpu, scheduler_by_name};
 use cellstream_platform::{CellSpec, PeId};
 use cellstream_rt::{run, RtConfig};
 use cellstream_sim::{simulate, SimConfig};
+
+/// Plan with a registered scheduler, panicking on planning failure —
+/// the apps only use always-feasible heuristic schedulers here.
+fn plan_with(name: &str, g: &cellstream_graph::StreamGraph, spec: &CellSpec) -> Mapping {
+    scheduler_by_name(name)
+        .expect("registered scheduler")
+        .plan(g, spec, &PlanContext::default())
+        .expect("heuristic schedulers always plan")
+        .mapping
+}
 
 #[test]
 fn audio_graph_is_schedulable() {
     let g = audio::graph().unwrap();
     let spec = CellSpec::qs22();
     // peeking psycho task drives the buffer plan; the greedy must still fit
-    let m = greedy_cpu(&g, &spec);
+    let m = plan_with("greedy_cpu", &g, &spec);
     let r = evaluate(&g, &spec, &m).unwrap();
     assert!(r.period > 0.0);
     // offloading must beat PPE-only for this SIMD-friendly pipeline
-    let (refined, period) = local_search(&g, &spec, &m, &LocalSearchOptions::default());
+    let refined = scheduler_by_name("local_search")
+        .unwrap()
+        .plan(&g, &spec, &PlanContext::default().seed(m))
+        .unwrap();
     let ppe = evaluate(&g, &spec, &Mapping::all_on(&g, PeId(0))).unwrap();
-    assert!(period < ppe.period, "audio encoder should gain from SPEs");
-    let _ = refined;
+    assert!(refined.period() < ppe.period, "audio encoder should gain from SPEs");
 }
 
 #[test]
 fn audio_pipeline_executes_on_the_runtime() {
     let g = audio::graph().unwrap();
     let spec = CellSpec::ps3();
-    let m = greedy_cpu(&g, &spec);
-    let stats = run(&g, &spec, &m, &audio::kernels(), &RtConfig { n_instances: 60, ..Default::default() })
-        .unwrap();
+    let m = plan_with("greedy_cpu", &g, &spec);
+    assert_eq!(m, greedy_cpu(&g, &spec), "registry must dispatch to the same heuristic");
+    let stats =
+        run(&g, &spec, &m, &audio::kernels(), &RtConfig { n_instances: 60, ..Default::default() })
+            .unwrap();
     assert!(stats.processed.iter().all(|&c| c == 60), "{:?}", stats.processed);
 }
 
@@ -37,7 +52,7 @@ fn audio_pipeline_executes_on_the_runtime() {
 fn audio_pipeline_simulates_close_to_model() {
     let g = audio::graph().unwrap();
     let spec = CellSpec::qs22();
-    let m = greedy_cpu(&g, &spec);
+    let m = plan_with("greedy_cpu", &g, &spec);
     let report = evaluate(&g, &spec, &m).unwrap();
     if report.is_feasible() {
         let tr = simulate(&g, &spec, &m, &SimConfig::ideal(), 1500).unwrap();
@@ -56,7 +71,7 @@ fn cipher_end_to_end_encrypts_correctly() {
     let spec = CellSpec::with_spes(4);
     let key = [9u8; 32];
     let nonce = [4u8; 12];
-    let m = greedy_cpu(&g, &spec);
+    let m = plan_with("greedy_cpu", &g, &spec);
     let stats = run(
         &g,
         &spec,
@@ -72,9 +87,10 @@ fn cipher_end_to_end_encrypts_correctly() {
 fn video_pipeline_executes_with_peek2() {
     let g = video::graph().unwrap();
     let spec = CellSpec::ps3();
-    let m = greedy_cpu(&g, &spec);
-    let stats = run(&g, &spec, &m, &video::kernels(), &RtConfig { n_instances: 80, ..Default::default() })
-        .unwrap();
+    let m = plan_with("greedy_cpu", &g, &spec);
+    let stats =
+        run(&g, &spec, &m, &video::kernels(), &RtConfig { n_instances: 80, ..Default::default() })
+            .unwrap();
     assert!(stats.processed.iter().all(|&c| c == 80), "{:?}", stats.processed);
 }
 

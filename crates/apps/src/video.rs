@@ -30,12 +30,14 @@ pub fn graph() -> Result<StreamGraph, GraphError> {
     );
     let denoise = b.add_task(TaskSpec::new("denoise").ppe_cost(4.0e-6).spe_cost(1.2e-6));
     let scale = b.add_task(TaskSpec::new("scale").ppe_cost(2.5e-6).spe_cost(0.9e-6));
-    let motion = b.add_task(
-        TaskSpec::new("motion").ppe_cost(5.0e-6).spe_cost(1.8e-6).peek(2),
-    );
+    let motion = b.add_task(TaskSpec::new("motion").ppe_cost(5.0e-6).spe_cost(1.8e-6).peek(2));
     let overlay = b.add_task(TaskSpec::new("overlay").ppe_cost(1.2e-6).spe_cost(0.8e-6));
     let encode = b.add_task(
-        TaskSpec::new("encode").ppe_cost(2.0e-6).spe_cost(2.6e-6).stateful().writes(TILE_BYTES / 3.0),
+        TaskSpec::new("encode")
+            .ppe_cost(2.0e-6)
+            .spe_cost(2.6e-6)
+            .stateful()
+            .writes(TILE_BYTES / 3.0),
     );
     b.add_edge(decode, denoise, TILE_BYTES)?;
     b.add_edge(decode, motion, TILE_BYTES)?;

@@ -13,7 +13,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use cellstream_core::steady::buffers::BufferPlan;
-use cellstream_core::{Formulation, FormulationConfig, FormKind};
+use cellstream_core::{FormKind, Formulation, FormulationConfig};
 use cellstream_daggen::{generate, CostParams, DagGenParams};
 use cellstream_milp::model::LpOptions;
 use cellstream_platform::CellSpec;
@@ -21,7 +21,14 @@ use cellstream_platform::CellSpec;
 fn small_graph() -> cellstream_graph::StreamGraph {
     generate(
         "ablate",
-        &DagGenParams { n: 16, fat: 0.5, regular: 0.5, density: 0.25, jump: 2, costs: CostParams::default() },
+        &DagGenParams {
+            n: 16,
+            fat: 0.5,
+            regular: 0.5,
+            density: 0.25,
+            jump: 2,
+            costs: CostParams::default(),
+        },
         0xAB1A7E,
     )
     .unwrap()
@@ -50,11 +57,8 @@ fn bench_formulation_encodings(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/encoding");
     for (label, kind) in [("paper_beta", FormKind::Paper), ("compact_gamma", FormKind::Compact)] {
         group.bench_function(label, |b| {
-            let form = Formulation::build(
-                &g,
-                &spec,
-                &FormulationConfig { kind, dma_constraints: true },
-            );
+            let form =
+                Formulation::build(&g, &spec, &FormulationConfig { kind, dma_constraints: true });
             b.iter(|| black_box(form.model.solve_lp(&LpOptions::default()).unwrap()))
         });
     }
@@ -64,16 +68,22 @@ fn bench_formulation_encodings(c: &mut Criterion) {
 fn bench_buffer_accounting(c: &mut Criterion) {
     let g = generate(
         "buffers",
-        &DagGenParams { n: 60, fat: 0.5, regular: 0.5, density: 0.2, jump: 2, costs: CostParams::default() },
+        &DagGenParams {
+            n: 60,
+            fat: 0.5,
+            regular: 0.5,
+            density: 0.2,
+            jump: 2,
+            costs: CostParams::default(),
+        },
         7,
     )
     .unwrap();
     let plan = BufferPlan::new(&g);
     let tasks: Vec<_> = g.task_ids().collect();
     let mut group = c.benchmark_group("ablation/buffer_accounting");
-    group.bench_function("duplicated_paper", |b| {
-        b.iter(|| black_box(plan.for_tasks(tasks.iter())))
-    });
+    group
+        .bench_function("duplicated_paper", |b| b.iter(|| black_box(plan.for_tasks(tasks.iter()))));
     group.bench_function("dedup_future_work", |b| {
         b.iter(|| black_box(plan.for_tasks_dedup(&g, &tasks)))
     });

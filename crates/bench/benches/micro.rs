@@ -7,7 +7,9 @@ use std::hint::black_box;
 
 use cellstream_core::{evaluate, Mapping};
 use cellstream_daggen::{generate, paper, CostParams, DagGenParams};
-use cellstream_heuristics::{comm_aware_greedy, greedy_cpu, greedy_mem, local_search, LocalSearchOptions};
+use cellstream_heuristics::{
+    comm_aware_greedy, greedy_cpu, greedy_mem, local_search, LocalSearchOptions,
+};
 use cellstream_milp::model::{Cmp, LpOptions, Model, VarKind};
 use cellstream_platform::{CellSpec, PeId};
 use cellstream_sim::{simulate, SimConfig};
@@ -18,7 +20,15 @@ fn random_lp(n_vars: usize, n_cons: usize, seed: u64) -> Model {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut m = Model::new("bench");
     let vars: Vec<_> = (0..n_vars)
-        .map(|i| m.add_var(format!("x{i}"), 0.0, rng.gen_range(1.0..4.0), rng.gen_range(-3.0..3.0), VarKind::Continuous))
+        .map(|i| {
+            m.add_var(
+                format!("x{i}"),
+                0.0,
+                rng.gen_range(1.0..4.0),
+                rng.gen_range(-3.0..3.0),
+                VarKind::Continuous,
+            )
+        })
         .collect();
     for _ in 0..n_cons {
         let mut terms = Vec::new();
@@ -64,7 +74,14 @@ fn bench_sim(c: &mut Criterion) {
 }
 
 fn bench_daggen(c: &mut Criterion) {
-    let params = DagGenParams { n: 94, fat: 0.55, regular: 0.5, density: 0.12, jump: 3, costs: CostParams::default() };
+    let params = DagGenParams {
+        n: 94,
+        fat: 0.55,
+        regular: 0.5,
+        density: 0.12,
+        jump: 3,
+        costs: CostParams::default(),
+    };
     c.bench_function("daggen/generate_94", |b| {
         let mut seed = 0u64;
         b.iter(|| {
@@ -79,7 +96,9 @@ fn bench_heuristics(c: &mut Criterion) {
     let spec = CellSpec::qs22();
     c.bench_function("heuristics/greedy_mem", |b| b.iter(|| black_box(greedy_mem(&g, &spec))));
     c.bench_function("heuristics/greedy_cpu", |b| b.iter(|| black_box(greedy_cpu(&g, &spec))));
-    c.bench_function("heuristics/comm_aware", |b| b.iter(|| black_box(comm_aware_greedy(&g, &spec))));
+    c.bench_function("heuristics/comm_aware", |b| {
+        b.iter(|| black_box(comm_aware_greedy(&g, &spec)))
+    });
     c.bench_function("heuristics/local_search_1round", |b| {
         b.iter_batched(
             || greedy_cpu(&g, &spec),

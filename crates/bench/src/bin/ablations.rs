@@ -33,7 +33,6 @@ fn main() {
                 formulation: FormulationConfig { dma_constraints: dma, ..Default::default() },
                 seeds: seed_stack(&g, &spec),
                 mip: mip_options(),
-                ..Default::default()
             },
         )
         .expect("solve runs");
@@ -76,7 +75,10 @@ fn main() {
         );
         rows.push(format!("buffers,{pe},{dup:.0},{dedup:.0}"));
     }
-    println!("  -> total local store the future-work optimisation frees: {:.1} KiB\n", saved_total / 1024.0);
+    println!(
+        "  -> total local store the future-work optimisation frees: {:.1} KiB\n",
+        saved_total / 1024.0
+    );
 
     // --- 3. gap sweep --------------------------------------------------------
     println!("# Ablation 3: B&B stopping gap vs solution quality (graph 1)");

@@ -8,7 +8,7 @@
 //!
 //! Output: the series on stdout + `crates/bench/results/fig6.csv`.
 
-use cellstream_bench::{lp_mapping, predicted_throughput, sim_instances, write_csv};
+use cellstream_bench::{lp_plan, milp_stats, sim_instances, write_csv};
 use cellstream_daggen::paper;
 use cellstream_platform::CellSpec;
 use cellstream_sim::{simulate, SimConfig};
@@ -18,18 +18,27 @@ fn main() {
     let spec = CellSpec::qs22();
     eprintln!("fig6: {} tasks, {} edges, CCR 0.775, {spec}", g.n_tasks(), g.n_edges());
 
-    let outcome = lp_mapping(&g, &spec);
-    let theoretical = predicted_throughput(&g, &spec, &outcome.mapping);
-    eprintln!(
-        "MILP mapping: period {:.3} us, gap {:.1}%, {} nodes, {:.1}s",
-        outcome.period * 1e6,
-        outcome.gap * 100.0,
-        outcome.nodes,
-        outcome.wall.as_secs_f64()
-    );
+    let plan = lp_plan(&g, &spec);
+    let theoretical = plan.throughput();
+    match milp_stats(&plan) {
+        Some((gap, nodes, _)) => eprintln!(
+            "LP plan (`{}`): period {:.3} us, gap {:.1}%, {} nodes, {:.1}s",
+            plan.scheduler,
+            plan.period() * 1e6,
+            gap * 100.0,
+            nodes,
+            plan.wall.as_secs_f64()
+        ),
+        None => eprintln!(
+            "LP plan (`{}`, non-MILP fallback): period {:.3} us, {:.1}s",
+            plan.scheduler,
+            plan.period() * 1e6,
+            plan.wall.as_secs_f64()
+        ),
+    }
 
     let n = sim_instances();
-    let trace = simulate(&g, &spec, &outcome.mapping, &SimConfig::calibrated(), n)
+    let trace = simulate(&g, &spec, &plan.mapping, &SimConfig::calibrated(), n)
         .expect("LP mapping is feasible");
 
     println!("# Figure 6: throughput vs processed instances");

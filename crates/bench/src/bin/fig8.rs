@@ -8,21 +8,18 @@
 //!
 //! Output: a table on stdout + `crates/bench/results/fig8.csv`.
 
-use cellstream_bench::{lp_mapping, measured_throughput, ppe_only_throughput, quick_mode, write_csv};
+use cellstream_bench::{lp_plan, measured_throughput, ppe_only_throughput, quick_mode, write_csv};
 use cellstream_daggen::paper;
 use cellstream_graph::ccr::paper_ccr_sweep;
 use cellstream_platform::CellSpec;
 
 fn main() {
     let spec = CellSpec::qs22();
-    let ccrs: Vec<f64> = if quick_mode() {
-        vec![0.775, 2.3, 4.6]
-    } else {
-        paper_ccr_sweep().to_vec()
-    };
+    let ccrs: Vec<f64> =
+        if quick_mode() { vec![0.775, 2.3, 4.6] } else { paper_ccr_sweep().to_vec() };
 
     let graphs = paper::all_graphs();
-    println!("# Figure 8: speed-up vs CCR (8 SPEs, MILP mappings)");
+    println!("# Figure 8: speed-up vs CCR (8 SPEs, portfolio LP mappings)");
     print!("{:>8}", "CCR");
     for g in &graphs {
         print!(" {:>16}", g.name());
@@ -41,10 +38,9 @@ fn main() {
                     (a.0 - target).abs().partial_cmp(&(b.0 - target).abs()).expect("finite")
                 })
                 .expect("six variants");
-            let outcome = lp_mapping(g, &spec);
+            let plan = lp_plan(g, &spec);
             let ppe_rho = ppe_only_throughput(g, &spec);
-            let su = measured_throughput(g, &spec, &outcome.mapping)
-                .map_or(f64::NAN, |r| r / ppe_rho);
+            let su = measured_throughput(g, &spec, &plan.mapping).map_or(f64::NAN, |r| r / ppe_rho);
             print!(" {su:>16.2}");
             cells.push(format!("{su:.4}"));
         }

@@ -31,7 +31,11 @@ fn main() {
             let outcome = solve(
                 &g,
                 &spec,
-                &SolveOptions { seeds: seed_stack(&g, &spec), mip: mip_options(), ..Default::default() },
+                &SolveOptions {
+                    seeds: seed_stack(&g, &spec),
+                    mip: mip_options(),
+                    ..Default::default()
+                },
             )
             .expect("solve runs");
             println!(

@@ -11,18 +11,21 @@
 //!   as the paper contrasts its LP predictions with hardware runs.
 //! * **Speed-ups** are normalised to the *measured* PPE-only throughput
 //!   (§6.4.2).
-//! * The MILP runs with the paper's 5 % gap, seeded with both §6.3
-//!   greedies, the comm-aware greedy and a multi-start local-search
-//!   refinement — see EXPERIMENTS.md for why the seeds matter when the
-//!   in-repo B&B replaces CPLEX.
+//! * The "LP" mapping of every figure comes from [`lp_plan`]: the
+//!   standard scheduler [`Portfolio`] (both §6.3 greedies, the
+//!   comm-aware greedy, multi-start local search, and the MILP
+//!   warm-started with all of their mappings) with the paper's 5 % gap —
+//!   see EXPERIMENTS.md for why the seeds matter when the in-repo B&B
+//!   replaces CPLEX.
 //! * `CELLSTREAM_QUICK=1` shrinks sweeps and budgets by ~10x for smoke
 //!   runs; the recorded EXPERIMENTS.md numbers use full mode.
 
 #![forbid(unsafe_code)]
 
-use cellstream_core::{evaluate, solve, Mapping, SolveOptions};
+use cellstream_core::scheduler::{Plan, PlanContext, PlanStats};
+use cellstream_core::{evaluate, Mapping, SolveOptions};
 use cellstream_graph::StreamGraph;
-use cellstream_heuristics as heur;
+use cellstream_heuristics::{LocalSearchOptions, MultiStartScheduler, Portfolio, PortfolioOutcome};
 use cellstream_milp::bb::MipOptions;
 use cellstream_milp::model::LpOptions;
 use cellstream_platform::{CellSpec, PeId};
@@ -38,7 +41,11 @@ pub fn quick_mode() -> bool {
 
 /// Instances to simulate per measurement.
 pub fn sim_instances() -> u64 {
-    if quick_mode() { 1500 } else { 10_000 }
+    if quick_mode() {
+        1500
+    } else {
+        10_000
+    }
 }
 
 /// The MILP budget per solve.
@@ -62,29 +69,90 @@ pub fn mip_options() -> MipOptions {
     }
 }
 
-/// The heuristic seed stack: both §6.3 greedies, the comm-aware greedy,
-/// and the best multi-start local-search refinement.
-pub fn seed_stack(g: &StreamGraph, spec: &CellSpec) -> Vec<Mapping> {
-    let gm = heur::greedy_mem(g, spec);
-    let gc = heur::greedy_cpu(g, spec);
-    let ca = heur::comm_aware_greedy(g, spec);
-    let opts = heur::LocalSearchOptions {
-        max_rounds: if quick_mode() { 16 } else { 64 },
+/// The planning context used for every figure: paper-default formulation
+/// with the figure MILP budget.
+pub fn plan_context() -> PlanContext {
+    PlanContext {
+        solve: SolveOptions { mip: mip_options(), ..Default::default() },
         ..Default::default()
-    };
-    let (ls, _) = heur::search::multi_start(
-        g,
-        spec,
-        &[gm.clone(), gc.clone(), ca.clone(), Mapping::all_on(g, PeId(0))],
-        &opts,
-    );
-    vec![gm, gc, ca, ls]
+    }
 }
 
-/// Solve the MILP with the full seed stack and the figure budget.
-pub fn lp_mapping(g: &StreamGraph, spec: &CellSpec) -> cellstream_core::SolveOutcome {
-    solve(g, spec, &SolveOptions { seeds: seed_stack(g, spec), mip: mip_options(), ..Default::default() })
-        .expect("mapping solve never fails (PPE-only fallback)")
+/// Multi-start local search sized for the current mode (16 rounds in
+/// quick mode, 64 in full mode, matching the historical seed stack).
+fn sized_multi_start() -> MultiStartScheduler {
+    MultiStartScheduler {
+        opts: LocalSearchOptions {
+            max_rounds: if quick_mode() { 16 } else { 64 },
+            ..Default::default()
+        },
+    }
+}
+
+/// The heuristic wave of the figure portfolio: the PPE-only baseline,
+/// both §6.3 greedies, the comm-aware greedy, and mode-sized
+/// multi-start refinement.
+fn heuristic_portfolio() -> Portfolio {
+    Portfolio::new()
+        .with_named("ppe_only")
+        .with_named("greedy_mem")
+        .with_named("greedy_cpu")
+        .with_named("comm_aware")
+        .with(sized_multi_start())
+}
+
+/// The standard figure portfolio (see the crate docs).
+pub fn figure_portfolio() -> Portfolio {
+    heuristic_portfolio().with_named("milp")
+}
+
+/// Run the figure portfolio on one instance.
+pub fn portfolio_outcome(g: &StreamGraph, spec: &CellSpec) -> PortfolioOutcome {
+    figure_portfolio()
+        .run_with(g, spec, &plan_context())
+        .expect("the ppe_only member guarantees a feasible plan")
+}
+
+/// The figures' "LP" plan: the MILP member of the standard portfolio
+/// (warm-started with every heuristic mapping), falling back to the
+/// portfolio winner if the MILP member failed. The fallback is loudly
+/// reported on stderr — a figure's "LP" column should never silently
+/// contain heuristic numbers.
+pub fn lp_plan(g: &StreamGraph, spec: &CellSpec) -> Plan {
+    let outcome = portfolio_outcome(g, spec);
+    match outcome.member("milp").and_then(|m| m.feasible_plan().cloned()) {
+        Some(plan) => plan,
+        None => {
+            eprintln!(
+                "warning: MILP member failed on {}; substituting portfolio winner `{}`",
+                g.name(),
+                outcome.best.scheduler
+            );
+            outcome.best
+        }
+    }
+}
+
+/// MILP statistics of a plan (`None` for non-MILP plans):
+/// `(gap, nodes, lp_iterations)`.
+pub fn milp_stats(plan: &Plan) -> Option<(f64, u64, u64)> {
+    match plan.stats {
+        PlanStats::Milp { gap, nodes, lp_iterations, .. } => Some((gap, nodes, lp_iterations)),
+        _ => None,
+    }
+}
+
+/// The heuristic seed stack used by the solver-statistics binaries:
+/// every feasible mapping from the heuristic-only portfolio.
+pub fn seed_stack(g: &StreamGraph, spec: &CellSpec) -> Vec<Mapping> {
+    let outcome =
+        heuristic_portfolio().run(g, spec).expect("the ppe_only member guarantees a feasible plan");
+    outcome
+        .leaderboard
+        .iter()
+        .filter_map(|m| m.feasible_plan())
+        .map(|p| p.mapping.clone())
+        .collect()
 }
 
 /// Measured steady-state throughput of a mapping on the calibrated
@@ -137,10 +205,19 @@ mod tests {
         let rho = ppe_only_throughput(&g, &spec);
         assert!(rho > 0.0);
         let seeds = seed_stack(&g, &spec);
-        assert_eq!(seeds.len(), 4);
+        assert_eq!(seeds.len(), 5);
         for m in &seeds {
             // every seed must at least evaluate
             let _ = predicted_throughput(&g, &spec, m);
+        }
+        // the LP plan must beat or match the best seed
+        let lp = lp_plan(&g, &spec);
+        assert!(lp.is_feasible());
+        for m in &seeds {
+            let r = evaluate(&g, &spec, m).unwrap();
+            if r.is_feasible() {
+                assert!(lp.period() <= r.period + 1e-12);
+            }
         }
     }
 }

@@ -9,15 +9,28 @@ use crate::mapping::Mapping;
 use cellstream_graph::StreamGraph;
 use cellstream_platform::{CellSpec, PeId};
 
+/// Largest assignment count [`optimal_mapping`] is willing to enumerate.
+pub const MAX_COMBOS: f64 = 1e7;
+
+/// Number of assignments `n^K` exhaustive search would enumerate.
+pub fn combos(g: &StreamGraph, spec: &CellSpec) -> f64 {
+    (spec.n_pes() as f64).powi(g.n_tasks() as i32)
+}
+
+/// `true` when the instance is small enough for [`optimal_mapping`].
+pub fn can_enumerate(g: &StreamGraph, spec: &CellSpec) -> bool {
+    combos(g, spec) <= MAX_COMBOS
+}
+
 /// The best feasible mapping and its period, or `None` when no feasible
 /// mapping exists (cannot happen on platforms with a PPE, which has no
 /// local-store or DMA limits).
 pub fn optimal_mapping(g: &StreamGraph, spec: &CellSpec) -> Option<(Mapping, f64)> {
     let n = spec.n_pes();
     let k = g.n_tasks();
-    let combos = (n as f64).powi(k as i32);
+    let combos = combos(g, spec);
     assert!(
-        combos <= 1e7,
+        combos <= MAX_COMBOS,
         "brute force would enumerate {combos:.0} mappings; use the MILP solver"
     );
 

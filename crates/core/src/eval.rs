@@ -313,7 +313,10 @@ mod tests {
         assign.push(PeId(1));
         let m = Mapping::new(&g, &spec, assign).unwrap();
         let r = evaluate(&g, &spec, &m).unwrap();
-        assert!(r.violations.iter().any(|v| matches!(v, Violation::DmaIn { pe: PeId(1), used: 17, .. })));
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DmaIn { pe: PeId(1), used: 17, .. })));
     }
 
     #[test]

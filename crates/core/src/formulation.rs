@@ -193,6 +193,7 @@ impl Formulation {
             }
             AuxVars::Compact(gamma, eps) => {
                 for (ei, &(k, l, _)) in edges.iter().enumerate() {
+                    #[allow(clippy::needless_range_loop)] // i indexes alphas and gammas alike
                     for i in 0..n {
                         // γ ≥ α^l_i − α^k_i : edge enters PE i. The
                         // outgoing indicator is γ + α^k_i − α^l_i (exact
@@ -326,7 +327,17 @@ impl Formulation {
             }
         }
 
-        Formulation { model, kind: config.kind, n_tasks: k_tasks, n_pes: n, alpha, t_var, t0, edges, aux }
+        Formulation {
+            model,
+            kind: config.kind,
+            n_tasks: k_tasks,
+            n_pes: n,
+            alpha,
+            t_var,
+            t0,
+            edges,
+            aux,
+        }
     }
 
     /// The time scale: a scaled period of `x` means `x · t0` seconds.

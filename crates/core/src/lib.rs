@@ -48,12 +48,17 @@ pub mod formulation;
 pub mod mapping;
 pub mod reduction;
 pub mod schedule;
+pub mod scheduler;
 pub mod solve;
 pub mod steady;
 
 pub use eval::{evaluate, MappingReport, Violation};
-pub use mapping::{Mapping, MappingError};
 pub use formulation::{FormKind, Formulation, FormulationConfig};
+pub use mapping::{Mapping, MappingError};
+pub use scheduler::{
+    BruteScheduler, MilpScheduler, Plan, PlanContext, PlanError, PlanStats, PpeOnlyScheduler,
+    Scheduler,
+};
 pub use solve::{solve, SolveOptions, SolveOutcome};
 
 #[cfg(test)]

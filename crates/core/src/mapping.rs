@@ -7,7 +7,6 @@
 
 use cellstream_graph::{StreamGraph, TaskId};
 use cellstream_platform::{CellSpec, PeId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors constructing a mapping.
@@ -39,15 +38,21 @@ impl std::error::Error for MappingError {}
 
 /// A single-assignment mapping: `assignment[k]` is the PE processing every
 /// instance of task `k`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mapping {
     assignment: Vec<PeId>,
 }
 
+serde::impl_json_struct!(Mapping { assignment });
+
 impl Mapping {
     /// Build from an explicit assignment vector, validated against the
     /// graph and platform.
-    pub fn new(g: &StreamGraph, spec: &CellSpec, assignment: Vec<PeId>) -> Result<Self, MappingError> {
+    pub fn new(
+        g: &StreamGraph,
+        spec: &CellSpec,
+        assignment: Vec<PeId>,
+    ) -> Result<Self, MappingError> {
         if assignment.len() != g.n_tasks() {
             return Err(MappingError::WrongLength { expected: g.n_tasks(), got: assignment.len() });
         }
@@ -77,11 +82,7 @@ impl Mapping {
 
     /// Tasks mapped on `pe`, in id order.
     pub fn tasks_on(&self, pe: PeId) -> impl Iterator<Item = TaskId> + '_ {
-        self.assignment
-            .iter()
-            .enumerate()
-            .filter(move |&(_, &p)| p == pe)
-            .map(|(k, _)| TaskId(k))
+        self.assignment.iter().enumerate().filter(move |&(_, &p)| p == pe).map(|(k, _)| TaskId(k))
     }
 
     /// Number of tasks mapped on `pe`.

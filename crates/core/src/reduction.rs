@@ -53,7 +53,9 @@ pub fn reduce(instance: &TwoMachineInstance) -> Result<(StreamGraph, CellSpec), 
         .lengths
         .iter()
         .enumerate()
-        .map(|(k, l)| b.add_task(TaskSpec::new(format!("T{}", k + 1)).ppe_cost(l[0]).spe_cost(l[1])))
+        .map(|(k, l)| {
+            b.add_task(TaskSpec::new(format!("T{}", k + 1)).ppe_cost(l[0]).spe_cost(l[1]))
+        })
         .collect();
     for w in ids.windows(2) {
         b.add_edge(w[0], w[1], 0.0)?; // "communication costs are neglected"
@@ -88,7 +90,9 @@ mod tests {
         for trial in 0..10 {
             let n = rng.gen_range(2..=8);
             let inst = TwoMachineInstance {
-                lengths: (0..n).map(|_| [rng.gen_range(0.5..5.0), rng.gen_range(0.5..5.0)]).collect(),
+                lengths: (0..n)
+                    .map(|_| [rng.gen_range(0.5..5.0), rng.gen_range(0.5..5.0)])
+                    .collect(),
             };
             let makespan = inst.optimal_makespan();
             let (g, spec) = reduce(&inst).unwrap();
@@ -103,9 +107,8 @@ mod tests {
     #[test]
     fn milp_certifies_the_reduction_too() {
         // Same equality through the MILP path (exact gap).
-        let inst = TwoMachineInstance {
-            lengths: vec![[2.0, 1.0], [1.0, 3.0], [2.5, 2.5], [0.5, 4.0]],
-        };
+        let inst =
+            TwoMachineInstance { lengths: vec![[2.0, 1.0], [1.0, 3.0], [2.5, 2.5], [0.5, 4.0]] };
         let makespan = inst.optimal_makespan();
         let (g, spec) = reduce(&inst).unwrap();
         let opts = crate::solve::SolveOptions {

@@ -60,7 +60,8 @@ impl PeriodicSchedule {
         for &t in g.topo_order() {
             let pe = mapping.pe_of(t);
             let duration = g.task(t).cost_on(spec.kind_of(pe));
-            slots[t.index()] = Some(Slot { task: t, pe, offset: next_offset[pe.index()], duration });
+            slots[t.index()] =
+                Some(Slot { task: t, pe, offset: next_offset[pe.index()], duration });
             next_offset[pe.index()] += duration;
         }
         let warmup = fp.iter().copied().max().unwrap_or(0) + 1;
@@ -92,8 +93,7 @@ impl PeriodicSchedule {
 
     /// Utilisation of a PE: busy fraction of the period.
     pub fn utilisation(&self, pe: PeId) -> f64 {
-        let busy: f64 =
-            self.slots.iter().filter(|s| s.pe == pe).map(|s| s.duration).sum();
+        let busy: f64 = self.slots.iter().filter(|s| s.pe == pe).map(|s| s.duration).sum();
         busy / self.period
     }
 }
@@ -108,12 +108,7 @@ mod tests {
     fn setup() -> (cellstream_graph::StreamGraph, CellSpec, Mapping, PeriodicSchedule) {
         let g = chain("c", 4, &CostParams::default(), 5);
         let spec = CellSpec::with_spes(2);
-        let m = Mapping::new(
-            &g,
-            &spec,
-            vec![PeId(0), PeId(1), PeId(1), PeId(2)],
-        )
-        .unwrap();
+        let m = Mapping::new(&g, &spec, vec![PeId(0), PeId(1), PeId(1), PeId(2)]).unwrap();
         let report = evaluate(&g, &spec, &m).unwrap();
         let sched = PeriodicSchedule::build(&g, &spec, &m, &report);
         (g, spec, m, sched)

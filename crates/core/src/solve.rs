@@ -17,7 +17,7 @@ use cellstream_platform::{CellSpec, PeId};
 use std::time::{Duration, Instant};
 
 /// Options for [`solve`].
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct SolveOptions {
     /// Encoding of Linear Program (1).
     pub formulation: FormulationConfig,
@@ -71,7 +71,11 @@ pub struct SolveOutcome {
 
 /// Compute a throughput-optimal mapping of `g` onto `spec` (within the
 /// configured gap).
-pub fn solve(g: &StreamGraph, spec: &CellSpec, opts: &SolveOptions) -> Result<SolveOutcome, SolveError> {
+pub fn solve(
+    g: &StreamGraph,
+    spec: &CellSpec,
+    opts: &SolveOptions,
+) -> Result<SolveOutcome, SolveError> {
     let started = Instant::now();
     let form = Formulation::build(g, spec, &opts.formulation);
 
@@ -100,10 +104,8 @@ pub fn solve(g: &StreamGraph, spec: &CellSpec, opts: &SolveOptions) -> Result<So
 
     let res = solve_mip(&form.model, &opts.mip, &seed_vectors, Some(&completion))?;
 
-    let (_, x) = res
-        .incumbent
-        .as_ref()
-        .expect("PPE-only seed guarantees an incumbent for every instance");
+    let (_, x) =
+        res.incumbent.as_ref().expect("PPE-only seed guarantees an incumbent for every instance");
     let mapping = Mapping::new(g, spec, form.decode(x)).expect("decoded mapping is valid");
     let report = evaluate(g, spec, &mapping).expect("decoded mapping is valid");
     // With the DMA rows ablated away the evaluator may legitimately flag
@@ -153,4 +155,3 @@ pub fn ppe_only_outcome(g: &StreamGraph, spec: &CellSpec) -> SolveOutcome {
         mapping,
     }
 }
-

@@ -81,7 +81,7 @@ impl BufferPlan {
             let src_here = on_pe[e.src.index()];
             let dst_here = on_pe[e.dst.index()];
             match (src_here, dst_here) {
-                (true, true) => total += self.edge_bytes[ei],      // shared once
+                (true, true) => total += self.edge_bytes[ei], // shared once
                 (true, false) | (false, true) => total += self.edge_bytes[ei],
                 (false, false) => {}
             }

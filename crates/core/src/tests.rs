@@ -68,10 +68,12 @@ fn encode_produces_feasible_vectors() {
     let spec = CellSpec::with_spes(3);
     let mappings = [
         Mapping::all_on(&g, PeId(0)),
-        Mapping::new(&g, &spec, vec![PeId(0), PeId(1), PeId(2), PeId(3), PeId(1), PeId(0)]).unwrap(),
+        Mapping::new(&g, &spec, vec![PeId(0), PeId(1), PeId(2), PeId(3), PeId(1), PeId(0)])
+            .unwrap(),
     ];
     for kind in [FormKind::Paper, FormKind::Compact] {
-        let form = Formulation::build(&g, &spec, &FormulationConfig { kind, dma_constraints: true });
+        let form =
+            Formulation::build(&g, &spec, &FormulationConfig { kind, dma_constraints: true });
         for m in &mappings {
             let report = evaluate(&g, &spec, m).unwrap();
             if !report.is_feasible() {
@@ -88,11 +90,12 @@ fn encode_produces_feasible_vectors() {
 fn decode_inverts_encode() {
     let g = tiny_graph(8, 6);
     let spec = CellSpec::with_spes(3);
-    let m =
-        Mapping::new(&g, &spec, vec![PeId(1), PeId(2), PeId(0), PeId(3), PeId(3), PeId(1)]).unwrap();
+    let m = Mapping::new(&g, &spec, vec![PeId(1), PeId(2), PeId(0), PeId(3), PeId(3), PeId(1)])
+        .unwrap();
     let report = evaluate(&g, &spec, &m).unwrap();
     for kind in [FormKind::Paper, FormKind::Compact] {
-        let form = Formulation::build(&g, &spec, &FormulationConfig { kind, dma_constraints: true });
+        let form =
+            Formulation::build(&g, &spec, &FormulationConfig { kind, dma_constraints: true });
         let x = form.encode(&spec, &m, report.period.max(1e-9));
         let decoded = form.decode(&x);
         assert_eq!(decoded, m.assignment().to_vec(), "{kind:?}");
@@ -130,7 +133,7 @@ fn gap_mode_matches_paper_contract() {
     let g = tiny_graph(10, 10);
     let spec = CellSpec::with_spes(4);
     let out = solve(&g, &spec, &SolveOptions::default()).unwrap(); // 5 % gap
-    // The bound is always valid...
+                                                                   // The bound is always valid...
     assert!(out.period_bound <= out.period + 1e-12);
     // ...and when the solver *claims* the gap was closed, the incumbent
     // must actually be within 5% of the proven bound. (On node/time-limit
@@ -148,9 +151,8 @@ fn chain_on_two_pes_splits_once() {
     // should split into two contiguous halves (any extra cut only adds comm).
     use cellstream_graph::{StreamGraph, TaskSpec};
     let mut b = StreamGraph::builder("even");
-    let ids: Vec<_> = (0..6)
-        .map(|i| b.add_task(TaskSpec::new(format!("t{i}")).uniform_cost(1e-6)))
-        .collect();
+    let ids: Vec<_> =
+        (0..6).map(|i| b.add_task(TaskSpec::new(format!("t{i}")).uniform_cost(1e-6))).collect();
     for w in ids.windows(2) {
         b.add_edge(w[0], w[1], 64.0).unwrap();
     }

@@ -236,7 +236,14 @@ mod tests {
 
     #[test]
     fn chainlike_when_fat_tiny() {
-        let p = DagGenParams { n: 20, fat: 0.01, regular: 1.0, density: 0.0, jump: 1, ..Default::default() };
+        let p = DagGenParams {
+            n: 20,
+            fat: 0.01,
+            regular: 1.0,
+            density: 0.0,
+            jump: 1,
+            ..Default::default()
+        };
         let g = generate("thin", &p, 3).unwrap();
         // width-1 layers, only spanning edges: a pure chain
         assert_eq!(g.n_edges(), 19);

@@ -14,7 +14,8 @@ pub fn chain(name: &str, n: usize, costs: &CostParams, seed: u64) -> StreamGraph
     assert!(n >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = StreamGraph::builder(name);
-    let ids: Vec<_> = (0..n).map(|i| b.add_task(costs.draw_task(&mut rng, format!("T{i}")))).collect();
+    let ids: Vec<_> =
+        (0..n).map(|i| b.add_task(costs.draw_task(&mut rng, format!("T{i}")))).collect();
     for w in ids.windows(2) {
         b.add_edge(w[0], w[1], costs.draw_edge_bytes(&mut rng)).expect("chain edges are unique");
     }
@@ -30,9 +31,8 @@ pub fn fork_join(name: &str, width: usize, costs: &CostParams, seed: u64) -> Str
     let mut b = StreamGraph::builder(name);
     let src = b.add_task(costs.draw_task(&mut rng, "fork".into()));
     let sink_spec = costs.draw_task(&mut rng, "join".into());
-    let workers: Vec<_> = (0..width)
-        .map(|i| b.add_task(costs.draw_task(&mut rng, format!("W{i}"))))
-        .collect();
+    let workers: Vec<_> =
+        (0..width).map(|i| b.add_task(costs.draw_task(&mut rng, format!("W{i}")))).collect();
     let sink = b.add_task(sink_spec);
     for &w in &workers {
         b.add_edge(src, w, costs.draw_edge_bytes(&mut rng)).expect("unique");

@@ -3,8 +3,8 @@
 use crate::edge::Edge;
 use crate::graph::{GraphError, StreamGraph};
 use crate::task::TaskId;
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Kahn's algorithm with a min-id tie-break, so the order is deterministic
 /// and independent of edge insertion order. Returns `GraphError::Cycle`
@@ -16,7 +16,8 @@ pub(crate) fn topological_order(n_tasks: usize, edges: &[Edge]) -> Result<Vec<Ta
         indeg[e.dst.0] += 1;
         succ[e.src.0].push(e.dst.0);
     }
-    let mut ready: BinaryHeap<Reverse<usize>> = (0..n_tasks).filter(|&t| indeg[t] == 0).map(Reverse).collect();
+    let mut ready: BinaryHeap<Reverse<usize>> =
+        (0..n_tasks).filter(|&t| indeg[t] == 0).map(Reverse).collect();
     let mut order = Vec::with_capacity(n_tasks);
     while let Some(Reverse(t)) = ready.pop() {
         order.push(TaskId(t));
@@ -28,7 +29,8 @@ pub(crate) fn topological_order(n_tasks: usize, edges: &[Edge]) -> Result<Vec<Ta
         }
     }
     if order.len() != n_tasks {
-        let on_cycle = indeg.iter().position(|&d| d > 0).expect("some task kept positive in-degree");
+        let on_cycle =
+            indeg.iter().position(|&d| d > 0).expect("some task kept positive in-degree");
         return Err(GraphError::Cycle(TaskId(on_cycle)));
     }
     Ok(order)
@@ -62,10 +64,7 @@ pub fn critical_path_seconds(g: &StreamGraph) -> f64 {
     let mut max_all = 0.0f64;
     for &t in g.topo_order() {
         let own = g.task(t).w_ppe.min(g.task(t).w_spe);
-        let pred_best = g
-            .predecessors(t)
-            .map(|p| best[p.0])
-            .fold(0.0f64, f64::max);
+        let pred_best = g.predecessors(t).map(|p| best[p.0]).fold(0.0f64, f64::max);
         best[t.0] = pred_best + own;
         max_all = max_all.max(best[t.0]);
     }

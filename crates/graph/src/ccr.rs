@@ -30,9 +30,9 @@
 //! interfaces (paper §2.1: "memory accesses have to be counted as
 //! communications").
 
+use crate::edge::Edge;
 use crate::graph::StreamGraph;
 use crate::task::Task;
-use crate::edge::Edge;
 
 /// The byte↔operation conversion of the CCR convention:
 /// 4 bytes/element × 10 G effective operations/s = 40 GB per
@@ -88,12 +88,9 @@ pub fn ccr(g: &StreamGraph) -> CcrReport {
 pub fn rescale_to_ccr(g: &StreamGraph, target: f64, bandwidth: f64) -> StreamGraph {
     assert!(target > 0.0, "target CCR must be positive");
     let now = ccr_with(g, bandwidth);
-    assert!(
-        now.edge_bytes + now.memory_bytes > 0.0,
-        "cannot rescale a graph that moves no bytes"
-    );
+    assert!(now.edge_bytes + now.memory_bytes > 0.0, "cannot rescale a graph that moves no bytes");
     let factor = target / now.ccr;
-    let scaled = g.with_scaled(
+    g.with_scaled(
         |t: &Task| {
             let mut t = t.clone();
             t.read_bytes *= factor;
@@ -105,8 +102,7 @@ pub fn rescale_to_ccr(g: &StreamGraph, target: f64, bandwidth: f64) -> StreamGra
             e.data_bytes *= factor;
             e
         },
-    );
-    scaled
+    )
 }
 
 /// The six CCR values swept in §6.2/Figure 8, evenly spaced from the
@@ -164,7 +160,8 @@ mod tests {
         let g = two_task_graph();
         let scaled = rescale_to_ccr(&g, 4.6, 25e9);
         let ratio = scaled.edge(crate::EdgeId(0)).data_bytes / g.edge(crate::EdgeId(0)).data_bytes;
-        let t0_ratio = scaled.task(crate::TaskId(0)).read_bytes / g.task(crate::TaskId(0)).read_bytes;
+        let t0_ratio =
+            scaled.task(crate::TaskId(0)).read_bytes / g.task(crate::TaskId(0)).read_bytes;
         assert!((ratio - t0_ratio).abs() < 1e-9);
     }
 

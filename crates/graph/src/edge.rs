@@ -1,16 +1,14 @@
 //! Data dependencies `D_{k,l}` between tasks.
 
 use crate::task::TaskId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of an edge inside one [`StreamGraph`](crate::StreamGraph):
 /// a dense index `0..|E|`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct EdgeId(pub usize);
+
+serde::impl_json_newtype!(EdgeId);
 
 impl EdgeId {
     /// The raw index.
@@ -27,7 +25,7 @@ impl fmt::Display for EdgeId {
 
 /// One data dependency `D_{k,l}`: instance `i` of `dst` consumes instance
 /// `i` (plus the peek window of `dst`) of the datum produced by `src`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Edge {
     /// Producer task `T_k`.
     pub src: TaskId,
@@ -43,6 +41,8 @@ impl Edge {
         self.src == t || self.dst == t
     }
 }
+
+serde::impl_json_struct!(Edge { src, dst, data_bytes });
 
 impl fmt::Display for Edge {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

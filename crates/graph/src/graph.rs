@@ -7,6 +7,26 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
+impl Serialize for StreamGraph {
+    fn to_value(&self) -> serde::Value {
+        // Only the three serialised fields are cloned; the cached
+        // adjacency and topo-order vectors are rebuilt on load.
+        SerialGraph {
+            name: self.name.clone(),
+            tasks: self.tasks.clone(),
+            edges: self.edges.clone(),
+        }
+        .to_value()
+    }
+}
+
+impl Deserialize for StreamGraph {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let s = SerialGraph::from_value(v)?;
+        StreamGraph::try_from(s).map_err(|e| serde::Error::new(e.to_string()))
+    }
+}
+
 /// Errors raised while building or deserialising a [`StreamGraph`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum GraphError {
@@ -55,8 +75,7 @@ impl std::error::Error for GraphError {}
 /// * all costs are positive finite, all byte counts non-negative finite;
 /// * `topo_order` is a cached topological order (stable across runs:
 ///   Kahn's algorithm with a min-id tie-break).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(try_from = "SerialGraph", into = "SerialGraph")]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StreamGraph {
     name: String,
     tasks: Vec<Task>,
@@ -71,11 +90,7 @@ pub struct StreamGraph {
 impl StreamGraph {
     /// Start building a graph.
     pub fn builder(name: impl Into<String>) -> GraphBuilder {
-        GraphBuilder {
-            name: name.into(),
-            tasks: Vec::new(),
-            edges: Vec::new(),
-        }
+        GraphBuilder { name: name.into(), tasks: Vec::new(), edges: Vec::new() }
     }
 
     /// Graph name (used in reports and DOT output).
@@ -224,7 +239,12 @@ impl GraphBuilder {
     /// Errors immediately on self-loops, unknown endpoints, duplicate
     /// edges and invalid payloads; cycle detection is deferred to
     /// [`build`](Self::build).
-    pub fn add_edge(&mut self, src: TaskId, dst: TaskId, data_bytes: f64) -> Result<EdgeId, GraphError> {
+    pub fn add_edge(
+        &mut self,
+        src: TaskId,
+        dst: TaskId,
+        data_bytes: f64,
+    ) -> Result<EdgeId, GraphError> {
         if src == dst {
             return Err(GraphError::SelfLoop(src));
         }
@@ -282,12 +302,13 @@ impl GraphBuilder {
 
 /// Flat serialisation mirror of [`StreamGraph`]; re-validated on load so a
 /// hand-edited JSON file cannot smuggle in a cyclic or malformed graph.
-#[derive(Serialize, Deserialize)]
 struct SerialGraph {
     name: String,
     tasks: Vec<Task>,
     edges: Vec<Edge>,
 }
+
+serde::impl_json_struct!(SerialGraph { name, tasks, edges });
 
 impl From<StreamGraph> for SerialGraph {
     fn from(g: StreamGraph) -> Self {

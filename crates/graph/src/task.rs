@@ -1,16 +1,14 @@
 //! Tasks of a streaming application and their per-instance costs.
 
 use cellstream_platform::PeKind;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a task inside one [`StreamGraph`](crate::StreamGraph):
 /// a dense index `0..K`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct TaskId(pub usize);
+
+serde::impl_json_newtype!(TaskId);
 
 impl TaskId {
     /// The raw index.
@@ -29,7 +27,7 @@ impl fmt::Display for TaskId {
 }
 
 /// Immutable description of one task, as stored in a built graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Task {
     /// Human-readable name (unique within a graph).
     pub name: String,
@@ -66,6 +64,8 @@ impl Task {
     }
 }
 
+serde::impl_json_struct!(Task { name, w_ppe, w_spe, peek, read_bytes, write_bytes, stateful });
+
 /// Builder-style specification of a task, consumed by
 /// [`GraphBuilder::add_task`](crate::GraphBuilder::add_task).
 ///
@@ -82,7 +82,7 @@ impl Task {
 ///     .stateful();
 /// assert_eq!(spec.peek, 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskSpec {
     /// Task name.
     pub name: String,

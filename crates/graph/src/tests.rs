@@ -81,10 +81,7 @@ fn negative_edge_data_rejected() {
     let mut b = StreamGraph::builder("neg");
     let a = b.add_task(TaskSpec::new("a"));
     let c = b.add_task(TaskSpec::new("b"));
-    assert!(matches!(
-        b.add_edge(a, c, -5.0).unwrap_err(),
-        GraphError::InvalidEdgeData(_, _, _)
-    ));
+    assert!(matches!(b.add_edge(a, c, -5.0).unwrap_err(), GraphError::InvalidEdgeData(_, _, _)));
 }
 
 #[test]

@@ -74,8 +74,8 @@ pub fn anneal(
         let cand = current.with_move(t, to);
         let Some(cand_p) = feasible_period(&cand) else { continue };
         let delta = cand_p - current_p;
-        let accept = delta <= 0.0
-            || (temperature > 0.0 && rng.gen::<f64>() < (-delta / temperature).exp());
+        let accept =
+            delta <= 0.0 || (temperature > 0.0 && rng.gen::<f64>() < (-delta / temperature).exp());
         if accept {
             current = cand;
             current_p = cand_p;
@@ -120,7 +120,14 @@ mod tests {
         for seed in 0..6u64 {
             let g = generate(
                 "a",
-                &DagGenParams { n: 20, fat: 0.5, regular: 0.5, density: 0.2, jump: 2, costs: CostParams::default() },
+                &DagGenParams {
+                    n: 20,
+                    fat: 0.5,
+                    regular: 0.5,
+                    density: 0.2,
+                    jump: 2,
+                    costs: CostParams::default(),
+                },
                 seed,
             )
             .unwrap();
@@ -160,7 +167,8 @@ mod tests {
         let g = b.build().unwrap();
         let spec = CellSpec::with_spes(2);
         let bad = Mapping::all_on(&g, PeId(1)); // infeasible: SPE overflow
-        let (m, _) = anneal(&g, &spec, &bad, &AnnealingOptions { steps: 200, ..Default::default() });
+        let (m, _) =
+            anneal(&g, &spec, &bad, &AnnealingOptions { steps: 200, ..Default::default() });
         let r = evaluate(&g, &spec, &m).unwrap();
         assert!(r.is_feasible());
     }

@@ -154,7 +154,9 @@ mod tests {
         let m = comm_aware_greedy(&g, &spec);
         let r = evaluate(&g, &spec, &m).unwrap();
         assert!(
-            !r.violations.iter().any(|v| matches!(v, cellstream_core::Violation::LocalStore { .. })),
+            !r.violations
+                .iter()
+                .any(|v| matches!(v, cellstream_core::Violation::LocalStore { .. })),
             "{:?}",
             r.violations
         );

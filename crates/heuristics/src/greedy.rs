@@ -24,10 +24,8 @@ pub fn greedy_mem(g: &StreamGraph, spec: &CellSpec) -> Mapping {
 
     for &t in g.topo_order() {
         let need = plan.for_task(t);
-        let candidate = spec
-            .spes()
-            .filter(|pe| mem_used[pe.index()] + need <= budget)
-            .min_by(|a, b| {
+        let candidate =
+            spec.spes().filter(|pe| mem_used[pe.index()] + need <= budget).min_by(|a, b| {
                 mem_used[a.index()]
                     .partial_cmp(&mem_used[b.index()])
                     .expect("memory loads are finite")

@@ -34,12 +34,19 @@
 pub mod annealing;
 pub mod comm_aware;
 pub mod greedy;
+pub mod portfolio;
+pub mod schedulers;
 pub mod search;
 
 pub use annealing::{anneal, AnnealingOptions};
 pub use comm_aware::comm_aware_greedy;
 pub use greedy::{greedy_cpu, greedy_mem};
-pub use search::{local_search, LocalSearchOptions};
+pub use portfolio::{MemberResult, Portfolio, PortfolioOutcome};
+pub use schedulers::{
+    all_schedulers, scheduler_by_name, AnnealScheduler, CommAwareScheduler, GreedyCpuScheduler,
+    GreedyMemScheduler, LocalSearchScheduler, MultiStartScheduler, SCHEDULER_NAMES,
+};
+pub use search::{local_search, multi_start, LocalSearchOptions};
 
 #[cfg(test)]
 mod tests;

@@ -1,0 +1,329 @@
+//! The parallel scheduler portfolio.
+//!
+//! The paper's workflow (§6) runs the greedy heuristics *and* the MILP
+//! on every instance and compares; its conclusion asks for "involved
+//! mapping heuristics which approach the optimal throughput". A
+//! [`Portfolio`] packages that workflow: run any set of [`Scheduler`]s
+//! concurrently on OS threads, honour a wall-clock budget, feed every
+//! feasible heuristic mapping into the MILP stage as warm-start
+//! incumbents (exactly how §6's CPLEX runs were seeded), and return the
+//! best feasible plan together with a full leaderboard.
+//!
+//! Execution model: members run in two waves. Every non-MILP member
+//! starts immediately on its own thread; MILP members run afterwards so
+//! their warm starts can include the first wave's mappings, with their
+//! time limit clamped to whatever remains of the budget.
+
+use crate::schedulers::scheduler_by_name;
+use cellstream_core::scheduler::{Plan, PlanContext, PlanError, Scheduler};
+use cellstream_graph::StreamGraph;
+use cellstream_platform::CellSpec;
+use std::time::{Duration, Instant};
+
+/// One member's result in the [`PortfolioOutcome`] leaderboard.
+#[derive(Debug, Clone)]
+pub struct MemberResult {
+    /// The member's registry name.
+    pub scheduler: String,
+    /// Its plan, or why it failed.
+    pub result: Result<Plan, PlanError>,
+}
+
+impl MemberResult {
+    /// The plan when it exists and is feasible.
+    pub fn feasible_plan(&self) -> Option<&Plan> {
+        self.result.as_ref().ok().filter(|p| p.is_feasible())
+    }
+}
+
+/// The result of [`Portfolio::run`].
+#[derive(Debug, Clone)]
+pub struct PortfolioOutcome {
+    /// The best feasible plan across all members.
+    pub best: Plan,
+    /// Every member's result, sorted best-first (feasible plans by
+    /// period, then failures).
+    pub leaderboard: Vec<MemberResult>,
+    /// Total wall-clock time of the portfolio run.
+    pub wall: Duration,
+}
+
+impl PortfolioOutcome {
+    /// Leaderboard entry of a member by name.
+    pub fn member(&self, name: &str) -> Option<&MemberResult> {
+        self.leaderboard.iter().find(|m| m.scheduler == name)
+    }
+}
+
+/// A set of schedulers raced in parallel. See the module docs for the
+/// execution model.
+///
+/// ```
+/// use cellstream_daggen::{chain, CostParams};
+/// use cellstream_heuristics::Portfolio;
+/// use cellstream_platform::CellSpec;
+/// use std::time::Duration;
+///
+/// let g = chain("pipe", 6, &CostParams::default(), 1);
+/// let outcome = Portfolio::standard()
+///     .budget(Duration::from_secs(10))
+///     .run(&g, &CellSpec::ps3())
+///     .unwrap();
+/// assert!(outcome.best.is_feasible());
+/// assert!(outcome.leaderboard.len() >= 5);
+/// ```
+pub struct Portfolio {
+    members: Vec<Box<dyn Scheduler>>,
+    budget: Option<Duration>,
+    seed_milp: bool,
+}
+
+impl Default for Portfolio {
+    fn default() -> Self {
+        Portfolio::new()
+    }
+}
+
+impl Portfolio {
+    /// An empty portfolio; add members with [`with`](Self::with) /
+    /// [`with_named`](Self::with_named).
+    pub fn new() -> Self {
+        Portfolio { members: Vec::new(), budget: None, seed_milp: true }
+    }
+
+    /// The paper's §6 line-up: the PPE-only baseline (§6.4.2), both
+    /// greedies, the comm-aware greedy, multi-start local search, and
+    /// the seed-fed MILP. The baseline member makes the "always returns
+    /// a feasible plan" guarantee structural: PPE-only is feasible on
+    /// every instance.
+    pub fn standard() -> Self {
+        Portfolio::heuristics_only().with_named("milp")
+    }
+
+    /// The heuristic-only line-up (no MILP): fast and budget-friendly,
+    /// with the same PPE-only feasibility guarantee.
+    pub fn heuristics_only() -> Self {
+        Portfolio::new()
+            .with_named("ppe_only")
+            .with_named("greedy_mem")
+            .with_named("greedy_cpu")
+            .with_named("comm_aware")
+            .with_named("multi_start")
+    }
+
+    /// Add a scheduler instance.
+    pub fn with(mut self, s: impl Scheduler + 'static) -> Self {
+        self.members.push(Box::new(s));
+        self
+    }
+
+    /// Add a scheduler by registry name. Panics on unknown names — the
+    /// registry is static, so this is a programming error, not input.
+    pub fn with_named(mut self, name: &str) -> Self {
+        let s = scheduler_by_name(name)
+            .unwrap_or_else(|| panic!("unknown scheduler `{name}`; see SCHEDULER_NAMES"));
+        self.members.push(s);
+        self
+    }
+
+    /// Cap the wall-clock time of the whole run. Heuristic members get
+    /// the budget as a hint; MILP members have their time limit clamped
+    /// to whatever remains when they start.
+    pub fn budget(mut self, budget: Duration) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Disable feeding first-wave mappings into second-wave members as
+    /// warm starts (enabled by default).
+    pub fn no_milp_seeding(mut self) -> Self {
+        self.seed_milp = false;
+        self
+    }
+
+    /// The member names, first-wave members before warm-start members.
+    pub fn member_names(&self) -> Vec<&str> {
+        let (second, first): (Vec<_>, Vec<_>) =
+            self.members.iter().partition(|s| s.wants_warm_starts());
+        first.iter().chain(second.iter()).map(|s| s.name()).collect()
+    }
+
+    /// Race every member and return the best feasible plan plus the
+    /// leaderboard. Fails with [`PlanError::Unsupported`] on an empty
+    /// portfolio and [`PlanError::Infeasible`] when no member produced a
+    /// feasible plan.
+    pub fn run(&self, g: &StreamGraph, spec: &CellSpec) -> Result<PortfolioOutcome, PlanError> {
+        self.run_with(g, spec, &PlanContext::default())
+    }
+
+    /// Like [`run`](Self::run), with caller-supplied seeds/MILP options.
+    /// `ctx.budget`, when unset, is filled from the portfolio's budget.
+    pub fn run_with(
+        &self,
+        g: &StreamGraph,
+        spec: &CellSpec,
+        ctx: &PlanContext,
+    ) -> Result<PortfolioOutcome, PlanError> {
+        if self.members.is_empty() {
+            return Err(PlanError::Unsupported("empty portfolio".to_owned()));
+        }
+        let started = Instant::now();
+        let mut base_ctx = ctx.clone();
+        if base_ctx.budget.is_none() {
+            base_ctx.budget = self.budget;
+        }
+
+        let (second_wave, first_wave): (Vec<_>, Vec<_>) =
+            self.members.iter().partition(|s| s.wants_warm_starts());
+
+        // ---- wave 1: constructive members, one thread per member ----------
+        let mut leaderboard: Vec<MemberResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = first_wave
+                .iter()
+                .map(|member| {
+                    let ctx = &base_ctx;
+                    scope.spawn(move || MemberResult {
+                        scheduler: member.name().to_owned(),
+                        result: member.plan(g, spec, ctx),
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("scheduler threads do not panic")).collect()
+        });
+
+        // ---- wave 2: warm-start members (MILP and friends), seeded --------
+        if !second_wave.is_empty() {
+            let mut milp_ctx = base_ctx.clone();
+            if self.seed_milp {
+                milp_ctx.seeds.extend(
+                    leaderboard.iter().filter_map(|m| m.feasible_plan()).map(|p| p.mapping.clone()),
+                );
+            }
+            if let Some(budget) = base_ctx.budget {
+                // Leave MILP whatever the first wave did not consume, but
+                // never strangle it completely: a floor of 5% of the
+                // budget keeps the root LP + rounding pass alive, which
+                // is what guarantees best-of-members behaviour.
+                let remaining = budget.saturating_sub(started.elapsed());
+                milp_ctx.budget = Some(remaining.max(budget / 20));
+            }
+            let results: Vec<MemberResult> = std::thread::scope(|scope| {
+                let handles: Vec<_> = second_wave
+                    .iter()
+                    .map(|member| {
+                        let ctx = &milp_ctx;
+                        scope.spawn(move || MemberResult {
+                            scheduler: member.name().to_owned(),
+                            result: member.plan(g, spec, ctx),
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scheduler threads do not panic"))
+                    .collect()
+            });
+            leaderboard.extend(results);
+        }
+
+        // ---- pick the winner, sort the leaderboard ------------------------
+        leaderboard.sort_by(|a, b| {
+            let key = |m: &MemberResult| m.feasible_plan().map(Plan::period);
+            match (key(a), key(b)) {
+                (Some(x), Some(y)) => x.partial_cmp(&y).expect("periods are comparable"),
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (None, None) => std::cmp::Ordering::Equal,
+            }
+        });
+        let best =
+            leaderboard.iter().filter_map(MemberResult::feasible_plan).next().cloned().ok_or_else(
+                || {
+                    PlanError::Infeasible(format!(
+                        "none of the {} portfolio members produced a feasible plan",
+                        self.members.len()
+                    ))
+                },
+            )?;
+        Ok(PortfolioOutcome { best, leaderboard, wall: started.elapsed() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellstream_daggen::{chain, fork_join, CostParams};
+    use cellstream_platform::CellSpec;
+
+    #[test]
+    fn portfolio_never_worse_than_any_member() {
+        let g = fork_join("fj", 3, &CostParams::default(), 5);
+        let spec = CellSpec::ps3();
+        let outcome = Portfolio::standard().budget(Duration::from_secs(20)).run(&g, &spec).unwrap();
+        for member in &outcome.leaderboard {
+            if let Some(plan) = member.feasible_plan() {
+                assert!(
+                    outcome.best.period() <= plan.period() + 1e-15,
+                    "best {} worse than member {}: {} vs {}",
+                    outcome.best.scheduler,
+                    member.scheduler,
+                    outcome.best.period(),
+                    plan.period()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn leaderboard_covers_all_members_and_is_sorted() {
+        let g = chain("c", 6, &CostParams::default(), 11);
+        let spec = CellSpec::with_spes(2);
+        let p = Portfolio::heuristics_only();
+        let outcome = p.run(&g, &spec).unwrap();
+        assert_eq!(outcome.leaderboard.len(), 5);
+        let periods: Vec<f64> = outcome
+            .leaderboard
+            .iter()
+            .filter_map(|m| m.feasible_plan().map(Plan::period))
+            .collect();
+        assert!(periods.windows(2).all(|w| w[0] <= w[1] + 1e-15), "{periods:?}");
+        assert!((outcome.best.period() - periods[0]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn milp_member_sees_heuristic_seeds() {
+        // On a budget too small for the B&B to do anything, the seeded
+        // MILP must still return at least the best heuristic mapping.
+        let g = fork_join("fj", 4, &CostParams::default(), 2);
+        let spec = CellSpec::ps3();
+        let outcome =
+            Portfolio::standard().budget(Duration::from_millis(400)).run(&g, &spec).unwrap();
+        let milp = outcome.member("milp").expect("milp is a member");
+        let multi = outcome.member("multi_start").expect("multi_start is a member");
+        // both must be feasible unconditionally: the heuristics always
+        // are, and the seeded MILP inherits their mappings as incumbents
+        let milp_plan = milp.feasible_plan().expect("seeded MILP returns a feasible plan");
+        let multi_plan = multi.feasible_plan().expect("multi_start is always feasible");
+        assert!(
+            milp_plan.period() <= multi_plan.period() + 1e-12,
+            "seeded MILP ({}) must not lose to its own seed ({})",
+            milp_plan.period(),
+            multi_plan.period()
+        );
+    }
+
+    #[test]
+    fn empty_portfolio_is_an_error() {
+        let g = chain("c", 3, &CostParams::default(), 1);
+        let err = Portfolio::new().run(&g, &CellSpec::ps3()).unwrap_err();
+        assert!(matches!(err, PlanError::Unsupported(_)));
+    }
+
+    #[test]
+    fn member_names_put_milp_last() {
+        let p = Portfolio::standard();
+        let names = p.member_names();
+        assert_eq!(names.last(), Some(&"milp"));
+        assert_eq!(names.len(), 6);
+    }
+}

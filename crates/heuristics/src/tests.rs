@@ -9,7 +9,14 @@ use proptest::prelude::*;
 fn any_graph(seed: u64, n: usize) -> cellstream_graph::StreamGraph {
     generate(
         "h",
-        &DagGenParams { n, fat: 0.6, regular: 0.5, density: 0.4, jump: 2, costs: CostParams::default() },
+        &DagGenParams {
+            n,
+            fat: 0.6,
+            regular: 0.5,
+            density: 0.4,
+            jump: 2,
+            costs: CostParams::default(),
+        },
         seed,
     )
     .unwrap()
@@ -24,7 +31,9 @@ fn all_heuristics_produce_valid_mappings() {
         assert!(r.period > 0.0);
         // memory constraint respected by construction in all three
         assert!(
-            !r.violations.iter().any(|v| matches!(v, cellstream_core::Violation::LocalStore { .. })),
+            !r.violations
+                .iter()
+                .any(|v| matches!(v, cellstream_core::Violation::LocalStore { .. })),
             "{:?}",
             r.violations
         );

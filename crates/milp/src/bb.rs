@@ -41,7 +41,7 @@ pub enum MipStatus {
 }
 
 /// Options for [`solve_mip`].
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct MipOptions {
     /// Relative optimality gap at which to stop (paper: 0.05).
     pub rel_gap: f64,
@@ -266,8 +266,7 @@ pub fn solve_mip(
             }
             LpStatus::Optimal | LpStatus::IterLimit => {}
         }
-        let node_bound =
-            if sol.status == LpStatus::Optimal { sol.objective } else { node.bound };
+        let node_bound = if sol.status == LpStatus::Optimal { sol.objective } else { node.bound };
         if let Some((inc_obj, _)) = &incumbent {
             if sol.status == LpStatus::Optimal && sol.objective >= *inc_obj - opts.abs_gap {
                 continue; // dominated

@@ -152,7 +152,14 @@ impl Model {
 
     /// Add a variable with bounds `[lo, hi]` (use `f64::INFINITY` for a
     /// free upper bound), objective coefficient `obj` and kind.
-    pub fn add_var(&mut self, name: impl Into<String>, lo: f64, hi: f64, obj: f64, kind: VarKind) -> VarId {
+    pub fn add_var(
+        &mut self,
+        name: impl Into<String>,
+        lo: f64,
+        hi: f64,
+        obj: f64,
+        kind: VarKind,
+    ) -> VarId {
         let id = VarId(self.vars.len());
         self.vars.push(Variable { name: name.into(), lo, hi, obj, kind });
         id

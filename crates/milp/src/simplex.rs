@@ -87,8 +87,8 @@ impl Tableau {
             let cb = self.cost[self.basis[i]];
             if cb != 0.0 {
                 let row = &self.rows[i];
-                for j in 0..self.ncols {
-                    self.dvec[j] -= cb * row[j];
+                for (d, &r) in self.dvec.iter_mut().zip(row.iter().take(self.ncols)) {
+                    *d -= cb * r;
                 }
             }
         }
@@ -214,8 +214,7 @@ impl Tableau {
         for i in 0..self.m {
             self.beta[i] -= sigma * t_best * self.rows[i][jin];
         }
-        let entering_value =
-            if sigma > 0.0 { t_best } else { self.upper[jin] - t_best };
+        let entering_value = if sigma > 0.0 { t_best } else { self.upper[jin] - t_best };
 
         // 2. bookkeeping: leaving column state
         let jout = self.basis[r];
@@ -268,7 +267,7 @@ impl Tableau {
                 return LpStatus::IterLimit;
             }
             self.iterations += 1;
-            if self.iterations % REFRESH_EVERY == 0 {
+            if self.iterations.is_multiple_of(REFRESH_EVERY) {
                 self.refresh_beta();
                 self.refresh_dvec();
             }
@@ -306,9 +305,9 @@ pub(crate) fn solve(model: &Model, opts: &LpOptions) -> Result<LpSolution, Solve
     // a possible negation; record what slack each row needs.
     #[derive(Clone, Copy, PartialEq)]
     enum RowKind {
-        SlackBasic,     // ≤ with rhs ≥ 0: slack enters basis
-        SurplusArt,     // ≥ with rhs ≥ 0 (post-negation): surplus + artificial
-        EqArt,          // =: artificial only
+        SlackBasic, // ≤ with rhs ≥ 0: slack enters basis
+        SurplusArt, // ≥ with rhs ≥ 0 (post-negation): surplus + artificial
+        EqArt,      // =: artificial only
     }
     let mut dense_rows: Vec<Vec<f64>> = Vec::with_capacity(m);
     let mut rhs: Vec<f64> = Vec::with_capacity(m);
@@ -347,10 +346,7 @@ pub(crate) fn solve(model: &Model, opts: &LpOptions) -> Result<LpSolution, Solve
             };
         }
         // row equilibration: scale to unit max magnitude
-        let maxmag = row
-            .iter()
-            .fold(0.0f64, |acc, v| acc.max(v.abs()))
-            .max(b.abs());
+        let maxmag = row.iter().fold(0.0f64, |acc, v| acc.max(v.abs())).max(b.abs());
         if maxmag > 0.0 {
             let s = 1.0 / maxmag;
             for v in row.iter_mut() {
@@ -478,11 +474,8 @@ fn extract(model: &Model, tab: &Tableau, status: LpStatus, shift: &[f64]) -> LpS
         let (lo, hi) = model.bounds(VarId(j));
         x[j] = x[j].max(lo).min(hi);
     }
-    let objective = if status == LpStatus::Unbounded {
-        f64::NEG_INFINITY
-    } else {
-        model.objective_of(&x)
-    };
+    let objective =
+        if status == LpStatus::Unbounded { f64::NEG_INFINITY } else { model.objective_of(&x) };
     LpSolution { status, objective, x, iterations: tab.iterations }
 }
 

@@ -81,9 +81,8 @@ fn solve_dense(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
         })
         .collect();
     for col in 0..n {
-        let piv = (col..n).max_by(|&i, &j| {
-            m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap()
-        })?;
+        let piv =
+            (col..n).max_by(|&i, &j| m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap())?;
         if m[piv][col].abs() < 1e-10 {
             return None;
         }
@@ -96,9 +95,9 @@ fn solve_dense(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
             if r != col {
                 let f = m[r][col];
                 if f != 0.0 {
-                    for c2 in 0..=n {
-                        let sub = f * m[col][c2];
-                        m[r][c2] -= sub;
+                    let pivot_row = m[col].clone();
+                    for (cell, p) in m[r].iter_mut().zip(pivot_row.iter()).take(n + 1) {
+                        *cell -= f * p;
                     }
                 }
             }
@@ -118,9 +117,8 @@ fn arb_tiny_lp() -> impl Strategy<Value = Model> {
             m.add_var(format!("x{j}"), 0.0, hi, obj, VarKind::Continuous);
         }
         for _ in 0..mcount {
-            let terms: Vec<_> = (0..n)
-                .map(|j| (crate::model::VarId(j), rng.gen_range(-5.0..5.0f64)))
-                .collect();
+            let terms: Vec<_> =
+                (0..n).map(|j| (crate::model::VarId(j), rng.gen_range(-5.0..5.0f64))).collect();
             // keep rhs >= 0 so origin stays feasible: brute force and
             // simplex then always agree on feasibility
             let rhs = rng.gen_range(0.0..10.0);
@@ -163,9 +161,8 @@ fn brute_force_binary(model: &Model) -> Option<f64> {
     assert_eq!(bins.len(), model.n_vars());
     let mut best: Option<f64> = None;
     for mask in 0u32..(1 << bins.len()) {
-        let x: Vec<f64> = (0..bins.len())
-            .map(|i| if mask & (1 << i) != 0 { 1.0 } else { 0.0 })
-            .collect();
+        let x: Vec<f64> =
+            (0..bins.len()).map(|i| if mask & (1 << i) != 0 { 1.0 } else { 0.0 }).collect();
         if model.max_violation(&x) <= 1e-9 {
             let obj = model.objective_of(&x);
             best = Some(best.map_or(obj, |b: f64| b.min(obj)));
@@ -223,7 +220,7 @@ fn seeds_are_validated_not_trusted() {
     let mut m = Model::new("seed");
     let a = m.add_var("a", 0.0, 1.0, -1.0, VarKind::Binary);
     m.add_con(vec![(a, 1.0)], Cmp::Le, 0.0); // forces a = 0
-    // seed claims a=1 (infeasible) — must be rejected
+                                             // seed claims a=1 (infeasible) — must be rejected
     let res = solve_mip(&m, &exact_opts(), &[vec![1.0]], None).unwrap();
     let (obj, x) = res.incumbent.unwrap();
     assert_eq!(x[0], 0.0);
@@ -277,8 +274,13 @@ fn gap_mode_stops_early_but_reports_gap() {
         .map(|i| m.add_var(format!("v{i}"), 0.0, 1.0, -weights[i], VarKind::Binary))
         .collect();
     let cap: f64 = weights.iter().sum::<f64>() * 0.5;
-    m.add_con(vars.iter().map(|&v| (v, 1.0_f64)).zip(weights.iter()).map(|((v, _), &w)| (v, w)).collect(), Cmp::Le, cap);
-    let res = solve_mip(&m, &MipOptions { rel_gap: 0.05, ..Default::default() }, &[], None).unwrap();
+    m.add_con(
+        vars.iter().map(|&v| (v, 1.0_f64)).zip(weights.iter()).map(|((v, _), &w)| (v, w)).collect(),
+        Cmp::Le,
+        cap,
+    );
+    let res =
+        solve_mip(&m, &MipOptions { rel_gap: 0.05, ..Default::default() }, &[], None).unwrap();
     let (obj, _) = res.incumbent.expect("always feasible");
     assert!(res.gap <= 0.05 + 1e-12, "gap {} too large", res.gap);
     assert!(obj <= res.best_bound * (1.0 - 0.0) + 1e-9 || obj >= res.best_bound);
@@ -309,13 +311,9 @@ fn node_limit_respected() {
         .collect();
     let terms: Vec<_> = vars.iter().map(|&v| (v, rng.gen_range(1.0..9.0f64))).collect();
     m.add_con(terms, Cmp::Le, 20.0);
-    let res = solve_mip(
-        &m,
-        &MipOptions { rel_gap: 0.0, max_nodes: 3, ..Default::default() },
-        &[],
-        None,
-    )
-    .unwrap();
+    let res =
+        solve_mip(&m, &MipOptions { rel_gap: 0.0, max_nodes: 3, ..Default::default() }, &[], None)
+            .unwrap();
     assert!(res.nodes <= 4); // root + up to limit
 }
 
@@ -381,12 +379,7 @@ proptest! {
 fn assignment_mip_matches_hungarian_style_brute_force() {
     // 4 tasks x 3 machines assignment: minimize total cost with
     // sum_j x[t][j] = 1 — the structure of the paper's constraint (1b).
-    let costs = [
-        [4.0, 2.0, 8.0],
-        [3.0, 7.0, 5.0],
-        [9.0, 1.0, 6.0],
-        [2.0, 2.0, 2.0],
-    ];
+    let costs = [[4.0, 2.0, 8.0], [3.0, 7.0, 5.0], [9.0, 1.0, 6.0], [2.0, 2.0, 2.0]];
     let mut m = Model::new("assign");
     let mut x = Vec::new();
     for (t, row) in costs.iter().enumerate() {
@@ -413,7 +406,13 @@ fn large_lp_with_many_bounded_variables_stays_sane() {
     let mut m = Model::new("large");
     let vars: Vec<_> = (0..400)
         .map(|i| {
-            m.add_var(format!("x{i}"), 0.0, rng.gen_range(0.5..2.0), -rng.gen_range(0.1..1.0), VarKind::Continuous)
+            m.add_var(
+                format!("x{i}"),
+                0.0,
+                rng.gen_range(0.5..2.0f64),
+                -rng.gen_range(0.1..1.0f64),
+                VarKind::Continuous,
+            )
         })
         .collect();
     for _ in 0..80 {
@@ -432,10 +431,12 @@ fn large_lp_with_many_bounded_variables_stays_sane() {
     assert!(m.max_violation(&sol.x) <= 1e-6, "violation {}", m.max_violation(&sol.x));
     // maximization (negative costs) with upper bounds: objective strictly
     // negative, bounded below by the sum of bounds
-    let lower: f64 = (0..400).map(|i| {
-        let (_, hi) = m.bounds(crate::model::VarId(i));
-        -hi
-    }).sum();
+    let lower: f64 = (0..400)
+        .map(|i| {
+            let (_, hi) = m.bounds(crate::model::VarId(i));
+            -hi
+        })
+        .sum();
     assert!(sol.objective >= lower && sol.objective < 0.0);
 }
 

@@ -2,7 +2,6 @@
 //! DMA limits (paper §2.1, Figure 1(b)).
 
 use crate::units::{Bandwidth, ByteSize};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The two classes of processing element on the Cell.
@@ -11,7 +10,7 @@ use std::fmt;
 /// processing time on a PPE and an independent one on an SPE (paper §2.1:
 /// "a PPE can be fast for a given task Tk and slow for another one Tl,
 /// while a SPE can be slower for Tk but faster for Tl").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PeKind {
     /// Power Processing Element: the general-purpose PowerPC core with
     /// transparent access to main memory.
@@ -30,16 +29,17 @@ impl fmt::Display for PeKind {
     }
 }
 
+serde::impl_json_unit_enum!(PeKind { Ppe, Spe });
+
 /// Identifier of a processing element.
 ///
 /// Follows the paper's indexing convention: ids `0..nP` are PPEs, ids
 /// `nP..nP+nS` are SPEs. The id is an index into [`CellSpec`] tables and
 /// into mapping vectors.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct PeId(pub usize);
+
+serde::impl_json_newtype!(PeId);
 
 impl PeId {
     /// The raw index.
@@ -73,10 +73,9 @@ impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpecError::NoPpe => write!(f, "a Cell platform needs at least one PPE"),
-            SpecError::CodeLargerThanLocalStore { code, local_store } => write!(
-                f,
-                "code image ({code}) does not fit in the SPE local store ({local_store})"
-            ),
+            SpecError::CodeLargerThanLocalStore { code, local_store } => {
+                write!(f, "code image ({code}) does not fit in the SPE local store ({local_store})")
+            }
         }
     }
 }
@@ -88,7 +87,7 @@ impl std::error::Error for SpecError {}
 /// Immutable once built; construct through [`CellSpec::builder`] or one of
 /// the presets ([`CellSpec::ps3`], [`CellSpec::qs22`],
 /// [`CellSpec::with_spes`]).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellSpec {
     n_ppe: usize,
     n_spe: usize,
@@ -130,10 +129,7 @@ impl CellSpec {
     /// One PPE and `n_spe` SPEs with the paper's default parameters.
     /// Used for the SPE-count sweeps of Figure 7.
     pub fn with_spes(n_spe: usize) -> Self {
-        CellSpecBuilder::default()
-            .spes(n_spe)
-            .build()
-            .expect("default parameters are valid")
+        CellSpecBuilder::default().spes(n_spe).build().expect("default parameters are valid")
     }
 
     /// Number of PPE cores (`nP`).
@@ -223,6 +219,17 @@ impl CellSpec {
         self.dma_ppe_limit
     }
 }
+
+serde::impl_json_struct!(CellSpec {
+    n_ppe,
+    n_spe,
+    interface_bw,
+    eib_bw,
+    local_store,
+    code_size,
+    dma_in_limit,
+    dma_ppe_limit,
+});
 
 impl fmt::Display for CellSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

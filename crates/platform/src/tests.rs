@@ -1,5 +1,5 @@
-use crate::{CellSpec, CellSpecBuilder, PeId, PeKind, SpecError};
 use crate::units::{Bandwidth, ByteSize};
+use crate::{CellSpec, CellSpecBuilder, PeId, PeKind, SpecError};
 use proptest::prelude::*;
 
 #[test]

@@ -5,7 +5,6 @@
 //! durations, `u64` for capacities), so these helpers exist mostly to keep
 //! call sites legible and to render human-readable reports.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One kibibyte (1024 bytes).
@@ -22,8 +21,10 @@ pub const GIBIBYTE: u64 = 1024 * 1024 * 1024;
 /// assert_eq!(ByteSize::kib(256).bytes(), 262_144);
 /// assert_eq!(format!("{}", ByteSize::kib(256)), "256.0 KiB");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ByteSize(u64);
+
+serde::impl_json_newtype!(ByteSize);
 
 impl ByteSize {
     /// Construct from raw bytes.
@@ -83,8 +84,10 @@ impl fmt::Display for ByteSize {
 /// // transferring 50 GB through a 25 GB/s interface takes 2 seconds
 /// assert!((bw.transfer_time(50e9) - 2.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Bandwidth(f64);
+
+serde::impl_json_newtype!(Bandwidth);
 
 impl Bandwidth {
     /// Construct from decimal gigabytes per second.

@@ -144,12 +144,7 @@ pub fn run(
     let wall = started.elapsed();
 
     let done: Vec<u64> = processed.iter().map(|c| c.load(Ordering::Acquire)).collect();
-    Ok(RunStats {
-        wall,
-        throughput: n as f64 / wall.as_secs_f64(),
-        processed: done,
-        store_used,
-    })
+    Ok(RunStats { wall, throughput: n as f64 / wall.as_secs_f64(), processed: done, store_used })
 }
 
 /// The Figure 4 state machine, one instance per iteration:
@@ -207,9 +202,8 @@ fn pe_loop(
                 let (lock, cv) = progress;
                 let mut epoch = lock.lock();
                 // re-check under the lock to avoid missed wakeups
-                let ready_now = my_tasks
-                    .iter()
-                    .any(|&k| next[k] < n && task_ready(g, k, next[k], n, rings));
+                let ready_now =
+                    my_tasks.iter().any(|&k| next[k] < n && task_ready(g, k, next[k], n, rings));
                 if !ready_now {
                     let _ = cv.wait_for(&mut epoch, config.park_timeout);
                 }
@@ -264,12 +258,11 @@ fn process_instance(
         .collect();
 
     // Produce outputs in place.
-    let mut out_bufs: Vec<Vec<u8>> = out_edges
-        .iter()
-        .map(|&e| vec![0u8; g.edge(e).data_bytes.ceil() as usize])
-        .collect();
+    let mut out_bufs: Vec<Vec<u8>> =
+        out_edges.iter().map(|&e| vec![0u8; g.edge(e).data_bytes.ceil() as usize]).collect();
     {
-        let mut out_slices: Vec<&mut [u8]> = out_bufs.iter_mut().map(|v| v.as_mut_slice()).collect();
+        let mut out_slices: Vec<&mut [u8]> =
+            out_bufs.iter_mut().map(|v| v.as_mut_slice()).collect();
         let ctx = KernelCtx { instance: i, task_name: &task.name, peek: task.peek };
         kernels[k].process(&ctx, &windows, &mut out_slices);
     }

@@ -116,8 +116,11 @@ pub struct VerifyKernel {
     pub mismatches: Arc<AtomicU64>,
     /// Expected first-byte of each input window slice, as a function of
     /// the instance index carried by the window slot.
-    pub expect: Box<dyn Fn(u64, &[Window<'_>]) -> bool + Send + Sync>,
+    pub expect: VerifyPredicate,
 }
+
+/// Predicate deciding whether an instance's input windows are correct.
+pub type VerifyPredicate = Box<dyn Fn(u64, &[Window<'_>]) -> bool + Send + Sync>;
 
 impl Kernel for VerifyKernel {
     fn process(&self, ctx: &KernelCtx<'_>, inputs: &[Window<'_>], outputs: &mut [&mut [u8]]) {

@@ -35,8 +35,10 @@ pub mod local_store;
 pub mod ring;
 pub mod synthetic;
 
-pub use engine::{run, RunStats, RtConfig, RtError};
-pub use kernels::{ChecksumKernel, ClosureKernel, Kernel, KernelCtx, SpinKernel, VerifyKernel, Window};
+pub use engine::{run, RtConfig, RtError, RunStats};
+pub use kernels::{
+    ChecksumKernel, ClosureKernel, Kernel, KernelCtx, SpinKernel, VerifyKernel, Window,
+};
 pub use local_store::{LocalStore, StoreError};
 pub use synthetic::{synthetic_kernels, synthetic_kernels_for_mapping};
 

@@ -80,9 +80,8 @@ impl EdgeRing {
         assert!(last - first < self.capacity, "peek window larger than the ring");
         assert!(self.window_ready(last), "window not ready");
         assert!(first >= self.consumed(), "window already released");
-        let guards: Vec<_> = (first..=last)
-            .map(|i| self.slots[(i % self.capacity) as usize].lock())
-            .collect();
+        let guards: Vec<_> =
+            (first..=last).map(|i| self.slots[(i % self.capacity) as usize].lock()).collect();
         let slices: Vec<&[u8]> = guards.iter().map(|g| g.as_slice()).collect();
         read(&slices)
     }
@@ -174,7 +173,8 @@ mod tests {
                     while !ring.window_ready(i) {
                         std::hint::spin_loop();
                     }
-                    let v = ring.with_window(i, i, |w| u64::from_le_bytes(w[0].try_into().unwrap()));
+                    let v =
+                        ring.with_window(i, i, |w| u64::from_le_bytes(w[0].try_into().unwrap()));
                     assert_eq!(v, i, "FIFO order violated");
                     ring.release(i);
                 }

@@ -26,7 +26,14 @@ fn every_task_processes_every_instance_exactly_once() {
     let g = chain("c", 6, &CostParams::default(), 3);
     let spec = CellSpec::with_spes(3);
     let m = spread_mapping(&g, &spec);
-    let stats = run(&g, &spec, &m, &checksum_kernels(6), &RtConfig { n_instances: 500, ..Default::default() }).unwrap();
+    let stats = run(
+        &g,
+        &spec,
+        &m,
+        &checksum_kernels(6),
+        &RtConfig { n_instances: 500, ..Default::default() },
+    )
+    .unwrap();
     assert_eq!(stats.processed, vec![500; 6]);
     assert!(stats.throughput > 0.0);
 }
@@ -70,7 +77,8 @@ fn pipeline_is_a_deterministic_function_of_instance() {
     ];
     let spec = CellSpec::with_spes(2);
     let m = Mapping::new(&g, &spec, vec![PeId(0), PeId(1), PeId(2)]).unwrap();
-    let stats = run(&g, &spec, &m, &kernels, &RtConfig { n_instances: 2000, ..Default::default() }).unwrap();
+    let stats = run(&g, &spec, &m, &kernels, &RtConfig { n_instances: 2000, ..Default::default() })
+        .unwrap();
     assert_eq!(stats.processed, vec![2000; 3]);
     assert_eq!(mismatches.load(Ordering::Acquire), 0, "pipeline corrupted data");
 }
@@ -88,26 +96,28 @@ fn peek_windows_expose_future_instances() {
     let n: u64 = 300;
     let errors = Arc::new(AtomicU64::new(0));
     let errors2 = errors.clone();
-    let check = ClosureKernel(move |ctx: &KernelCtx<'_>, inputs: &[Window<'_>], _out: &mut [&mut [u8]]| {
-        let i = ctx.instance;
-        let expect_len = ((i + 2).min(n - 1) - i + 1) as usize;
-        if inputs[0].instances.len() != expect_len {
-            errors2.fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-        for (off, slice) in inputs[0].instances.iter().enumerate() {
-            let h = fnv1a((i + off as u64).to_le_bytes()).to_le_bytes();
-            let expected: Vec<u8> = (0..16).map(|b| h[b % 8]).collect();
-            if *slice != expected.as_slice() {
+    let check =
+        ClosureKernel(move |ctx: &KernelCtx<'_>, inputs: &[Window<'_>], _out: &mut [&mut [u8]]| {
+            let i = ctx.instance;
+            let expect_len = ((i + 2).min(n - 1) - i + 1) as usize;
+            if inputs[0].instances.len() != expect_len {
                 errors2.fetch_add(1, Ordering::Relaxed);
+                return;
             }
-        }
-    });
+            for (off, slice) in inputs[0].instances.iter().enumerate() {
+                let h = fnv1a((i + off as u64).to_le_bytes()).to_le_bytes();
+                let expected: Vec<u8> = (0..16).map(|b| h[b % 8]).collect();
+                if *slice != expected.as_slice() {
+                    errors2.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
     use crate::kernels::KernelCtx;
     let kernels: Vec<Arc<dyn Kernel>> = vec![Arc::new(ChecksumKernel), Arc::new(check)];
     let spec = CellSpec::with_spes(1);
     let m = Mapping::new(&g, &spec, vec![PeId(0), PeId(1)]).unwrap();
-    let stats = run(&g, &spec, &m, &kernels, &RtConfig { n_instances: n, ..Default::default() }).unwrap();
+    let stats =
+        run(&g, &spec, &m, &kernels, &RtConfig { n_instances: n, ..Default::default() }).unwrap();
     assert_eq!(stats.processed, vec![n; 2]);
     assert_eq!(errors.load(Ordering::Acquire), 0, "peek windows wrong");
 }
@@ -123,9 +133,8 @@ fn local_store_overflow_rejected_at_init() {
     // 10 kB payload, span 2 -> 20 kB per buffer; middle task holds 40 kB;
     // chain of 4 on one SPE: 6 buffers = 120 kB > 16 kB budget
     let mut b = StreamGraph::builder("fat");
-    let ids: Vec<_> = (0..4)
-        .map(|i| b.add_task(TaskSpec::new(format!("t{i}")).uniform_cost(1e-7)))
-        .collect();
+    let ids: Vec<_> =
+        (0..4).map(|i| b.add_task(TaskSpec::new(format!("t{i}")).uniform_cost(1e-7))).collect();
     for w in ids.windows(2) {
         b.add_edge(w[0], w[1], 10.0 * 1024.0).unwrap();
     }
@@ -149,7 +158,14 @@ fn store_accounting_reported() {
     let g = chain("c", 3, &CostParams::default(), 5);
     let spec = CellSpec::with_spes(2);
     let m = Mapping::new(&g, &spec, vec![PeId(1), PeId(1), PeId(2)]).unwrap();
-    let stats = run(&g, &spec, &m, &checksum_kernels(3), &RtConfig { n_instances: 20, ..Default::default() }).unwrap();
+    let stats = run(
+        &g,
+        &spec,
+        &m,
+        &checksum_kernels(3),
+        &RtConfig { n_instances: 20, ..Default::default() },
+    )
+    .unwrap();
     assert_eq!(stats.store_used[0], 0, "PPE reserves nothing");
     assert!(stats.store_used[1] > 0);
     assert!(stats.store_used[1] <= spec.local_store_budget());
@@ -161,7 +177,14 @@ fn fork_join_runs_to_completion_on_many_threads() {
     let spec = CellSpec::qs22();
     // memory-aware spreading: the wide join task needs the PPE
     let m = cellstream_heuristics::greedy_cpu(&g, &spec);
-    let stats = run(&g, &spec, &m, &checksum_kernels(g.n_tasks()), &RtConfig { n_instances: 400, ..Default::default() }).unwrap();
+    let stats = run(
+        &g,
+        &spec,
+        &m,
+        &checksum_kernels(g.n_tasks()),
+        &RtConfig { n_instances: 400, ..Default::default() },
+    )
+    .unwrap();
     assert!(stats.processed.iter().all(|&c| c == 400));
 }
 
@@ -184,6 +207,13 @@ fn zero_byte_edges_work() {
     let g = b.build().unwrap();
     let spec = CellSpec::with_spes(1);
     let m = Mapping::new(&g, &spec, vec![PeId(0), PeId(1)]).unwrap();
-    let stats = run(&g, &spec, &m, &checksum_kernels(2), &RtConfig { n_instances: 100, ..Default::default() }).unwrap();
+    let stats = run(
+        &g,
+        &spec,
+        &m,
+        &checksum_kernels(2),
+        &RtConfig { n_instances: 100, ..Default::default() },
+    )
+    .unwrap();
     assert_eq!(stats.processed, vec![100, 100]);
 }

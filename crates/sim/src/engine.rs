@@ -131,11 +131,7 @@ impl PartialOrd for Event {
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
         // min-heap: earlier time first, then insertion order
-        other
-            .at
-            .partial_cmp(&self.at)
-            .unwrap_or(Ordering::Equal)
-            .then(other.seq.cmp(&self.seq))
+        other.at.partial_cmp(&self.at).unwrap_or(Ordering::Equal).then(other.seq.cmp(&self.seq))
     }
 }
 
@@ -379,11 +375,8 @@ impl<'a> Sim<'a> {
             .filter(|&fid| self.flows[fid].state == FlowState::Streaming)
             .collect();
         let ports: Vec<FlowPorts> = streaming.iter().map(|&fid| self.flows[fid].ports).collect();
-        let rates = max_min_rates(
-            &ports,
-            2 * self.spec.n_pes(),
-            self.spec.interface_bw().as_bytes_per_s(),
-        );
+        let rates =
+            max_min_rates(&ports, 2 * self.spec.n_pes(), self.spec.interface_bw().as_bytes_per_s());
         if cfg!(debug_assertions) {
             // conservation check: no link may be over-allocated
             let bw = self.spec.interface_bw().as_bytes_per_s();
@@ -440,11 +433,9 @@ impl<'a> Sim<'a> {
                 let (src_pe, dst_pe) = (self.tasks[e.src].pe, self.tasks[e.dst].pe);
                 // DMA queue limits
                 let needs_spe_queue = self.is_spe(dst_pe);
-                let needs_proxy = self.is_spe(src_pe)
-                    && self.spec.kind_of(PeId(dst_pe)) == PeKind::Ppe;
-                if needs_spe_queue
-                    && self.spe_queue_used[dst_pe] >= self.spec.dma_in_limit()
-                {
+                let needs_proxy =
+                    self.is_spe(src_pe) && self.spec.kind_of(PeId(dst_pe)) == PeKind::Ppe;
+                if needs_spe_queue && self.spe_queue_used[dst_pe] >= self.spec.dma_in_limit() {
                     break;
                 }
                 if needs_proxy && self.proxy_used[src_pe] >= self.spec.dma_ppe_limit() {
@@ -630,17 +621,34 @@ impl<'a> Sim<'a> {
             self.events_processed += 1;
             if self.events_processed > self.config.max_events {
                 if std::env::var("SIM_DEBUG").is_ok() {
-                    eprintln!("DEBUG t={} gen={} flows_active={} heap={}", self.now, self.gen,
-                        self.active_flow_ids.len(), self.events.len());
+                    eprintln!(
+                        "DEBUG t={} gen={} flows_active={} heap={}",
+                        self.now,
+                        self.gen,
+                        self.active_flow_ids.len(),
+                        self.events.len()
+                    );
                     for &fid in self.active_flow_ids.iter().take(10) {
                         let f = &self.flows[fid];
-                        eprintln!("  flow {fid}: {:?} {:?} bytes_left={} rate={}", f.kind, f.state, f.bytes_left, f.rate);
+                        eprintln!(
+                            "  flow {fid}: {:?} {:?} bytes_left={} rate={}",
+                            f.kind, f.state, f.bytes_left, f.rate
+                        );
                     }
                     for (k, t) in self.tasks.iter().enumerate() {
                         eprintln!("  task {k}: next={} reads_done={} reads_inflight={} writes_inflight={}", t.next, t.reads_done, t.reads_inflight, t.writes_inflight);
                     }
                     for (ei, e) in self.edges.iter().enumerate() {
-                        eprintln!("  edge {ei}: prod={} sent={} arr={} tdone={} inflight={} cap={} co={}", e.produced, e.next_send, e.arrived, e.transfers_done, e.inflight, e.capacity, e.co_mapped);
+                        eprintln!(
+                            "  edge {ei}: prod={} sent={} arr={} tdone={} inflight={} cap={} co={}",
+                            e.produced,
+                            e.next_send,
+                            e.arrived,
+                            e.transfers_done,
+                            e.inflight,
+                            e.capacity,
+                            e.co_mapped
+                        );
                     }
                 }
                 return Err(SimError::EventBudget);
@@ -671,8 +679,8 @@ impl<'a> Sim<'a> {
                         // writes are fire-and-forget puts; they take a DMA
                         // slot when one is free but are never delayed by a
                         // full stack (the put is buffered by the MFC)
-                        let holds_slot = self.is_spe(pe)
-                            && self.spe_queue_used[pe] < self.spec.dma_in_limit();
+                        let holds_slot =
+                            self.is_spe(pe) && self.spe_queue_used[pe] < self.spec.dma_in_limit();
                         if holds_slot {
                             self.spe_queue_used[pe] += 1;
                         }
@@ -731,12 +739,8 @@ impl<'a> Sim<'a> {
         if self.done() {
             Ok(self.finish())
         } else {
-            let completed = self
-                .sink_ids
-                .iter()
-                .map(|&s| self.sink_times[s].len() as u64)
-                .min()
-                .unwrap_or(0);
+            let completed =
+                self.sink_ids.iter().map(|&s| self.sink_times[s].len() as u64).min().unwrap_or(0);
             Err(SimError::Stalled { at: self.now, completed })
         }
     }

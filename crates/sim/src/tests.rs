@@ -38,12 +38,8 @@ fn split_chain_matches_model() {
     let g = chain("c", 6, &CostParams::default(), 7);
     let spec = CellSpec::with_spes(2);
     // contiguous halves across PPE + 2 SPEs
-    let m = Mapping::new(
-        &g,
-        &spec,
-        vec![PeId(0), PeId(0), PeId(1), PeId(1), PeId(2), PeId(2)],
-    )
-    .unwrap();
+    let m = Mapping::new(&g, &spec, vec![PeId(0), PeId(0), PeId(1), PeId(1), PeId(2), PeId(2)])
+        .unwrap();
     let (sim, model) = sim_vs_model(&g, &spec, &m, 1500);
     assert!((sim - model).abs() / model < 0.01, "sim {sim} model {model}");
 }
@@ -92,7 +88,8 @@ fn bandwidth_bound_mapping_matches_model() {
     let report = evaluate(&g, &spec, &m).unwrap();
     assert!(matches!(
         report.bottleneck,
-        cellstream_core::eval::Bottleneck::IncomingBw(_) | cellstream_core::eval::Bottleneck::OutgoingBw(_)
+        cellstream_core::eval::Bottleneck::IncomingBw(_)
+            | cellstream_core::eval::Bottleneck::OutgoingBw(_)
     ));
     let (sim, model) = sim_vs_model(&g, &spec, &m, 1000);
     assert!((sim - model).abs() / model < 0.01, "sim {sim} model {model}");
@@ -146,7 +143,8 @@ fn ramp_up_reaches_steady_state_like_figure6() {
 fn determinism() {
     let g = chain("c", 6, &CostParams::default(), 17);
     let spec = CellSpec::with_spes(2);
-    let m = Mapping::new(&g, &spec, vec![PeId(0), PeId(1), PeId(1), PeId(2), PeId(2), PeId(0)]).unwrap();
+    let m = Mapping::new(&g, &spec, vec![PeId(0), PeId(1), PeId(1), PeId(2), PeId(2), PeId(0)])
+        .unwrap();
     let a = simulate(&g, &spec, &m, &SimConfig::calibrated(), 400).unwrap();
     let b = simulate(&g, &spec, &m, &SimConfig::calibrated(), 400).unwrap();
     assert_eq!(a.completions, b.completions);
@@ -268,9 +266,8 @@ fn link_never_overallocated_under_heavy_contention() {
     // all-to-all-ish traffic through one consumer PE; the debug assertion
     // inside reallocate() would fire if max-min ever over-allocated
     let mut b = StreamGraph::builder("contend");
-    let srcs: Vec<_> = (0..6)
-        .map(|i| b.add_task(TaskSpec::new(format!("s{i}")).uniform_cost(0.2e-6)))
-        .collect();
+    let srcs: Vec<_> =
+        (0..6).map(|i| b.add_task(TaskSpec::new(format!("s{i}")).uniform_cost(0.2e-6))).collect();
     let hub = b.add_task(TaskSpec::new("hub").uniform_cost(0.2e-6));
     for &s in &srcs {
         b.add_edge(s, hub, 20_000.0).unwrap();

@@ -32,11 +32,7 @@ impl RunTrace {
 
     /// Cumulative throughput after each instance: `(i+1) / t_i`.
     pub fn cumulative_throughput(&self) -> Vec<f64> {
-        self.completions
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| (i + 1) as f64 / t)
-            .collect()
+        self.completions.iter().enumerate().map(|(i, &t)| (i + 1) as f64 / t).collect()
     }
 
     /// The Figure 6 curve, downsampled: `(instance_count, cumulative

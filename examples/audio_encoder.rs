@@ -1,67 +1,55 @@
-//! The audio-encoder application end to end: schedule it with the paper's
-//! heuristics and the MILP, compare predicted throughputs, then actually
-//! *run* the best mapping on the threaded Cell emulator with the real DSP
-//! kernels.
+//! The audio-encoder application end to end: plan it with every
+//! registered scheduler (the paper's heuristics, the extensions, the
+//! MILP), compare predicted throughputs, then actually *run* the best
+//! mapping on the threaded Cell emulator with the real DSP kernels.
 //!
 //! Run with: `cargo run --release --example audio_encoder`
 
 use cellstream::apps::audio;
-use cellstream::core::{evaluate, solve, Mapping, SolveOptions};
-use cellstream::heuristics::{comm_aware_greedy, greedy_cpu, greedy_mem};
-use cellstream::platform::{CellSpec, PeId};
-use cellstream::rt::{run, RtConfig};
+use cellstream::prelude::*;
 
 fn main() {
     let g = audio::graph().expect("valid graph");
     let spec = CellSpec::qs22();
     println!("audio encoder: {} tasks, {} edges on {spec}", g.n_tasks(), g.n_edges());
 
-    let ppe_only = Mapping::all_on(&g, PeId(0));
-    let baseline = evaluate(&g, &spec, &ppe_only).unwrap();
-    println!("\n{:<22} {:>12} {:>10} {:>6}", "strategy", "period (us)", "speed-up", "cuts");
-    let report = |name: &str, m: &Mapping| {
-        let r = evaluate(&g, &spec, m).unwrap();
-        let feas = if r.is_feasible() { "" } else { "  (infeasible!)" };
-        println!(
-            "{:<22} {:>12.3} {:>10.2} {:>6}{feas}",
-            name,
-            r.period * 1e6,
-            baseline.period / r.period,
-            m.n_cut_edges(&g),
-        );
-    };
-    report("PPE only", &ppe_only);
-    let gm = greedy_mem(&g, &spec);
-    report("GreedyMem (§6.3)", &gm);
-    let gc = greedy_cpu(&g, &spec);
-    report("GreedyCpu (§6.3)", &gc);
-    let ca = comm_aware_greedy(&g, &spec);
-    report("comm-aware greedy", &ca);
+    // Sweep the registry: every algorithm through the same interface.
+    let baseline = scheduler_by_name("ppe_only")
+        .unwrap()
+        .plan(&g, &spec, &Default::default())
+        .expect("PPE-only always plans");
+    println!("\n{:<22} {:>12} {:>10} {:>6}", "scheduler", "period (us)", "speed-up", "cuts");
+    for scheduler in all_schedulers() {
+        match scheduler.plan(&g, &spec, &Default::default()) {
+            Ok(plan) => {
+                let feas = if plan.is_feasible() { "" } else { "  (infeasible!)" };
+                println!(
+                    "{:<22} {:>12.3} {:>10.2} {:>6}{feas}",
+                    plan.scheduler,
+                    plan.period() * 1e6,
+                    baseline.period() / plan.period(),
+                    plan.mapping.n_cut_edges(&g),
+                );
+            }
+            Err(e) => println!("{:<22} {e}", scheduler.name()),
+        }
+    }
 
-    let outcome = solve(
-        &g,
-        &spec,
-        &SolveOptions { seeds: vec![gm, gc, ca], ..SolveOptions::default() },
-    )
-    .expect("solver runs");
-    report("MILP (paper §5)", &outcome.mapping);
-
-    // Execute the winner for real: one thread per PE, real FFTs and
-    // filterbanks, 256 kB local-store accounting.
-    println!("\nexecuting the MILP mapping on the threaded emulator ...");
-    let stats = run(
-        &g,
-        &spec,
-        &outcome.mapping,
-        &audio::kernels(),
-        &RtConfig { n_instances: 2000, ..RtConfig::default() },
-    )
-    .expect("mapping fits the local stores");
+    // Execute the portfolio winner for real: one thread per PE, real FFTs
+    // and filterbanks, 256 kB local-store accounting.
+    println!("\nplanning with the standard portfolio and executing the winner ...");
+    let scheduled = Session::new(&g, &spec)
+        .plan()
+        .expect("portfolio plans")
+        .schedule()
+        .expect("winner is feasible");
+    println!("winner: {}", scheduled.plan());
+    let stats = scheduled
+        .execute(&audio::kernels(), &RtConfig { n_instances: 2000, ..RtConfig::default() })
+        .expect("mapping fits the local stores");
     println!(
         "processed {} frames in {:.2?} -> {:.0} frames/s wall-clock",
-        stats.processed[0],
-        stats.wall,
-        stats.throughput
+        stats.processed[0], stats.wall, stats.throughput
     );
     for pe in spec.spes() {
         let used = stats.store_used[pe.index()];

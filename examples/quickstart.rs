@@ -1,13 +1,11 @@
-//! Quickstart: describe a streaming application, compute the
-//! throughput-optimal mapping for a PlayStation 3, and check the
-//! prediction in the discrete-event simulator.
+//! Quickstart: describe a streaming application, plan it with the
+//! standard scheduler portfolio on a PlayStation 3, and check the
+//! prediction in the discrete-event simulator — all through the
+//! `Session` facade.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use cellstream::core::{evaluate, solve, Mapping, SolveOptions};
-use cellstream::graph::{StreamGraph, TaskSpec};
-use cellstream::platform::{CellSpec, PeId};
-use cellstream::sim::{simulate, SimConfig};
+use cellstream::prelude::*;
 
 fn main() {
     // A small video-filter style application: split -> 2 parallel filters
@@ -30,37 +28,34 @@ fn main() {
     println!("platform: {spec}");
     println!("application: {} tasks, {} edges", g.n_tasks(), g.n_edges());
 
-    // Baseline: everything on the PPE.
-    let ppe_only = Mapping::all_on(&g, PeId(0));
-    let baseline = evaluate(&g, &spec, &ppe_only).expect("valid mapping");
+    // One call plans with the whole portfolio: both §6.3 greedies, the
+    // comm-aware greedy, multi-start local search, and the MILP warm-started
+    // with their results.
+    let planned = Session::new(&g, &spec).plan().expect("portfolio always finds a plan");
+    println!("\nleaderboard:");
+    for member in planned.leaderboard() {
+        match &member.result {
+            Ok(p) => println!("  {p}"),
+            Err(e) => println!("  {}: failed ({e})", member.scheduler),
+        }
+    }
+    let plan = planned.plan().clone();
     println!(
-        "PPE-only: period {:.2} us -> {:.0} instances/s",
-        baseline.period * 1e6,
-        baseline.throughput
-    );
-
-    // Optimal mapping through the mixed linear program (paper §5).
-    let outcome = solve(&g, &spec, &SolveOptions::default()).expect("solver runs");
-    println!(
-        "MILP mapping ({} B&B nodes, gap {:.1}%): {}",
-        outcome.nodes,
-        outcome.gap * 100.0,
-        outcome.mapping
-    );
-    println!(
-        "predicted: period {:.2} us -> {:.0} instances/s ({:.2}x speed-up)",
-        outcome.period * 1e6,
-        outcome.throughput,
-        baseline.period / outcome.period
+        "\nwinner `{}`: period {:.2} us -> {:.0} instances/s, mapping {}",
+        plan.scheduler,
+        plan.period() * 1e6,
+        plan.throughput(),
+        plan.mapping
     );
 
     // Validate on the simulated Cell.
-    let trace = simulate(&g, &spec, &outcome.mapping, &SimConfig::calibrated(), 5000)
-        .expect("feasible mappings simulate");
+    let scheduled = planned.schedule().expect("feasible plan");
+    let trace =
+        scheduled.simulate(&SimConfig::calibrated(), 5000).expect("feasible mappings simulate");
     let measured = trace.steady_state_throughput();
     println!(
         "simulated:  {:.0} instances/s ({:.1}% of the model prediction)",
         measured,
-        100.0 * measured / outcome.throughput
+        100.0 * measured / plan.throughput()
     );
 }

@@ -1,51 +1,62 @@
 //! A miniature of the paper's §6 evaluation: sweep the
 //! communication-to-computation ratio of a random DagGen graph and print
 //! the speed-up of each mapping strategy (Figure 8 in table form, on a
-//! smaller graph so it runs in seconds).
+//! smaller graph so it runs in seconds). Strategies come from the
+//! scheduler registry, so adding one name to the `STRATEGIES` list adds
+//! a column.
 //!
 //! Run with: `cargo run --release --example random_graph_sweep`
 
-use cellstream::core::{evaluate, solve, Mapping, SolveOptions};
 use cellstream::daggen::{generate, CostParams, DagGenParams};
 use cellstream::graph::ccr::{paper_ccr_sweep, rescale_to_ccr, DEFAULT_BW};
-use cellstream::heuristics::{greedy_cpu, greedy_mem};
-use cellstream::platform::{CellSpec, PeId};
+use cellstream::prelude::*;
+
+const STRATEGIES: [&str; 3] = ["greedy_mem", "greedy_cpu", "milp"];
 
 fn main() {
     let base = generate(
         "sweep",
-        &DagGenParams { n: 24, fat: 0.5, regular: 0.5, density: 0.2, jump: 2, costs: CostParams::default() },
+        &DagGenParams {
+            n: 24,
+            fat: 0.5,
+            regular: 0.5,
+            density: 0.2,
+            jump: 2,
+            costs: CostParams::default(),
+        },
         0xC0FFEE,
     )
     .expect("valid parameters");
     let spec = CellSpec::qs22();
     println!("random graph: {} tasks, {} edges on {spec}\n", base.n_tasks(), base.n_edges());
-    println!(
-        "{:>6} {:>12} {:>12} {:>12}",
-        "CCR", "GreedyMem", "GreedyCpu", "MILP"
-    );
+    print!("{:>6}", "CCR");
+    for name in STRATEGIES {
+        print!(" {name:>12}");
+    }
+    println!();
 
     for target in paper_ccr_sweep() {
         let g = rescale_to_ccr(&base, target, DEFAULT_BW);
         let baseline = evaluate(&g, &spec, &Mapping::all_on(&g, PeId(0))).unwrap();
-        let su = |m: &Mapping| {
-            let r = evaluate(&g, &spec, m).unwrap();
-            if r.is_feasible() { baseline.period / r.period } else { f64::NAN }
-        };
-        let gm = greedy_mem(&g, &spec);
-        let gc = greedy_cpu(&g, &spec);
-        let milp = solve(
-            &g,
-            &spec,
-            &SolveOptions { seeds: vec![gm.clone(), gc.clone()], ..SolveOptions::default() },
-        )
-        .expect("solver runs");
-        println!(
-            "{target:>6.2} {:>12.2} {:>12.2} {:>12.2}",
-            su(&gm),
-            su(&gc),
-            baseline.period / milp.period
-        );
+        print!("{target:>6.2}");
+        // feed the greedy mappings forward as MILP warm starts, exactly
+        // like the old hand-wired pipeline did
+        let mut ctx = PlanContext::default();
+        for name in STRATEGIES {
+            let scheduler = scheduler_by_name(name).expect("registered");
+            match scheduler.plan(&g, &spec, &ctx) {
+                Ok(plan) => {
+                    let su =
+                        if plan.is_feasible() { baseline.period / plan.period() } else { f64::NAN };
+                    print!(" {su:>12.2}");
+                    if plan.is_feasible() {
+                        ctx.seeds.push(plan.mapping);
+                    }
+                }
+                Err(_) => print!(" {:>12}", "-"),
+            }
+        }
+        println!();
     }
     println!("\nhigher CCR -> communication dominates -> speed-ups collapse toward 1 (Figure 8).");
 }

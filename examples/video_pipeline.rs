@@ -1,43 +1,50 @@
-//! The video pipeline under the discrete-event simulator: computes the
-//! optimal mapping, then reproduces a Figure-6-style ramp-up curve
-//! (cumulative throughput vs. number of processed instances).
+//! The video pipeline under the discrete-event simulator: plans the
+//! mapping through the `Session` facade, then reproduces a
+//! Figure-6-style ramp-up curve (cumulative throughput vs. number of
+//! processed instances).
 //!
 //! Run with: `cargo run --release --example video_pipeline`
 
 use cellstream::apps::video;
-use cellstream::core::{evaluate, solve, Mapping, SolveOptions};
-use cellstream::platform::{CellSpec, PeId};
-use cellstream::sim::{simulate, SimConfig};
+use cellstream::prelude::*;
 
 fn main() {
     let g = video::graph().expect("valid graph");
     let spec = CellSpec::ps3();
     println!("video pipeline: {} tasks on {spec}", g.n_tasks());
 
-    let outcome = solve(&g, &spec, &SolveOptions::default()).expect("solver runs");
-    let model = evaluate(&g, &spec, &outcome.mapping).unwrap();
-    println!("MILP mapping: {}", outcome.mapping);
-    println!("model-predicted throughput: {:.0} tiles/s\n", model.throughput);
+    let scheduled = Session::new(&g, &spec)
+        .plan()
+        .expect("portfolio plans")
+        .schedule()
+        .expect("winner is feasible");
+    let plan = scheduled.plan();
+    println!("winner `{}`: {}", plan.scheduler, plan.mapping);
+    println!("model-predicted throughput: {:.0} tiles/s\n", plan.throughput());
 
-    let trace = simulate(&g, &spec, &outcome.mapping, &SimConfig::calibrated(), 10_000)
-        .expect("feasible mapping simulates");
+    let trace =
+        scheduled.simulate(&SimConfig::calibrated(), 10_000).expect("feasible mapping simulates");
 
     println!("{:>10} {:>16} {:>10}", "instances", "throughput (/s)", "% of model");
     for (count, rho) in trace.throughput_curve(16) {
-        println!("{count:>10} {rho:>16.0} {:>9.1}%", 100.0 * rho / model.throughput);
+        println!("{count:>10} {rho:>16.0} {:>9.1}%", 100.0 * rho / plan.throughput());
     }
     let steady = trace.steady_state_throughput();
     println!(
         "\nsteady state: {:.0} tiles/s = {:.1}% of prediction (paper §6.4.1 reports ~95%)",
         steady,
-        100.0 * steady / model.throughput
+        100.0 * steady / plan.throughput()
     );
 
     // The PPE-only reference for the speed-up.
-    let ppe = simulate(&g, &spec, &Mapping::all_on(&g, PeId(0)), &SimConfig::calibrated(), 10_000)
+    let ppe = Session::new(&g, &spec)
+        .scheduler_named("ppe_only")
+        .expect("registered")
+        .plan()
+        .expect("always feasible")
+        .schedule()
+        .expect("always feasible")
+        .simulate(&SimConfig::calibrated(), 10_000)
         .expect("PPE-only always simulates");
-    println!(
-        "measured speed-up over PPE-only: {:.2}x",
-        steady / ppe.steady_state_throughput()
-    );
+    println!("measured speed-up over PPE-only: {:.2}x", steady / ppe.steady_state_throughput());
 }

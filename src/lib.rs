@@ -49,6 +49,10 @@ pub use cellstream_platform as platform;
 pub use cellstream_rt as rt;
 pub use cellstream_sim as sim;
 
+pub mod session;
+
+pub use session::{PlannedSession, ScheduledSession, Session};
+
 /// The most common imports in one place.
 ///
 /// ```
@@ -57,8 +61,17 @@ pub use cellstream_sim as sim;
 /// assert_eq!(spec.n_spe(), 8);
 /// ```
 pub mod prelude {
-    pub use cellstream_core::{evaluate, solve, Mapping, MappingReport, SolveOptions, SolveOutcome};
+    pub use crate::session::{PlannedSession, ScheduledSession, Session};
+    pub use cellstream_core::{
+        evaluate, solve, Mapping, MappingReport, Plan, PlanContext, PlanError, PlanStats,
+        Scheduler, SolveOptions, SolveOutcome,
+    };
     pub use cellstream_graph::{StreamGraph, TaskId, TaskSpec};
+    pub use cellstream_heuristics::{
+        all_schedulers, multi_start, scheduler_by_name, Portfolio, PortfolioOutcome,
+        SCHEDULER_NAMES,
+    };
     pub use cellstream_platform::{CellSpec, PeId, PeKind};
+    pub use cellstream_rt::{RtConfig, RunStats};
     pub use cellstream_sim::{simulate, RunTrace, SimConfig};
 }

@@ -1,0 +1,171 @@
+//! Vendored, dependency-free stand-in for the slice of `criterion` this
+//! workspace uses: `Criterion::bench_function`, `Bencher::iter` /
+//! `iter_batched`, `BatchSize`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — warm up briefly, run a fixed
+//! wall-clock window, report mean time per iteration — enough to compare
+//! runs on one machine, with none of the real crate's statistics.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub use std::hint::black_box;
+
+/// How batched inputs are sized (accepted for API compatibility; the
+/// stub runs one input per measured call either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Handed to the benchmark closure; runs and times the routine.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // short warm-up
+        let warm_until = Instant::now() + self.budget / 10;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let started = Instant::now();
+        while started.elapsed() < self.budget {
+            black_box(routine());
+            self.iters_done += 1;
+        }
+        self.elapsed = started.elapsed();
+    }
+
+    /// Time `routine` on fresh inputs from `setup` (setup time excluded).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let warm_until = Instant::now() + self.budget / 10;
+        while Instant::now() < warm_until {
+            black_box(routine(setup()));
+        }
+        let mut measured = Duration::ZERO;
+        while measured < self.budget {
+            let input = setup();
+            let started = Instant::now();
+            black_box(routine(input));
+            measured += started.elapsed();
+            self.iters_done += 1;
+        }
+        self.elapsed = measured;
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // CELLSTREAM_QUICK=1 shrinks the per-benchmark budget, matching
+        // the convention of the bench binaries.
+        let quick = std::env::var("CELLSTREAM_QUICK").map(|v| v == "1").unwrap_or(false);
+        Criterion {
+            budget: if quick { Duration::from_millis(50) } else { Duration::from_millis(400) },
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters_done: 0, elapsed: Duration::ZERO, budget: self.budget };
+        f(&mut b);
+        if b.iters_done == 0 {
+            println!("{name:<40} (no iterations)");
+        } else {
+            let per_iter = b.elapsed.as_secs_f64() / b.iters_done as f64;
+            println!("{name:<40} {:>12.3} us/iter ({} iters)", per_iter * 1e6, b.iters_done);
+        }
+        self
+    }
+
+    /// Start a named group; benchmarks in it report as `group/label`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_owned() }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, label: &str, f: F) -> &mut Self {
+        let full = format!("{}/{label}", self.name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// End the group (no-op in the stub; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion { budget: Duration::from_millis(5) }
+    }
+
+    #[test]
+    fn iter_runs_and_counts() {
+        let mut c = quick();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn iter_batched_runs() {
+        let mut c = quick();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

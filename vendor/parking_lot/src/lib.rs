@@ -1,0 +1,170 @@
+//! Vendored, dependency-free stand-in for the slice of `parking_lot`
+//! this workspace uses: a `Mutex` whose `lock()` returns the guard
+//! directly (no poisoning in the API) and a `Condvar` whose `wait_for`
+//! takes the guard by `&mut`.
+//!
+//! Built on `std::sync`; poisoning is swallowed (`into_inner`), matching
+//! parking_lot's poison-free semantics.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{self, TryLockError};
+use std::time::Duration;
+
+/// A mutual-exclusion primitive (parking_lot-style API over `std`).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard of a locked [`Mutex`].
+pub struct MutexGuard<'a, T> {
+    // `Option` so `Condvar::wait_for` can temporarily take the std guard
+    // out (std's wait API consumes and returns it).
+    guard: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Mutex { inner: sync::Mutex::new(value) }
+    }
+
+    /// Acquire the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = self.inner.lock().unwrap_or_else(sync::PoisonError::into_inner);
+        MutexGuard { guard: Some(guard) }
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(MutexGuard { guard: Some(guard) }),
+            Err(TryLockError::Poisoned(p)) => Some(MutexGuard { guard: Some(p.into_inner()) }),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<'a, T> Deref for MutexGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<'a, T> DerefMut for MutexGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present outside wait")
+    }
+}
+
+/// Result of a timed wait: whether it timed out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// `true` if the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable (parking_lot-style `&mut`-guard API over `std`).
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// New condition variable.
+    pub fn new() -> Self {
+        Condvar { inner: sync::Condvar::new() }
+    }
+
+    /// Block until notified or `timeout` elapses. The guard is unlocked
+    /// while waiting and re-locked before returning.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.guard.take().expect("guard present outside wait");
+        let (inner, res) =
+            self.inner.wait_timeout(inner, timeout).unwrap_or_else(sync::PoisonError::into_inner);
+        guard.guard = Some(inner);
+        WaitTimeoutResult { timed_out: res.timed_out() }
+    }
+
+    /// Block until notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.guard.take().expect("guard present outside wait");
+        let inner = self.inner.wait(inner).unwrap_or_else(sync::PoisonError::into_inner);
+        guard.guard = Some(inner);
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let started = Instant::now();
+        let res = cv.wait_for(&mut g, Duration::from_millis(10));
+        assert!(res.timed_out());
+        assert!(started.elapsed() >= Duration::from_millis(5));
+        drop(g);
+    }
+
+    #[test]
+    fn notify_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut started = m.lock();
+            *started = true;
+            cv.notify_all();
+            drop(started);
+        });
+        let (m, cv) = &*pair;
+        let mut started = m.lock();
+        while !*started {
+            let _ = cv.wait_for(&mut started, Duration::from_millis(50));
+        }
+        drop(started);
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,281 @@
+//! Vendored, dependency-free stand-in for the slice of `serde` this
+//! workspace uses.
+//!
+//! The real serde models serialisation through visitor-based data
+//! formats; reproducing that offline (including the derive proc-macro)
+//! is out of scope, so this stub collapses the data model to a JSON
+//! [`Value`] tree. Types implement [`Serialize`]/[`Deserialize`] by
+//! converting to/from `Value`, usually via the [`impl_json_struct!`] and
+//! [`impl_json_newtype!`] helper macros, and `serde_json` (the sibling
+//! stub) renders `Value` to text and back.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// A JSON value tree: the stub's entire data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, with insertion-ordered keys.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a field of an object.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Obj(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::new(format!("missing field `{name}`"))),
+            other => Err(Error::new(format!("expected object with field `{name}`, got {other:?}"))),
+        }
+    }
+
+    /// The value as `f64`.
+    pub fn as_f64(&self) -> Result<f64, Error> {
+        match self {
+            Value::Num(x) => Ok(*x),
+            other => Err(Error::new(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    /// The value as a non-negative integer.
+    pub fn as_u64(&self) -> Result<u64, Error> {
+        let x = self.as_f64()?;
+        if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 {
+            Ok(x as u64)
+        } else {
+            Err(Error::new(format!("expected unsigned integer, got {x}")))
+        }
+    }
+
+    /// The value as `bool`.
+    pub fn as_bool(&self) -> Result<bool, Error> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::new(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Arr(items) => Ok(items),
+            other => Err(Error::new(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+/// Serialisation/deserialisation error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Build an error from a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves as a JSON [`Value`].
+pub trait Serialize {
+    /// Convert to a JSON value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Parse from a JSON value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let x = v.as_f64()?;
+                if x.fract() != 0.0 {
+                    return Err(Error::new(format!("expected integer, got {x}")));
+                }
+                if x < <$t>::MIN as f64 || x > <$t>::MAX as f64 {
+                    return Err(Error::new(format!("integer {x} out of range")));
+                }
+                Ok(x as $t)
+            }
+        }
+    )*};
+}
+
+impl_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_owned)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_arr()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+/// Implement [`Serialize`]/[`Deserialize`] for a tuple struct with one
+/// public-in-crate field (renders transparently as the inner value,
+/// like `#[serde(transparent)]`).
+#[macro_export]
+macro_rules! impl_json_newtype {
+    ($t:ident) => {
+        impl $crate::Serialize for $t {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Serialize::to_value(&self.0)
+            }
+        }
+        impl $crate::Deserialize for $t {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                Ok($t($crate::Deserialize::from_value(v)?))
+            }
+        }
+    };
+}
+
+/// Implement [`Serialize`]/[`Deserialize`] for a struct with named
+/// fields (renders as a JSON object, one key per field).
+#[macro_export]
+macro_rules! impl_json_struct {
+    ($t:ident { $($f:ident),* $(,)? }) => {
+        impl $crate::Serialize for $t {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Value::Obj(vec![
+                    $((stringify!($f).to_owned(), $crate::Serialize::to_value(&self.$f)),)*
+                ])
+            }
+        }
+        impl $crate::Deserialize for $t {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                Ok($t {
+                    $($f: $crate::Deserialize::from_value(v.field(stringify!($f))?)?,)*
+                })
+            }
+        }
+    };
+}
+
+/// Implement [`Serialize`]/[`Deserialize`] for a fieldless enum
+/// (renders as the variant name string).
+#[macro_export]
+macro_rules! impl_json_unit_enum {
+    ($t:ident { $($variant:ident),* $(,)? }) => {
+        impl $crate::Serialize for $t {
+            fn to_value(&self) -> $crate::Value {
+                match self {
+                    $($t::$variant => $crate::Value::Str(stringify!($variant).to_owned()),)*
+                }
+            }
+        }
+        impl $crate::Deserialize for $t {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                match v.as_str()? {
+                    $(stringify!($variant) => Ok($t::$variant),)*
+                    other => Err($crate::Error::new(format!(
+                        concat!("unknown ", stringify!($t), " variant `{}`"), other))),
+                }
+            }
+        }
+    };
+}
