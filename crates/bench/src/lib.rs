@@ -192,6 +192,17 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::path::PathBu
     path
 }
 
+/// Write an arbitrary results file (e.g. JSON) under
+/// `crates/bench/results/`, creating directories.
+pub fn write_results(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write results file");
+    eprintln!("wrote {}", path.display());
+    path
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

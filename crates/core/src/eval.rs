@@ -21,6 +21,8 @@ use cellstream_graph::StreamGraph;
 use cellstream_platform::{CellSpec, PeId, PeKind};
 use std::fmt;
 
+pub mod incremental;
+
 /// A violated feasibility constraint.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Violation {
@@ -118,6 +120,19 @@ impl MappingReport {
     }
 }
 
+/// Throughput `ρ = 1/T`, guarded against the degenerate `T = 0`: a
+/// zero-period report (impossible for builder-validated graphs, whose
+/// costs are strictly positive, but reachable through hand-built reports
+/// and worth keeping out of downstream arithmetic) yields `0.0` instead
+/// of `inf`, so speed-up ratios and figure columns stay finite.
+pub(crate) fn throughput_of(period: f64) -> f64 {
+    if period > 0.0 {
+        1.0 / period
+    } else {
+        0.0
+    }
+}
+
 /// Evaluate `mapping` on `spec`. Returns `Err` only for structurally
 /// invalid mappings (wrong length / unknown PE); infeasible-but-valid
 /// mappings come back as a report with `violations`.
@@ -126,8 +141,9 @@ pub fn evaluate(
     spec: &CellSpec,
     mapping: &Mapping,
 ) -> Result<MappingReport, crate::mapping::MappingError> {
-    // revalidate (mappings can be deserialised from anywhere)
-    Mapping::new(g, spec, mapping.assignment().to_vec())?;
+    // revalidate (mappings can be deserialised from anywhere) — in place,
+    // without cloning the assignment vector
+    mapping.validate(g, spec)?;
 
     let n = spec.n_pes();
     let bw = spec.interface_bw().as_bytes_per_s();
@@ -150,7 +166,7 @@ pub fn evaluate(
             memory_bytes[pe.index()] += plan.for_task(t);
         }
     }
-    for (ei, e) in g.edges().iter().enumerate() {
+    for e in g.edges() {
         let src = mapping.pe_of(e.src);
         let dst = mapping.pe_of(e.dst);
         if src != dst {
@@ -163,7 +179,6 @@ pub fn evaluate(
                 dma_ppe[src.index()] += 1;
             }
         }
-        let _ = ei;
     }
 
     // period = max resource occupation
@@ -206,7 +221,7 @@ pub fn evaluate(
 
     Ok(MappingReport {
         period,
-        throughput: 1.0 / period,
+        throughput: throughput_of(period),
         compute_load,
         in_bytes,
         out_bytes,
@@ -357,6 +372,21 @@ mod tests {
             evaluate(&g, &spec, &Mapping::new(&g, &spec, vec![PeId(1), PeId(2)]).unwrap()).unwrap();
         let s = split.speedup_vs(ppe.period);
         assert!((s - 5.0).abs() < 1e-9, "10us / 2us = 5, got {s}");
+    }
+
+    #[test]
+    fn throughput_guard_keeps_zero_period_finite() {
+        // regression: `1.0 / period` used to return `inf` for a
+        // zero-period report, poisoning every downstream speed-up ratio
+        assert_eq!(throughput_of(0.0), 0.0);
+        assert_eq!(throughput_of(-1.0), 0.0);
+        assert!((throughput_of(2.0) - 0.5).abs() < 1e-15);
+        // builder-validated graphs always have positive costs, so real
+        // reports stay on the normal path
+        let g = pair(100.0, 0.0, 0.0);
+        let r = evaluate(&g, &spec2(), &Mapping::all_on(&g, PeId(0))).unwrap();
+        assert!(r.throughput.is_finite() && r.throughput > 0.0);
+        assert!((r.throughput * r.period - 1.0).abs() < 1e-12);
     }
 
     #[test]

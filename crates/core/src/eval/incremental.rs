@@ -1,0 +1,700 @@
+//! Incremental (delta) evaluation of mappings — the engine behind every
+//! search heuristic in the workspace.
+//!
+//! [`evaluate`](crate::eval::evaluate) is the paper's §3.2 polynomial
+//! verifier run from scratch: it revalidates the mapping, rebuilds the
+//! [`BufferPlan`], and rescans every task and edge — O(V + E) per call,
+//! plus six fresh allocations. That is fine for a one-off verdict at the
+//! [`Plan`](crate::scheduler::Plan) boundary, but a local-search round
+//! probes K·n single-task moves (and O(K²) swaps), and annealing probes
+//! thousands of neighbours: rebuilding the world per probe caps the graph
+//! sizes the heuristics can touch.
+//!
+//! [`EvalState`] keeps the verifier's per-PE occupation accumulators
+//! *live* instead:
+//!
+//! * the immutable per-graph data (buffer plan, per-task costs and
+//!   traffic, adjacency) is computed **once** at construction;
+//! * [`apply`](EvalState::apply) updates only the accumulator entries a
+//!   move actually touches — O(degree(task)) work, zero allocation in
+//!   steady state (the undo log reuses its buffers);
+//! * [`undo`](EvalState::undo) restores the exact previous values from
+//!   the log (bitwise, not by re-subtracting), so a probe leaves the
+//!   state untouched;
+//! * [`score_move`](EvalState::score_move) = apply → verdict → undo.
+//!
+//! The period and feasibility verdicts come from the same formulas as the
+//! full evaluator, read off the live accumulators with an O(n_PEs) scan
+//! (n ≤ 9 on real Cell configurations). Committed moves accumulate the
+//! usual floating-point drift of add/subtract sequences; callers that
+//! publish a final period re-derive it with one full `evaluate` (see the
+//! search heuristics), and the property suite pins the drift below 1e-9
+//! relative.
+
+use crate::eval::{throughput_of, Bottleneck, MappingReport, Violation};
+use crate::mapping::{Mapping, MappingError};
+use crate::steady::buffers::BufferPlan;
+use cellstream_graph::{StreamGraph, TaskId};
+use cellstream_platform::{CellSpec, PeId, PeKind};
+
+/// A candidate change to the current mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Move {
+    /// Rebind one task to another PE (a no-op if it is already there).
+    Relocate {
+        /// The task to move.
+        task: TaskId,
+        /// Its new PE.
+        to: PeId,
+    },
+    /// Exchange the PEs of two tasks (the swap neighbourhood).
+    Swap {
+        /// First task.
+        a: TaskId,
+        /// Second task.
+        b: TaskId,
+    },
+}
+
+// Accumulator tags for the undo log.
+const F_COMPUTE: u8 = 0;
+const F_IN: u8 = 1;
+const F_OUT: u8 = 2;
+const F_MEM: u8 = 3;
+const U_DMA_IN: u8 = 0;
+const U_DMA_PPE: u8 = 1;
+
+/// Saved pre-move values of every accumulator entry a move touched.
+/// Restored in reverse order, so repeated writes to the same entry undo
+/// exactly (no re-subtraction, no drift inside an apply/undo pair).
+#[derive(Debug, Default, Clone)]
+struct UndoFrame {
+    assigns: Vec<(usize, PeId)>,
+    floats: Vec<(u8, u32, f64)>,
+    ints: Vec<(u8, u32, u32)>,
+}
+
+impl UndoFrame {
+    fn clear(&mut self) {
+        self.assigns.clear();
+        self.floats.clear();
+        self.ints.clear();
+    }
+}
+
+/// Live evaluation state of one mapping on one platform: the §3.2
+/// verifier's per-PE occupation table, maintained under moves instead of
+/// recomputed. See the module docs for the contract.
+///
+/// Undo depth is **one**: [`apply`](Self::apply) commits any previously
+/// applied move (its log is discarded) and starts a fresh log, so
+/// [`undo`](Self::undo) reverts only the most recent `apply`. That is
+/// exactly the propose/accept/reject shape every search heuristic needs.
+///
+/// ```
+/// use cellstream_core::eval::incremental::{EvalState, Move};
+/// use cellstream_core::{evaluate, Mapping};
+/// use cellstream_daggen::{chain, CostParams};
+/// use cellstream_platform::{CellSpec, PeId};
+/// use cellstream_graph::TaskId;
+///
+/// let g = chain("pipe", 6, &CostParams::default(), 1);
+/// let spec = CellSpec::ps3();
+/// let start = Mapping::all_on(&g, PeId(0));
+/// let mut state = EvalState::new(&g, &spec, &start).unwrap();
+///
+/// // probe a move without disturbing the state
+/// let probe = state.score_move(Move::Relocate { task: TaskId(0), to: spec.pe(1) });
+/// assert_eq!(state.mapping(), start);
+///
+/// // commit it and cross-check against the full evaluator
+/// state.apply(Move::Relocate { task: TaskId(0), to: spec.pe(1) });
+/// let full = evaluate(&g, &spec, &state.mapping()).unwrap();
+/// assert!((state.period() - full.period).abs() < 1e-12);
+/// assert_eq!(probe.is_finite(), full.is_feasible());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EvalState<'a> {
+    g: &'a StreamGraph,
+    spec: &'a CellSpec,
+    // ---- immutable per-graph data, computed once --------------------------
+    bw: f64,
+    ls_budget: f64,
+    dma_in_limit: u32,
+    dma_ppe_limit: u32,
+    /// PEs with index < n_ppe are PPEs, the rest SPEs (the platform's
+    /// indexing convention, see `CellSpec::kind_of`).
+    n_ppe: usize,
+    cost_ppe: Vec<f64>,
+    cost_spe: Vec<f64>,
+    read_bytes: Vec<f64>,
+    write_bytes: Vec<f64>,
+    /// Per-task local-store buffer bytes from the [`BufferPlan`].
+    task_buf: Vec<f64>,
+    // ---- live accumulators ------------------------------------------------
+    assignment: Vec<PeId>,
+    compute: Vec<f64>,
+    in_bytes: Vec<f64>,
+    out_bytes: Vec<f64>,
+    memory_bytes: Vec<f64>,
+    dma_in: Vec<u32>,
+    dma_ppe: Vec<u32>,
+    // ---- undo -------------------------------------------------------------
+    frame: UndoFrame,
+    has_frame: bool,
+}
+
+impl<'a> EvalState<'a> {
+    /// Build the state for `mapping`. Validates the mapping once (the
+    /// only validation the engine ever runs — moves cannot make a valid
+    /// assignment invalid) and precomputes the buffer plan and per-task
+    /// cost tables.
+    pub fn new(
+        g: &'a StreamGraph,
+        spec: &'a CellSpec,
+        mapping: &Mapping,
+    ) -> Result<Self, MappingError> {
+        mapping.validate(g, spec)?;
+        let plan = BufferPlan::new(g);
+        let n = spec.n_pes();
+        let mut cost_ppe = Vec::with_capacity(g.n_tasks());
+        let mut cost_spe = Vec::with_capacity(g.n_tasks());
+        let mut read_bytes = Vec::with_capacity(g.n_tasks());
+        let mut write_bytes = Vec::with_capacity(g.n_tasks());
+        for t in g.tasks() {
+            cost_ppe.push(t.cost_on(PeKind::Ppe));
+            cost_spe.push(t.cost_on(PeKind::Spe));
+            read_bytes.push(t.read_bytes);
+            write_bytes.push(t.write_bytes);
+        }
+        let mut s = EvalState {
+            g,
+            spec,
+            bw: spec.interface_bw().as_bytes_per_s(),
+            ls_budget: spec.local_store_budget() as f64,
+            dma_in_limit: spec.dma_in_limit(),
+            dma_ppe_limit: spec.dma_ppe_limit(),
+            n_ppe: spec.n_ppe(),
+            cost_ppe,
+            cost_spe,
+            read_bytes,
+            write_bytes,
+            task_buf: plan.task_bytes,
+            assignment: mapping.assignment().to_vec(),
+            compute: vec![0.0; n],
+            in_bytes: vec![0.0; n],
+            out_bytes: vec![0.0; n],
+            memory_bytes: vec![0.0; n],
+            dma_in: vec![0; n],
+            dma_ppe: vec![0; n],
+            frame: UndoFrame::default(),
+            has_frame: false,
+        };
+        s.recompute();
+        Ok(s)
+    }
+
+    /// Re-seat the state on another mapping of the **same** graph and
+    /// platform, reusing every precomputed table and buffer (for
+    /// multi-start loops). O(V + E), allocation-free.
+    pub fn reset(&mut self, mapping: &Mapping) -> Result<(), MappingError> {
+        mapping.validate(self.g, self.spec)?;
+        self.assignment.clear();
+        self.assignment.extend_from_slice(mapping.assignment());
+        self.recompute();
+        Ok(())
+    }
+
+    /// Rebuild the accumulators from the current assignment (the same
+    /// loops as the full evaluator, minus the plan construction).
+    fn recompute(&mut self) {
+        for v in
+            [&mut self.compute, &mut self.in_bytes, &mut self.out_bytes, &mut self.memory_bytes]
+        {
+            v.iter_mut().for_each(|x| *x = 0.0);
+        }
+        self.dma_in.iter_mut().for_each(|x| *x = 0);
+        self.dma_ppe.iter_mut().for_each(|x| *x = 0);
+        for k in 0..self.assignment.len() {
+            let i = self.assignment[k].index();
+            let spe = i >= self.n_ppe;
+            self.compute[i] += if spe { self.cost_spe[k] } else { self.cost_ppe[k] };
+            self.in_bytes[i] += self.read_bytes[k];
+            self.out_bytes[i] += self.write_bytes[k];
+            if spe {
+                self.memory_bytes[i] += self.task_buf[k];
+            }
+        }
+        for e in self.g.edges() {
+            let src = self.assignment[e.src.index()];
+            let dst = self.assignment[e.dst.index()];
+            if src != dst {
+                self.out_bytes[src.index()] += e.data_bytes;
+                self.in_bytes[dst.index()] += e.data_bytes;
+                if dst.index() >= self.n_ppe {
+                    self.dma_in[dst.index()] += 1;
+                }
+                if src.index() >= self.n_ppe && dst.index() < self.n_ppe {
+                    self.dma_ppe[src.index()] += 1;
+                }
+            }
+        }
+        self.frame.clear();
+        self.has_frame = false;
+    }
+
+    /// The graph this state evaluates against.
+    pub fn graph(&self) -> &'a StreamGraph {
+        self.g
+    }
+
+    /// The platform this state evaluates against.
+    pub fn spec(&self) -> &'a CellSpec {
+        self.spec
+    }
+
+    /// Current PE of a task.
+    pub fn pe_of(&self, t: TaskId) -> PeId {
+        self.assignment[t.index()]
+    }
+
+    /// The current assignment as a validated [`Mapping`] (clones the
+    /// assignment vector — call at boundaries, not in inner loops).
+    pub fn mapping(&self) -> Mapping {
+        Mapping::new(self.g, self.spec, self.assignment.clone())
+            .expect("EvalState assignments stay structurally valid")
+    }
+
+    /// Steady-state period of the current mapping: the §3.2 maximum over
+    /// per-PE compute and interface occupations. O(n_PEs).
+    pub fn period(&self) -> f64 {
+        let mut p = 0.0f64;
+        for i in 0..self.compute.len() {
+            p = p
+                .max(self.compute[i])
+                .max(self.in_bytes[i] / self.bw)
+                .max(self.out_bytes[i] / self.bw);
+        }
+        p
+    }
+
+    /// The resource that sets the period (same scan order and tie-break
+    /// as the full evaluator: first PE, compute before in before out).
+    pub fn bottleneck(&self) -> Bottleneck {
+        let mut period = 0.0f64;
+        let mut bottleneck = Bottleneck::Compute(PeId(0));
+        for i in 0..self.compute.len() {
+            if self.compute[i] > period {
+                period = self.compute[i];
+                bottleneck = Bottleneck::Compute(PeId(i));
+            }
+            if self.in_bytes[i] / self.bw > period {
+                period = self.in_bytes[i] / self.bw;
+                bottleneck = Bottleneck::IncomingBw(PeId(i));
+            }
+            if self.out_bytes[i] / self.bw > period {
+                period = self.out_bytes[i] / self.bw;
+                bottleneck = Bottleneck::OutgoingBw(PeId(i));
+            }
+        }
+        bottleneck
+    }
+
+    /// `true` iff constraints (1i)–(1k) all hold right now. O(n_SPEs).
+    pub fn is_feasible(&self) -> bool {
+        for i in self.n_ppe..self.compute.len() {
+            if self.memory_bytes[i] > self.ls_budget + 1e-9
+                || self.dma_in[i] > self.dma_in_limit
+                || self.dma_ppe[i] > self.dma_ppe_limit
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The search objective: the period when feasible, `+∞` otherwise.
+    pub fn score(&self) -> f64 {
+        if self.is_feasible() {
+            self.period()
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Score a move without disturbing the state: apply, read the
+    /// verdict, undo (exact restore). O(degree + n_PEs), zero allocation
+    /// once the undo log has warmed up.
+    ///
+    /// Discards any pending undo log — a move applied before this call
+    /// can no longer be undone (it was committed).
+    pub fn score_move(&mut self, mv: Move) -> f64 {
+        self.apply(mv);
+        let s = self.score();
+        self.undo();
+        s
+    }
+
+    /// Apply a move, committing any previously applied one (single-level
+    /// undo — see the type docs). Panics on out-of-range task or PE ids:
+    /// moves and states travel together, like mappings and graphs.
+    pub fn apply(&mut self, mv: Move) {
+        self.frame.clear();
+        self.has_frame = true;
+        match mv {
+            Move::Relocate { task, to } => self.relocate(task, to),
+            Move::Swap { a, b } => {
+                let (pa, pb) = (self.assignment[a.index()], self.assignment[b.index()]);
+                self.relocate(a, pb);
+                self.relocate(b, pa);
+            }
+        }
+    }
+
+    /// Revert the most recent [`apply`](Self::apply), restoring every
+    /// touched accumulator entry to its exact previous value. Returns
+    /// `false` (and does nothing) when there is nothing to undo.
+    pub fn undo(&mut self) -> bool {
+        if !self.has_frame {
+            return false;
+        }
+        for &(tag, pe, old) in self.frame.floats.iter().rev() {
+            let v = match tag {
+                F_COMPUTE => &mut self.compute,
+                F_IN => &mut self.in_bytes,
+                F_OUT => &mut self.out_bytes,
+                _ => &mut self.memory_bytes,
+            };
+            v[pe as usize] = old;
+        }
+        for &(tag, pe, old) in self.frame.ints.iter().rev() {
+            let v = if tag == U_DMA_IN { &mut self.dma_in } else { &mut self.dma_ppe };
+            v[pe as usize] = old;
+        }
+        for &(k, pe) in self.frame.assigns.iter().rev() {
+            self.assignment[k] = pe;
+        }
+        self.frame.clear();
+        self.has_frame = false;
+        true
+    }
+
+    /// Extract a full [`MappingReport`] for the current mapping — the
+    /// [`Plan`](crate::scheduler::Plan) boundary. Allocates (clones the
+    /// per-PE tables); not for inner loops.
+    pub fn report(&self) -> MappingReport {
+        let period = self.period();
+        let mut violations = Vec::new();
+        for pe in self.spec.spes() {
+            let i = pe.index();
+            if self.memory_bytes[i] > self.ls_budget + 1e-9 {
+                violations.push(Violation::LocalStore {
+                    pe,
+                    used: self.memory_bytes[i],
+                    budget: self.ls_budget,
+                });
+            }
+            if self.dma_in[i] > self.dma_in_limit {
+                violations.push(Violation::DmaIn {
+                    pe,
+                    used: self.dma_in[i],
+                    limit: self.dma_in_limit,
+                });
+            }
+            if self.dma_ppe[i] > self.dma_ppe_limit {
+                violations.push(Violation::DmaPpe {
+                    pe,
+                    used: self.dma_ppe[i],
+                    limit: self.dma_ppe_limit,
+                });
+            }
+        }
+        MappingReport {
+            period,
+            throughput: throughput_of(period),
+            compute_load: self.compute.clone(),
+            in_bytes: self.in_bytes.clone(),
+            out_bytes: self.out_bytes.clone(),
+            memory_bytes: self.memory_bytes.clone(),
+            dma_in: self.dma_in.clone(),
+            dma_ppe: self.dma_ppe.clone(),
+            bottleneck: self.bottleneck(),
+            violations,
+        }
+    }
+
+    // ---- delta plumbing ---------------------------------------------------
+
+    fn addf(&mut self, tag: u8, pe: usize, delta: f64) {
+        let v = match tag {
+            F_COMPUTE => &mut self.compute,
+            F_IN => &mut self.in_bytes,
+            F_OUT => &mut self.out_bytes,
+            _ => &mut self.memory_bytes,
+        };
+        let old = v[pe];
+        v[pe] = old + delta;
+        self.frame.floats.push((tag, pe as u32, old));
+    }
+
+    fn addu(&mut self, tag: u8, pe: usize, delta: i32) {
+        let v = if tag == U_DMA_IN { &mut self.dma_in } else { &mut self.dma_ppe };
+        let old = v[pe];
+        v[pe] = (old as i64 + delta as i64) as u32;
+        self.frame.ints.push((tag, pe as u32, old));
+    }
+
+    /// Move `t` to `to`, logging every touched entry. O(degree(t)).
+    fn relocate(&mut self, t: TaskId, to: PeId) {
+        let k = t.index();
+        let from = self.assignment[k];
+        if from == to {
+            return;
+        }
+        let (fi, ti) = (from.index(), to.index());
+        assert!(ti < self.compute.len(), "{to} out of range");
+        self.frame.assigns.push((k, from));
+        self.assignment[k] = to;
+
+        let from_spe = fi >= self.n_ppe;
+        let to_spe = ti >= self.n_ppe;
+
+        // task-attached terms: compute, memory traffic, local-store buffers
+        self.addf(F_COMPUTE, fi, -if from_spe { self.cost_spe[k] } else { self.cost_ppe[k] });
+        self.addf(F_COMPUTE, ti, if to_spe { self.cost_spe[k] } else { self.cost_ppe[k] });
+        if self.read_bytes[k] != 0.0 {
+            self.addf(F_IN, fi, -self.read_bytes[k]);
+            self.addf(F_IN, ti, self.read_bytes[k]);
+        }
+        if self.write_bytes[k] != 0.0 {
+            self.addf(F_OUT, fi, -self.write_bytes[k]);
+            self.addf(F_OUT, ti, self.write_bytes[k]);
+        }
+        if from_spe {
+            self.addf(F_MEM, fi, -self.task_buf[k]);
+        }
+        if to_spe {
+            self.addf(F_MEM, ti, self.task_buf[k]);
+        }
+
+        // incident edges: retract the old cut contributions, add the new
+        let g = self.g;
+        for &e in g.in_edges(t) {
+            let edge = g.edge(e);
+            let ps = self.assignment[edge.src.index()];
+            let (si, d) = (ps.index(), edge.data_bytes);
+            let src_spe = si >= self.n_ppe;
+            if ps != from {
+                self.addf(F_OUT, si, -d);
+                self.addf(F_IN, fi, -d);
+                if from_spe {
+                    self.addu(U_DMA_IN, fi, -1);
+                }
+                if src_spe && !from_spe {
+                    self.addu(U_DMA_PPE, si, -1);
+                }
+            }
+            if ps != to {
+                self.addf(F_OUT, si, d);
+                self.addf(F_IN, ti, d);
+                if to_spe {
+                    self.addu(U_DMA_IN, ti, 1);
+                }
+                if src_spe && !to_spe {
+                    self.addu(U_DMA_PPE, si, 1);
+                }
+            }
+        }
+        for &e in g.out_edges(t) {
+            let edge = g.edge(e);
+            let pd = self.assignment[edge.dst.index()];
+            let (di, d) = (pd.index(), edge.data_bytes);
+            let dst_spe = di >= self.n_ppe;
+            if pd != from {
+                self.addf(F_OUT, fi, -d);
+                self.addf(F_IN, di, -d);
+                if dst_spe {
+                    self.addu(U_DMA_IN, di, -1);
+                }
+                if from_spe && !dst_spe {
+                    self.addu(U_DMA_PPE, fi, -1);
+                }
+            }
+            if pd != to {
+                self.addf(F_OUT, ti, d);
+                self.addf(F_IN, di, d);
+                if dst_spe {
+                    self.addu(U_DMA_IN, di, 1);
+                }
+                if to_spe && !dst_spe {
+                    self.addu(U_DMA_PPE, ti, 1);
+                }
+            }
+        }
+    }
+}
+
+/// Test-only contract check shared by the unit tests here and the
+/// property suite in `crate::tests`: the live state must agree with a
+/// from-scratch `evaluate()` of its current mapping — period and loads
+/// within 1e-9 relative (committed deltas accumulate IEEE drift), the
+/// verdicts, bottleneck, DMA counters and violation list exactly.
+#[cfg(test)]
+pub(crate) fn assert_matches_full(state: &EvalState<'_>, ctx: &str) {
+    let full = crate::eval::evaluate(state.graph(), state.spec(), &state.mapping()).unwrap();
+    let rep = state.report();
+    let tol = 1e-9 * full.period.abs().max(1e-12);
+    assert!(
+        (rep.period - full.period).abs() <= tol,
+        "{ctx}: period {} vs {}",
+        rep.period,
+        full.period
+    );
+    assert_eq!(rep.is_feasible(), full.is_feasible(), "{ctx}: feasibility");
+    assert_eq!(rep.bottleneck, full.bottleneck, "{ctx}: bottleneck");
+    assert_eq!(rep.dma_in, full.dma_in, "{ctx}: dma_in");
+    assert_eq!(rep.dma_ppe, full.dma_ppe, "{ctx}: dma_ppe");
+    for i in 0..full.compute_load.len() {
+        assert!((rep.compute_load[i] - full.compute_load[i]).abs() <= tol, "{ctx}: compute[{i}]");
+        assert!((rep.in_bytes[i] - full.in_bytes[i]).abs() <= 1e-6, "{ctx}: in[{i}]");
+        assert!((rep.out_bytes[i] - full.out_bytes[i]).abs() <= 1e-6, "{ctx}: out[{i}]");
+        assert!((rep.memory_bytes[i] - full.memory_bytes[i]).abs() <= 1e-6, "{ctx}: mem[{i}]");
+    }
+    assert_eq!(rep.violations, full.violations, "{ctx}: violations");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use cellstream_daggen::{chain, fork_join, CostParams};
+    use cellstream_platform::CellSpecBuilder;
+
+    #[test]
+    fn fresh_state_matches_full_evaluator() {
+        let g = fork_join("fj", 4, &CostParams::default(), 7);
+        let spec = CellSpec::ps3();
+        for m in [Mapping::all_on(&g, PeId(0)), Mapping::all_on(&g, PeId(3))] {
+            let state = EvalState::new(&g, &spec, &m).unwrap();
+            assert_matches_full(&state, "fresh");
+        }
+    }
+
+    #[test]
+    fn relocations_track_the_full_evaluator() {
+        let g = chain("c", 10, &CostParams::default(), 5);
+        let spec = CellSpec::ps3();
+        let mut state = EvalState::new(&g, &spec, &Mapping::all_on(&g, PeId(0))).unwrap();
+        // deterministic walk over every (task, pe) pair
+        for k in 0..g.n_tasks() {
+            let to = spec.pe((k * 3 + 1) % spec.n_pes());
+            state.apply(Move::Relocate { task: TaskId(k), to });
+            assert_matches_full(&state, &format!("after moving T{k}"));
+        }
+    }
+
+    #[test]
+    fn swaps_track_the_full_evaluator() {
+        let g = fork_join("fj", 3, &CostParams::default(), 2);
+        let spec = CellSpec::with_spes(3);
+        let m = Mapping::new(&g, &spec, (0..g.n_tasks()).map(|k| PeId(k % spec.n_pes())).collect())
+            .unwrap();
+        let mut state = EvalState::new(&g, &spec, &m).unwrap();
+        for a in 0..g.n_tasks() {
+            let b = (a + 2) % g.n_tasks();
+            if a == b {
+                continue;
+            }
+            state.apply(Move::Swap { a: TaskId(a), b: TaskId(b) });
+            assert_matches_full(&state, &format!("after swapping T{a}/T{b}"));
+        }
+    }
+
+    #[test]
+    fn undo_restores_exactly() {
+        let g = chain("c", 8, &CostParams::default(), 9);
+        let spec = CellSpec::with_spes(4);
+        let m = Mapping::new(
+            &g,
+            &spec,
+            (0..g.n_tasks()).map(|k| PeId((k * 2) % spec.n_pes())).collect(),
+        )
+        .unwrap();
+        let mut state = EvalState::new(&g, &spec, &m).unwrap();
+        let before = state.clone();
+        for k in 0..g.n_tasks() {
+            state.apply(Move::Relocate { task: TaskId(k), to: PeId((k + 1) % spec.n_pes()) });
+            assert!(state.undo());
+            // bitwise identical, not merely close
+            assert_eq!(state.compute, before.compute);
+            assert_eq!(state.in_bytes, before.in_bytes);
+            assert_eq!(state.out_bytes, before.out_bytes);
+            assert_eq!(state.memory_bytes, before.memory_bytes);
+            assert_eq!(state.dma_in, before.dma_in);
+            assert_eq!(state.dma_ppe, before.dma_ppe);
+            assert_eq!(state.assignment, before.assignment);
+        }
+        assert!(!state.undo(), "nothing left to undo");
+    }
+
+    #[test]
+    fn score_move_is_a_pure_probe() {
+        let g = fork_join("fj", 4, &CostParams::default(), 3);
+        let spec = CellSpec::ps3();
+        let mut state = EvalState::new(&g, &spec, &Mapping::all_on(&g, PeId(0))).unwrap();
+        let p0 = state.period();
+        for k in 0..g.n_tasks() {
+            for pe in 0..spec.n_pes() {
+                let s = state.score_move(Move::Relocate { task: TaskId(k), to: PeId(pe) });
+                // the probe agrees with a fresh full evaluation of the move
+                let cand = state.mapping().with_move(TaskId(k), PeId(pe));
+                let full = evaluate(&g, &spec, &cand).unwrap();
+                if full.is_feasible() {
+                    assert!((s - full.period).abs() <= 1e-9 * full.period, "T{k}->PE{pe}");
+                } else {
+                    assert!(s.is_infinite());
+                }
+            }
+        }
+        assert_eq!(state.period(), p0, "probing must not disturb the state");
+    }
+
+    #[test]
+    fn feasibility_flips_with_local_store() {
+        // same construction as eval::tests::local_store_violation_detected
+        let spec = CellSpecBuilder::default()
+            .spes(1)
+            .local_store(cellstream_platform::ByteSize::kib(128))
+            .code_size(cellstream_platform::ByteSize::kib(64))
+            .build()
+            .unwrap();
+        let mut b = StreamGraph::builder("p");
+        let a = b.add_task(cellstream_graph::TaskSpec::new("a").uniform_cost(1e-6));
+        let z = b.add_task(cellstream_graph::TaskSpec::new("z").uniform_cost(1e-6));
+        b.add_edge(a, z, 64.0 * 1024.0).unwrap();
+        let g = b.build().unwrap();
+        let mut state = EvalState::new(&g, &spec, &Mapping::all_on(&g, PeId(0))).unwrap();
+        assert!(state.is_feasible());
+        state.apply(Move::Relocate { task: TaskId(0), to: PeId(1) });
+        state.apply(Move::Relocate { task: TaskId(1), to: PeId(1) });
+        assert!(!state.is_feasible(), "both tasks on the tiny SPE must overflow");
+        assert_matches_full(&state, "overflowed");
+        assert!(state.score().is_infinite());
+    }
+
+    #[test]
+    fn reset_reseats_without_reallocating_tables() {
+        let g = chain("c", 6, &CostParams::default(), 4);
+        let spec = CellSpec::with_spes(2);
+        let mut state = EvalState::new(&g, &spec, &Mapping::all_on(&g, PeId(0))).unwrap();
+        state.apply(Move::Relocate { task: TaskId(2), to: PeId(1) });
+        let other = Mapping::new(&g, &spec, vec![PeId(1); 6]).unwrap();
+        state.reset(&other).unwrap();
+        assert_eq!(state.mapping(), other);
+        assert_matches_full(&state, "after reset");
+        assert!(!state.undo(), "reset clears the undo log");
+        // and reset validates
+        let wrong = Mapping::all_on(&chain("c2", 3, &CostParams::default(), 1), PeId(0));
+        assert!(state.reset(&wrong).is_err());
+    }
+}

@@ -52,6 +52,7 @@ pub mod scheduler;
 pub mod solve;
 pub mod steady;
 
+pub use eval::incremental::{EvalState, Move};
 pub use eval::{evaluate, MappingReport, Violation};
 pub use formulation::{FormKind, Formulation, FormulationConfig};
 pub use mapping::{Mapping, MappingError};

@@ -53,15 +53,28 @@ impl Mapping {
         spec: &CellSpec,
         assignment: Vec<PeId>,
     ) -> Result<Self, MappingError> {
-        if assignment.len() != g.n_tasks() {
-            return Err(MappingError::WrongLength { expected: g.n_tasks(), got: assignment.len() });
+        let m = Mapping { assignment };
+        m.validate(g, spec)?;
+        Ok(m)
+    }
+
+    /// Check this mapping against a graph and platform without cloning the
+    /// assignment: length must match the task count, every PE must exist.
+    /// This is what `evaluate` and `EvalState::new` run on deserialised
+    /// mappings — allocation-free, O(K).
+    pub fn validate(&self, g: &StreamGraph, spec: &CellSpec) -> Result<(), MappingError> {
+        if self.assignment.len() != g.n_tasks() {
+            return Err(MappingError::WrongLength {
+                expected: g.n_tasks(),
+                got: self.assignment.len(),
+            });
         }
-        for (k, &pe) in assignment.iter().enumerate() {
+        for (k, &pe) in self.assignment.iter().enumerate() {
             if pe.index() >= spec.n_pes() {
                 return Err(MappingError::UnknownPe(TaskId(k), pe));
             }
         }
-        Ok(Mapping { assignment })
+        Ok(())
     }
 
     /// Everything on one PE (the PPE-only baseline of §6.4.2 when `pe` is

@@ -258,3 +258,90 @@ proptest! {
             "4 SPEs {} vs 2 SPEs {}", out4.period, out2.period);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Incremental-vs-full evaluator equivalence (the delta engine's contract)
+// ---------------------------------------------------------------------------
+
+use crate::eval::incremental::assert_matches_full as assert_state_matches_full;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn prop_incremental_matches_full_after_every_step(
+        seed in 0u64..5000,
+        n in 4usize..16,
+        spes in 1usize..4,
+        ops in collection::vec((any::<u32>(), any::<u32>(), 0u32..100), 1..50),
+    ) {
+        use crate::{EvalState, Move};
+        use cellstream_graph::TaskId;
+
+        let g = tiny_graph(seed, n);
+        let spec = CellSpec::with_spes(spes);
+        let mut state = EvalState::new(&g, &spec, &Mapping::all_on(&g, PeId(0))).unwrap();
+        let mut can_undo = false;
+        for (i, &(x, y, kind)) in ops.iter().enumerate() {
+            let t = TaskId(x as usize % g.n_tasks());
+            let pe = PeId(y as usize % spec.n_pes());
+            let ctx = format!("seed {seed}, op {i}");
+            if kind < 15 {
+                // undo when possible (apply/score_move below consume it)
+                let undone = state.undo();
+                prop_assert_eq!(undone, can_undo, "{}: undo availability", ctx);
+                can_undo = false;
+            } else if kind < 40 {
+                let u = TaskId(y as usize % g.n_tasks());
+                prop_assume!(u != t);
+                state.apply(Move::Swap { a: t, b: u });
+                can_undo = true;
+            } else if kind < 60 {
+                // a probe must leave the state bitwise untouched
+                let before = state.period();
+                let probe = state.score_move(Move::Relocate { task: t, to: pe });
+                prop_assert_eq!(state.period(), before, "{}: probe disturbed state", ctx);
+                // ... and agree with a fresh evaluation of the probed mapping
+                let full = evaluate(&g, &spec, &state.mapping().with_move(t, pe)).unwrap();
+                if full.is_feasible() {
+                    prop_assert!((probe - full.period).abs() <= 1e-9 * full.period,
+                        "{}: probe {} vs full {}", ctx, probe, full.period);
+                } else {
+                    prop_assert!(probe.is_infinite(), "{}: infeasible probe must be inf", ctx);
+                }
+                can_undo = false; // score_move consumed the undo log
+            } else {
+                state.apply(Move::Relocate { task: t, to: pe });
+                can_undo = true;
+            }
+            assert_state_matches_full(&state, &ctx);
+        }
+    }
+
+    #[test]
+    fn prop_incremental_score_equals_search_objective(
+        seed in 0u64..2000,
+        n in 3usize..10,
+    ) {
+        use crate::{EvalState, Move};
+        use cellstream_graph::TaskId;
+
+        // every single-move score from a greedy-ish start matches the
+        // full evaluator's verdict (the local-search inner loop contract)
+        let g = tiny_graph(seed, n);
+        let spec = CellSpec::with_spes(2);
+        let mut state = EvalState::new(&g, &spec, &Mapping::all_on(&g, PeId(0))).unwrap();
+        for k in 0..g.n_tasks() {
+            for pe in 0..spec.n_pes() {
+                let s = state.score_move(Move::Relocate { task: TaskId(k), to: PeId(pe) });
+                let full = evaluate(&g, &spec, &state.mapping().with_move(TaskId(k), PeId(pe)))
+                    .unwrap();
+                if full.is_feasible() {
+                    prop_assert!((s - full.period).abs() <= 1e-9 * full.period);
+                } else {
+                    prop_assert!(s.is_infinite());
+                }
+            }
+        }
+    }
+}

@@ -2,18 +2,22 @@
 //! heuristics the paper's conclusion asks for ("design involved mapping
 //! heuristics which approach the optimal throughput").
 //!
-//! Standard Metropolis scheme on the exact evaluator: random single-task
-//! moves, accept improvements always and regressions with probability
-//! `exp(-Δ/temperature)`, geometric cooling. Infeasible neighbours are
-//! rejected outright (the feasible region is connected through the PPE,
-//! which accepts every task, so rejection cannot strand the walk).
-//! Deterministic under a fixed seed.
+//! Standard Metropolis scheme on the **incremental** evaluator
+//! ([`EvalState`](cellstream_core::EvalState)): random single-task
+//! moves are probed with an O(degree) `score_move`, accepted moves are
+//! re-applied in place — no mapping clones, no full re-evaluations
+//! inside the walk. Improvements are always accepted, regressions with
+//! probability `exp(-Δ/temperature)`, geometric cooling. Infeasible
+//! neighbours are rejected outright (the feasible region is connected
+//! through the PPE, which accepts every task, so rejection cannot strand
+//! the walk). Deterministic under a fixed seed.
 
-use cellstream_core::{evaluate, Mapping};
+use cellstream_core::{evaluate, EvalState, Mapping, Move};
 use cellstream_graph::{StreamGraph, TaskId};
 use cellstream_platform::CellSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
 
 /// Annealing parameters.
 #[derive(Debug, Clone)]
@@ -27,16 +31,27 @@ pub struct AnnealingOptions {
     pub cooling: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Wall-clock budget: the walk stops early once it is exhausted
+    /// (checked every 128 steps). `None` (the default) runs all `steps`.
+    pub budget: Option<Duration>,
 }
 
 impl Default for AnnealingOptions {
     fn default() -> Self {
-        AnnealingOptions { steps: 4000, t0_fraction: 0.2, cooling: 0.93, seed: 0xA11EA1 }
+        AnnealingOptions {
+            steps: 4000,
+            t0_fraction: 0.2,
+            cooling: 0.93,
+            seed: 0xA11EA1,
+            budget: None,
+        }
     }
 }
 
 /// Anneal from `start`; returns the best feasible mapping seen and its
-/// period. If `start` is infeasible the walk begins from PPE-only.
+/// period (re-derived with one full [`evaluate`], so the published
+/// number is exactly the verifier's). If `start` is infeasible the walk
+/// begins from PPE-only.
 pub fn anneal(
     g: &StreamGraph,
     spec: &CellSpec,
@@ -44,43 +59,48 @@ pub fn anneal(
     opts: &AnnealingOptions,
 ) -> (Mapping, f64) {
     let mut rng = StdRng::seed_from_u64(opts.seed);
-    let feasible_period = |m: &Mapping| -> Option<f64> {
-        evaluate(g, spec, m).ok().filter(|r| r.is_feasible()).map(|r| r.period)
+    let ppe_only = Mapping::all_on(g, spec.pe(0));
+    let mut state = match EvalState::new(g, spec, start) {
+        Ok(s) => s,
+        Err(_) => EvalState::new(g, spec, &ppe_only).expect("PPE-only is structurally valid"),
     };
-
-    let (mut current, mut current_p) = match feasible_period(start) {
-        Some(p) => (start.clone(), p),
-        None => {
-            let ppe = Mapping::all_on(g, spec.pe(0));
-            let p = feasible_period(&ppe).expect("PPE-only is always feasible");
-            (ppe, p)
-        }
-    };
-    let (mut best, mut best_p) = (current.clone(), current_p);
+    if !state.is_feasible() {
+        state.reset(&ppe_only).expect("PPE-only is structurally valid");
+        debug_assert!(state.is_feasible(), "PPE-only is always feasible");
+    }
+    let mut current_p = state.period();
+    let (mut best, mut best_p) = (state.mapping(), current_p);
 
     let mut temperature = current_p * opts.t0_fraction;
     let cool_every = (opts.steps / 100).max(1);
+    let deadline = opts.budget.map(|b| Instant::now() + b);
 
     for step in 0..opts.steps {
+        if step % 128 == 0 && deadline.is_some_and(|d| Instant::now() >= d) {
+            break;
+        }
         // neighbour: move one random task to one random other PE
         let t = TaskId(rng.gen_range(0..g.n_tasks()));
         let mut to = spec.pe(rng.gen_range(0..spec.n_pes()));
-        if to == current.pe_of(t) {
+        if to == state.pe_of(t) {
             to = spec.pe((to.index() + 1) % spec.n_pes());
-            if to == current.pe_of(t) {
+            if to == state.pe_of(t) {
                 continue; // single-PE platform
             }
         }
-        let cand = current.with_move(t, to);
-        let Some(cand_p) = feasible_period(&cand) else { continue };
+        let mv = Move::Relocate { task: t, to };
+        let cand_p = state.score_move(mv);
+        if !cand_p.is_finite() {
+            continue; // infeasible neighbour
+        }
         let delta = cand_p - current_p;
         let accept =
             delta <= 0.0 || (temperature > 0.0 && rng.gen::<f64>() < (-delta / temperature).exp());
         if accept {
-            current = cand;
+            state.apply(mv);
             current_p = cand_p;
             if current_p < best_p {
-                best = current.clone();
+                best = state.mapping();
                 best_p = current_p;
             }
         }
@@ -88,7 +108,9 @@ pub fn anneal(
             temperature *= opts.cooling;
         }
     }
-    (best, best_p)
+    // publish the exact verifier period of the best mapping seen
+    let exact = evaluate(g, spec, &best).expect("best mapping is valid").period;
+    (best, exact)
 }
 
 #[cfg(test)]
@@ -171,5 +193,17 @@ mod tests {
             anneal(&g, &spec, &bad, &AnnealingOptions { steps: 200, ..Default::default() });
         let r = evaluate(&g, &spec, &m).unwrap();
         assert!(r.is_feasible());
+    }
+
+    #[test]
+    fn zero_budget_still_returns_a_feasible_mapping() {
+        let g = chain("a", 9, &CostParams::default(), 5);
+        let spec = CellSpec::ps3();
+        let start = Mapping::all_on(&g, PeId(0));
+        let opts = AnnealingOptions { budget: Some(Duration::ZERO), ..Default::default() };
+        let (m, p) = anneal(&g, &spec, &start, &opts);
+        let r = evaluate(&g, &spec, &m).unwrap();
+        assert!(r.is_feasible());
+        assert!((r.period - p).abs() < 1e-15);
     }
 }

@@ -16,12 +16,19 @@
 //! throughput"):
 //!
 //! * [`local_search`] — steepest-descent task-move/swap refinement of any
-//!   starting mapping, driven by the exact evaluator;
-//! * [`comm_aware_greedy`] — greedy that scores candidate PEs by the
-//!   *period* the partial mapping would have (so communication and DMA
-//!   pressure count), not just memory or compute;
+//!   starting mapping;
+//! * [`comm_aware_greedy`] — one-pass greedy that relocates each task off
+//!   the PPE-only baseline to the PE minimising the *whole mapping's*
+//!   period (so communication, memory traffic and DMA pressure count),
+//!   not just memory or compute;
 //! * [`anneal`] — simulated annealing over single-task moves, for
 //!   escaping the local optima where steepest descent stops.
+//!
+//! All three iterative heuristics run on the **incremental evaluator**
+//! ([`cellstream_core::EvalState`]): probing a neighbour is an O(degree)
+//! delta update instead of a full O(V+E) re-evaluation, which is what
+//! makes the O(K²) swap neighbourhood the default and paper-scale graphs
+//! (94 tasks on a QS22) routine.
 //!
 //! Every heuristic returns a structurally valid mapping; feasibility of
 //! the greedy outputs follows from their memory checks (DMA limits can

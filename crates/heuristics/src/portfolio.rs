@@ -92,16 +92,19 @@ impl Portfolio {
     }
 
     /// The paper's §6 line-up: the PPE-only baseline (§6.4.2), both
-    /// greedies, the comm-aware greedy, multi-start local search, and
-    /// the seed-fed MILP. The baseline member makes the "always returns
-    /// a feasible plan" guarantee structural: PPE-only is feasible on
-    /// every instance.
+    /// greedies, the comm-aware greedy, multi-start local search,
+    /// simulated annealing, and the seed-fed MILP. The baseline member
+    /// makes the "always returns a feasible plan" guarantee structural:
+    /// PPE-only is feasible on every instance.
     pub fn standard() -> Self {
         Portfolio::heuristics_only().with_named("milp")
     }
 
     /// The heuristic-only line-up (no MILP): fast and budget-friendly,
-    /// with the same PPE-only feasibility guarantee.
+    /// with the same PPE-only feasibility guarantee. The iterative
+    /// members (multi-start search, annealing) run on the incremental
+    /// evaluator and honour the portfolio budget, so a bigger budget
+    /// directly buys more probed moves.
     pub fn heuristics_only() -> Self {
         Portfolio::new()
             .with_named("ppe_only")
@@ -109,6 +112,7 @@ impl Portfolio {
             .with_named("greedy_cpu")
             .with_named("comm_aware")
             .with_named("multi_start")
+            .with_named("anneal")
     }
 
     /// Add a scheduler instance.
@@ -280,7 +284,7 @@ mod tests {
         let spec = CellSpec::with_spes(2);
         let p = Portfolio::heuristics_only();
         let outcome = p.run(&g, &spec).unwrap();
-        assert_eq!(outcome.leaderboard.len(), 5);
+        assert_eq!(outcome.leaderboard.len(), 6);
         let periods: Vec<f64> = outcome
             .leaderboard
             .iter()
@@ -324,6 +328,6 @@ mod tests {
         let p = Portfolio::standard();
         let names = p.member_names();
         assert_eq!(names.last(), Some(&"milp"));
-        assert_eq!(names.len(), 6);
+        assert_eq!(names.len(), 7);
     }
 }

@@ -82,8 +82,20 @@ impl Scheduler for CommAwareScheduler {
     }
 }
 
+/// Fill an unset per-options budget from the planning context, so a
+/// [`Portfolio`](crate::Portfolio) wall-clock budget actually bounds the
+/// iterative members (explicit option budgets win).
+fn search_opts_for(base: &LocalSearchOptions, ctx: &PlanContext) -> LocalSearchOptions {
+    let mut opts = base.clone();
+    if opts.budget.is_none() {
+        opts.budget = ctx.budget;
+    }
+    opts
+}
+
 /// Steepest-descent local search as a [`Scheduler`]: refines the first
-/// feasible seed from the context, falling back to *GreedyCpu*.
+/// feasible seed from the context, falling back to *GreedyCpu*. Honours
+/// `ctx.budget` unless the options carry their own.
 #[derive(Debug, Clone, Default)]
 pub struct LocalSearchScheduler {
     /// Search parameters.
@@ -103,7 +115,7 @@ impl Scheduler for LocalSearchScheduler {
             .find(|m| evaluate(g, spec, m).map(|r| r.is_feasible()).unwrap_or(false))
             .cloned()
             .unwrap_or_else(|| greedy_cpu(g, spec));
-        let (mapping, _) = local_search(g, spec, &start, &self.opts);
+        let (mapping, _) = local_search(g, spec, &start, &search_opts_for(&self.opts, ctx));
         // local_search does not report how many rounds it actually ran,
         // so follow the PlanStats contract: 0 when untracked.
         Plan::from_mapping(
@@ -119,7 +131,8 @@ impl Scheduler for LocalSearchScheduler {
 
 /// Simulated annealing as a [`Scheduler`]: walks from the first feasible
 /// seed (falling back to *GreedyCpu*; infeasible starts are handled by
-/// [`anneal`] itself, which restarts from PPE-only).
+/// [`anneal`] itself, which restarts from PPE-only). Honours
+/// `ctx.budget` unless the options carry their own.
 #[derive(Debug, Clone, Default)]
 pub struct AnnealScheduler {
     /// Annealing parameters.
@@ -139,7 +152,11 @@ impl Scheduler for AnnealScheduler {
             .find(|m| evaluate(g, spec, m).map(|r| r.is_feasible()).unwrap_or(false))
             .cloned()
             .unwrap_or_else(|| greedy_cpu(g, spec));
-        let (mapping, _) = anneal(g, spec, &start, &self.opts);
+        let mut opts = self.opts.clone();
+        if opts.budget.is_none() {
+            opts.budget = ctx.budget;
+        }
+        let (mapping, _) = anneal(g, spec, &start, &opts);
         Plan::from_mapping(
             self.name(),
             g,
@@ -176,7 +193,12 @@ impl Scheduler for MultiStartScheduler {
         ];
         starts.extend(ctx.seeds.iter().cloned());
         let n_starts = starts.len() as u64;
-        let (mapping, _) = multi_start(g, spec, &starts, &self.opts);
+        // the per-start budget splits the context budget across starts
+        let mut opts = self.opts.clone();
+        if opts.budget.is_none() {
+            opts.budget = ctx.budget.map(|b| b / starts.len().max(1) as u32);
+        }
+        let (mapping, _) = multi_start(g, spec, &starts, &opts);
         Plan::from_mapping(
             self.name(),
             g,

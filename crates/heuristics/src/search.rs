@@ -1,58 +1,74 @@
 //! Local search over mappings (extension heuristic, paper §7 future work).
 //!
-//! Steepest-descent on the exact evaluator: repeatedly try moving any
-//! single task to any other PE (and optionally swapping two tasks), keep
-//! the best improving neighbour, stop at a local optimum. Infeasible
-//! neighbours are discarded, so starting from a feasible mapping the
-//! result stays feasible. Deterministic given a deterministic start.
+//! Steepest-descent on the **incremental** evaluator
+//! ([`EvalState`](cellstream_core::EvalState)): repeatedly probe moving
+//! any single task to any other PE (and, by default, swapping any two
+//! tasks on different PEs), keep the best improving neighbour, stop at a
+//! local optimum. Every probe is an O(degree) `score_move` — no mapping
+//! clones, no re-validation, no buffer-plan rebuilds — which is what
+//! makes the O(K²) swap neighbourhood affordable on paper-scale graphs
+//! (graph 2's 94 tasks on a QS22) and lets a wall-clock budget buy
+//! orders of magnitude more moves. Infeasible neighbours score `+∞` and
+//! are never selected, so starting from a feasible mapping the result
+//! stays feasible. Deterministic given a deterministic start.
 
-use cellstream_core::{evaluate, Mapping};
+use cellstream_core::{evaluate, EvalState, Mapping, Move};
 use cellstream_graph::StreamGraph;
 use cellstream_platform::CellSpec;
+use std::time::{Duration, Instant};
 
 /// Options for [`local_search`].
 #[derive(Debug, Clone)]
 pub struct LocalSearchOptions {
     /// Maximum improving rounds (each round scans all neighbours).
     pub max_rounds: usize,
-    /// Also consider swapping pairs of tasks (O(K²·n) per round instead
-    /// of O(K·n)).
+    /// Also consider swapping pairs of tasks (O(K²) extra probes per
+    /// round; the default since the incremental engine made them cheap).
     pub swaps: bool,
     /// Minimum relative improvement to accept a move.
     pub min_gain: f64,
+    /// Wall-clock budget: stop after the first round that ends past it.
+    /// `None` (the default) runs all `max_rounds`.
+    pub budget: Option<Duration>,
 }
 
 impl Default for LocalSearchOptions {
     fn default() -> Self {
-        LocalSearchOptions { max_rounds: 64, swaps: false, min_gain: 1e-9 }
+        LocalSearchOptions { max_rounds: 64, swaps: true, min_gain: 1e-9, budget: None }
     }
 }
 
 /// Refine `start` by steepest descent. Returns the refined mapping and
-/// its period.
+/// its period (re-derived with one full [`evaluate`] so the published
+/// number is exactly the verifier's, free of incremental drift).
 pub fn local_search(
     g: &StreamGraph,
     spec: &CellSpec,
     start: &Mapping,
     opts: &LocalSearchOptions,
 ) -> (Mapping, f64) {
-    let mut current = start.clone();
-    let mut current_period = period_or_inf(g, spec, &current);
+    let mut state = match EvalState::new(g, spec, start) {
+        Ok(s) => s,
+        // structurally invalid start: nothing to refine
+        Err(_) => return (start.clone(), f64::INFINITY),
+    };
+    let deadline = opts.budget.map(|b| Instant::now() + b);
+    let mut current = state.score();
 
     for _ in 0..opts.max_rounds {
-        let mut best: Option<(Mapping, f64)> = None;
+        let mut best: Option<(Move, f64)> = None;
 
         // single-task moves
         for t in g.task_ids() {
-            let from = current.pe_of(t);
+            let from = state.pe_of(t);
             for to in spec.pes() {
                 if to == from {
                     continue;
                 }
-                let cand = current.with_move(t, to);
-                let p = period_or_inf(g, spec, &cand);
-                if p < best.as_ref().map_or(current_period, |(_, bp)| *bp) {
-                    best = Some((cand, p));
+                let mv = Move::Relocate { task: t, to };
+                let p = state.score_move(mv);
+                if p < best.as_ref().map_or(current, |(_, bp)| *bp) {
+                    best = Some((mv, p));
                 }
             }
         }
@@ -61,31 +77,36 @@ pub fn local_search(
         if opts.swaps {
             for a in g.task_ids() {
                 for b in g.task_ids().skip(a.index() + 1) {
-                    let (pa, pb) = (current.pe_of(a), current.pe_of(b));
-                    if pa == pb {
+                    if state.pe_of(a) == state.pe_of(b) {
                         continue;
                     }
-                    let cand = current.with_move(a, pb).with_move(b, pa);
-                    let p = period_or_inf(g, spec, &cand);
-                    if p < best.as_ref().map_or(current_period, |(_, bp)| *bp) {
-                        best = Some((cand, p));
+                    let mv = Move::Swap { a, b };
+                    let p = state.score_move(mv);
+                    if p < best.as_ref().map_or(current, |(_, bp)| *bp) {
+                        best = Some((mv, p));
                     }
                 }
             }
         }
 
         match best {
-            Some((cand, p)) if p < current_period * (1.0 - opts.min_gain) => {
-                current = cand;
-                current_period = p;
+            Some((mv, p)) if p < current * (1.0 - opts.min_gain) => {
+                state.apply(mv);
+                current = p;
             }
             _ => break, // local optimum
         }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            break;
+        }
     }
-    (current, current_period)
+    let refined = state.mapping();
+    let exact = exact_period(g, spec, &refined);
+    (refined, exact)
 }
 
-fn period_or_inf(g: &StreamGraph, spec: &CellSpec, m: &Mapping) -> f64 {
+/// The full verifier's verdict on a mapping: feasible period or `+∞`.
+fn exact_period(g: &StreamGraph, spec: &CellSpec, m: &Mapping) -> f64 {
     match evaluate(g, spec, m) {
         Ok(r) if r.is_feasible() => r.period,
         _ => f64::INFINITY,
@@ -94,7 +115,7 @@ fn period_or_inf(g: &StreamGraph, spec: &CellSpec, m: &Mapping) -> f64 {
 
 /// Run local search from several starts (e.g. both greedies and PPE-only)
 /// and keep the best. The usual entry point for "the best heuristic
-/// answer without the MILP".
+/// answer without the MILP". A budget in `opts` applies per start.
 pub fn multi_start(
     g: &StreamGraph,
     spec: &CellSpec,
@@ -120,10 +141,10 @@ mod tests {
         let g = chain("c", 8, &CostParams::default(), 21);
         let spec = CellSpec::with_spes(3);
         let start = Mapping::all_on(&g, PeId(0));
-        let start_period = period_or_inf(&g, &spec, &start);
+        let start_period = exact_period(&g, &spec, &start);
         let (refined, period) = local_search(&g, &spec, &start, &LocalSearchOptions::default());
         assert!(period <= start_period);
-        assert!(period_or_inf(&g, &spec, &refined) == period);
+        assert!(exact_period(&g, &spec, &refined) == period);
     }
 
     #[test]
@@ -133,7 +154,7 @@ mod tests {
         let spec = CellSpec::with_spes(4);
         let start = Mapping::all_on(&g, PeId(0));
         let (_, period) = local_search(&g, &spec, &start, &LocalSearchOptions::default());
-        let ppe_period = period_or_inf(&g, &spec, &start);
+        let ppe_period = exact_period(&g, &spec, &start);
         assert!(
             period < ppe_period,
             "local search should offload something: {period} vs {ppe_period}"
@@ -141,17 +162,18 @@ mod tests {
     }
 
     #[test]
-    fn swaps_extend_the_neighbourhood() {
+    fn swaps_are_the_default_and_extend_the_neighbourhood() {
+        assert!(LocalSearchOptions::default().swaps, "swaps are the default neighbourhood");
         let g = chain("c", 8, &CostParams::default(), 31);
         let spec = CellSpec::with_spes(2);
         let start = Mapping::all_on(&g, PeId(0));
-        let (_, no_swap) = local_search(&g, &spec, &start, &LocalSearchOptions::default());
-        let (_, with_swap) = local_search(
+        let (_, no_swap) = local_search(
             &g,
             &spec,
             &start,
-            &LocalSearchOptions { swaps: true, ..Default::default() },
+            &LocalSearchOptions { swaps: false, ..Default::default() },
         );
+        let (_, with_swap) = local_search(&g, &spec, &start, &LocalSearchOptions::default());
         assert!(with_swap <= no_swap + 1e-15);
     }
 
@@ -183,5 +205,29 @@ mod tests {
             &LocalSearchOptions { max_rounds: 0, ..Default::default() },
         );
         assert_eq!(m, start);
+    }
+
+    #[test]
+    fn zero_budget_stops_after_one_round() {
+        let g = chain("c", 12, &CostParams::default(), 8);
+        let spec = CellSpec::qs22();
+        let start = Mapping::all_on(&g, PeId(0));
+        let budgeted = LocalSearchOptions { budget: Some(Duration::ZERO), ..Default::default() };
+        let (m, p) = local_search(&g, &spec, &start, &budgeted);
+        // still does (at most) one full round, and never worsens
+        assert!(p <= exact_period(&g, &spec, &start));
+        assert_eq!(exact_period(&g, &spec, &m), p);
+    }
+
+    #[test]
+    fn refined_period_is_the_full_evaluators() {
+        // the returned period must be bit-identical to a fresh evaluate()
+        let g = chain("c", 20, &CostParams::default(), 77);
+        let spec = CellSpec::qs22();
+        let (m, p) =
+            local_search(&g, &spec, &Mapping::all_on(&g, PeId(0)), &LocalSearchOptions::default());
+        let r = evaluate(&g, &spec, &m).unwrap();
+        assert!(r.is_feasible());
+        assert_eq!(r.period, p);
     }
 }

@@ -155,9 +155,20 @@ fn local_store_overflow_rejected_at_init() {
 
 #[test]
 fn store_accounting_reported() {
-    let g = chain("c", 3, &CostParams::default(), 5);
     let spec = CellSpec::with_spes(2);
-    let m = Mapping::new(&g, &spec, vec![PeId(1), PeId(1), PeId(2)]).unwrap();
+    // The edge-byte draw is seed-dependent and the split mapping must fit
+    // both local stores: pick the first seed the verifier accepts instead
+    // of hard-coding one (seed 5's buffers overflow SPE 1).
+    let (g, m) = (0..64u64)
+        .find_map(|seed| {
+            let g = chain("c", 3, &CostParams::default(), seed);
+            let m = Mapping::new(&g, &spec, vec![PeId(1), PeId(1), PeId(2)]).unwrap();
+            cellstream_core::evaluate(&g, &spec, &m)
+                .ok()
+                .filter(|r| r.is_feasible())
+                .map(|_| (g, m))
+        })
+        .expect("some seed's buffers fit the split mapping");
     let stats = run(
         &g,
         &spec,

@@ -36,7 +36,7 @@ fn generate_plan_schedule_simulate_execute() {
         .expect("portfolio always finds the PPE-only fallback");
     let plan = planned.plan().clone();
     assert!(plan.is_feasible());
-    assert!(planned.leaderboard().len() == 6, "one entry per portfolio member");
+    assert!(planned.leaderboard().len() == 7, "one entry per portfolio member");
     // the winner is consistent with the analytic evaluator
     let report = evaluate(&g, &spec, &plan.mapping).unwrap();
     assert!((report.period - plan.period()).abs() < 1e-15);
@@ -91,7 +91,7 @@ fn milp_beats_or_matches_heuristics_end_to_end() {
             p.period()
         );
     }
-    assert_eq!(heuristics_seen, 5, "ppe_only + both greedies + comm_aware + multi_start");
+    assert_eq!(heuristics_seen, 6, "ppe_only + both greedies + comm_aware + multi_start + anneal");
 }
 
 #[test]

@@ -117,7 +117,7 @@ fn portfolio_never_worse_than_best_member() {
             best_member
         );
         // leaderboard is complete and sorted best-first
-        assert_eq!(outcome.leaderboard.len(), 6);
+        assert_eq!(outcome.leaderboard.len(), 7);
         let feasible: Vec<f64> = outcome
             .leaderboard
             .iter()
