@@ -181,9 +181,8 @@ pub fn kernels() -> Vec<Arc<dyn Kernel>> {
             let mut left = budget - 32;
             // give bits to the loudest bands first
             let mut order: Vec<usize> = (0..16).collect();
-            order.sort_by(|&a, &b| {
-                smr.get(b).unwrap_or(&0.0).partial_cmp(smr.get(a).unwrap_or(&0.0)).unwrap()
-            });
+            order
+                .sort_by(|&a, &b| smr.get(b).unwrap_or(&0.0).total_cmp(smr.get(a).unwrap_or(&0.0)));
             for &band in order.iter().cycle().take(64) {
                 if left <= 0 || bits[band] >= 12 {
                     continue;

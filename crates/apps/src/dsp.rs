@@ -1,7 +1,69 @@
-//! Small, dependency-free DSP primitives shared by the application
-//! kernels: an iterative radix-2 FFT, a windowed polyphase filter and a
-//! fixed-point quantiser. Real arithmetic — the audio pipeline genuinely
-//! transforms samples.
+//! DSP: shared signal-processing primitives **and** a standalone
+//! spectral-analyzer streaming application.
+//!
+//! The primitives — an iterative radix-2 FFT, a windowed polyphase
+//! filter and a fixed-point quantiser — are real arithmetic shared by
+//! the application kernels (the audio pipeline genuinely transforms
+//! samples).
+//!
+//! [`graph`] packages them as a fourth realistic application for the
+//! scheduler: a real-time spectrum analyzer
+//!
+//! ```text
+//! acquire ─> window ─┬─> fft0 ─┬─> magnitude ─> detect
+//!                    └─> fft1 ─┘
+//! ```
+//!
+//! (acquire a frame from memory, Hann-window it, transform the two
+//! half-frames on parallel FFT lanes, fold the spectra into magnitudes,
+//! and run a branchy peak detector). Its cost mix is the classic Cell
+//! shape: the FFT lanes are heavily SIMD-friendly, the detector prefers
+//! the PPE — which is what makes it a useful co-scheduling partner for
+//! the video pipeline in the multi-application bench.
+
+use cellstream_graph::{GraphError, StreamGraph, TaskSpec};
+
+/// Samples per analysis frame.
+pub const FRAME_SAMPLES: usize = 2048;
+/// Bytes of one acquired frame (`f32` samples).
+pub const FRAME_BYTES: f64 = (FRAME_SAMPLES * 4) as f64;
+/// Parallel FFT lanes.
+pub const FFT_LANES: usize = 2;
+
+/// Build the spectrum-analyzer graph. Costs are microsecond-scale with
+/// the unrelated-machine mix described in the module docs.
+pub fn graph() -> Result<StreamGraph, GraphError> {
+    let mut b = StreamGraph::builder("dsp-analyzer");
+    let acquire =
+        b.add_task(TaskSpec::new("acquire").ppe_cost(0.7e-6).spe_cost(0.9e-6).reads(FRAME_BYTES));
+    let window = b.add_task(
+        // SIMD multiply-accumulate over the frame: 3x faster on an SPE
+        TaskSpec::new("window").ppe_cost(1.8e-6).spe_cost(0.6e-6),
+    );
+    let mut lanes = Vec::new();
+    for lane in 0..FFT_LANES {
+        lanes.push(b.add_task(
+            // butterfly-heavy transform, the SPE sweet spot
+            TaskSpec::new(format!("fft{lane}")).ppe_cost(4.2e-6).spe_cost(1.3e-6),
+        ));
+    }
+    let magnitude = b.add_task(TaskSpec::new("magnitude").ppe_cost(1.4e-6).spe_cost(0.5e-6));
+    let detect = b.add_task(
+        // branchy thresholding with a running noise floor: PPE-friendly,
+        // stateful
+        TaskSpec::new("detect").ppe_cost(0.9e-6).spe_cost(1.6e-6).stateful().writes(512.0),
+    );
+
+    b.add_edge(acquire, window, FRAME_BYTES)?;
+    for &l in &lanes {
+        b.add_edge(window, l, FRAME_BYTES / FFT_LANES as f64)?;
+    }
+    for &l in &lanes {
+        b.add_edge(l, magnitude, FRAME_BYTES / FFT_LANES as f64)?;
+    }
+    b.add_edge(magnitude, detect, 1024.0)?;
+    b.build()
+}
 
 /// In-place iterative radix-2 Cooley–Tukey FFT over interleaved
 /// `(re, im)` pairs. `data.len()` must be a power of two.
@@ -126,13 +188,7 @@ mod tests {
         let mut im = vec![0.0f32; n];
         fft_radix2(&mut re, &mut im);
         let mags: Vec<f32> = (0..n).map(|k| (re[k] * re[k] + im[k] * im[k]).sqrt()).collect();
-        let peak = mags
-            .iter()
-            .enumerate()
-            .take(n / 2)
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let peak = mags.iter().enumerate().take(n / 2).max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
         assert_eq!(peak, f);
     }
 

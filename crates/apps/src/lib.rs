@@ -17,11 +17,16 @@
 //! * [`cipher`] — a real-time encryption pipeline: chunker → 4 parallel
 //!   ChaCha20 lanes → tag accumulator → framer, with an RFC 7539 test
 //!   vector pinning the ChaCha core.
+//! * [`dsp`] — the shared DSP primitives, plus a standalone spectral
+//!   analyzer application (acquire → window → parallel FFT lanes →
+//!   magnitude → peak detect) used by the multi-application
+//!   co-scheduling bench.
 //!
 //! Every app exposes `graph()` (costs/peeks/payloads set to plausible
-//! Cell-era magnitudes) and `kernels()` (real DSP/crypto arithmetic that
-//! actually computes the thing, runnable end-to-end under
-//! `cellstream_rt::run`).
+//! Cell-era magnitudes); audio/video/cipher also expose `kernels()`
+//! (real DSP/crypto arithmetic that actually computes the thing,
+//! runnable end-to-end under `cellstream_rt::run`). Compose any subset
+//! with `cellstream_graph::Workload` to co-schedule them on one Cell.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

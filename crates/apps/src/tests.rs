@@ -1,7 +1,7 @@
 //! End-to-end application tests: every app schedules, simulates and
 //! executes.
 
-use crate::{audio, cipher, video};
+use crate::{audio, cipher, dsp, video};
 use cellstream_core::scheduler::PlanContext;
 use cellstream_core::{evaluate, Mapping};
 use cellstream_heuristics::{greedy_cpu, scheduler_by_name};
@@ -107,7 +107,12 @@ fn video_motion_task_needs_lookahead_buffers() {
 
 #[test]
 fn apps_have_disjoint_names_and_valid_costs() {
-    for g in [audio::graph().unwrap(), cipher::graph().unwrap(), video::graph().unwrap()] {
+    for g in [
+        audio::graph().unwrap(),
+        cipher::graph().unwrap(),
+        video::graph().unwrap(),
+        dsp::graph().unwrap(),
+    ] {
         for t in g.tasks() {
             assert!(t.w_ppe > 0.0 && t.w_spe > 0.0);
         }
@@ -115,5 +120,39 @@ fn apps_have_disjoint_names_and_valid_costs() {
         // every app touches main memory at both ends
         assert!(g.tasks().iter().any(|t| t.read_bytes > 0.0));
         assert!(g.tasks().iter().any(|t| t.write_bytes > 0.0));
+    }
+}
+
+#[test]
+fn dsp_analyzer_is_schedulable_and_gains_from_spes() {
+    let g = dsp::graph().unwrap();
+    let spec = CellSpec::qs22();
+    let m = plan_with("greedy_cpu", &g, &spec);
+    let r = evaluate(&g, &spec, &m).unwrap();
+    assert!(r.is_feasible());
+    let refined = scheduler_by_name("local_search")
+        .unwrap()
+        .plan(&g, &spec, &PlanContext::default().seed(m))
+        .unwrap();
+    let ppe = evaluate(&g, &spec, &Mapping::all_on(&g, PeId(0))).unwrap();
+    assert!(refined.period() < ppe.period, "FFT lanes should offload to SPEs");
+}
+
+#[test]
+fn real_app_pairs_compose_into_workloads() {
+    use cellstream_graph::Workload;
+    for (a, b) in [
+        (audio::graph().unwrap(), cipher::graph().unwrap()),
+        (video::graph().unwrap(), dsp::graph().unwrap()),
+    ] {
+        let w = Workload::compose("pair", &[&a, &b]).unwrap();
+        assert_eq!(w.graph().n_tasks(), a.n_tasks() + b.n_tasks());
+        let spec = CellSpec::qs22();
+        let m = plan_with("multi_start", w.graph(), &spec);
+        let report = cellstream_core::evaluate_workload(&w, &spec, &m).unwrap();
+        assert!(report.is_feasible());
+        // co-scheduling never loses to PPE-only on these SIMD-heavy pairs
+        let ppe = evaluate(w.graph(), &spec, &Mapping::all_on(w.graph(), PeId(0))).unwrap();
+        assert!(report.aggregate.period < ppe.period);
     }
 }

@@ -1,0 +1,169 @@
+//! Co-scheduling vs disjoint-SPE partitioning on pairs of the real
+//! applications (QS22 platform).
+//!
+//! For each pair (audio + cipher, video + dsp) this bench:
+//!
+//! 1. composes the pair into a [`Workload`] (equal weights);
+//! 2. computes the **best disjoint-SPE-partition baseline**: every SPE
+//!    allocation is swept, each application is planned alone on its
+//!    slice, and the partitioned placement is evaluated on the composed
+//!    workload (shared-PPE loads summed);
+//! 3. **co-schedules** the composed workload with the heuristic
+//!    portfolio, seeded with the baseline so the comparison is
+//!    never-lose by construction;
+//! 4. simulates the co-scheduled mapping (ideal config) and checks the
+//!    per-application measured throughput against the per-application
+//!    max-min fair model prediction (within 1%), plus the sandwich: at
+//!    least the round guarantee `w_i / T`, at most the isolated bound
+//!    `1 / isolated_period` (apps whose binding resources are private
+//!    reclaim the slack between the two — the prediction accounts for
+//!    it).
+//!
+//! Emits `crates/bench/results/BENCH_multi_app.json` and a table on
+//! stdout. `CELLSTREAM_QUICK=1` shrinks the simulated instance counts.
+
+use cellstream_bench::{quick_mode, write_results};
+use cellstream_core::evaluate_workload;
+use cellstream_core::scheduler::PlanContext;
+use cellstream_graph::{AppId, StreamGraph, Workload};
+use cellstream_heuristics::{best_partition, Portfolio};
+use cellstream_platform::CellSpec;
+use cellstream_sim::{simulate, SimConfig};
+
+struct Row {
+    pair: String,
+    partition_alloc: Vec<usize>,
+    partition_period: f64,
+    cosched_period: f64,
+    cosched_scheduler: String,
+    per_app_model: Vec<f64>,
+    per_app_iso: Vec<f64>,
+    per_app_sim: Vec<f64>,
+    max_guarantee_err: f64,
+}
+
+fn bench_pair(name: &str, a: &StreamGraph, b: &StreamGraph, spec: &CellSpec) -> Row {
+    let w = Workload::compose(name, &[a, b]).expect("app pairs compose");
+
+    // ---- baseline: best disjoint SPE partition ----------------------------
+    let (baseline, alloc, base_report) =
+        best_partition(&w, spec, &PlanContext::default()).expect("partition baseline exists");
+
+    // ---- co-scheduling: heuristic portfolio seeded with the baseline ------
+    let ctx = PlanContext::default().seed(baseline);
+    let outcome = Portfolio::heuristics_only()
+        .run_workload(&w, spec, &ctx)
+        .expect("the ppe_only member guarantees a feasible plan");
+    let plan = outcome.best;
+    let report = evaluate_workload(&w, spec, &plan.mapping).expect("winning plan is valid");
+
+    // ---- model-vs-sim agreement per application ---------------------------
+    let instances = if quick_mode() { 1500 } else { 10_000 };
+    let trace = simulate(w.graph(), spec, &plan.mapping, &SimConfig::ideal(), instances)
+        .expect("feasible mappings simulate");
+    let per_app_sim = trace.per_app_throughput(&w);
+    let per_app_model: Vec<f64> = w.app_ids().map(|i| report.app(i).fair_throughput).collect();
+    let per_app_iso: Vec<f64> = w.app_ids().map(|i| 1.0 / report.app(i).isolated_period).collect();
+    // every app must match its max-min fair prediction within 1%, and
+    // sit inside the guarantee/isolated-bound sandwich
+    let mut max_guarantee_err = 0.0f64;
+    for (i, ((s, m), iso)) in per_app_sim.iter().zip(&per_app_model).zip(&per_app_iso).enumerate() {
+        assert!((s - m).abs() / m < 0.01, "app {i}: sim {s} vs fair prediction {m}");
+        assert!(*s >= report.app(AppId(i)).throughput * 0.99, "below round guarantee");
+        assert!(*s <= iso * 1.01, "sim {s} above the isolated bound {iso}");
+        max_guarantee_err = max_guarantee_err.max((s - m).abs() / m);
+    }
+
+    Row {
+        pair: name.to_owned(),
+        partition_alloc: alloc,
+        partition_period: base_report.max_weighted_period(),
+        cosched_period: report.max_weighted_period(),
+        cosched_scheduler: plan.scheduler,
+        per_app_model,
+        per_app_iso,
+        per_app_sim,
+        max_guarantee_err,
+    }
+}
+
+fn main() {
+    let spec = CellSpec::qs22();
+    let pairs: Vec<(&str, StreamGraph, StreamGraph)> = vec![
+        (
+            "audio+cipher",
+            cellstream_apps::audio::graph().unwrap(),
+            cellstream_apps::cipher::graph().unwrap(),
+        ),
+        (
+            "video+dsp",
+            cellstream_apps::video::graph().unwrap(),
+            cellstream_apps::dsp::graph().unwrap(),
+        ),
+    ];
+
+    println!(
+        "{:<14} {:>12} {:>16} {:>16} {:>8} {:>12}",
+        "pair", "partition", "part period us", "cosched period", "gain", "sim err"
+    );
+    let mut rows = Vec::new();
+    for (name, a, b) in &pairs {
+        let row = bench_pair(name, a, b, &spec);
+        println!(
+            "{:<14} {:>12} {:>16.3} {:>16.3} {:>7.1}% {:>11.2}%",
+            row.pair,
+            format!("{:?}", row.partition_alloc),
+            row.partition_period * 1e6,
+            row.cosched_period * 1e6,
+            (row.partition_period / row.cosched_period - 1.0) * 100.0,
+            row.max_guarantee_err * 100.0
+        );
+        assert!(
+            row.cosched_period <= row.partition_period * (1.0 + 1e-12),
+            "{}: co-scheduling must never lose to the seeded partition",
+            row.pair
+        );
+        rows.push(row);
+    }
+
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let apps: Vec<String> = r
+                .per_app_model
+                .iter()
+                .zip(&r.per_app_iso)
+                .zip(&r.per_app_sim)
+                .map(|((m, iso), s)| {
+                    format!(
+                        "{{\"fair_model\": {m:.1}, \"isolated_bound\": {iso:.1}, \"sim\": {s:.1}}}"
+                    )
+                })
+                .collect();
+            format!(
+                "    {{\"pair\": \"{}\", \"partition_alloc\": {:?}, \
+                 \"partition_period_s\": {:.9e}, \"coscheduled_period_s\": {:.9e}, \
+                 \"winner\": \"{}\", \"gain_pct\": {:.2}, \"max_sim_err_pct\": {:.3}, \
+                 \"per_app\": [{}]}}",
+                r.pair,
+                r.partition_alloc,
+                r.partition_period,
+                r.cosched_period,
+                r.cosched_scheduler,
+                (r.partition_period / r.cosched_period - 1.0) * 100.0,
+                r.max_guarantee_err * 100.0,
+                apps.join(", ")
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"multi_app\",\n  \"spec\": \"qs22\",\n  \"quick\": {},\n  \
+         \"objective\": \"max weighted per-app period\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        quick_mode(),
+        body.join(",\n")
+    );
+    write_results("BENCH_multi_app.json", &json);
+
+    // keep AppId in the public surface honest
+    let _ = AppId(0);
+}

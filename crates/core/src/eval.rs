@@ -121,10 +121,9 @@ impl MappingReport {
 }
 
 /// Throughput `ρ = 1/T`, guarded against the degenerate `T = 0`: a
-/// zero-period report (impossible for builder-validated graphs, whose
-/// costs are strictly positive, but reachable through hand-built reports
-/// and worth keeping out of downstream arithmetic) yields `0.0` instead
-/// of `inf`, so speed-up ratios and figure columns stay finite.
+/// zero-period report (reachable through zero-work graphs, which the
+/// builder accepts, and hand-built reports) yields `0.0` instead of
+/// `inf`, so speed-up ratios and figure columns stay finite.
 pub(crate) fn throughput_of(period: f64) -> f64 {
     if period > 0.0 {
         1.0 / period

@@ -90,7 +90,18 @@ impl Formulation {
     pub fn build(g: &StreamGraph, spec: &CellSpec, config: &FormulationConfig) -> Formulation {
         let n = spec.n_pes();
         let k_tasks = g.n_tasks();
-        let t0 = g.total_ppe_work();
+        // Normalisation scale for the period variable. A zero-work graph
+        // (legal since the builder accepts zero costs) would make every
+        // scaled coefficient 0/0 = NaN and poison the simplex; scale by
+        // 1 second instead — the LP is already in seconds then.
+        let t0 = {
+            let w = g.total_ppe_work();
+            if w > 0.0 {
+                w
+            } else {
+                1.0
+            }
+        };
         let bw = spec.interface_bw().as_bytes_per_s();
         let plan = BufferPlan::new(g);
         let ls_budget = spec.local_store_budget() as f64;

@@ -51,6 +51,7 @@ pub mod schedule;
 pub mod scheduler;
 pub mod solve;
 pub mod steady;
+pub mod workload;
 
 pub use eval::incremental::{EvalState, Move};
 pub use eval::{evaluate, MappingReport, Violation};
@@ -61,6 +62,7 @@ pub use scheduler::{
     Scheduler,
 };
 pub use solve::{solve, SolveOptions, SolveOutcome};
+pub use workload::{evaluate_workload, AppReport, WorkloadReport};
 
 #[cfg(test)]
 mod tests;

@@ -119,7 +119,7 @@ mod tests {
         let (g, spec, m, sched) = setup();
         for pe in spec.pes() {
             let mut slots: Vec<_> = sched.slots.iter().filter(|s| s.pe == pe).collect();
-            slots.sort_by(|a, b| a.offset.partial_cmp(&b.offset).unwrap());
+            slots.sort_by(|a, b| a.offset.total_cmp(&b.offset));
             let mut cursor = 0.0;
             for s in slots {
                 assert!((s.offset - cursor).abs() < 1e-12, "gap before {:?}", s.task);

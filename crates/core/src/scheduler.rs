@@ -23,7 +23,7 @@
 use crate::eval::{evaluate, MappingReport};
 use crate::mapping::{Mapping, MappingError};
 use crate::solve::{solve, SolveOptions};
-use cellstream_graph::StreamGraph;
+use cellstream_graph::{StreamGraph, Workload};
 use cellstream_milp::bb::MipStatus;
 use cellstream_milp::model::SolveError;
 use cellstream_platform::{CellSpec, PeId};
@@ -143,6 +143,19 @@ impl Plan {
     pub fn is_feasible(&self) -> bool {
         self.report.is_feasible()
     }
+
+    /// Split this plan's aggregate report into per-application reports
+    /// when the planned graph was a composed [`Workload`]. The plan must
+    /// have been computed on `w.graph()` (same task count) — panics on a
+    /// mismatched workload, like any cross-graph mix-up.
+    pub fn per_app(&self, w: &Workload, spec: &CellSpec) -> Vec<crate::workload::AppReport> {
+        assert_eq!(
+            self.mapping.assignment().len(),
+            w.graph().n_tasks(),
+            "plan and workload disagree on task count"
+        );
+        crate::workload::per_app_reports(w, spec, &self.mapping, &self.report)
+    }
 }
 
 impl fmt::Display for Plan {
@@ -214,6 +227,20 @@ pub trait Scheduler: Send + Sync {
 
     /// Compute a mapping plan for `g` on `spec`.
     fn plan(&self, g: &StreamGraph, spec: &CellSpec, ctx: &PlanContext) -> Result<Plan, PlanError>;
+
+    /// Plan a composed multi-application [`Workload`]: the composed graph
+    /// is a plain [`StreamGraph`] whose period is the maximum weighted
+    /// per-application period, so *every* scheduler co-schedules it
+    /// unchanged. Split the result per application with
+    /// [`Plan::per_app`] or [`crate::workload::evaluate_workload`].
+    fn plan_workload(
+        &self,
+        w: &Workload,
+        spec: &CellSpec,
+        ctx: &PlanContext,
+    ) -> Result<Plan, PlanError> {
+        self.plan(w.graph(), spec, ctx)
+    }
 
     /// `true` for schedulers that profit from running *after* fast
     /// constructive members, with their mappings as warm starts. A

@@ -345,3 +345,62 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Multi-application workloads on the incremental engine
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A composed workload is a plain graph to the delta engine: applying
+    /// random move sequences on the composition tracks the full evaluator
+    /// exactly, so local search and annealing probe co-scheduled
+    /// applications at full incremental speed with zero special-casing.
+    #[test]
+    fn prop_incremental_tracks_composed_workloads(
+        seed_a in 0u64..500,
+        seed_b in 500u64..1000,
+        moves in proptest::collection::vec((0usize..64, 0usize..9), 1..40),
+    ) {
+        use crate::eval::incremental::assert_matches_full as assert_state_matches_full;
+        use crate::{EvalState, Move};
+        use cellstream_graph::{TaskId, Workload};
+
+        let a = tiny_graph(seed_a, 5);
+        let mut bgraph = tiny_graph(seed_b, 4);
+        // distinct app names are required; daggen reuses "tiny"
+        {
+            let mut builder = cellstream_graph::StreamGraph::builder("tiny2");
+            let mut ids = Vec::new();
+            for t in bgraph.tasks() {
+                ids.push(builder.add_task(t.to_spec()));
+            }
+            for e in bgraph.edges() {
+                builder.add_edge(ids[e.src.index()], ids[e.dst.index()], e.data_bytes).unwrap();
+            }
+            bgraph = builder.build().unwrap();
+        }
+        let mut wb = Workload::builder("pair");
+        wb.push(&a, 1.0).unwrap();
+        wb.push(&bgraph, 2.0).unwrap();
+        let w = wb.build().unwrap();
+        let spec = CellSpec::ps3();
+        let g = w.graph();
+        let mut state = EvalState::new(g, &spec, &Mapping::all_on(g, PeId(0))).unwrap();
+        for (i, &(t, pe)) in moves.iter().enumerate() {
+            let t = TaskId(t % g.n_tasks());
+            let pe = PeId(pe % spec.n_pes());
+            state.apply(Move::Relocate { task: t, to: pe });
+            assert_state_matches_full(&state, &format!("workload move {i}"));
+        }
+        // the per-app split stays consistent with the live aggregate
+        let report = state.report();
+        let m = state.mapping();
+        let split = crate::workload::per_app_reports(&w, &spec, &m, &report);
+        prop_assert_eq!(split.len(), 2);
+        for ar in &split {
+            prop_assert!((ar.weighted_period - report.period).abs() <= 1e-18_f64.max(1e-12 * report.period));
+        }
+    }
+}

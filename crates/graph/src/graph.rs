@@ -72,7 +72,8 @@ impl std::error::Error for GraphError {}
 /// Guaranteed invariants:
 /// * the graph is a non-empty DAG with no self-loops or duplicate edges;
 /// * task names are unique;
-/// * all costs are positive finite, all byte counts non-negative finite;
+/// * all costs and byte counts are non-negative finite (zero-work tasks
+///   are legal; downstream float orderings are NaN-safe by construction);
 /// * `topo_order` is a cached topological order (stable across runs:
 ///   Kahn's algorithm with a min-id tie-break).
 #[derive(Debug, Clone, PartialEq)]
@@ -322,15 +323,7 @@ impl TryFrom<SerialGraph> for StreamGraph {
     fn try_from(s: SerialGraph) -> Result<Self, GraphError> {
         let mut b = StreamGraph::builder(s.name);
         for t in s.tasks {
-            b.add_task(TaskSpec {
-                name: t.name,
-                w_ppe: t.w_ppe,
-                w_spe: t.w_spe,
-                peek: t.peek,
-                read_bytes: t.read_bytes,
-                write_bytes: t.write_bytes,
-                stateful: t.stateful,
-            });
+            b.add_task(t.to_spec());
         }
         for e in s.edges {
             b.add_edge(e.src, e.dst, e.data_bytes)?;

@@ -42,11 +42,13 @@ pub mod dot;
 pub mod edge;
 pub mod graph;
 pub mod task;
+pub mod workload;
 
 pub use ccr::CcrReport;
 pub use edge::{Edge, EdgeId};
 pub use graph::{GraphBuilder, GraphError, StreamGraph};
 pub use task::{Task, TaskId, TaskSpec};
+pub use workload::{AppId, AppInfo, Workload, WorkloadBuilder, WorkloadError};
 
 #[cfg(test)]
 mod tests;

@@ -57,6 +57,20 @@ impl Task {
         }
     }
 
+    /// Back to a builder-ready [`TaskSpec`] (for graph rewrites:
+    /// serde round-trips, workload composition, subgraph extraction).
+    pub fn to_spec(&self) -> TaskSpec {
+        TaskSpec {
+            name: self.name.clone(),
+            w_ppe: self.w_ppe,
+            w_spe: self.w_spe,
+            peek: self.peek,
+            read_bytes: self.read_bytes,
+            write_bytes: self.write_bytes,
+            stateful: self.stateful,
+        }
+    }
+
     /// The SPE *affinity* of the task: `wPPE / wSPE`. Values above 1 mean
     /// the task runs faster on an SPE.
     pub fn spe_affinity(&self) -> f64 {
@@ -157,14 +171,23 @@ impl TaskSpec {
         self
     }
 
-    /// Validate the spec: costs must be positive finite, traffic
-    /// non-negative finite.
+    /// Validate the spec: costs and traffic must be non-negative finite.
+    /// Zero costs are allowed — degenerate zero-work tasks (placeholders,
+    /// pure-routing stages) must flow through every scheduler as data, not
+    /// as panics — and the evaluator guards the `T = 0` corner (see
+    /// `cellstream_core::eval`).
     pub(crate) fn validate(&self) -> Result<(), String> {
-        if !(self.w_ppe.is_finite() && self.w_ppe > 0.0) {
-            return Err(format!("task '{}': wPPE must be positive, got {}", self.name, self.w_ppe));
+        if !(self.w_ppe.is_finite() && self.w_ppe >= 0.0) {
+            return Err(format!(
+                "task '{}': wPPE must be non-negative finite, got {}",
+                self.name, self.w_ppe
+            ));
         }
-        if !(self.w_spe.is_finite() && self.w_spe > 0.0) {
-            return Err(format!("task '{}': wSPE must be positive, got {}", self.name, self.w_spe));
+        if !(self.w_spe.is_finite() && self.w_spe >= 0.0) {
+            return Err(format!(
+                "task '{}': wSPE must be non-negative finite, got {}",
+                self.name, self.w_spe
+            ));
         }
         for (label, v) in [("read", self.read_bytes), ("write", self.write_bytes)] {
             if !(v.is_finite() && v >= 0.0) {

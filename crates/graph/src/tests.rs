@@ -63,8 +63,14 @@ fn cycle_rejected_at_build() {
 
 #[test]
 fn invalid_costs_rejected() {
+    // zero costs are legal (degenerate zero-work tasks must not panic
+    // downstream); negative and non-finite costs are not
+    let mut b = StreamGraph::builder("zero");
+    b.add_task(TaskSpec::new("z").ppe_cost(0.0).spe_cost(0.0));
+    assert!(b.build().is_ok());
+
     let mut b = StreamGraph::builder("bad");
-    b.add_task(TaskSpec::new("z").ppe_cost(0.0));
+    b.add_task(TaskSpec::new("z").ppe_cost(-1.0));
     assert!(matches!(b.build().unwrap_err(), GraphError::InvalidTask(_)));
 
     let mut b = StreamGraph::builder("bad2");

@@ -1,0 +1,459 @@
+//! Multi-application workloads: N streaming applications composed into
+//! one tagged graph, sharing a single Cell.
+//!
+//! The paper schedules one application at a time, but its target
+//! scenario — a Cell blade serving media workloads — runs several
+//! pipelines at once (cf. Benoit et al., *Resource Allocation for
+//! Multiple Concurrent In-Network Stream-Processing Applications*).
+//! A [`Workload`] composes the applications' graphs into one
+//! [`StreamGraph`] so every existing scheduler, evaluator and simulator
+//! plans them **jointly**, with tasks from different applications free
+//! to share processing elements.
+//!
+//! # Composition semantics
+//!
+//! The composed steady state is a common **round** of period `T`. Each
+//! application `A_i` carries a positive *weight* `w_i` (its relative
+//! throughput target, instances per round): per round, `w_i` instances
+//! of `A_i` are processed, so its per-instance period is `T_i = T / w_i`
+//! and its throughput is `ρ_i = w_i / T`. Composition realises this by
+//! scaling `A_i`'s compute costs, memory traffic and edge payloads by
+//! `w_i` in the composed graph — one composed instance of an `A_i` task
+//! does `w_i` instances' worth of work (the fluid interpretation; weights
+//! are usually small integers or 1).
+//!
+//! Because `w_i · T_i = T` for every application simultaneously, the
+//! composed period *is* the maximum weighted per-application period:
+//! minimising `T` — which is exactly what every scheduler in this
+//! workspace already does — minimises `max_i w_i · T_i`. No algorithm
+//! changes are needed; the composed graph is a plain [`StreamGraph`].
+//!
+//! Namespaces are kept disjoint: task `t` of application `app` appears
+//! as `"app/t"` in the composed graph, edges only ever connect tasks of
+//! the same application, and [`Workload::app_of`] maps every composed
+//! task back to its [`AppId`].
+//!
+//! # Example
+//!
+//! ```
+//! use cellstream_graph::{StreamGraph, TaskSpec, Workload};
+//!
+//! let mut a = StreamGraph::builder("a");
+//! let t = a.add_task(TaskSpec::new("t").uniform_cost(1e-6));
+//! let u = a.add_task(TaskSpec::new("u").uniform_cost(1e-6));
+//! a.add_edge(t, u, 64.0).unwrap();
+//! let a = a.build().unwrap();
+//!
+//! let mut b = StreamGraph::builder("b");
+//! b.add_task(TaskSpec::new("t").uniform_cost(2e-6));
+//! let b = b.build().unwrap();
+//!
+//! let mut w = Workload::builder("pair");
+//! w.push(&a, 1.0).unwrap();
+//! w.push(&b, 2.0).unwrap(); // b wants twice a's rate
+//! let w = w.build().unwrap();
+//! assert_eq!(w.n_apps(), 2);
+//! assert_eq!(w.graph().n_tasks(), 3);
+//! // b's task cost is scaled by its weight in the composed round
+//! let tb = w.graph().find("b/t").unwrap();
+//! assert!((w.graph().task(tb).w_ppe - 4e-6).abs() < 1e-18);
+//! ```
+
+use crate::graph::{GraphError, StreamGraph};
+use crate::task::{TaskId, TaskSpec};
+use std::fmt;
+use std::ops::Range;
+
+/// Identifier of an application inside one [`Workload`]: a dense index
+/// `0..N` in push order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AppId(pub usize);
+
+impl AppId {
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// Errors raised while composing a [`Workload`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// Two applications share the same name (names key the reports).
+    DuplicateApp(String),
+    /// A weight was zero, negative or non-finite.
+    InvalidWeight(String, f64),
+    /// The workload has no applications.
+    Empty,
+    /// Composing the graphs failed (should not happen for valid inputs;
+    /// surfaced rather than unwrapped).
+    Graph(GraphError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::DuplicateApp(n) => write!(f, "duplicate application name '{n}'"),
+            WorkloadError::InvalidWeight(n, w) => {
+                write!(f, "application '{n}': weight must be positive finite, got {w}")
+            }
+            WorkloadError::Empty => write!(f, "the workload has no applications"),
+            WorkloadError::Graph(e) => write!(f, "composing the workload graph failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+impl From<GraphError> for WorkloadError {
+    fn from(e: GraphError) -> Self {
+        WorkloadError::Graph(e)
+    }
+}
+
+/// One application's slice of the composed graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppInfo {
+    /// Application name (the source graph's name).
+    pub name: String,
+    /// Relative throughput target `w_i` (instances per composed round).
+    pub weight: f64,
+    /// Composed task indices `task_range.start..task_range.end` belong to
+    /// this application, in the source graph's task-id order.
+    pub tasks: Range<usize>,
+    /// Composed edge indices belonging to this application.
+    pub edges: Range<usize>,
+    /// This application's sink tasks, as composed task ids.
+    pub sinks: Vec<TaskId>,
+}
+
+impl AppInfo {
+    /// Number of tasks this application contributes.
+    pub fn n_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+}
+
+/// N streaming applications composed into one tagged [`StreamGraph`].
+/// See the module docs for the composition semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    name: String,
+    graph: StreamGraph,
+    apps: Vec<AppInfo>,
+    /// Composed task index → owning application.
+    app_of: Vec<AppId>,
+}
+
+impl Workload {
+    /// Start composing a workload.
+    pub fn builder(name: impl Into<String>) -> WorkloadBuilder {
+        WorkloadBuilder { name: name.into(), apps: Vec::new() }
+    }
+
+    /// Compose applications with uniform weight 1 in one call.
+    pub fn compose(
+        name: impl Into<String>,
+        graphs: &[&StreamGraph],
+    ) -> Result<Workload, WorkloadError> {
+        let mut b = Workload::builder(name);
+        for g in graphs {
+            b.push(g, 1.0)?;
+        }
+        b.build()
+    }
+
+    /// Workload name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The composed graph: a plain [`StreamGraph`] every scheduler,
+    /// evaluator and simulator in the workspace accepts unchanged.
+    pub fn graph(&self) -> &StreamGraph {
+        &self.graph
+    }
+
+    /// Number of applications `N`.
+    pub fn n_apps(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Application ids in index order.
+    pub fn app_ids(&self) -> impl Iterator<Item = AppId> {
+        (0..self.apps.len()).map(AppId)
+    }
+
+    /// Per-application metadata.
+    pub fn app(&self, a: AppId) -> &AppInfo {
+        &self.apps[a.index()]
+    }
+
+    /// All applications, indexed by [`AppId`].
+    pub fn apps(&self) -> &[AppInfo] {
+        &self.apps
+    }
+
+    /// The application owning a composed task.
+    pub fn app_of(&self, t: TaskId) -> AppId {
+        self.app_of[t.index()]
+    }
+
+    /// Translate an application-local task id into the composed graph.
+    pub fn composed_task(&self, a: AppId, local: TaskId) -> TaskId {
+        let r = &self.apps[a.index()].tasks;
+        assert!(local.index() < r.len(), "{local} out of range for {a}");
+        TaskId(r.start + local.index())
+    }
+
+    /// Composed task ids of one application, in local id order.
+    pub fn tasks_of(&self, a: AppId) -> impl Iterator<Item = TaskId> + '_ {
+        self.apps[a.index()].tasks.clone().map(TaskId)
+    }
+
+    /// Sink tasks of one application (composed ids).
+    pub fn sinks_of(&self, a: AppId) -> &[TaskId] {
+        &self.apps[a.index()].sinks
+    }
+
+    /// Rebuild one application as a standalone graph, **with** its weight
+    /// scaling baked in — planning this subgraph alone optimises exactly
+    /// this application's share of the composed round. Task ids of the
+    /// result are the application-local ids (composed id − range start).
+    pub fn subgraph(&self, a: AppId) -> StreamGraph {
+        let info = &self.apps[a.index()];
+        let mut b = StreamGraph::builder(info.name.clone());
+        for t in info.tasks.clone() {
+            b.add_task(self.graph.tasks()[t].to_spec());
+        }
+        for e in info.edges.clone() {
+            let edge = &self.graph.edges()[e];
+            let src = TaskId(edge.src.index() - info.tasks.start);
+            let dst = TaskId(edge.dst.index() - info.tasks.start);
+            b.add_edge(src, dst, edge.data_bytes).expect("composed edges are valid");
+        }
+        b.build().expect("an application slice of a valid composition is valid")
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "workload '{}' [", self.name)?;
+        for (i, app) in self.apps.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{}×{}", app.name, app.weight)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Mutable builder for [`Workload`].
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    name: String,
+    /// (name, weight, task specs, edges as local (src, dst, bytes)).
+    #[allow(clippy::type_complexity)]
+    apps: Vec<(String, f64, Vec<TaskSpec>, Vec<(usize, usize, f64)>)>,
+}
+
+impl WorkloadBuilder {
+    /// Add one application with the given throughput weight. The graph's
+    /// name becomes the application name and must be unique within the
+    /// workload.
+    pub fn push(&mut self, g: &StreamGraph, weight: f64) -> Result<AppId, WorkloadError> {
+        if !(weight.is_finite() && weight > 0.0) {
+            return Err(WorkloadError::InvalidWeight(g.name().to_owned(), weight));
+        }
+        if self.apps.iter().any(|(n, ..)| n == g.name()) {
+            return Err(WorkloadError::DuplicateApp(g.name().to_owned()));
+        }
+        let specs = g
+            .tasks()
+            .iter()
+            .map(|t| {
+                let mut spec = t.to_spec();
+                // weight scaling: one composed instance of this task does
+                // `weight` instances' worth of work (peek is an instance
+                // count, not work — it stays)
+                spec.name = format!("{}/{}", g.name(), t.name);
+                spec.w_ppe *= weight;
+                spec.w_spe *= weight;
+                spec.read_bytes *= weight;
+                spec.write_bytes *= weight;
+                spec
+            })
+            .collect();
+        let edges = g
+            .edges()
+            .iter()
+            .map(|e| (e.src.index(), e.dst.index(), e.data_bytes * weight))
+            .collect();
+        let id = AppId(self.apps.len());
+        self.apps.push((g.name().to_owned(), weight, specs, edges));
+        Ok(id)
+    }
+
+    /// Validate everything and freeze the composed workload.
+    pub fn build(self) -> Result<Workload, WorkloadError> {
+        if self.apps.is_empty() {
+            return Err(WorkloadError::Empty);
+        }
+        let mut b = StreamGraph::builder(self.name.clone());
+        let mut apps = Vec::with_capacity(self.apps.len());
+        let mut app_of = Vec::new();
+        let mut task_base = 0usize;
+        let mut edge_base = 0usize;
+        for (i, (name, weight, specs, edges)) in self.apps.into_iter().enumerate() {
+            let n_tasks = specs.len();
+            let n_edges = edges.len();
+            for spec in specs {
+                b.add_task(spec);
+                app_of.push(AppId(i));
+            }
+            for (src, dst, bytes) in edges {
+                b.add_edge(TaskId(task_base + src), TaskId(task_base + dst), bytes)?;
+            }
+            apps.push(AppInfo {
+                name,
+                weight,
+                tasks: task_base..task_base + n_tasks,
+                edges: edge_base..edge_base + n_edges,
+                sinks: Vec::new(),
+            });
+            task_base += n_tasks;
+            edge_base += n_edges;
+        }
+        let graph = b.build()?;
+        for t in graph.task_ids() {
+            if graph.out_edges(t).is_empty() {
+                apps[app_of[t.index()].index()].sinks.push(t);
+            }
+        }
+        Ok(Workload { name: self.name, graph, apps, app_of })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(name: &str, n: usize) -> StreamGraph {
+        let mut b = StreamGraph::builder(name);
+        let tasks: Vec<_> = (0..n)
+            .map(|i| {
+                b.add_task(
+                    TaskSpec::new(format!("t{i}")).ppe_cost(2e-6).spe_cost(1e-6).reads(if i == 0 {
+                        128.0
+                    } else {
+                        0.0
+                    }),
+                )
+            })
+            .collect();
+        for w in tasks.windows(2) {
+            b.add_edge(w[0], w[1], 256.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn composition_tags_and_namespaces() {
+        let a = chain("a", 3);
+        let b = chain("b", 2);
+        let w = Workload::compose("w", &[&a, &b]).unwrap();
+        assert_eq!(w.n_apps(), 2);
+        assert_eq!(w.graph().n_tasks(), 5);
+        assert_eq!(w.graph().n_edges(), 3);
+        assert_eq!(w.app_of(TaskId(0)), AppId(0));
+        assert_eq!(w.app_of(TaskId(4)), AppId(1));
+        assert_eq!(w.composed_task(AppId(1), TaskId(0)), TaskId(3));
+        assert!(w.graph().find("a/t0").is_some());
+        assert!(w.graph().find("b/t1").is_some());
+        // edges never cross applications
+        for e in w.graph().edges() {
+            assert_eq!(w.app_of(e.src), w.app_of(e.dst));
+        }
+        // per-app sinks are that app's own
+        assert_eq!(w.sinks_of(AppId(0)), &[TaskId(2)]);
+        assert_eq!(w.sinks_of(AppId(1)), &[TaskId(4)]);
+    }
+
+    #[test]
+    fn weights_scale_costs_and_traffic() {
+        let a = chain("a", 2);
+        let mut b = Workload::builder("w");
+        b.push(&a, 3.0).unwrap();
+        let w = b.build().unwrap();
+        let t0 = w.graph().find("a/t0").unwrap();
+        assert!((w.graph().task(t0).w_ppe - 6e-6).abs() < 1e-18);
+        assert!((w.graph().task(t0).w_spe - 3e-6).abs() < 1e-18);
+        assert!((w.graph().task(t0).read_bytes - 384.0).abs() < 1e-9);
+        assert!((w.graph().edge(cellstream_edge(0)).data_bytes - 768.0).abs() < 1e-9);
+    }
+
+    fn cellstream_edge(i: usize) -> crate::edge::EdgeId {
+        crate::edge::EdgeId(i)
+    }
+
+    #[test]
+    fn builder_rejects_bad_inputs() {
+        let a = chain("a", 2);
+        let mut b = Workload::builder("w");
+        b.push(&a, 1.0).unwrap();
+        assert!(matches!(b.push(&a, 1.0), Err(WorkloadError::DuplicateApp(_))));
+        assert!(matches!(b.push(&chain("z", 1), 0.0), Err(WorkloadError::InvalidWeight(_, _))));
+        assert!(matches!(
+            b.push(&chain("y", 1), f64::NAN),
+            Err(WorkloadError::InvalidWeight(_, _))
+        ));
+        assert!(matches!(Workload::builder("e").build(), Err(WorkloadError::Empty)));
+    }
+
+    #[test]
+    fn subgraph_round_trips_with_weight_baked_in() {
+        let a = chain("a", 3);
+        let b = chain("b", 2);
+        let mut wb = Workload::builder("w");
+        wb.push(&a, 1.0).unwrap();
+        wb.push(&b, 2.0).unwrap();
+        let w = wb.build().unwrap();
+        let sb = w.subgraph(AppId(1));
+        assert_eq!(sb.n_tasks(), 2);
+        assert_eq!(sb.n_edges(), 1);
+        // weight-scaled, name-prefixed slice of the composition
+        assert!(sb.find("b/t0").is_some());
+        let t = sb.task(TaskId(0));
+        assert!((t.w_ppe - 4e-6).abs() < 1e-18);
+        // topology matches the source
+        assert_eq!(sb.out_edges(TaskId(0)).len(), 1);
+    }
+
+    #[test]
+    fn single_app_workload_is_the_scaled_graph() {
+        let a = chain("a", 4);
+        let w = Workload::compose("solo", &[&a]).unwrap();
+        assert_eq!(w.graph().n_tasks(), a.n_tasks());
+        assert_eq!(w.graph().total_spe_work(), a.total_spe_work());
+        assert_eq!(w.app_of(TaskId(3)), AppId(0));
+    }
+
+    #[test]
+    fn display_names_apps_and_weights() {
+        let a = chain("audio", 2);
+        let b = chain("cipher", 2);
+        let mut wb = Workload::builder("pair");
+        wb.push(&a, 1.0).unwrap();
+        wb.push(&b, 2.0).unwrap();
+        let w = wb.build().unwrap();
+        let s = w.to_string();
+        assert!(s.contains("audio") && s.contains("cipher") && s.contains("2"), "{s}");
+    }
+}

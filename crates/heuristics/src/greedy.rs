@@ -26,10 +26,7 @@ pub fn greedy_mem(g: &StreamGraph, spec: &CellSpec) -> Mapping {
         let need = plan.for_task(t);
         let candidate =
             spec.spes().filter(|pe| mem_used[pe.index()] + need <= budget).min_by(|a, b| {
-                mem_used[a.index()]
-                    .partial_cmp(&mem_used[b.index()])
-                    .expect("memory loads are finite")
-                    .then(a.index().cmp(&b.index()))
+                mem_used[a.index()].total_cmp(&mem_used[b.index()]).then(a.index().cmp(&b.index()))
             });
         match candidate {
             Some(pe) => {
@@ -64,10 +61,7 @@ pub fn greedy_cpu(g: &StreamGraph, spec: &CellSpec) -> Mapping {
                 spec.kind_of(pe) == PeKind::Ppe || mem_used[pe.index()] + need <= budget
             })
             .min_by(|a, b| {
-                cpu_load[a.index()]
-                    .partial_cmp(&cpu_load[b.index()])
-                    .expect("loads are finite")
-                    .then(a.index().cmp(&b.index()))
+                cpu_load[a.index()].total_cmp(&cpu_load[b.index()]).then(a.index().cmp(&b.index()))
             })
             .expect("the PPE always qualifies");
         if spec.is_spe(candidate) {

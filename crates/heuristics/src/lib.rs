@@ -41,6 +41,7 @@
 pub mod annealing;
 pub mod comm_aware;
 pub mod greedy;
+pub mod multi_app;
 pub mod portfolio;
 pub mod schedulers;
 pub mod search;
@@ -48,6 +49,7 @@ pub mod search;
 pub use annealing::{anneal, AnnealingOptions};
 pub use comm_aware::comm_aware_greedy;
 pub use greedy::{greedy_cpu, greedy_mem};
+pub use multi_app::{best_partition, partition_mapping};
 pub use portfolio::{MemberResult, Portfolio, PortfolioOutcome};
 pub use schedulers::{
     all_schedulers, scheduler_by_name, AnnealScheduler, CommAwareScheduler, GreedyCpuScheduler,

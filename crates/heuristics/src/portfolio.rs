@@ -16,9 +16,25 @@
 
 use crate::schedulers::scheduler_by_name;
 use cellstream_core::scheduler::{Plan, PlanContext, PlanError, Scheduler};
-use cellstream_graph::StreamGraph;
+use cellstream_graph::{StreamGraph, Workload};
 use cellstream_platform::CellSpec;
 use std::time::{Duration, Instant};
+
+/// Minimum wall-clock budget the second (warm-start) wave receives even
+/// when the first wave consumed the whole portfolio budget: enough for
+/// the MILP's root LP + rounding pass, which is what guarantees
+/// best-of-members behaviour. This is the only amount by which a
+/// portfolio run may overshoot its budget — a **fixed** floor, not a
+/// fraction of the budget (the old `budget / 20` top-up let a run exceed
+/// a large budget by 5%).
+pub const SECOND_WAVE_FLOOR: Duration = Duration::from_millis(100);
+
+/// The second wave's budget: whatever the first wave left, but at least
+/// [`SECOND_WAVE_FLOOR`]. Total portfolio wall time is therefore capped
+/// at `budget + SECOND_WAVE_FLOOR` (plus scheduling noise).
+fn second_wave_budget(budget: Duration, elapsed: Duration) -> Duration {
+    budget.saturating_sub(elapsed).max(SECOND_WAVE_FLOOR)
+}
 
 /// One member's result in the [`PortfolioOutcome`] leaderboard.
 #[derive(Debug, Clone)]
@@ -160,6 +176,21 @@ impl Portfolio {
         self.run_with(g, spec, &PlanContext::default())
     }
 
+    /// Race the portfolio on a composed multi-application [`Workload`]:
+    /// the composed graph's period is the maximum weighted
+    /// per-application period, so every member co-schedules the
+    /// applications jointly with no changes. Split the winner per
+    /// application with `Plan::per_app` or
+    /// `cellstream_core::evaluate_workload`.
+    pub fn run_workload(
+        &self,
+        w: &Workload,
+        spec: &CellSpec,
+        ctx: &PlanContext,
+    ) -> Result<PortfolioOutcome, PlanError> {
+        self.run_with(w.graph(), spec, ctx)
+    }
+
     /// Like [`run`](Self::run), with caller-supplied seeds/MILP options.
     /// `ctx.budget`, when unset, is filled from the portfolio's budget.
     pub fn run_with(
@@ -204,12 +235,7 @@ impl Portfolio {
                 );
             }
             if let Some(budget) = base_ctx.budget {
-                // Leave MILP whatever the first wave did not consume, but
-                // never strangle it completely: a floor of 5% of the
-                // budget keeps the root LP + rounding pass alive, which
-                // is what guarantees best-of-members behaviour.
-                let remaining = budget.saturating_sub(started.elapsed());
-                milp_ctx.budget = Some(remaining.max(budget / 20));
+                milp_ctx.budget = Some(second_wave_budget(budget, started.elapsed()));
             }
             let results: Vec<MemberResult> = std::thread::scope(|scope| {
                 let handles: Vec<_> = second_wave
@@ -231,13 +257,17 @@ impl Portfolio {
         }
 
         // ---- pick the winner, sort the leaderboard ------------------------
+        // NaN-safe total order on periods, then scheduler name: members
+        // with equal periods used to land in thread-completion order,
+        // making the leaderboard (and the reported winner on ties)
+        // nondeterministic run-to-run.
         leaderboard.sort_by(|a, b| {
             let key = |m: &MemberResult| m.feasible_plan().map(Plan::period);
             match (key(a), key(b)) {
-                (Some(x), Some(y)) => x.partial_cmp(&y).expect("periods are comparable"),
+                (Some(x), Some(y)) => x.total_cmp(&y).then_with(|| a.scheduler.cmp(&b.scheduler)),
                 (Some(_), None) => std::cmp::Ordering::Less,
                 (None, Some(_)) => std::cmp::Ordering::Greater,
-                (None, None) => std::cmp::Ordering::Equal,
+                (None, None) => a.scheduler.cmp(&b.scheduler),
             }
         });
         let best =
@@ -329,5 +359,80 @@ mod tests {
         let names = p.member_names();
         assert_eq!(names.last(), Some(&"milp"));
         assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn leaderboard_ties_break_by_name_deterministically() {
+        // a single-task graph: several members produce the identical
+        // best mapping (task on an SPE), so their periods tie exactly.
+        // Before the name tie-break, their order was whatever the thread
+        // scheduler produced that run.
+        use cellstream_graph::{StreamGraph, TaskSpec};
+        let mut b = StreamGraph::builder("one");
+        b.add_task(TaskSpec::new("t").ppe_cost(4e-6).spe_cost(1e-6));
+        let g = b.build().unwrap();
+        let spec = CellSpec::with_spes(2);
+        let p = Portfolio::heuristics_only();
+        let reference: Vec<String> =
+            p.run(&g, &spec).unwrap().leaderboard.iter().map(|m| m.scheduler.clone()).collect();
+        for _ in 0..6 {
+            let names: Vec<String> =
+                p.run(&g, &spec).unwrap().leaderboard.iter().map(|m| m.scheduler.clone()).collect();
+            assert_eq!(names, reference, "leaderboard order must be reproducible");
+        }
+        // and within an equal-period block the names are sorted
+        let outcome = p.run(&g, &spec).unwrap();
+        for w in outcome.leaderboard.windows(2) {
+            let (pa, pb) = (w[0].feasible_plan(), w[1].feasible_plan());
+            if let (Some(pa), Some(pb)) = (pa, pb) {
+                if pa.period() == pb.period() {
+                    assert!(w[0].scheduler < w[1].scheduler, "ties sorted by name");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn second_wave_budget_is_remaining_plus_fixed_floor_only() {
+        // the old clamp was remaining.max(budget / 20): with the whole
+        // budget consumed by the first wave the MILP still got 5% of the
+        // budget *on top*, unbounded in absolute terms. The fix caps the
+        // overshoot at the fixed SECOND_WAVE_FLOOR regardless of budget.
+        let budget = Duration::from_secs(600);
+        assert_eq!(second_wave_budget(budget, budget), SECOND_WAVE_FLOOR);
+        assert_eq!(second_wave_budget(budget, budget * 2), SECOND_WAVE_FLOOR);
+        // plenty left: the second wave gets exactly the remainder
+        assert_eq!(second_wave_budget(budget, Duration::from_secs(1)), Duration::from_secs(599));
+        // the floor only kicks in below itself
+        assert_eq!(second_wave_budget(budget, budget - SECOND_WAVE_FLOOR / 2), SECOND_WAVE_FLOOR);
+    }
+
+    #[test]
+    fn portfolio_wall_respects_budget_plus_floor() {
+        let g = fork_join("fj", 3, &CostParams::default(), 7);
+        let spec = CellSpec::ps3();
+        let budget = Duration::from_millis(600);
+        let outcome = Portfolio::standard().budget(budget).run(&g, &spec).unwrap();
+        // documented cap: budget + SECOND_WAVE_FLOOR, plus generous slack
+        // for thread scheduling and the B&B's per-node limit check
+        let cap = budget + SECOND_WAVE_FLOOR + Duration::from_millis(750);
+        assert!(outcome.wall <= cap, "portfolio ran {:?}, cap {:?}", outcome.wall, cap);
+    }
+
+    #[test]
+    fn run_workload_co_schedules_composed_apps() {
+        use cellstream_graph::Workload;
+        let a = chain("a", 4, &CostParams::default(), 3);
+        let b = chain("b", 3, &CostParams::default(), 5);
+        let w = Workload::compose("pair", &[&a, &b]).unwrap();
+        let spec = CellSpec::ps3();
+        let outcome =
+            Portfolio::heuristics_only().run_workload(&w, &spec, &PlanContext::default()).unwrap();
+        assert!(outcome.best.is_feasible());
+        let per_app = outcome.best.per_app(&w, &spec);
+        assert_eq!(per_app.len(), 2);
+        for ar in &per_app {
+            assert!((ar.weighted_period - outcome.best.period()).abs() < 1e-15);
+        }
     }
 }

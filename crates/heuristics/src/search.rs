@@ -126,7 +126,7 @@ pub fn multi_start(
     starts
         .iter()
         .map(|s| local_search(g, spec, s, opts))
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("periods are comparable"))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
         .expect("at least one start")
 }
 

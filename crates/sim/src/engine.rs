@@ -130,8 +130,9 @@ impl PartialOrd for Event {
 }
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
-        // min-heap: earlier time first, then insertion order
-        other.at.partial_cmp(&self.at).unwrap_or(Ordering::Equal).then(other.seq.cmp(&self.seq))
+        // min-heap: earlier time first (total order, NaN-safe), then
+        // insertion order
+        other.at.total_cmp(&self.at).then(other.seq.cmp(&self.seq))
     }
 }
 
@@ -797,8 +798,20 @@ impl<'a> Sim<'a> {
                 completions[i] = completions[i].max(t);
             }
         }
+        // per-sink times let multi-application traces attribute
+        // throughput to each application's own sinks
+        let sink_completions = self
+            .sink_ids
+            .iter()
+            .map(|&s| {
+                let mut times = self.sink_times[s].clone();
+                times.truncate(n);
+                (TaskId(s), times)
+            })
+            .collect();
         crate::trace::RunTrace {
             completions,
+            sink_completions,
             events: self.events_processed,
             bytes_in: self.bytes_in,
             bytes_out: self.bytes_out,

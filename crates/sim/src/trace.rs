@@ -4,6 +4,12 @@
 //! the number of instances"): the cumulative throughput after `i`
 //! instances is `i / t_i`, which ramps up through the pipeline fill and
 //! converges to the steady-state rate.
+//!
+//! Traces also carry **per-sink** completion times, so a composed
+//! multi-application workload can attribute measured throughput to each
+//! application from its own sinks ([`RunTrace::per_app_throughput`]).
+
+use cellstream_graph::{AppId, TaskId, Workload};
 
 /// The result of a simulation run.
 #[derive(Debug, Clone)]
@@ -11,6 +17,12 @@ pub struct RunTrace {
     /// `completions[i]` = time at which instance `i` left the pipeline
     /// (max over sink tasks). Strictly increasing.
     pub completions: Vec<f64>,
+    /// Per-sink completion times: `(sink task id, times)` with `times[i]`
+    /// the completion of instance `i` at that sink. This is what lets a
+    /// multi-application trace attribute throughput to each application
+    /// ([`RunTrace::per_app_throughput`]) instead of only reporting the
+    /// composed aggregate.
+    pub sink_completions: Vec<(TaskId, Vec<f64>)>,
     /// Total simulation events processed (cost metric).
     pub events: u64,
     /// Bytes that entered each PE's incoming interface over the run.
@@ -70,6 +82,61 @@ impl RunTrace {
         (self.completions[n - 1] - self.completions[n - 1 - window]) / window as f64
     }
 
+    /// Completion times of one sink task, when recorded.
+    pub fn sink_times(&self, t: TaskId) -> Option<&[f64]> {
+        self.sink_completions.iter().find(|(s, _)| *s == t).map(|(_, ts)| ts.as_slice())
+    }
+
+    /// Steady-state throughput of a subset of sinks: instance `i` of the
+    /// subset completes when *all* listed sinks finish it, measured over
+    /// the same `[0.5·n, 0.85·n]` window as
+    /// [`steady_state_throughput`](Self::steady_state_throughput).
+    /// Degenerate runs (fewer than 8 instances, or a zero-work pipeline
+    /// whose window has zero width) report `0.0`, mirroring the
+    /// evaluator's `throughput_of` guard. Panics only on a sink id that
+    /// was never recorded (a cross-graph mix-up).
+    pub fn sink_group_throughput(&self, sinks: &[TaskId]) -> f64 {
+        assert!(!sinks.is_empty(), "need at least one sink");
+        let times: Vec<&[f64]> = sinks
+            .iter()
+            .map(|&s| self.sink_times(s).unwrap_or_else(|| panic!("{s} is not a recorded sink")))
+            .collect();
+        let n = times.iter().map(|t| t.len()).min().expect("non-empty sink set");
+        if n < 8 {
+            // too few instances for a steady-state estimate; follow the
+            // evaluator's degenerate-case convention (0, not a panic —
+            // this sits behind Result-returning session APIs)
+            return 0.0;
+        }
+        let joint = |i: usize| times.iter().map(|t| t[i]).fold(0.0f64, f64::max);
+        let lo = n / 2;
+        let hi = ((n as f64 * 0.85) as usize).clamp(lo + 1, n - 1);
+        let dt = joint(hi) - joint(lo);
+        if dt > 0.0 {
+            // zero-work pipelines complete everything at t = 0: report 0
+            // like `throughput_of`, never inf
+            (hi - lo) as f64 / dt
+        } else {
+            0.0
+        }
+    }
+
+    /// Measured steady-state throughput of each application of a composed
+    /// [`Workload`], in **application instances per second**: the rate at
+    /// which the application's own sinks complete composed rounds, scaled
+    /// by its weight (one round processes `w_i` instances of `A_i`).
+    ///
+    /// The trace must come from simulating `w.graph()`.
+    pub fn per_app_throughput(&self, w: &Workload) -> Vec<f64> {
+        w.app_ids().map(|a| self.sink_group_throughput(w.sinks_of(a)) * w.app(a).weight).collect()
+    }
+
+    /// Like [`per_app_throughput`](Self::per_app_throughput), indexed
+    /// lookup for one application.
+    pub fn app_throughput(&self, w: &Workload, a: AppId) -> f64 {
+        self.sink_group_throughput(w.sinks_of(a)) * w.app(a).weight
+    }
+
     /// Average utilisation of each PE's incoming interface over the run
     /// (fraction of `bw`), from the per-PE byte totals.
     pub fn in_utilisation(&self, bw_bytes_per_s: f64) -> Vec<f64> {
@@ -89,8 +156,10 @@ mod tests {
     use super::*;
 
     fn linear_trace(period: f64, warmup: f64, n: usize) -> RunTrace {
+        let completions: Vec<f64> = (0..n).map(|i| warmup + period * (i + 1) as f64).collect();
         RunTrace {
-            completions: (0..n).map(|i| warmup + period * (i + 1) as f64).collect(),
+            sink_completions: vec![(TaskId(0), completions.clone())],
+            completions,
             events: 0,
             bytes_in: Vec::new(),
             bytes_out: Vec::new(),
@@ -114,6 +183,22 @@ mod tests {
         assert!(cum[0] < cum[1999]);
         assert!(cum[1999] < 100.0); // never exceeds the steady rate
         assert!(cum[1999] > 90.0); // but approaches it
+    }
+
+    #[test]
+    fn sink_group_throughput_degenerates_to_zero_not_panic() {
+        // short runs and zero-work pipelines report 0 (the throughput_of
+        // convention), because this sits behind Result-returning APIs
+        let short = linear_trace(0.01, 0.0, 4);
+        assert_eq!(short.sink_group_throughput(&[TaskId(0)]), 0.0);
+        let zero_work = RunTrace {
+            completions: vec![0.0; 20],
+            sink_completions: vec![(TaskId(0), vec![0.0; 20])],
+            events: 0,
+            bytes_in: Vec::new(),
+            bytes_out: Vec::new(),
+        };
+        assert_eq!(zero_work.sink_group_throughput(&[TaskId(0)]), 0.0);
     }
 
     #[test]

@@ -63,13 +63,13 @@ pub use session::{PlannedSession, ScheduledSession, Session};
 pub mod prelude {
     pub use crate::session::{PlannedSession, ScheduledSession, Session};
     pub use cellstream_core::{
-        evaluate, solve, Mapping, MappingReport, Plan, PlanContext, PlanError, PlanStats,
-        Scheduler, SolveOptions, SolveOutcome,
+        evaluate, evaluate_workload, solve, AppReport, Mapping, MappingReport, Plan, PlanContext,
+        PlanError, PlanStats, Scheduler, SolveOptions, SolveOutcome, WorkloadReport,
     };
-    pub use cellstream_graph::{StreamGraph, TaskId, TaskSpec};
+    pub use cellstream_graph::{AppId, StreamGraph, TaskId, TaskSpec, Workload};
     pub use cellstream_heuristics::{
-        all_schedulers, multi_start, scheduler_by_name, Portfolio, PortfolioOutcome,
-        SCHEDULER_NAMES,
+        all_schedulers, best_partition, multi_start, partition_mapping, scheduler_by_name,
+        Portfolio, PortfolioOutcome, SCHEDULER_NAMES,
     };
     pub use cellstream_platform::{CellSpec, PeId, PeKind};
     pub use cellstream_rt::{RtConfig, RunStats};

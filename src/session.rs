@@ -28,8 +28,9 @@
 
 use cellstream_core::schedule::PeriodicSchedule;
 use cellstream_core::scheduler::{Plan, PlanContext, PlanError, Scheduler};
+use cellstream_core::workload::{per_app_reports, AppReport};
 use cellstream_core::{Mapping, SolveOptions};
-use cellstream_graph::StreamGraph;
+use cellstream_graph::{StreamGraph, Workload};
 use cellstream_heuristics::{scheduler_by_name, MemberResult, Portfolio};
 use cellstream_platform::CellSpec;
 use cellstream_rt::{run, synthetic_kernels_for_mapping, Kernel, RtConfig, RtError, RunStats};
@@ -50,6 +51,10 @@ pub struct Session<'a> {
     spec: &'a CellSpec,
     strategy: Strategy,
     ctx: PlanContext,
+    /// Set when the session plans a composed multi-application workload:
+    /// carried through the pipeline so per-application reports are one
+    /// call away at every stage.
+    workload: Option<&'a Workload>,
 }
 
 impl<'a> Session<'a> {
@@ -60,7 +65,17 @@ impl<'a> Session<'a> {
             spec,
             strategy: Strategy::Portfolio(Portfolio::standard()),
             ctx: PlanContext::default(),
+            workload: None,
         }
+    }
+
+    /// A session co-scheduling a composed multi-application [`Workload`]
+    /// on `spec`: the composed graph is planned like any other graph
+    /// (its period *is* the maximum weighted per-application period),
+    /// and the planned/scheduled stages expose per-application reports
+    /// and simulated throughputs.
+    pub fn for_workload(w: &'a Workload, spec: &'a CellSpec) -> Self {
+        Session { workload: Some(w), ..Session::new(w.graph(), spec) }
     }
 
     /// Plan with a single scheduler instance instead of a portfolio.
@@ -111,7 +126,13 @@ impl<'a> Session<'a> {
                 (outcome.best, outcome.leaderboard)
             }
         };
-        Ok(PlannedSession { g: self.g, spec: self.spec, plan, leaderboard })
+        Ok(PlannedSession {
+            g: self.g,
+            spec: self.spec,
+            plan,
+            leaderboard,
+            workload: self.workload,
+        })
     }
 }
 
@@ -122,6 +143,7 @@ pub struct PlannedSession<'a> {
     spec: &'a CellSpec,
     plan: Plan,
     leaderboard: Vec<MemberResult>,
+    workload: Option<&'a Workload>,
 }
 
 impl<'a> PlannedSession<'a> {
@@ -146,6 +168,22 @@ impl<'a> PlannedSession<'a> {
         self.spec
     }
 
+    /// The composed workload, for sessions started with
+    /// [`Session::for_workload`].
+    pub fn workload(&self) -> Option<&'a Workload> {
+        self.workload
+    }
+
+    /// Per-application split of the winning plan (period, throughput and
+    /// weighted period per app). Empty unless the session was started
+    /// with [`Session::for_workload`].
+    pub fn per_app(&self) -> Vec<AppReport> {
+        match self.workload {
+            Some(w) => per_app_reports(w, self.spec, &self.plan.mapping, &self.plan.report),
+            None => Vec::new(),
+        }
+    }
+
     /// Materialise the periodic steady-state schedule (paper §3.1).
     /// Errors when the plan's mapping is infeasible — an infeasible
     /// mapping has no meaningful steady state to schedule. Takes `&self`
@@ -161,7 +199,13 @@ impl<'a> PlannedSession<'a> {
         }
         let schedule =
             PeriodicSchedule::build(self.g, self.spec, &self.plan.mapping, &self.plan.report);
-        Ok(ScheduledSession { g: self.g, spec: self.spec, plan: self.plan.clone(), schedule })
+        Ok(ScheduledSession {
+            g: self.g,
+            spec: self.spec,
+            plan: self.plan.clone(),
+            schedule,
+            workload: self.workload,
+        })
     }
 }
 
@@ -172,6 +216,7 @@ pub struct ScheduledSession<'a> {
     spec: &'a CellSpec,
     plan: Plan,
     schedule: PeriodicSchedule,
+    workload: Option<&'a Workload>,
 }
 
 impl<'a> ScheduledSession<'a> {
@@ -195,10 +240,42 @@ impl<'a> ScheduledSession<'a> {
         self.spec
     }
 
+    /// The composed workload, for sessions started with
+    /// [`Session::for_workload`].
+    pub fn workload(&self) -> Option<&'a Workload> {
+        self.workload
+    }
+
+    /// Per-application split of the plan (see
+    /// [`PlannedSession::per_app`]). Empty for single-graph sessions.
+    pub fn per_app(&self) -> Vec<AppReport> {
+        match self.workload {
+            Some(w) => per_app_reports(w, self.spec, &self.plan.mapping, &self.plan.report),
+            None => Vec::new(),
+        }
+    }
+
     /// Run the mapping on the discrete-event Cell simulator for
     /// `instances` stream instances.
     pub fn simulate(&self, cfg: &SimConfig, instances: u64) -> Result<RunTrace, SimError> {
         simulate(self.g, self.spec, &self.plan.mapping, cfg, instances)
+    }
+
+    /// Simulate and attribute the measured steady-state throughput to
+    /// each application of the composed workload (instances per second,
+    /// in application-instance terms). The per-application vector is
+    /// empty for single-graph sessions.
+    pub fn simulate_per_app(
+        &self,
+        cfg: &SimConfig,
+        instances: u64,
+    ) -> Result<(RunTrace, Vec<f64>), SimError> {
+        let trace = self.simulate(cfg, instances)?;
+        let per_app = match self.workload {
+            Some(w) => trace.per_app_throughput(w),
+            None => Vec::new(),
+        };
+        Ok((trace, per_app))
     }
 
     /// Execute the mapping on the threaded runtime emulator with the
