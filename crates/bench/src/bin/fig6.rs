@@ -21,12 +21,13 @@ fn main() {
     let plan = lp_plan(&g, &spec);
     let theoretical = plan.throughput();
     match milp_stats(&plan) {
-        Some((gap, nodes, _)) => eprintln!(
-            "LP plan (`{}`): period {:.3} us, gap {:.1}%, {} nodes, {:.1}s",
+        Some((gap, nodes, _, warm_rate)) => eprintln!(
+            "LP plan (`{}`): period {:.3} us, gap {:.1}%, {} nodes, warm starts {:.0}%, {:.1}s",
             plan.scheduler,
             plan.period() * 1e6,
             gap * 100.0,
             nodes,
+            warm_rate * 100.0,
             plan.wall.as_secs_f64()
         ),
         None => eprintln!(

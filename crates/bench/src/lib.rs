@@ -48,13 +48,17 @@ pub fn sim_instances() -> u64 {
     }
 }
 
-/// The MILP budget per solve.
+/// The MILP budget per solve. The node caps assume the sparse revised
+/// simplex with warm-started re-solves (hundreds of nodes per second on
+/// the paper graphs); the wall-clock limit is the real budget and is
+/// enforced *inside* the LP pivot loops, so a generous node cap cannot
+/// blow the runtime.
 pub fn mip_options() -> MipOptions {
     if quick_mode() {
         MipOptions {
             rel_gap: 0.05,
             time_limit: Duration::from_secs(10),
-            max_nodes: 60,
+            max_nodes: 4_000,
             lp: LpOptions { max_iterations: 8_000, ..Default::default() },
             ..Default::default()
         }
@@ -62,7 +66,7 @@ pub fn mip_options() -> MipOptions {
         MipOptions {
             rel_gap: 0.05,
             time_limit: Duration::from_secs(120),
-            max_nodes: 600,
+            max_nodes: 50_000,
             lp: LpOptions { max_iterations: 60_000, ..Default::default() },
             ..Default::default()
         }
@@ -134,10 +138,12 @@ pub fn lp_plan(g: &StreamGraph, spec: &CellSpec) -> Plan {
 }
 
 /// MILP statistics of a plan (`None` for non-MILP plans):
-/// `(gap, nodes, lp_iterations)`.
-pub fn milp_stats(plan: &Plan) -> Option<(f64, u64, u64)> {
+/// `(gap, nodes, lp_iterations, warm_start_rate)`.
+pub fn milp_stats(plan: &Plan) -> Option<(f64, u64, u64, f64)> {
     match plan.stats {
-        PlanStats::Milp { gap, nodes, lp_iterations, .. } => Some((gap, nodes, lp_iterations)),
+        PlanStats::Milp { gap, nodes, lp_iterations, warm_start_rate, .. } => {
+            Some((gap, nodes, lp_iterations, warm_start_rate))
+        }
         _ => None,
     }
 }

@@ -351,6 +351,21 @@ impl Formulation {
         }
     }
 
+    /// The constraint matrix of the formulation as compressed sparse
+    /// columns, built straight from the model's sparse row triplets —
+    /// the exact storage the revised simplex pivots on, with no
+    /// densification step in between. Available for both [`FormKind`]s;
+    /// useful for inspecting formulation sparsity (see `tab_lp`).
+    pub fn sparse_columns(&self) -> cellstream_milp::ColMatrix {
+        self.model.columns()
+    }
+
+    /// `(rows, columns, nonzeros)` of the constraint matrix.
+    pub fn sparsity(&self) -> (usize, usize, usize) {
+        let cols = self.sparse_columns();
+        (cols.nrows(), cols.ncols(), cols.nnz())
+    }
+
     /// The time scale: a scaled period of `x` means `x · t0` seconds.
     pub fn time_scale(&self) -> f64 {
         self.t0

@@ -88,6 +88,9 @@ pub enum PlanStats {
         nodes: u64,
         /// Total simplex iterations.
         lp_iterations: u64,
+        /// Fraction of child LPs whose dual-simplex warm start held
+        /// (`1.0` when the search never branched).
+        warm_start_rate: f64,
     },
     /// Exhaustive enumeration.
     Exhaustive {
@@ -277,6 +280,7 @@ impl Scheduler for MilpScheduler {
         opts.seeds.extend(ctx.seeds.iter().cloned());
         opts.mip.time_limit = ctx.milp_time_limit();
         let outcome = solve(g, spec, &opts)?;
+        let warm_start_rate = outcome.warm_start_rate();
         let report = evaluate(g, spec, &outcome.mapping)?;
         Ok(Plan {
             scheduler: self.name().to_owned(),
@@ -288,6 +292,7 @@ impl Scheduler for MilpScheduler {
                 status: outcome.status,
                 nodes: outcome.nodes,
                 lp_iterations: outcome.lp_iterations,
+                warm_start_rate,
             },
             wall: outcome.wall,
         })

@@ -65,8 +65,24 @@ pub struct SolveOutcome {
     pub nodes: u64,
     /// Total simplex iterations.
     pub lp_iterations: u64,
+    /// Dual-simplex warm starts attempted from parent bases.
+    pub warm_starts: u64,
+    /// Warm starts that held (no fallback to a from-scratch solve).
+    pub warm_start_hits: u64,
     /// Wall-clock solve time.
     pub wall: Duration,
+}
+
+impl SolveOutcome {
+    /// Fraction of attempted warm starts that held (`1.0` when none
+    /// were attempted).
+    pub fn warm_start_rate(&self) -> f64 {
+        if self.warm_starts == 0 {
+            1.0
+        } else {
+            self.warm_start_hits as f64 / self.warm_starts as f64
+        }
+    }
 }
 
 /// Compute a throughput-optimal mapping of `g` onto `spec` (within the
@@ -124,6 +140,8 @@ pub fn solve(
         status: res.status,
         nodes: res.nodes,
         lp_iterations: res.lp_iterations,
+        warm_starts: res.warm_starts,
+        warm_start_hits: res.warm_start_hits,
         wall: started.elapsed(),
         mapping,
     })
@@ -151,6 +169,8 @@ pub fn ppe_only_outcome(g: &StreamGraph, spec: &CellSpec) -> SolveOutcome {
         status: MipStatus::Optimal,
         nodes: 0,
         lp_iterations: 0,
+        warm_starts: 0,
+        warm_start_hits: 0,
         wall: Duration::ZERO,
         mapping,
     }

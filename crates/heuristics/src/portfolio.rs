@@ -69,6 +69,63 @@ impl PortfolioOutcome {
     pub fn member(&self, name: &str) -> Option<&MemberResult> {
         self.leaderboard.iter().find(|m| m.scheduler == name)
     }
+
+    /// Render the leaderboard as aligned text, one member per line —
+    /// period, feasibility, wall time, and where the budget went:
+    /// search iterations for iterative members; nodes, simplex
+    /// iterations, gap and the dual-simplex warm-start hit rate for the
+    /// MILP. This is what the bench binaries print so solver effort is
+    /// visible next to solution quality.
+    pub fn render_leaderboard(&self) -> String {
+        use cellstream_core::scheduler::PlanStats;
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>12} {:>10}  budget breakdown",
+            "member", "period(us)", "wall(ms)"
+        );
+        for m in &self.leaderboard {
+            match &m.result {
+                Ok(plan) => {
+                    let detail = match &plan.stats {
+                        PlanStats::Heuristic => String::new(),
+                        PlanStats::Search { iterations } => format!("iters {iterations}"),
+                        PlanStats::Exhaustive { enumerated } => format!("enumerated {enumerated}"),
+                        PlanStats::Milp {
+                            gap,
+                            nodes,
+                            lp_iterations,
+                            warm_start_rate,
+                            status,
+                            ..
+                        } => format!(
+                            "gap {:.1}%  nodes {}  simplex {}  warm {:.0}%  {:?}",
+                            gap * 100.0,
+                            nodes,
+                            lp_iterations,
+                            warm_start_rate * 100.0,
+                            status
+                        ),
+                    };
+                    let _ = writeln!(
+                        out,
+                        "  {:<12} {:>12.3} {:>10.1}  {}{}",
+                        m.scheduler,
+                        plan.period() * 1e6,
+                        plan.wall.as_secs_f64() * 1e3,
+                        if plan.is_feasible() { "" } else { "[infeasible] " },
+                        detail
+                    );
+                }
+                Err(e) => {
+                    let _ =
+                        writeln!(out, "  {:<12} {:>12} {:>10}  failed: {e}", m.scheduler, "-", "-");
+                }
+            }
+        }
+        out
+    }
 }
 
 /// A set of schedulers raced in parallel. See the module docs for the
@@ -344,6 +401,23 @@ mod tests {
             milp_plan.period(),
             multi_plan.period()
         );
+    }
+
+    #[test]
+    fn leaderboard_renders_milp_budget_breakdown() {
+        let g = chain("c", 5, &CostParams::default(), 3);
+        let spec = CellSpec::with_spes(2);
+        let outcome = Portfolio::standard().budget(Duration::from_secs(5)).run(&g, &spec).unwrap();
+        let text = outcome.render_leaderboard();
+        // every member appears
+        for m in &outcome.leaderboard {
+            assert!(text.contains(&m.scheduler), "missing {} in:\n{text}", m.scheduler);
+        }
+        // the MILP line carries its budget breakdown incl. warm starts
+        let milp_line = text.lines().find(|l| l.contains("milp")).expect("milp line");
+        for needle in ["gap", "nodes", "simplex", "warm"] {
+            assert!(milp_line.contains(needle), "missing {needle} in: {milp_line}");
+        }
     }
 
     #[test]

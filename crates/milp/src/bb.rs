@@ -1,4 +1,4 @@
-//! Branch-and-bound over binary variables.
+//! Branch-and-bound over binary variables, warm-started node by node.
 //!
 //! Mirrors the way the paper uses CPLEX (§6): *"we used the ability of
 //! CPLEX to stop its computation as soon as its solution is within 5 % of
@@ -10,17 +10,35 @@
 //!
 //! * **Best-first** node selection (min-heap on the parent LP bound) so the
 //!   global bound rises as fast as possible — that is what closes the gap.
-//! * Branching on the **most fractional** binary.
+//! * **Warm-started re-solves**: one [`SparseLp`] instance lives for the
+//!   whole search; a node only edits two floats per fixing and re-solves
+//!   with the **dual simplex** from its parent's basis. A branch tightens
+//!   one binary's bounds, which preserves dual feasibility exactly, so a
+//!   child typically needs a handful of pivots instead of a full
+//!   two-phase solve. Fallback on any numerical trouble is a fresh primal
+//!   solve; [`MipResult::warm_starts`]/[`MipResult::warm_start_hits`]
+//!   report how often the fast path held.
+//! * **Pseudo-cost branching**: per-binary average objective degradations
+//!   (up and down) learned from every solved child pick the branching
+//!   variable by the product rule, replacing most-fractional.
+//! * The wall-clock deadline is threaded *into* the LP pivot loops
+//!   ([`LpOptions::deadline`]), so a single long node LP cannot overshoot
+//!   [`MipOptions::time_limit`].
 //! * Nodes fix binaries by *bound tightening* (`lo = hi ∈ {0,1}`), which the
 //!   bounded-variable simplex absorbs with zero extra rows.
 //! * Callers may **seed incumbents** (e.g. greedy heuristic mappings) and
 //!   provide an **integral completion** callback that rounds a fractional
 //!   relaxation to a feasible point; both often let the search terminate at
 //!   the root node.
+//! * With [`LpOptions::algo`] set to [`LpAlgo::Dense`] every node re-solves
+//!   from scratch on the dense tableau — the reference oracle the
+//!   differential suite and the solver benchmarks compare against.
 
-use crate::model::{LpOptions, LpStatus, Model, SolveError, VarId};
+use crate::model::{LpAlgo, LpOptions, LpStatus, Model, SolveError, VarId};
+use crate::revised::{Basis, SparseLp};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 /// How a MIP solve terminated.
@@ -51,7 +69,9 @@ pub struct MipOptions {
     pub max_nodes: u64,
     /// Wall-clock budget.
     pub time_limit: Duration,
-    /// LP sub-solver options.
+    /// LP sub-solver options. `algo` selects the engine for the whole
+    /// search: `Revised` (default) keeps one sparse instance alive and
+    /// warm-starts children, `Dense` re-solves every node from scratch.
     pub lp: LpOptions,
     /// Tolerance for considering a relaxed binary integral.
     pub int_tol: f64,
@@ -86,11 +106,33 @@ pub struct MipResult {
     pub nodes: u64,
     /// Total simplex iterations across all node LPs.
     pub lp_iterations: u64,
+    /// Child re-solves attempted from the parent basis (dual simplex).
+    pub warm_starts: u64,
+    /// Warm starts that completed without falling back to a fresh
+    /// primal solve.
+    pub warm_start_hits: u64,
+}
+
+impl MipResult {
+    /// Fraction of attempted warm starts that held (`1.0` when none
+    /// were attempted — nothing fell back).
+    pub fn warm_start_rate(&self) -> f64 {
+        if self.warm_starts == 0 {
+            1.0
+        } else {
+            self.warm_start_hits as f64 / self.warm_starts as f64
+        }
+    }
 }
 
 struct Node {
     bound: f64,
     fixings: Vec<(VarId, bool)>,
+    /// Optimal basis of the parent LP (shared between siblings).
+    basis: Option<Rc<Basis>>,
+    /// `(binary index, branched up, parent objective, parent fractional
+    /// part)` — for pseudo-cost updates once this node's LP is solved.
+    branched: Option<(usize, bool, f64, f64)>,
 }
 
 impl PartialEq for Node {
@@ -107,7 +149,153 @@ impl PartialOrd for Node {
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; we want the smallest bound on top.
-        other.bound.partial_cmp(&self.bound).unwrap_or(Ordering::Equal)
+        other.bound.total_cmp(&self.bound)
+    }
+}
+
+/// Per-binary pseudo-costs: average objective degradation per unit of
+/// fractionality removed, learned separately for up and down branches.
+struct PseudoCosts {
+    up: Vec<(f64, u64)>,
+    down: Vec<(f64, u64)>,
+}
+
+impl PseudoCosts {
+    fn new(n: usize) -> PseudoCosts {
+        PseudoCosts { up: vec![(0.0, 0); n], down: vec![(0.0, 0); n] }
+    }
+
+    fn record(&mut self, bi: usize, went_up: bool, per_unit: f64) {
+        let slot = if went_up { &mut self.up[bi] } else { &mut self.down[bi] };
+        slot.0 += per_unit.max(0.0);
+        slot.1 += 1;
+    }
+
+    /// Estimated degradation per unit for one direction: the observed
+    /// average, else the global average over all binaries, else 1
+    /// (which makes the product rule collapse to most-fractional).
+    fn estimate(&self, bi: usize, up: bool) -> f64 {
+        let side = if up { &self.up } else { &self.down };
+        let (sum, cnt) = side[bi];
+        if cnt > 0 {
+            return sum / cnt as f64;
+        }
+        let (gsum, gcnt) = side.iter().fold((0.0, 0u64), |(s, c), &(si, ci)| (s + si, c + ci));
+        if gcnt > 0 {
+            gsum / gcnt as f64
+        } else {
+            1.0
+        }
+    }
+
+    /// Product-rule branching score of binary `bi` at fractional part
+    /// `frac` (larger = better branching candidate).
+    fn score(&self, bi: usize, frac: f64) -> f64 {
+        let eps = 1e-6;
+        (self.estimate(bi, false) * frac).max(eps)
+            * (self.estimate(bi, true) * (1.0 - frac)).max(eps)
+    }
+}
+
+/// One node LP result, engine-independent.
+struct NodeSol {
+    status: LpStatus,
+    objective: f64,
+    x: Vec<f64>,
+    iterations: u64,
+    basis: Option<Rc<Basis>>,
+}
+
+/// The per-search LP engine: either a single long-lived sparse instance
+/// (bounds edited in place, children warm-started) or the dense oracle
+/// (every node re-solved from a model clone).
+enum Engine<'m> {
+    Sparse(Box<SparseLp>),
+    Dense(&'m Model),
+}
+
+impl Engine<'_> {
+    fn solve_root(&self, opts: &LpOptions) -> Result<NodeSol, SolveError> {
+        match self {
+            Engine::Sparse(lp) => {
+                let s = lp.solve_primal(opts)?;
+                Ok(NodeSol {
+                    status: s.status,
+                    objective: s.objective,
+                    x: s.x,
+                    iterations: s.iterations,
+                    basis: Some(Rc::new(s.basis)),
+                })
+            }
+            Engine::Dense(model) => {
+                let s = model.solve_lp(opts)?;
+                Ok(NodeSol {
+                    status: s.status,
+                    objective: s.objective,
+                    x: s.x,
+                    iterations: s.iterations,
+                    basis: None,
+                })
+            }
+        }
+    }
+
+    /// Solve one child node. `warm` is `(attempted, hit)` accounting.
+    fn solve_node(
+        &mut self,
+        model: &Model,
+        fixings: &[(VarId, bool)],
+        parent_basis: Option<&Rc<Basis>>,
+        opts: &LpOptions,
+        warm: &mut (u64, u64),
+    ) -> Option<NodeSol> {
+        match self {
+            Engine::Sparse(lp) => {
+                for &(v, val) in fixings {
+                    let b = if val { 1.0 } else { 0.0 };
+                    lp.set_bounds(v.0, b, b);
+                }
+                let mut sol = None;
+                if let Some(basis) = parent_basis {
+                    warm.0 += 1;
+                    if let Ok(s) = lp.solve_dual_from(basis, opts) {
+                        warm.1 += 1;
+                        sol = Some(s);
+                    }
+                }
+                let sol = match sol {
+                    Some(s) => Ok(s),
+                    None => lp.solve_primal(opts),
+                };
+                for &(v, _) in fixings {
+                    let (lo, hi) = model.bounds(v);
+                    lp.set_bounds(v.0, lo, hi);
+                }
+                let s = sol.ok()?; // contradictory fixings: infeasible subtree
+                Some(NodeSol {
+                    status: s.status,
+                    objective: s.objective,
+                    x: s.x,
+                    iterations: s.iterations,
+                    basis: Some(Rc::new(s.basis)),
+                })
+            }
+            Engine::Dense(model) => {
+                let mut child = (*model).clone();
+                for &(v, val) in fixings {
+                    let b = if val { 1.0 } else { 0.0 };
+                    child.set_bounds(v, b, b);
+                }
+                let s = child.solve_lp(opts).ok()?;
+                Some(NodeSol {
+                    status: s.status,
+                    objective: s.objective,
+                    x: s.x,
+                    iterations: s.iterations,
+                    basis: None,
+                })
+            }
+        }
     }
 }
 
@@ -130,8 +318,24 @@ pub fn solve_mip(
 ) -> Result<MipResult, SolveError> {
     let start = Instant::now();
     let binaries = model.binary_vars();
+    let mut bin_of = vec![usize::MAX; model.n_vars()];
+    for (i, v) in binaries.iter().enumerate() {
+        bin_of[v.0] = i;
+    }
+    let mut pseudo = PseudoCosts::new(binaries.len());
     let mut nodes_done: u64 = 0;
     let mut lp_iterations: u64 = 0;
+    let mut warm = (0u64, 0u64);
+
+    // thread the MIP deadline into every LP pivot loop
+    let deadline = start + opts.time_limit;
+    let mut lp_opts = opts.lp.clone();
+    lp_opts.deadline = Some(lp_opts.deadline.map_or(deadline, |d| d.min(deadline)));
+
+    let mut engine = match opts.lp.algo {
+        LpAlgo::Revised => Engine::Sparse(Box::new(SparseLp::from_model(model)?)),
+        LpAlgo::Dense => Engine::Dense(model),
+    };
 
     let mut incumbent: Option<(f64, Vec<f64>)> = None;
     let feas_tol = 1e-6;
@@ -145,7 +349,7 @@ pub fn solve_mip(
     }
 
     // Root relaxation.
-    let root = model.solve_lp(&opts.lp)?;
+    let root = engine.solve_root(&lp_opts)?;
     lp_iterations += root.iterations;
     nodes_done += 1;
     match root.status {
@@ -157,6 +361,8 @@ pub fn solve_mip(
                 gap: f64::INFINITY,
                 nodes: nodes_done,
                 lp_iterations,
+                warm_starts: 0,
+                warm_start_hits: 0,
             });
         }
         LpStatus::Unbounded => {
@@ -167,13 +373,16 @@ pub fn solve_mip(
                 gap: f64::INFINITY,
                 nodes: nodes_done,
                 lp_iterations,
+                warm_starts: 0,
+                warm_start_hits: 0,
             });
         }
-        LpStatus::Optimal | LpStatus::IterLimit => {}
+        LpStatus::Optimal | LpStatus::IterLimit | LpStatus::TimeLimit => {}
     }
 
     let mut heap: BinaryHeap<Node> = BinaryHeap::new();
-    // An LP stopped on its iteration limit does not yield a valid bound.
+    // An LP stopped on its iteration/time limit does not yield a valid
+    // bound.
     let root_bound =
         if root.status == LpStatus::Optimal { root.objective } else { f64::NEG_INFINITY };
     let mut global_bound = root_bound;
@@ -182,11 +391,14 @@ pub fn solve_mip(
         &root.x,
         root_bound,
         &binaries,
+        &bin_of,
+        &pseudo,
         opts,
         completion,
         &mut incumbent,
         &mut heap,
         Vec::new(),
+        root.basis.clone(),
     );
 
     let gap_of = |inc: &Option<(f64, Vec<f64>)>, bound: f64| -> f64 {
@@ -246,15 +458,12 @@ pub fn solve_mip(
             break;
         }
 
-        // Solve the node LP with its fixings applied.
-        let mut child = model.clone();
-        for &(v, val) in &node.fixings {
-            let b = if val { 1.0 } else { 0.0 };
-            child.set_bounds(v, b, b);
-        }
-        let sol = match child.solve_lp(&opts.lp) {
-            Ok(s) => s,
-            Err(_) => continue, // contradictory fixings: infeasible subtree
+        // Solve the node LP with its fixings applied, warm-started from
+        // the parent basis when the engine supports it.
+        let Some(sol) =
+            engine.solve_node(model, &node.fixings, node.basis.as_ref(), &lp_opts, &mut warm)
+        else {
+            continue; // contradictory fixings: infeasible subtree
         };
         lp_iterations += sol.iterations;
         nodes_done += 1;
@@ -264,9 +473,19 @@ pub fn solve_mip(
                 // Cannot happen if the root is bounded, but be safe.
                 continue;
             }
-            LpStatus::Optimal | LpStatus::IterLimit => {}
+            LpStatus::Optimal | LpStatus::IterLimit | LpStatus::TimeLimit => {}
         }
         let node_bound = if sol.status == LpStatus::Optimal { sol.objective } else { node.bound };
+        // pseudo-cost learning: objective degradation per unit of
+        // removed fractionality, attributed to the branched direction
+        if sol.status == LpStatus::Optimal {
+            if let Some((bi, went_up, parent_obj, parent_frac)) = node.branched {
+                let dist = if went_up { 1.0 - parent_frac } else { parent_frac };
+                if dist > opts.int_tol && parent_obj.is_finite() {
+                    pseudo.record(bi, went_up, (sol.objective - parent_obj) / dist);
+                }
+            }
+        }
         if let Some((inc_obj, _)) = &incumbent {
             if sol.status == LpStatus::Optimal && sol.objective >= *inc_obj - opts.abs_gap {
                 continue; // dominated
@@ -277,11 +496,14 @@ pub fn solve_mip(
             &sol.x,
             node_bound,
             &binaries,
+            &bin_of,
+            &pseudo,
             opts,
             completion,
             &mut incumbent,
             &mut heap,
             node.fixings,
+            sol.basis.clone(),
         );
     }
 
@@ -293,6 +515,8 @@ pub fn solve_mip(
         gap,
         nodes: nodes_done,
         lp_iterations,
+        warm_starts: warm.0,
+        warm_start_hits: warm.1,
     })
 }
 
@@ -304,20 +528,28 @@ fn process_solution(
     x: &[f64],
     objective: f64,
     binaries: &[VarId],
+    bin_of: &[usize],
+    pseudo: &PseudoCosts,
     opts: &MipOptions,
     completion: Option<&Completion<'_>>,
     incumbent: &mut Option<(f64, Vec<f64>)>,
     heap: &mut BinaryHeap<Node>,
     fixings: Vec<(VarId, bool)>,
+    basis: Option<Rc<Basis>>,
 ) {
-    // most fractional binary
-    let mut branch_var: Option<VarId> = None;
-    let mut best_frac = opts.int_tol;
+    // pseudo-cost (product rule) branching among the fractional binaries
+    let mut branch_var: Option<(VarId, f64)> = None;
+    let mut best_score = f64::NEG_INFINITY;
     for &v in binaries {
-        let f = (x[v.0] - x[v.0].round()).abs();
-        if f > best_frac {
-            best_frac = f;
-            branch_var = Some(v);
+        let frac = x[v.0] - x[v.0].floor();
+        let dist = frac.min(1.0 - frac);
+        if dist <= opts.int_tol {
+            continue;
+        }
+        let score = pseudo.score(bin_of[v.0], frac);
+        if score > best_score {
+            best_score = score;
+            branch_var = Some((v, frac));
         }
     }
 
@@ -335,7 +567,7 @@ fn process_solution(
                 }
             }
         }
-        Some(v) => {
+        Some((v, frac)) => {
             if let Some(complete) = completion {
                 if let Some((_, full)) = complete(x) {
                     if full.len() == model.n_vars() && model.max_violation(&full) <= 1e-6 {
@@ -346,10 +578,17 @@ fn process_solution(
                     }
                 }
             }
+            // dive into the rounded direction first (heap ties resolve
+            // arbitrarily, but the branched metadata feeds pseudo-costs)
             for val in [x[v.0] >= 0.5, x[v.0] < 0.5] {
                 let mut f = fixings.clone();
                 f.push((v, val));
-                heap.push(Node { bound: objective, fixings: f });
+                heap.push(Node {
+                    bound: objective,
+                    fixings: f,
+                    basis: basis.clone(),
+                    branched: Some((bin_of[v.0], val, objective, frac)),
+                });
             }
         }
     }

@@ -1,0 +1,347 @@
+//! Basis factorization for the revised simplex: sparse LU with
+//! product-form (eta) updates and periodic refactorization.
+//!
+//! [`Factorization::refactor`] runs a left-looking Gaussian elimination
+//! over the basis columns (processed in increasing-fill order, rows
+//! chosen by partial pivoting), producing `B·Q = L·U` with `L`
+//! unit-"diagonal" in original row coordinates and `U` stored by
+//! column. Each simplex pivot then appends one **eta** column —
+//! `B_new = B_old · E` with `E` equal to the identity except for column
+//! `r` which holds `w = B_old⁻¹ a_q` — so FTRAN/BTRAN stay exact
+//! between refactorizations. The eta file is bounded
+//! ([`Factorization::should_refactor`]); the simplex refactors when it
+//! fills up or when a pivot looks numerically unsafe.
+
+/// One product-form update: basis position `r` was replaced, `w` is the
+/// FTRAN'd entering column (its nonzeros), `pivot = w[r]`.
+#[derive(Debug, Clone)]
+struct Eta {
+    r: usize,
+    pivot: f64,
+    /// `(row, w[row])` for rows ≠ `r` with `w[row] != 0`.
+    entries: Vec<(usize, f64)>,
+}
+
+/// Errors from [`Factorization::refactor`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FactorError {
+    /// The basis matrix is (numerically) singular.
+    Singular,
+}
+
+/// An LU factorization of the current basis plus the eta file of
+/// updates applied since the last refactorization.
+#[derive(Debug, Default)]
+pub struct Factorization {
+    m: usize,
+    /// Elimination order: step `k` eliminated basis position `order[k]`.
+    order: Vec<usize>,
+    /// `pivrow[k]` = row chosen as pivot at step `k`.
+    pivrow: Vec<usize>,
+    /// `L` column per step: `(row, multiplier)` below the pivot.
+    lcols: Vec<Vec<(usize, f64)>>,
+    /// `U` column per step: `(earlier step, value)` above the diagonal.
+    ucols: Vec<Vec<(usize, f64)>>,
+    /// Diagonal of `U` per step.
+    upiv: Vec<f64>,
+    etas: Vec<Eta>,
+    /// Scratch: dense accumulator reused across columns; zero between
+    /// refactorizations.
+    work: Vec<f64>,
+    /// Scratch reused by FTRAN/BTRAN (no cleanliness invariant).
+    scratch: Vec<f64>,
+}
+
+/// Absolute floor under which a pivot candidate is considered zero.
+const PIVOT_ZERO: f64 = 1e-11;
+
+impl Factorization {
+    /// Empty factorization for an `m`-row basis.
+    pub fn new(m: usize) -> Factorization {
+        Factorization {
+            m,
+            order: Vec::with_capacity(m),
+            pivrow: Vec::with_capacity(m),
+            lcols: Vec::with_capacity(m),
+            ucols: Vec::with_capacity(m),
+            upiv: Vec::with_capacity(m),
+            etas: Vec::new(),
+            work: vec![0.0; m],
+            scratch: vec![0.0; m],
+        }
+    }
+
+    /// Number of etas accumulated since the last refactorization.
+    pub fn n_etas(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// `true` once the eta file is long enough that a refactorization
+    /// is cheaper than dragging it along.
+    pub fn should_refactor(&self) -> bool {
+        self.etas.len() >= 64.min(self.m.max(8))
+    }
+
+    /// Factor the basis whose position `p` holds the column given by
+    /// `col(p) -> (rows, values)`. Columns are eliminated sparsest
+    /// first; rows by partial pivoting.
+    pub fn refactor<'c>(
+        &mut self,
+        basis_cols: impl Fn(usize) -> (&'c [usize], &'c [f64]),
+    ) -> Result<(), FactorError> {
+        let m = self.m;
+        self.order.clear();
+        self.pivrow.clear();
+        self.lcols.clear();
+        self.ucols.clear();
+        self.upiv.clear();
+        self.etas.clear();
+
+        // cheap Markowitz stand-in: eliminate sparsest columns first
+        let mut positions: Vec<usize> = (0..m).collect();
+        positions.sort_by_key(|&p| basis_cols(p).0.len());
+
+        // step_of_row[r] = elimination step whose pivot row is r
+        let mut step_of_row = vec![usize::MAX; m];
+        let work = &mut self.work;
+        debug_assert!(work.iter().all(|&v| v == 0.0));
+
+        for &p in &positions {
+            let k = self.order.len();
+            let (rows, vals) = basis_cols(p);
+            let mut touched: Vec<usize> = Vec::with_capacity(rows.len() * 2);
+            for (&r, &v) in rows.iter().zip(vals) {
+                work[r] = v;
+                touched.push(r);
+            }
+            // L-solve against all earlier steps, in elimination order.
+            let mut ucol: Vec<(usize, f64)> = Vec::new();
+            for t in 0..k {
+                let x = work[self.pivrow[t]];
+                if x != 0.0 {
+                    ucol.push((t, x));
+                    for &(r, l) in &self.lcols[t] {
+                        if work[r] == 0.0 {
+                            touched.push(r);
+                        }
+                        work[r] -= l * x;
+                    }
+                }
+            }
+            // partial pivoting among rows not yet used as pivots
+            let mut prow = usize::MAX;
+            let mut pval = 0.0f64;
+            for &r in &touched {
+                if step_of_row[r] == usize::MAX && work[r].abs() > pval.abs() {
+                    prow = r;
+                    pval = work[r];
+                }
+            }
+            if prow == usize::MAX || pval.abs() <= PIVOT_ZERO {
+                for &r in &touched {
+                    work[r] = 0.0;
+                }
+                return Err(FactorError::Singular);
+            }
+            let mut lcol: Vec<(usize, f64)> = Vec::new();
+            for &r in &touched {
+                let v = work[r];
+                work[r] = 0.0;
+                if r != prow && step_of_row[r] == usize::MAX && v != 0.0 {
+                    lcol.push((r, v / pval));
+                }
+            }
+            step_of_row[prow] = k;
+            self.order.push(p);
+            self.pivrow.push(prow);
+            self.lcols.push(lcol);
+            self.ucols.push(ucol);
+            self.upiv.push(pval);
+        }
+        Ok(())
+    }
+
+    /// Solve `B x = v` in place: on return `v[p]` is the value of the
+    /// basis variable at position `p`.
+    pub fn ftran(&mut self, v: &mut [f64]) {
+        let m = self.m;
+        debug_assert_eq!(v.len(), m);
+        // L y = v (in elimination order), y indexed by step
+        let y = &mut self.scratch;
+        for k in 0..m {
+            let x = v[self.pivrow[k]];
+            y[k] = x;
+            if x != 0.0 {
+                for &(r, l) in &self.lcols[k] {
+                    v[r] -= l * x;
+                }
+            }
+        }
+        // U z = y, column-oriented backward substitution
+        for t in (0..m).rev() {
+            let z = y[t] / self.upiv[t];
+            y[t] = z;
+            if z != 0.0 {
+                for &(s, u) in &self.ucols[t] {
+                    y[s] -= u * z;
+                }
+            }
+        }
+        // permute back to basis positions
+        for k in 0..m {
+            v[self.order[k]] = y[k];
+        }
+        // eta updates, oldest first
+        for eta in &self.etas {
+            let t = v[eta.r] / eta.pivot;
+            if t != 0.0 {
+                for &(i, w) in &eta.entries {
+                    v[i] -= w * t;
+                }
+            }
+            v[eta.r] = t;
+        }
+    }
+
+    /// Solve `Bᵀ y = c` in place: on entry `c[p]` is indexed by basis
+    /// position, on return `c[row]` is indexed by row.
+    pub fn btran(&mut self, c: &mut [f64]) {
+        let m = self.m;
+        debug_assert_eq!(c.len(), m);
+        // eta transposes, newest first
+        for eta in self.etas.iter().rev() {
+            let mut acc = c[eta.r];
+            for &(i, w) in &eta.entries {
+                acc -= w * c[i];
+            }
+            c[eta.r] = acc / eta.pivot;
+        }
+        // Uᵀ w = c' with c'_k = c[order[k]], forward in steps
+        let wv = &mut self.scratch;
+        for k in 0..m {
+            let mut acc = c[self.order[k]];
+            for &(s, u) in &self.ucols[k] {
+                acc -= u * wv[s];
+            }
+            wv[k] = acc / self.upiv[k];
+        }
+        // Lᵀ y = w, descending steps, y in row coordinates
+        for v in c.iter_mut() {
+            *v = 0.0;
+        }
+        for k in (0..m).rev() {
+            let mut acc = wv[k];
+            for &(r, l) in &self.lcols[k] {
+                acc -= l * c[r];
+            }
+            c[self.pivrow[k]] = acc;
+        }
+    }
+
+    /// Append the eta for a pivot that put the FTRAN'd column `w`
+    /// (dense, length `m`) into basis position `r`. Returns `false`
+    /// when the pivot element is too small to be trusted — the caller
+    /// must refactor instead.
+    #[must_use]
+    pub fn update(&mut self, w: &[f64], r: usize) -> bool {
+        let pivot = w[r];
+        let wmax = w.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+        if pivot.abs() <= PIVOT_ZERO || pivot.abs() < 1e-9 * wmax {
+            return false;
+        }
+        let entries: Vec<(usize, f64)> = w
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i != r && v != 0.0)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        self.etas.push(Eta { r, pivot, entries });
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::ColMatrix;
+
+    fn mat() -> ColMatrix {
+        // B = [ 2 0 1 ; 0 -3 1 ; 4 1 0 ]  (rows)
+        let rows: Vec<Vec<(usize, f64)>> =
+            vec![vec![(0, 2.0), (2, 1.0)], vec![(1, -3.0), (2, 1.0)], vec![(0, 4.0), (1, 1.0)]];
+        ColMatrix::from_rows(3, 3, || rows.iter().map(|r| r.as_slice()))
+    }
+
+    #[test]
+    fn ftran_solves() {
+        let m = mat();
+        let mut f = Factorization::new(3);
+        f.refactor(|p| m.col(p)).unwrap();
+        // choose x = [1, 2, 3]; b = Bx = [2*1+1*3, -3*2+3, 4+2] = [5, -3, 6]
+        let mut v = vec![5.0, -3.0, 6.0];
+        f.ftran(&mut v);
+        for (got, want) in v.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-12, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn btran_solves_transpose() {
+        let m = mat();
+        let mut f = Factorization::new(3);
+        f.refactor(|p| m.col(p)).unwrap();
+        // y with Bᵀ y = c. pick y = [1, -1, 2]: c_p = col_p · y
+        let c0 = 2.0 * 1.0 + 4.0 * 2.0; // col0 rows {0:2, 2:4}
+        let c1 = -3.0 * -1.0 + 1.0 * 2.0;
+        let c2 = 1.0 * 1.0 - 1.0 * 1.0;
+        let mut v = vec![c0, c1, c2];
+        f.btran(&mut v);
+        for (got, want) in v.iter().zip([1.0, -1.0, 2.0]) {
+            assert!((got - want).abs() < 1e-12, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn eta_update_tracks_column_replacement() {
+        let m = mat();
+        let mut f = Factorization::new(3);
+        f.refactor(|p| m.col(p)).unwrap();
+        // replace basis position 1 with column a = [1, 1, 1]
+        let mut w = vec![1.0, 1.0, 1.0];
+        f.ftran(&mut w);
+        assert!(f.update(&w, 1));
+        // B_new columns: col0, a, col2 (in position order)
+        // B_new = [2 1 1; 0 1 1; 4 1 0] (rows) — solve against dense ref
+        // pick x = [1, 1, 1] -> b = [4, 2, 5]
+        let mut v = vec![4.0, 2.0, 5.0];
+        f.ftran(&mut v);
+        for (got, want) in v.iter().zip([1.0, 1.0, 1.0]) {
+            assert!((got - want).abs() < 1e-12, "{v:?}");
+        }
+        // btran consistency: Bᵀ y = c with y = [2, 0, 1]
+        // B_new rows as columns: c_p = colᵖ · y
+        let c = [2.0 * 2.0 + 4.0, 2.0 + 1.0, 2.0 + 0.0];
+        let mut vb = c.to_vec();
+        f.btran(&mut vb);
+        for (got, want) in vb.iter().zip([2.0, 0.0, 1.0]) {
+            assert!((got - want).abs() < 1e-12, "{vb:?}");
+        }
+    }
+
+    #[test]
+    fn singular_basis_detected() {
+        let rows: Vec<Vec<(usize, f64)>> = vec![vec![(0, 1.0), (1, 2.0)], vec![(0, 2.0), (1, 4.0)]];
+        let m = ColMatrix::from_rows(2, 2, || rows.iter().map(|r| r.as_slice()));
+        let mut f = Factorization::new(2);
+        assert_eq!(f.refactor(|p| m.col(p)), Err(FactorError::Singular));
+    }
+
+    #[test]
+    fn tiny_update_pivot_rejected() {
+        let m = mat();
+        let mut f = Factorization::new(3);
+        f.refactor(|p| m.col(p)).unwrap();
+        let w = vec![1.0, 1e-14, 1.0];
+        assert!(!f.update(&w, 1));
+    }
+}

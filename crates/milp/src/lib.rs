@@ -4,17 +4,27 @@
 //! CPLEX, stopped as soon as the incumbent is within 5 % of optimal. This
 //! crate is the in-repo substitute:
 //!
-//! * [`simplex`] — a dense, two-phase, **bounded-variable** primal simplex.
-//!   Variable bounds (`0 ≤ x ≤ u`, including the `{0,1}` boxes of the
-//!   relaxed binaries) are handled implicitly by the pivoting rules rather
-//!   than as extra rows, which keeps the mapping LPs at a few thousand
-//!   rows instead of tens of thousands.
+//! * [`revised`] — the production engine: a **sparse revised simplex**
+//!   over compressed sparse columns ([`sparse`]), with an LU-factorized
+//!   basis updated in product form ([`factor`]), Devex pricing with a
+//!   Bland anti-cycling fallback ([`pricing`]), a Harris two-pass ratio
+//!   test, a light presolve ([`presolve`]), and a bounded-variable
+//!   **dual simplex** for warm-started re-solves. Variable bounds
+//!   (`l ≤ x ≤ u`, including the `{0,1}` boxes of the relaxed binaries)
+//!   are handled natively by the pivoting rules rather than as extra
+//!   rows, which keeps the mapping LPs at a few thousand rows instead
+//!   of tens of thousands.
+//! * [`simplex`] — the original dense, two-phase tableau, retained as
+//!   the reference **oracle**: the differential test-suite requires the
+//!   two engines to agree on every random and formulation-derived LP.
 //! * [`bb`] — branch-and-bound over the binary variables with best-first
-//!   node selection, most-fractional branching, seedable incumbents
+//!   node selection, pseudo-cost branching, **dual-simplex warm starts**
+//!   from the parent basis (a branch only tightens one binary's bounds,
+//!   which is the dual simplex's home turf), seedable incumbents
 //!   (the greedy heuristics of §6.3 make excellent warm starts), an
 //!   *integral-completion* callback that turns fractional relaxations into
 //!   feasible mappings, and the paper's relative-gap early stop.
-//! * [`model`] — the tiny modelling layer shared by both.
+//! * [`model`] — the tiny modelling layer shared by all of it.
 //!
 //! The solver is deliberately general: nothing in this crate knows about
 //! streaming or the Cell. Correctness is established against brute-force
@@ -38,11 +48,18 @@
 #![warn(missing_docs)]
 
 pub mod bb;
+pub mod factor;
 pub mod model;
+pub mod presolve;
+pub mod pricing;
+pub mod revised;
 pub mod simplex;
+pub mod sparse;
 
 pub use bb::{MipOptions, MipResult, MipStatus};
-pub use model::{Cmp, LpOptions, LpSolution, LpStatus, Model, SolveError, VarId, VarKind};
+pub use model::{Cmp, LpAlgo, LpOptions, LpSolution, LpStatus, Model, SolveError, VarId, VarKind};
+pub use revised::{Basis, SparseLp, SparseSolution};
+pub use sparse::ColMatrix;
 
 #[cfg(test)]
 mod tests;

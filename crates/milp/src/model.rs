@@ -76,6 +76,8 @@ pub enum LpStatus {
     Unbounded,
     /// Iteration limit hit before convergence.
     IterLimit,
+    /// The [`LpOptions::deadline`] passed before convergence.
+    TimeLimit,
 }
 
 /// Result of an LP solve.
@@ -116,6 +118,20 @@ impl fmt::Display for SolveError {
 
 impl std::error::Error for SolveError {}
 
+/// Which LP engine to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LpAlgo {
+    /// The sparse revised simplex (`crate::revised`): LU-factorized
+    /// basis with eta updates, Devex pricing, Harris ratio test, and a
+    /// light presolve. The production default.
+    #[default]
+    Revised,
+    /// The dense two-phase tableau (`crate::simplex`), kept as the
+    /// reference oracle for differential testing and as the
+    /// from-scratch baseline in solver benchmarks.
+    Dense,
+}
+
 /// Options for a plain LP solve.
 #[derive(Debug, Clone)]
 pub struct LpOptions {
@@ -123,11 +139,21 @@ pub struct LpOptions {
     pub max_iterations: u64,
     /// Feasibility / pricing tolerance.
     pub tolerance: f64,
+    /// Engine selection (sparse revised simplex by default).
+    pub algo: LpAlgo,
+    /// Optional wall-clock deadline checked *inside* the pivot loop, so
+    /// one long LP cannot overshoot a branch-and-bound budget.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for LpOptions {
     fn default() -> Self {
-        LpOptions { max_iterations: 200_000, tolerance: 1e-8 }
+        LpOptions {
+            max_iterations: 200_000,
+            tolerance: 1e-8,
+            algo: LpAlgo::default(),
+            deadline: None,
+        }
     }
 }
 
@@ -238,9 +264,70 @@ impl Model {
         worst
     }
 
+    /// Validate variable entries the way every engine requires: finite
+    /// lower bound, non-crossed bounds, finite objective. Shared by the
+    /// dense path, the revised path and `SparseLp::from_model` so the
+    /// engines always report identical [`SolveError`]s.
+    pub(crate) fn validate_vars(&self) -> Result<(), SolveError> {
+        for (i, v) in self.vars.iter().enumerate() {
+            // NaN upper bounds must error too: every comparison below
+            // is false for NaN, which would silently fix the variable
+            // at its lower bound instead of surfacing the bad model
+            if !v.lo.is_finite() || v.hi.is_nan() {
+                return Err(SolveError::BadBound(VarId(i)));
+            }
+            if v.hi < v.lo - 1e-12 {
+                return Err(SolveError::EmptyDomain(VarId(i)));
+            }
+            if !v.obj.is_finite() {
+                return Err(SolveError::BadCoefficient);
+            }
+        }
+        Ok(())
+    }
+
+    /// The constraint matrix as compressed sparse columns (`n_cons`
+    /// rows × `n_vars` columns), built straight from the sparse row
+    /// triplets with no densification. This is the storage the revised
+    /// simplex works on; formulation layers expose it for inspection.
+    pub fn columns(&self) -> crate::sparse::ColMatrix {
+        crate::sparse::ColMatrix::from_rows(self.cons.len(), self.vars.len(), || {
+            self.cons.iter().map(|c| c.terms.as_slice())
+        })
+    }
+
     /// Solve the continuous relaxation (binaries relaxed to `[0,1]`,
-    /// which their bounds already encode).
+    /// which their bounds already encode) with the engine selected by
+    /// `opts.algo`: the sparse revised simplex behind a light presolve
+    /// by default, or the dense tableau oracle.
     pub fn solve_lp(&self, opts: &LpOptions) -> Result<LpSolution, SolveError> {
-        crate::simplex::solve(self, opts)
+        match opts.algo {
+            LpAlgo::Dense => crate::simplex::solve(self, opts),
+            LpAlgo::Revised => self.solve_lp_revised(opts),
+        }
+    }
+
+    fn solve_lp_revised(&self, opts: &LpOptions) -> Result<LpSolution, SolveError> {
+        // validation must run before presolve so an EmptyDomain surfaces
+        // as an error (matching the dense path), not an Infeasible verdict
+        self.validate_vars()?;
+        let pre = crate::presolve::presolve(self);
+        if pre.verdict == Some(LpStatus::Infeasible) {
+            return Ok(LpSolution {
+                status: LpStatus::Infeasible,
+                objective: f64::INFINITY,
+                x: vec![0.0; self.n_vars()],
+                iterations: 0,
+            });
+        }
+        let lp = crate::revised::SparseLp::from_model(&pre.model)?;
+        let sol = lp.solve_primal(opts)?;
+        let x = pre.postsolve(&sol.x);
+        let objective = match sol.status {
+            LpStatus::Infeasible => f64::INFINITY,
+            LpStatus::Unbounded => f64::NEG_INFINITY,
+            _ => self.objective_of(&x),
+        };
+        Ok(LpSolution { status: sol.status, objective, x, iterations: sol.iterations })
     }
 }

@@ -1,0 +1,296 @@
+//! Light LP presolve: fixed-variable elimination and singleton rows.
+//!
+//! Runs ahead of the revised simplex on stand-alone
+//! [`Model::solve_lp`] calls (branch-and-bound re-solves skip it: they
+//! need a stable column layout for basis reuse). The paper's mapping
+//! formulations profit directly — B&B fixings freeze α columns, CCR
+//! extremes zero out whole bandwidth rows, and the compact encoding
+//! produces singleton γ rows at every PE a task cannot reach.
+//!
+//! Two reductions, applied to a fixpoint (bounded passes):
+//!
+//! * **fixed variables** (`lo == hi`): substituted into every row's
+//!   right-hand side and dropped from the column set;
+//! * **singleton rows** (`a·x ≤/=/≥ b`): converted into a bound
+//!   tightening on `x` and dropped from the row set (empty rows are
+//!   feasibility-checked and dropped).
+//!
+//! [`Presolved::postsolve`] maps a reduced solution back to the
+//! original variable order.
+
+use crate::model::{Cmp, LpStatus, Model, VarId};
+
+/// Violation of an (effectively) empty row `0 {cmp} rhs`.
+fn empty_row_violation(cmp: Cmp, rhs: f64) -> f64 {
+    match cmp {
+        Cmp::Le => -rhs,
+        Cmp::Ge => rhs,
+        Cmp::Eq => rhs.abs(),
+    }
+}
+
+/// Bound equality slack under which a variable counts as fixed.
+const FIX_TOL: f64 = 1e-12;
+/// Feasibility slack for empty-row / crossed-bound detection.
+const INFEAS_TOL: f64 = 1e-9;
+const MAX_PASSES: usize = 4;
+
+/// The outcome of [`presolve`].
+pub struct Presolved {
+    /// The reduced model (possibly empty).
+    pub model: Model,
+    /// `Some(Infeasible)` when presolve already proved infeasibility.
+    pub verdict: Option<LpStatus>,
+    /// Reduced column -> original column.
+    keep: Vec<usize>,
+    /// Original column -> fixed value for eliminated columns.
+    fixed: Vec<Option<f64>>,
+    n_original: usize,
+    rows_eliminated: usize,
+}
+
+impl Presolved {
+    /// Expand a reduced solution vector to original variable order.
+    pub fn postsolve(&self, x_reduced: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.n_original];
+        for (orig, v) in self.fixed.iter().enumerate() {
+            if let Some(val) = v {
+                x[orig] = *val;
+            }
+        }
+        for (red, &orig) in self.keep.iter().enumerate() {
+            x[orig] = x_reduced[red];
+        }
+        x
+    }
+
+    /// Columns eliminated by the presolve.
+    pub fn n_eliminated(&self) -> usize {
+        self.n_original - self.keep.len()
+    }
+
+    /// Rows eliminated by the presolve.
+    pub fn n_rows_eliminated(&self) -> usize {
+        self.rows_eliminated
+    }
+}
+
+/// Run the presolve on `model`.
+pub fn presolve(model: &Model) -> Presolved {
+    let n = model.n_vars();
+    let mut lo: Vec<f64> = (0..n).map(|j| model.bounds(VarId(j)).0).collect();
+    let mut hi: Vec<f64> = (0..n).map(|j| model.bounds(VarId(j)).1).collect();
+    let mut fixed: Vec<Option<f64>> = vec![None; n];
+    struct Row {
+        terms: Vec<(usize, f64)>,
+        cmp: Cmp,
+        rhs: f64,
+        dead: bool,
+    }
+    let mut rows: Vec<Row> = model
+        .cons
+        .iter()
+        .map(|c| Row { terms: c.terms.clone(), cmp: c.cmp, rhs: c.rhs, dead: false })
+        .collect();
+    let mut infeasible = false;
+
+    for _ in 0..MAX_PASSES {
+        let mut changed = false;
+
+        // newly fixed variables (from bounds or prior tightenings)
+        for j in 0..n {
+            if fixed[j].is_none() && hi[j] - lo[j] <= FIX_TOL {
+                if hi[j] < lo[j] - INFEAS_TOL {
+                    infeasible = true;
+                }
+                fixed[j] = Some(0.5 * (lo[j] + hi[j]));
+                changed = true;
+            }
+        }
+        // substitute fixed variables into rows
+        for row in rows.iter_mut().filter(|r| !r.dead) {
+            let before = row.terms.len();
+            let mut shift = 0.0;
+            row.terms.retain(|&(c, a)| {
+                if let Some(v) = fixed[c] {
+                    shift += a * v;
+                    false
+                } else {
+                    true
+                }
+            });
+            row.rhs -= shift;
+            changed |= row.terms.len() != before;
+        }
+        // empty + singleton rows
+        for row in rows.iter_mut().filter(|r| !r.dead) {
+            match row.terms.len() {
+                0 => {
+                    if empty_row_violation(row.cmp, row.rhs) > INFEAS_TOL {
+                        infeasible = true;
+                    }
+                    row.dead = true;
+                    changed = true;
+                }
+                1 => {
+                    let (c, a) = row.terms[0];
+                    if a.abs() <= 1e-30 {
+                        // a vanishing coefficient makes this an empty
+                        // row in all but name: feasibility-check the
+                        // rhs instead of silently dropping it
+                        if empty_row_violation(row.cmp, row.rhs) > INFEAS_TOL {
+                            infeasible = true;
+                        }
+                        row.dead = true;
+                        changed = true;
+                        continue;
+                    }
+                    let v = row.rhs / a;
+                    // a·x ≤ rhs: x ≤ v when a > 0, x ≥ v when a < 0
+                    let (tighten_lo, tighten_hi) = match (row.cmp, a > 0.0) {
+                        (Cmp::Eq, _) => (Some(v), Some(v)),
+                        (Cmp::Le, true) | (Cmp::Ge, false) => (None, Some(v)),
+                        (Cmp::Le, false) | (Cmp::Ge, true) => (Some(v), None),
+                    };
+                    if let Some(l) = tighten_lo {
+                        if l > lo[c] {
+                            lo[c] = l;
+                        }
+                    }
+                    if let Some(h) = tighten_hi {
+                        if h < hi[c] {
+                            hi[c] = h;
+                        }
+                    }
+                    if lo[c] > hi[c] + INFEAS_TOL {
+                        infeasible = true;
+                    }
+                    row.dead = true;
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed || infeasible {
+            break;
+        }
+    }
+
+    // rebuild the reduced model
+    let keep: Vec<usize> = (0..n).filter(|&j| fixed[j].is_none()).collect();
+    let mut new_id = vec![usize::MAX; n];
+    for (red, &orig) in keep.iter().enumerate() {
+        new_id[orig] = red;
+    }
+    let mut reduced = Model::new(format!("{}-presolved", model.name()));
+    for &orig in &keep {
+        let v = &model.vars[orig];
+        reduced.add_var(v.name.clone(), lo[orig], hi[orig].max(lo[orig]), v.obj, v.kind);
+    }
+    let mut rows_eliminated = 0usize;
+    for row in &rows {
+        if row.dead {
+            rows_eliminated += 1;
+            continue;
+        }
+        let terms: Vec<(VarId, f64)> =
+            row.terms.iter().map(|&(c, a)| (VarId(new_id[c]), a)).collect();
+        reduced.add_con(terms, row.cmp, row.rhs);
+    }
+
+    Presolved {
+        model: reduced,
+        verdict: infeasible.then_some(LpStatus::Infeasible),
+        keep,
+        fixed,
+        n_original: n,
+        rows_eliminated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::VarKind;
+
+    #[test]
+    fn fixed_vars_are_substituted() {
+        let mut m = Model::new("fix");
+        let a = m.add_var("a", 2.5, 2.5, 1.0, VarKind::Continuous);
+        let b = m.add_var("b", 0.0, 10.0, 1.0, VarKind::Continuous);
+        m.add_con(vec![(a, 1.0), (b, 1.0)], Cmp::Ge, 4.0);
+        let p = presolve(&m);
+        assert_eq!(p.model.n_vars(), 1);
+        assert_eq!(p.n_eliminated(), 1);
+        // the remaining row is b >= 1.5 — a singleton, so it folds into
+        // b's lower bound and the row disappears too
+        assert_eq!(p.model.n_cons(), 0);
+        assert!((p.model.bounds(VarId(0)).0 - 1.5).abs() < 1e-12);
+        let x = p.postsolve(&[1.5]);
+        assert_eq!(x, vec![2.5, 1.5]);
+    }
+
+    #[test]
+    fn singleton_rows_tighten_bounds() {
+        let mut m = Model::new("single");
+        let x = m.add_var("x", 0.0, 10.0, 1.0, VarKind::Continuous);
+        let y = m.add_var("y", 0.0, 10.0, 1.0, VarKind::Continuous);
+        m.add_con(vec![(x, 2.0)], Cmp::Le, 6.0); // x <= 3
+        m.add_con(vec![(x, -1.0)], Cmp::Le, -1.0); // x >= 1
+        m.add_con(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 8.0);
+        let p = presolve(&m);
+        assert!(p.verdict.is_none());
+        assert_eq!(p.model.n_cons(), 1);
+        assert_eq!(p.model.bounds(VarId(0)), (1.0, 3.0));
+    }
+
+    #[test]
+    fn vanishing_coefficient_singleton_is_feasibility_checked() {
+        // 1e-31 * x == 5 is unsatisfiable for boxed x: must be flagged
+        // infeasible, not silently dropped
+        let mut m = Model::new("tiny");
+        let x = m.add_var("x", 0.0, 1.0, 1.0, VarKind::Continuous);
+        m.add_con(vec![(x, 1e-31)], Cmp::Eq, 5.0);
+        let p = presolve(&m);
+        assert_eq!(p.verdict, Some(LpStatus::Infeasible));
+        // while a zero rhs really is satisfiable and may be dropped
+        let mut m = Model::new("tiny-ok");
+        let x = m.add_var("x", 0.0, 1.0, 1.0, VarKind::Continuous);
+        m.add_con(vec![(x, 1e-31)], Cmp::Le, 0.0);
+        let p = presolve(&m);
+        assert!(p.verdict.is_none());
+        assert_eq!(p.model.n_cons(), 0);
+    }
+
+    #[test]
+    fn contradictory_singletons_detected() {
+        let mut m = Model::new("contra");
+        let x = m.add_var("x", 0.0, 10.0, 1.0, VarKind::Continuous);
+        m.add_con(vec![(x, 1.0)], Cmp::Ge, 7.0);
+        m.add_con(vec![(x, 1.0)], Cmp::Le, 2.0);
+        let p = presolve(&m);
+        assert_eq!(p.verdict, Some(LpStatus::Infeasible));
+    }
+
+    #[test]
+    fn cascade_fix_then_empty_row() {
+        // fixing x empties the row x <= 5 -> trivially feasible, dropped
+        let mut m = Model::new("cascade");
+        let x = m.add_var("x", 4.0, 4.0, 1.0, VarKind::Continuous);
+        m.add_con(vec![(x, 1.0)], Cmp::Le, 5.0);
+        let p = presolve(&m);
+        assert!(p.verdict.is_none());
+        assert_eq!(p.model.n_vars(), 0);
+        assert_eq!(p.model.n_cons(), 0);
+        assert_eq!(p.postsolve(&[]), vec![4.0]);
+    }
+
+    #[test]
+    fn infeasible_empty_row_detected() {
+        let mut m = Model::new("bad");
+        let x = m.add_var("x", 1.0, 1.0, 1.0, VarKind::Continuous);
+        m.add_con(vec![(x, 1.0)], Cmp::Ge, 2.0);
+        let p = presolve(&m);
+        assert_eq!(p.verdict, Some(LpStatus::Infeasible));
+    }
+}

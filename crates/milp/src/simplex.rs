@@ -260,11 +260,21 @@ impl Tableau {
         StepOutcome::Progress
     }
 
-    /// Run until optimal/unbounded/iteration-limit.
-    fn run(&mut self, barred_from: usize, max_iter: u64) -> LpStatus {
+    /// Run until optimal/unbounded/iteration-limit/deadline.
+    fn run(
+        &mut self,
+        barred_from: usize,
+        max_iter: u64,
+        deadline: Option<std::time::Instant>,
+    ) -> LpStatus {
         loop {
             if self.iterations >= max_iter {
                 return LpStatus::IterLimit;
+            }
+            if self.iterations.is_multiple_of(32)
+                && deadline.is_some_and(|d| std::time::Instant::now() >= d)
+            {
+                return LpStatus::TimeLimit;
             }
             self.iterations += 1;
             if self.iterations.is_multiple_of(REFRESH_EVERY) {
@@ -283,20 +293,12 @@ impl Tableau {
 /// Solve a model's continuous relaxation.
 pub(crate) fn solve(model: &Model, opts: &LpOptions) -> Result<LpSolution, SolveError> {
     // ---- validation + standardisation ------------------------------------
+    model.validate_vars()?;
     let n = model.vars.len();
-    let mut shift = vec![0.0; n]; // x = shift + y
+    let mut shift = Vec::with_capacity(n); // x = shift + y
     let mut upper = Vec::with_capacity(n);
-    for (i, v) in model.vars.iter().enumerate() {
-        if !v.lo.is_finite() {
-            return Err(SolveError::BadBound(VarId(i)));
-        }
-        if v.hi < v.lo - 1e-12 {
-            return Err(SolveError::EmptyDomain(VarId(i)));
-        }
-        if !v.obj.is_finite() {
-            return Err(SolveError::BadCoefficient);
-        }
-        shift[i] = v.lo;
+    for v in &model.vars {
+        shift.push(v.lo);
         upper.push(((v.hi - v.lo).max(0.0)).abs());
     }
 
@@ -431,9 +433,9 @@ pub(crate) fn solve(model: &Model, opts: &LpOptions) -> Result<LpSolution, Solve
             tab.cost[j] = 1.0;
         }
         tab.refresh_dvec();
-        status = tab.run(ncols, opts.max_iterations);
-        if status == LpStatus::IterLimit {
-            return Ok(extract(model, &tab, LpStatus::IterLimit, &shift));
+        status = tab.run(ncols, opts.max_iterations, opts.deadline);
+        if status == LpStatus::IterLimit || status == LpStatus::TimeLimit {
+            return Ok(extract(model, &tab, status, &shift));
         }
         debug_assert_ne!(status, LpStatus::Unbounded, "phase 1 is bounded below by 0");
         let infeas: f64 = (art_start..ncols).map(|j| tab.value_of(j)).sum();
@@ -460,7 +462,7 @@ pub(crate) fn solve(model: &Model, opts: &LpOptions) -> Result<LpSolution, Solve
     }
     tab.refresh_beta();
     tab.refresh_dvec();
-    status = tab.run(tab.art_start, opts.max_iterations);
+    status = tab.run(tab.art_start, opts.max_iterations, opts.deadline);
 
     Ok(extract(model, &tab, status, &shift))
 }
@@ -481,10 +483,12 @@ fn extract(model: &Model, tab: &Tableau, status: LpStatus, shift: &[f64]) -> LpS
 
 #[cfg(test)]
 mod tests {
-    use crate::model::{Cmp, LpOptions, LpStatus, Model, VarKind};
+    use crate::model::{Cmp, LpAlgo, LpOptions, LpStatus, Model, VarKind};
 
+    /// These tests pin the *dense oracle*, so they must not follow the
+    /// default dispatch to the revised engine.
     fn solve(m: &Model) -> crate::model::LpSolution {
-        m.solve_lp(&LpOptions::default()).expect("valid model")
+        m.solve_lp(&LpOptions { algo: LpAlgo::Dense, ..LpOptions::default() }).expect("valid model")
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Column-wise sparse matrix storage (CSC) for the revised simplex.
+//!
+//! The mapping formulations are extremely sparse — a typical row of
+//! Linear Program (1) touches 2–12 of several thousand columns — so the
+//! revised simplex stores the constraint matrix as compressed sparse
+//! columns and never densifies it. [`ColMatrix::from_rows`] builds the
+//! CSC straight from the model's sparse row triplets in one
+//! counting-sort pass.
+
+/// A compressed-sparse-column matrix: `nrows × ncols`, immutable once
+/// built.
+#[derive(Debug, Clone, Default)]
+pub struct ColMatrix {
+    nrows: usize,
+    /// `col_ptr[j]..col_ptr[j+1]` indexes column `j`'s entries.
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl ColMatrix {
+    /// Build from sparse rows: `rows[i]` lists `(column, coefficient)`
+    /// pairs of row `i`. `ncols` must bound every column index.
+    pub fn from_rows<'a, I, R>(nrows: usize, ncols: usize, rows: I) -> ColMatrix
+    where
+        I: Fn() -> R,
+        R: Iterator<Item = &'a [(usize, f64)]>,
+    {
+        let mut counts = vec![0usize; ncols + 1];
+        let mut nnz = 0usize;
+        for row in rows() {
+            for &(c, _) in row {
+                debug_assert!(c < ncols, "column {c} out of range {ncols}");
+                counts[c + 1] += 1;
+                nnz += 1;
+            }
+        }
+        for j in 0..ncols {
+            counts[j + 1] += counts[j];
+        }
+        let col_ptr = counts.clone();
+        let mut row_idx = vec![0usize; nnz];
+        let mut values = vec![0.0f64; nnz];
+        let mut cursor = counts;
+        for (i, row) in rows().enumerate() {
+            for &(c, v) in row {
+                let k = cursor[c];
+                row_idx[k] = i;
+                values[k] = v;
+                cursor[c] += 1;
+            }
+        }
+        ColMatrix { nrows, col_ptr, row_idx, values }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.col_ptr.len().saturating_sub(1)
+    }
+
+    /// Total stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column `j` as parallel `(row indices, values)` slices.
+    pub fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        let (a, b) = (self.col_ptr[j], self.col_ptr[j + 1]);
+        (&self.row_idx[a..b], &self.values[a..b])
+    }
+
+    /// Entries in column `j`.
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.col_ptr[j + 1] - self.col_ptr[j]
+    }
+
+    /// Sparse dot product of column `j` with a dense vector.
+    pub fn col_dot(&self, j: usize, dense: &[f64]) -> f64 {
+        let (rows, vals) = self.col(j);
+        rows.iter().zip(vals).map(|(&r, &v)| v * dense[r]).sum()
+    }
+
+    /// `dense[r] += scale * col_j[r]` for every entry of column `j`.
+    pub fn col_axpy(&self, j: usize, scale: f64, dense: &mut [f64]) {
+        let (rows, vals) = self.col(j);
+        for (&r, &v) in rows.iter().zip(vals) {
+            dense[r] += scale * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ColMatrix {
+        // rows: [ (0,2.0) (2,1.0) ], [ (1,-1.0) ], [ (0,3.0) (1,4.0) ]
+        let rows: Vec<Vec<(usize, f64)>> =
+            vec![vec![(0, 2.0), (2, 1.0)], vec![(1, -1.0)], vec![(0, 3.0), (1, 4.0)]];
+        ColMatrix::from_rows(3, 3, || rows.iter().map(|r| r.as_slice()))
+    }
+
+    #[test]
+    fn csc_roundtrips_rows() {
+        let m = sample();
+        assert_eq!((m.nrows(), m.ncols(), m.nnz()), (3, 3, 5));
+        let (r0, v0) = m.col(0);
+        assert_eq!(r0, &[0, 2]);
+        assert_eq!(v0, &[2.0, 3.0]);
+        let (r1, v1) = m.col(1);
+        assert_eq!(r1, &[1, 2]);
+        assert_eq!(v1, &[-1.0, 4.0]);
+        let (r2, v2) = m.col(2);
+        assert_eq!(r2, &[0]);
+        assert_eq!(v2, &[1.0]);
+    }
+
+    #[test]
+    fn dot_and_axpy_agree_with_dense() {
+        let m = sample();
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(m.col_dot(0, &y), 2.0 + 9.0);
+        assert_eq!(m.col_dot(1, &y), -2.0 + 12.0);
+        let mut acc = [0.0; 3];
+        m.col_axpy(0, 2.0, &mut acc);
+        assert_eq!(acc, [4.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn empty_columns_are_fine() {
+        let rows: Vec<Vec<(usize, f64)>> = vec![vec![(3, 1.0)]];
+        let m = ColMatrix::from_rows(1, 5, || rows.iter().map(|r| r.as_slice()));
+        assert_eq!(m.col_nnz(0), 0);
+        assert_eq!(m.col_nnz(3), 1);
+    }
+}

@@ -1,7 +1,8 @@
-//! Cross-validation of the LP/MIP solver against brute force.
+//! Cross-validation of the LP/MIP solver against brute force, and the
+//! dense-oracle differential suite for the sparse revised simplex.
 
 use crate::bb::{solve_mip, MipOptions, MipStatus};
-use crate::model::{Cmp, LpOptions, LpStatus, Model, VarKind};
+use crate::model::{Cmp, LpAlgo, LpOptions, LpStatus, Model, VarKind};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -473,6 +474,250 @@ fn binary_fixing_via_bounds_like_branch_and_bound() {
     m0.set_bounds(a, 0.0, 0.0);
     let fixed = solve_mip(&m0, &exact_opts(), &[], None).unwrap();
     assert!((fixed.incumbent.unwrap().0 + 3.0).abs() < 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Differential suite: sparse revised simplex vs the dense oracle
+// ---------------------------------------------------------------------------
+
+fn dense_opts() -> LpOptions {
+    LpOptions { algo: LpAlgo::Dense, ..LpOptions::default() }
+}
+
+/// Random bounded LP with mixed `≤`/`≥`/`=` rows, negative lower
+/// bounds, boxed and free-above variables — the full surface both
+/// engines must agree on.
+fn arb_bounded_lp() -> impl Strategy<Value = Model> {
+    (2usize..=6, 1usize..=6, any::<u64>()).prop_map(|(n, mcount, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Model::new("diff");
+        for j in 0..n {
+            let lo = if rng.gen_bool(0.3) { -rng.gen_range(0.0..4.0f64) } else { 0.0 };
+            let hi = if rng.gen_bool(0.2) { f64::INFINITY } else { lo + rng.gen_range(0.5..8.0) };
+            let obj = rng.gen_range(-5.0..5.0f64);
+            m.add_var(format!("x{j}"), lo, hi, obj, VarKind::Continuous);
+        }
+        for _ in 0..mcount {
+            let mut terms = Vec::new();
+            for j in 0..n {
+                if rng.gen_bool(0.8) {
+                    terms.push((crate::model::VarId(j), rng.gen_range(-5.0..5.0f64)));
+                }
+            }
+            if terms.is_empty() {
+                continue;
+            }
+            let cmp = match rng.gen_range(0..4u8) {
+                0 => Cmp::Ge,
+                1 => Cmp::Eq,
+                _ => Cmp::Le,
+            };
+            // keep equality rows satisfiable-ish by centring rhs on a
+            // random box point
+            let x0: Vec<f64> = (0..n)
+                .map(|j| {
+                    let (lo, hi) = m.bounds(crate::model::VarId(j));
+                    rng.gen_range(lo..lo.max(hi.min(lo + 8.0)) + 1e-9)
+                })
+                .collect();
+            let base: f64 = terms.iter().map(|&(v, a)| a * x0[v.0]).sum();
+            let rhs = base
+                + match cmp {
+                    Cmp::Le => rng.gen_range(0.0..3.0f64),
+                    Cmp::Ge => -rng.gen_range(0.0..3.0f64),
+                    Cmp::Eq => 0.0,
+                };
+            m.add_con(terms, cmp, rhs);
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Both engines must agree on status, and on the objective within
+    /// 1e-7 when optimal. This is the contract that lets the revised
+    /// simplex replace the tableau everywhere.
+    #[test]
+    fn prop_sparse_matches_dense_oracle(m in arb_bounded_lp()) {
+        let dense = m.solve_lp(&dense_opts()).unwrap();
+        let sparse = m.solve_lp(&LpOptions::default()).unwrap();
+        prop_assert_eq!(sparse.status, dense.status,
+            "sparse {:?} vs dense {:?} on {}", sparse.status, dense.status, m.name());
+        if dense.status == LpStatus::Optimal {
+            let scale = 1.0 + dense.objective.abs();
+            prop_assert!((sparse.objective - dense.objective).abs() <= 1e-7 * scale,
+                "sparse {} vs dense {}", sparse.objective, dense.objective);
+            prop_assert!(m.max_violation(&sparse.x) <= 1e-6,
+                "sparse point violates by {}", m.max_violation(&sparse.x));
+        }
+    }
+
+    /// End-to-end B&B differential: the warm-started sparse search and
+    /// the dense from-scratch search must land on incumbents of equal
+    /// objective (both run to proven optimality).
+    #[test]
+    fn prop_solve_mip_incumbents_match_dense(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(3..=8usize);
+        let mut m = Model::new("mip-diff");
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.add_var(format!("v{i}"), 0.0, 1.0, rng.gen_range(-9.0..9.0f64), VarKind::Binary))
+            .collect();
+        let t = m.add_var("T", 0.0, f64::INFINITY, 1.0, VarKind::Continuous);
+        for _ in 0..rng.gen_range(1..=3usize) {
+            let mut terms: Vec<_> = vars.iter().map(|&v| (v, rng.gen_range(-4.0..6.0f64))).collect();
+            terms.push((t, -1.0));
+            m.add_con(terms, Cmp::Le, rng.gen_range(0.0..8.0));
+        }
+        let exact = MipOptions { rel_gap: 0.0, abs_gap: 1e-9, ..Default::default() };
+        let dense = solve_mip(
+            &m, &MipOptions { lp: dense_opts(), ..exact.clone() }, &[], None,
+        ).unwrap();
+        let sparse = solve_mip(&m, &exact, &[], None).unwrap();
+        match (&dense.incumbent, &sparse.incumbent) {
+            (Some((od, _)), Some((os, _))) => prop_assert!(
+                (od - os).abs() <= 1e-6 * (1.0 + od.abs()),
+                "dense {} vs sparse {}", od, os
+            ),
+            (None, None) => {}
+            _ => prop_assert!(false, "one engine found an incumbent, the other did not"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Anti-cycling and budget regressions
+// ---------------------------------------------------------------------------
+
+/// Beale's classic cycling LP: naive Dantzig pricing with exact
+/// tie-breaking cycles forever on it. The revised simplex must
+/// terminate via the Bland fallback well inside the iteration cap —
+/// i.e. with `Optimal`, never `IterLimit`.
+#[test]
+fn degenerate_beale_terminates_under_bland_fallback() {
+    let mut m = Model::new("beale");
+    let x1 = m.add_var("x1", 0.0, f64::INFINITY, -0.75, VarKind::Continuous);
+    let x2 = m.add_var("x2", 0.0, f64::INFINITY, 150.0, VarKind::Continuous);
+    let x3 = m.add_var("x3", 0.0, f64::INFINITY, -0.02, VarKind::Continuous);
+    let x4 = m.add_var("x4", 0.0, f64::INFINITY, 6.0, VarKind::Continuous);
+    m.add_con(vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], Cmp::Le, 0.0);
+    m.add_con(vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], Cmp::Le, 0.0);
+    m.add_con(vec![(x3, 1.0)], Cmp::Le, 1.0);
+    // a tight-but-sufficient cap: termination must come from optimality,
+    // not from bumping into the cap
+    let cap = 1_000;
+    let sol = m.solve_lp(&LpOptions { max_iterations: cap, ..Default::default() }).unwrap();
+    assert_eq!(sol.status, LpStatus::Optimal, "Bland fallback must break the cycle");
+    assert!(sol.iterations < cap, "finished at the cap ({cap}): suspicious of cycling");
+    assert!((sol.objective + 0.05).abs() < 1e-6, "{}", sol.objective);
+    // and the dense oracle agrees
+    let dense = m.solve_lp(&dense_opts()).unwrap();
+    assert!((sol.objective - dense.objective).abs() < 1e-8);
+}
+
+/// A deliberately microscopic iteration cap must surface as IterLimit,
+/// proving the cap is enforced inside both engines' pivot loops.
+#[test]
+fn iteration_cap_is_enforced() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut m = Model::new("cap");
+    let vars: Vec<_> = (0..40)
+        .map(|i| {
+            m.add_var(format!("x{i}"), 0.0, rng.gen_range(1.0..3.0), -1.0, VarKind::Continuous)
+        })
+        .collect();
+    for _ in 0..30 {
+        let terms: Vec<_> = vars.iter().map(|&v| (v, rng.gen_range(0.1..2.0f64))).collect();
+        m.add_con(terms, Cmp::Le, rng.gen_range(1.0..4.0));
+    }
+    for algo in [LpAlgo::Revised, LpAlgo::Dense] {
+        let sol = m.solve_lp(&LpOptions { max_iterations: 3, algo, ..Default::default() }).unwrap();
+        assert_eq!(sol.status, LpStatus::IterLimit, "{algo:?}");
+        assert!(sol.iterations <= 3, "{algo:?}: {}", sol.iterations);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Warm starts and deadlines
+// ---------------------------------------------------------------------------
+
+/// A branching-heavy MIP must actually exercise the dual-simplex warm
+/// starts, and essentially all of them should hold on a well-scaled
+/// model.
+#[test]
+fn warm_starts_are_attempted_and_mostly_hit() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let n = 14;
+    let mut m = Model::new("warm-rate");
+    let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..20.0)).collect();
+    let vars: Vec<_> = (0..n)
+        .map(|i| m.add_var(format!("v{i}"), 0.0, 1.0, -weights[i], VarKind::Binary))
+        .collect();
+    let cap: f64 = weights.iter().sum::<f64>() * 0.37;
+    m.add_con(vars.iter().zip(&weights).map(|(&v, &w)| (v, w)).collect(), Cmp::Le, cap);
+    let res = solve_mip(&m, &MipOptions { rel_gap: 0.0, ..Default::default() }, &[], None).unwrap();
+    assert!(res.nodes > 3, "expected real branching, got {} nodes", res.nodes);
+    assert!(res.warm_starts > 0, "child nodes must attempt warm starts");
+    assert!(
+        res.warm_start_rate() >= 0.9,
+        "warm-start rate {} ({} / {})",
+        res.warm_start_rate(),
+        res.warm_start_hits,
+        res.warm_starts
+    );
+}
+
+/// The MIP deadline is threaded into `solve_lp` itself: even when a
+/// single node LP would run for a long time, the overall solve returns
+/// close to the configured budget instead of finishing the node first.
+#[test]
+fn time_limit_cannot_be_overshot_by_one_long_lp() {
+    use std::time::{Duration, Instant};
+    // a large dense-ish LP whose single solve takes well over the budget
+    let mut rng = StdRng::seed_from_u64(77);
+    let n = 220;
+    let mut m = Model::new("slow");
+    let vars: Vec<_> = (0..n)
+        .map(|i| {
+            m.add_var(
+                format!("x{i}"),
+                0.0,
+                rng.gen_range(0.5..2.0),
+                -rng.gen_range(0.1..1.0f64),
+                VarKind::Binary,
+            )
+        })
+        .collect();
+    for _ in 0..160 {
+        let mut terms = Vec::new();
+        for &v in &vars {
+            if rng.gen_bool(0.4) {
+                terms.push((v, rng.gen_range(0.2..2.0f64)));
+            }
+        }
+        if !terms.is_empty() {
+            m.add_con(terms, Cmp::Le, rng.gen_range(1.0..6.0));
+        }
+    }
+    let budget = Duration::from_millis(30);
+    let started = Instant::now();
+    let res = solve_mip(
+        &m,
+        &MipOptions { rel_gap: 0.0, time_limit: budget, ..Default::default() },
+        &[],
+        None,
+    )
+    .unwrap();
+    let wall = started.elapsed();
+    // generous slack: one deadline-check interval plus scheduling noise,
+    // NOT the multi-second runtime of an unchecked root LP
+    assert!(
+        wall <= budget + Duration::from_millis(150),
+        "solve ran {wall:?} against a {budget:?} budget (status {:?})",
+        res.status
+    );
 }
 
 proptest! {
