@@ -278,6 +278,15 @@ impl<'a> EvalState<'a> {
         p
     }
 
+    /// One PE's occupation: `max(compute, in/bw, out/bw)` — the §3.2
+    /// per-PE term whose maximum over PEs is the period. O(1). Search
+    /// heuristics use it to break period plateaus toward better load
+    /// balance (two co-bottlenecked PEs stall pure steepest descent).
+    pub fn occupancy(&self, pe: PeId) -> f64 {
+        let i = pe.index();
+        self.compute[i].max(self.in_bytes[i] / self.bw).max(self.out_bytes[i] / self.bw)
+    }
+
     /// The resource that sets the period (same scan order and tie-break
     /// as the full evaluator: first PE, compute before in before out).
     pub fn bottleneck(&self) -> Bottleneck {

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod brute;
+pub mod delta;
 pub mod display;
 pub mod eval;
 pub mod formulation;
@@ -53,6 +54,7 @@ pub mod solve;
 pub mod steady;
 pub mod workload;
 
+pub use delta::{MappingDelta, TaskMove};
 pub use eval::incremental::{EvalState, Move};
 pub use eval::{evaluate, MappingReport, Violation};
 pub use formulation::{FormKind, Formulation, FormulationConfig};

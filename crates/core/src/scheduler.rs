@@ -28,7 +28,45 @@ use cellstream_milp::bb::MipStatus;
 use cellstream_milp::model::SolveError;
 use cellstream_platform::{CellSpec, PeId};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A shared cooperative-cancellation flag.
+///
+/// Cloning shares the flag: every scheduler running under the same
+/// [`PlanContext`] (all portfolio members, the B&B's LP pivot loops)
+/// sees one [`cancel`](Self::cancel) call. Iterative schedulers check it
+/// between search steps and return their best-so-far result — which is
+/// how an online serving layer aborts a background re-solve the moment a
+/// new event arrives instead of waiting out the budget.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raise the flag. Idempotent; there is no way to lower it again —
+    /// start a new token for the next run.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once [`cancel`](Self::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// The raw shared flag, for layers below `core` (the MILP's
+    /// `MipOptions::stop` / `LpOptions::stop` take the bare atomic so
+    /// the solver crate does not depend on this type).
+    pub fn flag(&self) -> Arc<AtomicBool> {
+        self.0.clone()
+    }
+}
 
 /// Inputs shared by every [`Scheduler`].
 #[derive(Debug, Clone, Default)]
@@ -39,6 +77,10 @@ pub struct PlanContext {
     /// Wall-clock budget hint. Iterative schedulers (MILP, annealing)
     /// stop early when it runs out; constructive ones ignore it.
     pub budget: Option<Duration>,
+    /// Cooperative cancellation: iterative schedulers poll this between
+    /// search steps / B&B nodes and return early with their best-so-far
+    /// answer once it fires. Cloned contexts share the flag.
+    pub cancel: CancelToken,
     /// MILP configuration used by [`MilpScheduler`].
     pub solve: SolveOptions,
 }
@@ -279,6 +321,11 @@ impl Scheduler for MilpScheduler {
         let mut opts = ctx.solve.clone();
         opts.seeds.extend(ctx.seeds.iter().cloned());
         opts.mip.time_limit = ctx.milp_time_limit();
+        // fill-if-none, like every other scheduler's cancel plumbing:
+        // an explicit caller-provided stop flag wins over the context
+        if opts.mip.stop.is_none() {
+            opts.mip.stop = Some(ctx.cancel.flag());
+        }
         let outcome = solve(g, spec, &opts)?;
         let warm_start_rate = outcome.warm_start_rate();
         let report = evaluate(g, spec, &outcome.mapping)?;

@@ -202,6 +202,16 @@ impl StreamGraph {
         self.tasks.iter().position(|t| t.name == name).map(TaskId)
     }
 
+    /// A copy of this graph under another name, tasks and edges
+    /// untouched. Application names must be unique within a
+    /// [`Workload`](crate::Workload), so admitting the same pipeline
+    /// twice (two video streams, say) goes through a rename.
+    pub fn renamed(&self, name: impl Into<String>) -> StreamGraph {
+        let mut g = self.clone();
+        g.name = name.into();
+        g
+    }
+
     /// Rebuild with mutated tasks/edges (used by the CCR rescaler).
     /// Cheap revalidation: topology is untouched, so only numeric checks run.
     pub(crate) fn with_scaled(

@@ -260,3 +260,124 @@ proptest! {
         prop_assert_eq!(crate::algo::critical_path_hops(&g), d.into_iter().max().unwrap());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Workload mutation properties (the online serving substrate)
+// ---------------------------------------------------------------------------
+
+/// One random workload mutation: admit a fresh app, retire one, or
+/// reweight one. Indices/weights are sampled wide and clamped to the
+/// live range at application time.
+#[derive(Debug, Clone)]
+enum WlOp {
+    Add { n_tasks: usize, weight: f64 },
+    Retire { idx: usize },
+    Reweight { idx: usize, weight: f64 },
+}
+
+fn arb_wl_ops(max_ops: usize) -> impl Strategy<Value = Vec<WlOp>> {
+    proptest::collection::vec((0usize..3, 1usize..5, 0usize..8, 0.25f64..4.0), 1..max_ops).prop_map(
+        |raw| {
+            raw.into_iter()
+                .map(|(kind, n_tasks, idx, weight)| match kind {
+                    0 => WlOp::Add { n_tasks, weight },
+                    1 => WlOp::Retire { idx },
+                    _ => WlOp::Reweight { idx, weight },
+                })
+                .collect()
+        },
+    )
+}
+
+fn small_app(name: &str, n_tasks: usize) -> StreamGraph {
+    let mut b = StreamGraph::builder(name);
+    let ids: Vec<_> = (0..n_tasks)
+        .map(|i| {
+            b.add_task(
+                TaskSpec::new(format!("t{i}"))
+                    .ppe_cost(1e-6 * (i + 1) as f64)
+                    .spe_cost(0.5e-6 * (i + 1) as f64)
+                    .reads(if i == 0 { 96.0 } else { 0.0 }),
+            )
+        })
+        .collect();
+    for w in ids.windows(2) {
+        b.add_edge(w[0], w[1], 128.0).unwrap();
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A random add/retire/reweight sequence leaves the workload exactly
+    /// equal to composing the surviving (name, weight) list from
+    /// scratch: same composed graph (hence same period under any
+    /// mapping), same per-app namespaces, and `subgraph()` still
+    /// round-trips every app.
+    #[test]
+    fn prop_mutation_matches_from_scratch(ops in arb_wl_ops(12)) {
+        use crate::Workload;
+        let first = small_app("app0", 3);
+        let mut w = Workload::compose("w", &[&first]).unwrap();
+        // shadow model: the (graph, weight) list we expect to survive
+        let mut model: Vec<(StreamGraph, f64)> = vec![(first, 1.0)];
+        let mut fresh = 1usize;
+
+        for op in ops {
+            match op {
+                WlOp::Add { n_tasks, weight } => {
+                    let g = small_app(&format!("app{fresh}"), n_tasks);
+                    fresh += 1;
+                    w.add(&g, weight).unwrap();
+                    model.push((g, weight));
+                }
+                WlOp::Retire { idx } => {
+                    if model.len() > 1 {
+                        let idx = idx % model.len();
+                        w.retire(crate::AppId(idx)).unwrap();
+                        model.remove(idx);
+                    }
+                }
+                WlOp::Reweight { idx, weight } => {
+                    let idx = idx % model.len();
+                    w.reweight(crate::AppId(idx), weight).unwrap();
+                    model[idx].1 = weight;
+                }
+            }
+
+            // equality with a from-scratch composition of the survivors
+            let mut scratch = Workload::builder("w");
+            for (g, weight) in &model {
+                scratch.push(g, *weight).unwrap();
+            }
+            let scratch = scratch.build().unwrap();
+            prop_assert_eq!(&w, &scratch);
+
+            // namespaces: every task of app i is "name/..." and tagged i
+            for (i, info) in w.apps().iter().enumerate() {
+                for t in w.tasks_of(crate::AppId(i)) {
+                    prop_assert_eq!(w.app_of(t), crate::AppId(i));
+                    prop_assert!(
+                        w.graph().task(t).name.starts_with(&format!("{}/", info.name)),
+                        "task {} not namespaced under {}", w.graph().task(t).name, info.name
+                    );
+                }
+                prop_assert_eq!(w.app_id(&info.name), Some(crate::AppId(i)));
+            }
+
+            // subgraph round-trip: weight-scaled copy of the source
+            for (i, (g, weight)) in model.iter().enumerate() {
+                let sub = w.subgraph(crate::AppId(i));
+                prop_assert_eq!(sub.n_tasks(), g.n_tasks());
+                prop_assert_eq!(sub.n_edges(), g.n_edges());
+                for t in g.task_ids() {
+                    let orig = g.task(t);
+                    let got = sub.task(t);
+                    prop_assert!((got.w_ppe - orig.w_ppe * weight).abs() <= 1e-18 + 1e-12 * got.w_ppe);
+                    prop_assert!((got.read_bytes - orig.read_bytes * weight).abs() <= 1e-9);
+                }
+            }
+        }
+    }
+}

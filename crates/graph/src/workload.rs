@@ -33,6 +33,20 @@
 //! the same application, and [`Workload::app_of`] maps every composed
 //! task back to its [`AppId`].
 //!
+//! # Mutation (online workloads)
+//!
+//! A workload is not frozen at build time: the serving layer
+//! (`cellstream-serve`) admits and retires applications while the
+//! platform runs. [`Workload::add`], [`Workload::retire`] and
+//! [`Workload::reweight`] mutate the composition **in place** and
+//! recompose the tagged graph from the retained applications' *unscaled*
+//! sources, so a mutated workload is indistinguishable from one built
+//! from scratch over the surviving applications (the property suite pins
+//! this exactly). [`AppId`]s are positional: retiring an application
+//! shifts every later application down by one — callers that need stable
+//! identities across churn (the serving layer does) keep their own
+//! handle → name map and resolve through [`Workload::app_id`].
+//!
 //! # Example
 //!
 //! ```
@@ -65,7 +79,8 @@ use std::fmt;
 use std::ops::Range;
 
 /// Identifier of an application inside one [`Workload`]: a dense index
-/// `0..N` in push order.
+/// `0..N` in push order. Positional — see the module docs for what
+/// happens under [`Workload::retire`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct AppId(pub usize);
 
@@ -82,15 +97,18 @@ impl fmt::Display for AppId {
     }
 }
 
-/// Errors raised while composing a [`Workload`].
+/// Errors raised while composing or mutating a [`Workload`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum WorkloadError {
     /// Two applications share the same name (names key the reports).
     DuplicateApp(String),
     /// A weight was zero, negative or non-finite.
     InvalidWeight(String, f64),
-    /// The workload has no applications.
+    /// The workload has no applications (building an empty one, or
+    /// retiring the last application — drop the workload instead).
     Empty,
+    /// An [`AppId`] outside the workload was passed to a mutation.
+    UnknownApp(AppId),
     /// Composing the graphs failed (should not happen for valid inputs;
     /// surfaced rather than unwrapped).
     Graph(GraphError),
@@ -104,6 +122,7 @@ impl fmt::Display for WorkloadError {
                 write!(f, "application '{n}': weight must be positive finite, got {w}")
             }
             WorkloadError::Empty => write!(f, "the workload has no applications"),
+            WorkloadError::UnknownApp(a) => write!(f, "no application {a} in this workload"),
             WorkloadError::Graph(e) => write!(f, "composing the workload graph failed: {e}"),
         }
     }
@@ -140,11 +159,93 @@ impl AppInfo {
     }
 }
 
+/// One application's *unscaled* source material: what it looked like
+/// before weight scaling and name prefixing. Kept by the workload so
+/// mutations ([`Workload::add`] / [`Workload::retire`] /
+/// [`Workload::reweight`]) can recompose the tagged graph exactly as a
+/// from-scratch build over the surviving applications would.
+#[derive(Debug, Clone, PartialEq)]
+struct AppSource {
+    name: String,
+    weight: f64,
+    specs: Vec<TaskSpec>,
+    /// Edges as application-local `(src, dst, bytes)` triples.
+    edges: Vec<(usize, usize, f64)>,
+}
+
+impl AppSource {
+    fn capture(g: &StreamGraph, weight: f64) -> Result<AppSource, WorkloadError> {
+        if !(weight.is_finite() && weight > 0.0) {
+            return Err(WorkloadError::InvalidWeight(g.name().to_owned(), weight));
+        }
+        Ok(AppSource {
+            name: g.name().to_owned(),
+            weight,
+            specs: g.tasks().iter().map(crate::task::Task::to_spec).collect(),
+            edges: g.edges().iter().map(|e| (e.src.index(), e.dst.index(), e.data_bytes)).collect(),
+        })
+    }
+}
+
+/// Compose a source list into the tagged graph + per-app metadata. The
+/// single code path behind [`WorkloadBuilder::build`] and every in-place
+/// mutation, which is what makes "mutated == rebuilt from scratch" hold
+/// bit-for-bit.
+#[allow(clippy::type_complexity)]
+fn compose_sources(
+    name: &str,
+    sources: &[AppSource],
+) -> Result<(StreamGraph, Vec<AppInfo>, Vec<AppId>), WorkloadError> {
+    if sources.is_empty() {
+        return Err(WorkloadError::Empty);
+    }
+    let mut b = StreamGraph::builder(name.to_owned());
+    let mut apps = Vec::with_capacity(sources.len());
+    let mut app_of = Vec::new();
+    let mut task_base = 0usize;
+    let mut edge_base = 0usize;
+    for (i, src) in sources.iter().enumerate() {
+        for spec in &src.specs {
+            let mut spec = spec.clone();
+            // weight scaling: one composed instance of this task does
+            // `weight` instances' worth of work (peek is an instance
+            // count, not work — it stays)
+            spec.name = format!("{}/{}", src.name, spec.name);
+            spec.w_ppe *= src.weight;
+            spec.w_spe *= src.weight;
+            spec.read_bytes *= src.weight;
+            spec.write_bytes *= src.weight;
+            b.add_task(spec);
+            app_of.push(AppId(i));
+        }
+        for &(s, d, bytes) in &src.edges {
+            b.add_edge(TaskId(task_base + s), TaskId(task_base + d), bytes * src.weight)?;
+        }
+        apps.push(AppInfo {
+            name: src.name.clone(),
+            weight: src.weight,
+            tasks: task_base..task_base + src.specs.len(),
+            edges: edge_base..edge_base + src.edges.len(),
+            sinks: Vec::new(),
+        });
+        task_base += src.specs.len();
+        edge_base += src.edges.len();
+    }
+    let graph = b.build()?;
+    for t in graph.task_ids() {
+        if graph.out_edges(t).is_empty() {
+            apps[app_of[t.index()].index()].sinks.push(t);
+        }
+    }
+    Ok((graph, apps, app_of))
+}
+
 /// N streaming applications composed into one tagged [`StreamGraph`].
-/// See the module docs for the composition semantics.
+/// See the module docs for the composition and mutation semantics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     name: String,
+    sources: Vec<AppSource>,
     graph: StreamGraph,
     apps: Vec<AppInfo>,
     /// Composed task index → owning application.
@@ -154,7 +255,7 @@ pub struct Workload {
 impl Workload {
     /// Start composing a workload.
     pub fn builder(name: impl Into<String>) -> WorkloadBuilder {
-        WorkloadBuilder { name: name.into(), apps: Vec::new() }
+        WorkloadBuilder { name: name.into(), sources: Vec::new() }
     }
 
     /// Compose applications with uniform weight 1 in one call.
@@ -200,6 +301,11 @@ impl Workload {
         &self.apps
     }
 
+    /// The id of the application with this name, if present.
+    pub fn app_id(&self, name: &str) -> Option<AppId> {
+        self.apps.iter().position(|a| a.name == name).map(AppId)
+    }
+
     /// The application owning a composed task.
     pub fn app_of(&self, t: TaskId) -> AppId {
         self.app_of[t.index()]
@@ -240,6 +346,70 @@ impl Workload {
         }
         b.build().expect("an application slice of a valid composition is valid")
     }
+
+    // ---- in-place mutation (the online serving path) ----------------------
+
+    /// Admit one more application with the given throughput weight,
+    /// recomposing the tagged graph in place. The new application lands
+    /// at the end: its id is `AppId(n_apps - 1)` (also returned). The
+    /// workload is untouched on error.
+    pub fn add(&mut self, g: &StreamGraph, weight: f64) -> Result<AppId, WorkloadError> {
+        if self.sources.iter().any(|s| s.name == g.name()) {
+            return Err(WorkloadError::DuplicateApp(g.name().to_owned()));
+        }
+        let src = AppSource::capture(g, weight)?;
+        self.sources.push(src);
+        match self.recompose() {
+            Ok(()) => Ok(AppId(self.sources.len() - 1)),
+            Err(e) => {
+                self.sources.pop();
+                // the retained sources composed before; they compose again
+                self.recompose().expect("retained sources recompose");
+                Err(e)
+            }
+        }
+    }
+
+    /// Retire an application, recomposing the graph over the survivors.
+    /// Later applications shift down by one id (dense positional ids —
+    /// see the module docs). Retiring the last application is refused
+    /// with [`WorkloadError::Empty`]: drop the workload instead.
+    pub fn retire(&mut self, a: AppId) -> Result<(), WorkloadError> {
+        if a.index() >= self.sources.len() {
+            return Err(WorkloadError::UnknownApp(a));
+        }
+        if self.sources.len() == 1 {
+            return Err(WorkloadError::Empty);
+        }
+        self.sources.remove(a.index());
+        self.recompose().expect("surviving sources recompose");
+        Ok(())
+    }
+
+    /// Change an application's throughput weight, rescaling its costs,
+    /// traffic and edge payloads in the composed graph. The workload is
+    /// untouched on error.
+    pub fn reweight(&mut self, a: AppId, weight: f64) -> Result<(), WorkloadError> {
+        let Some(src) = self.sources.get_mut(a.index()) else {
+            return Err(WorkloadError::UnknownApp(a));
+        };
+        if !(weight.is_finite() && weight > 0.0) {
+            return Err(WorkloadError::InvalidWeight(src.name.clone(), weight));
+        }
+        src.weight = weight;
+        self.recompose().expect("reweighted sources recompose");
+        Ok(())
+    }
+
+    /// Rebuild graph/apps/app_of from the current sources — exactly the
+    /// from-scratch build path.
+    fn recompose(&mut self) -> Result<(), WorkloadError> {
+        let (graph, apps, app_of) = compose_sources(&self.name, &self.sources)?;
+        self.graph = graph;
+        self.apps = apps;
+        self.app_of = app_of;
+        Ok(())
+    }
 }
 
 impl fmt::Display for Workload {
@@ -259,9 +429,7 @@ impl fmt::Display for Workload {
 #[derive(Debug, Clone)]
 pub struct WorkloadBuilder {
     name: String,
-    /// (name, weight, task specs, edges as local (src, dst, bytes)).
-    #[allow(clippy::type_complexity)]
-    apps: Vec<(String, f64, Vec<TaskSpec>, Vec<(usize, usize, f64)>)>,
+    sources: Vec<AppSource>,
 }
 
 impl WorkloadBuilder {
@@ -269,75 +437,19 @@ impl WorkloadBuilder {
     /// name becomes the application name and must be unique within the
     /// workload.
     pub fn push(&mut self, g: &StreamGraph, weight: f64) -> Result<AppId, WorkloadError> {
-        if !(weight.is_finite() && weight > 0.0) {
-            return Err(WorkloadError::InvalidWeight(g.name().to_owned(), weight));
-        }
-        if self.apps.iter().any(|(n, ..)| n == g.name()) {
+        if self.sources.iter().any(|s| s.name == g.name()) {
             return Err(WorkloadError::DuplicateApp(g.name().to_owned()));
         }
-        let specs = g
-            .tasks()
-            .iter()
-            .map(|t| {
-                let mut spec = t.to_spec();
-                // weight scaling: one composed instance of this task does
-                // `weight` instances' worth of work (peek is an instance
-                // count, not work — it stays)
-                spec.name = format!("{}/{}", g.name(), t.name);
-                spec.w_ppe *= weight;
-                spec.w_spe *= weight;
-                spec.read_bytes *= weight;
-                spec.write_bytes *= weight;
-                spec
-            })
-            .collect();
-        let edges = g
-            .edges()
-            .iter()
-            .map(|e| (e.src.index(), e.dst.index(), e.data_bytes * weight))
-            .collect();
-        let id = AppId(self.apps.len());
-        self.apps.push((g.name().to_owned(), weight, specs, edges));
+        let src = AppSource::capture(g, weight)?;
+        let id = AppId(self.sources.len());
+        self.sources.push(src);
         Ok(id)
     }
 
     /// Validate everything and freeze the composed workload.
     pub fn build(self) -> Result<Workload, WorkloadError> {
-        if self.apps.is_empty() {
-            return Err(WorkloadError::Empty);
-        }
-        let mut b = StreamGraph::builder(self.name.clone());
-        let mut apps = Vec::with_capacity(self.apps.len());
-        let mut app_of = Vec::new();
-        let mut task_base = 0usize;
-        let mut edge_base = 0usize;
-        for (i, (name, weight, specs, edges)) in self.apps.into_iter().enumerate() {
-            let n_tasks = specs.len();
-            let n_edges = edges.len();
-            for spec in specs {
-                b.add_task(spec);
-                app_of.push(AppId(i));
-            }
-            for (src, dst, bytes) in edges {
-                b.add_edge(TaskId(task_base + src), TaskId(task_base + dst), bytes)?;
-            }
-            apps.push(AppInfo {
-                name,
-                weight,
-                tasks: task_base..task_base + n_tasks,
-                edges: edge_base..edge_base + n_edges,
-                sinks: Vec::new(),
-            });
-            task_base += n_tasks;
-            edge_base += n_edges;
-        }
-        let graph = b.build()?;
-        for t in graph.task_ids() {
-            if graph.out_edges(t).is_empty() {
-                apps[app_of[t.index()].index()].sinks.push(t);
-            }
-        }
-        Ok(Workload { name: self.name, graph, apps, app_of })
+        let (graph, apps, app_of) = compose_sources(&self.name, &self.sources)?;
+        Ok(Workload { name: self.name, sources: self.sources, graph, apps, app_of })
     }
 }
 
@@ -455,5 +567,64 @@ mod tests {
         let w = wb.build().unwrap();
         let s = w.to_string();
         assert!(s.contains("audio") && s.contains("cipher") && s.contains("2"), "{s}");
+    }
+
+    // ---- in-place mutation ------------------------------------------------
+
+    #[test]
+    fn add_matches_from_scratch_composition() {
+        let a = chain("a", 3);
+        let b = chain("b", 2);
+        let mut w = Workload::compose("w", &[&a]).unwrap();
+        let id = w.add(&b, 2.0).unwrap();
+        assert_eq!(id, AppId(1));
+
+        let mut wb = Workload::builder("w");
+        wb.push(&a, 1.0).unwrap();
+        wb.push(&b, 2.0).unwrap();
+        assert_eq!(w, wb.build().unwrap());
+    }
+
+    #[test]
+    fn retire_shifts_later_apps_down() {
+        let (a, b, c) = (chain("a", 2), chain("b", 3), chain("c", 2));
+        let mut w = Workload::compose("w", &[&a, &b, &c]).unwrap();
+        w.retire(AppId(1)).unwrap();
+        assert_eq!(w.n_apps(), 2);
+        assert_eq!(w.app(AppId(0)).name, "a");
+        assert_eq!(w.app(AppId(1)).name, "c");
+        assert_eq!(w.app_id("c"), Some(AppId(1)));
+        assert_eq!(w.app_id("b"), None);
+        assert_eq!(w, Workload::compose("w", &[&a, &c]).unwrap());
+        // cannot retire below one application
+        w.retire(AppId(1)).unwrap();
+        assert_eq!(w.retire(AppId(0)), Err(WorkloadError::Empty));
+        assert_eq!(w.retire(AppId(5)), Err(WorkloadError::UnknownApp(AppId(5))));
+    }
+
+    #[test]
+    fn reweight_rescales_in_place() {
+        let (a, b) = (chain("a", 2), chain("b", 2));
+        let mut w = Workload::compose("w", &[&a, &b]).unwrap();
+        w.reweight(AppId(1), 3.0).unwrap();
+        let mut wb = Workload::builder("w");
+        wb.push(&a, 1.0).unwrap();
+        wb.push(&b, 3.0).unwrap();
+        assert_eq!(w, wb.build().unwrap());
+        // invalid weights leave the workload untouched
+        let before = w.clone();
+        assert!(matches!(w.reweight(AppId(1), 0.0), Err(WorkloadError::InvalidWeight(_, _))));
+        assert!(matches!(w.reweight(AppId(9), 2.0), Err(WorkloadError::UnknownApp(_))));
+        assert_eq!(w, before);
+    }
+
+    #[test]
+    fn add_rejects_duplicates_and_bad_weights_without_mutating() {
+        let a = chain("a", 2);
+        let mut w = Workload::compose("w", &[&a]).unwrap();
+        let before = w.clone();
+        assert!(matches!(w.add(&a, 1.0), Err(WorkloadError::DuplicateApp(_))));
+        assert!(matches!(w.add(&chain("b", 1), -1.0), Err(WorkloadError::InvalidWeight(_, _))));
+        assert_eq!(w, before);
     }
 }

@@ -12,6 +12,7 @@
 //! through the PPE, which accepts every task, so rejection cannot strand
 //! the walk). Deterministic under a fixed seed.
 
+use cellstream_core::scheduler::CancelToken;
 use cellstream_core::{evaluate, EvalState, Mapping, Move};
 use cellstream_graph::{StreamGraph, TaskId};
 use cellstream_platform::CellSpec;
@@ -34,6 +35,10 @@ pub struct AnnealingOptions {
     /// Wall-clock budget: the walk stops early once it is exhausted
     /// (checked every 128 steps). `None` (the default) runs all `steps`.
     pub budget: Option<Duration>,
+    /// Cooperative cancellation, polled every Monte-Carlo step: raising
+    /// it ends the walk at once, returning the best mapping seen.
+    /// `None` lets the scheduler layer fill in the `PlanContext` token.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for AnnealingOptions {
@@ -44,6 +49,7 @@ impl Default for AnnealingOptions {
             cooling: 0.93,
             seed: 0xA11EA1,
             budget: None,
+            cancel: None,
         }
     }
 }
@@ -74,8 +80,12 @@ pub fn anneal(
     let mut temperature = current_p * opts.t0_fraction;
     let cool_every = (opts.steps / 100).max(1);
     let deadline = opts.budget.map(|b| Instant::now() + b);
+    let cancel = opts.cancel.clone().unwrap_or_default();
 
     for step in 0..opts.steps {
+        if cancel.is_cancelled() {
+            break;
+        }
         if step % 128 == 0 && deadline.is_some_and(|d| Instant::now() >= d) {
             break;
         }
@@ -193,6 +203,27 @@ mod tests {
             anneal(&g, &spec, &bad, &AnnealingOptions { steps: 200, ..Default::default() });
         let r = evaluate(&g, &spec, &m).unwrap();
         assert!(r.is_feasible());
+    }
+
+    #[test]
+    fn pre_cancelled_anneal_returns_the_start() {
+        use cellstream_core::scheduler::CancelToken;
+        let g = chain("a", 12, &CostParams::default(), 3);
+        let spec = CellSpec::ps3();
+        let start = Mapping::all_on(&g, PeId(0));
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = AnnealingOptions {
+            steps: 50_000_000, // would take minutes uncancelled
+            cancel: Some(token),
+            ..Default::default()
+        };
+        let started = std::time::Instant::now();
+        let (m, p) = anneal(&g, &spec, &start, &opts);
+        assert_eq!(m, start, "no step taken after cancellation");
+        assert!(started.elapsed() < Duration::from_secs(2));
+        let r = evaluate(&g, &spec, &m).unwrap();
+        assert!((r.period - p).abs() < 1e-15);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod comm_aware;
 pub mod greedy;
 pub mod multi_app;
 pub mod portfolio;
+pub mod repair;
 pub mod schedulers;
 pub mod search;
 
@@ -51,9 +52,11 @@ pub use comm_aware::comm_aware_greedy;
 pub use greedy::{greedy_cpu, greedy_mem};
 pub use multi_app::{best_partition, partition_mapping};
 pub use portfolio::{MemberResult, Portfolio, PortfolioOutcome};
+pub use repair::{carry_over, repair, RepairScheduler};
 pub use schedulers::{
-    all_schedulers, scheduler_by_name, AnnealScheduler, CommAwareScheduler, GreedyCpuScheduler,
-    GreedyMemScheduler, LocalSearchScheduler, MultiStartScheduler, SCHEDULER_NAMES,
+    all_schedulers, scheduler_by_name, scheduler_names, AnnealScheduler, CommAwareScheduler,
+    GreedyCpuScheduler, GreedyMemScheduler, LocalSearchScheduler, MultiStartScheduler,
+    SCHEDULER_NAMES,
 };
 pub use search::{local_search, multi_start, LocalSearchOptions};
 

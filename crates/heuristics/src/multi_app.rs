@@ -72,7 +72,11 @@ pub fn partition_mapping(
             spec.n_spe()
         )));
     }
-    let opts = LocalSearchOptions::default();
+    // no plateau descent here: each slice is planned in isolation, and
+    // balance-motivated moves onto the PPE — period-neutral within the
+    // slice — collide once every application's PPE share is summed in
+    // the composed evaluation
+    let opts = LocalSearchOptions { plateau: false, ..Default::default() };
     let mut assignment = vec![PeId(0); w.graph().n_tasks()];
     let mut spe_base = spec.n_ppe();
     for (i, &n_spe) in alloc.iter().enumerate() {

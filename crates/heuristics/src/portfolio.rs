@@ -494,6 +494,37 @@ mod tests {
     }
 
     #[test]
+    fn cancel_aborts_a_running_portfolio_within_a_step() {
+        use crate::schedulers::{AnnealScheduler, LocalSearchScheduler, MultiStartScheduler};
+        use crate::{AnnealingOptions, LocalSearchOptions};
+        use cellstream_core::scheduler::CancelToken;
+        // iterative members sized to run for minutes if uncancelled
+        let huge_search = LocalSearchOptions { max_rounds: usize::MAX, ..Default::default() };
+        let p = Portfolio::new()
+            .with_named("ppe_only")
+            .with(LocalSearchScheduler { opts: huge_search.clone() })
+            .with(MultiStartScheduler { opts: huge_search })
+            .with(AnnealScheduler {
+                opts: AnnealingOptions { steps: u32::MAX, ..Default::default() },
+            });
+        let g = chain("c", 40, &CostParams::default(), 17);
+        let spec = CellSpec::qs22();
+        let ctx = PlanContext::default();
+        let token: CancelToken = ctx.cancel.clone();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            token.cancel();
+        });
+        let started = Instant::now();
+        let outcome = p.run_with(&g, &spec, &ctx).unwrap();
+        canceller.join().unwrap();
+        // every member noticed the shared flag within one search step;
+        // generous bound for slow CI machines
+        assert!(started.elapsed() < Duration::from_secs(10), "cancel took {:?}", started.elapsed());
+        assert!(outcome.best.is_feasible(), "cancelled members return best-so-far");
+    }
+
+    #[test]
     fn run_workload_co_schedules_composed_apps() {
         use cellstream_graph::Workload;
         let a = chain("a", 4, &CostParams::default(), 3);

@@ -1,0 +1,295 @@
+//! Incremental replanning: repair an incumbent mapping after the
+//! workload changes, instead of re-solving from scratch.
+//!
+//! The online serving regime (cf. Benoit et al., *Resource Allocation
+//! for Multiple Concurrent In-Network Stream-Processing Applications*)
+//! replans on every application arrival, departure and rate change.
+//! Those events leave most of the workload — and most of a good mapping
+//! — intact, so [`repair`] treats the incumbent as a **partial
+//! assignment** and only works on the delta:
+//!
+//! 1. **seed** — every retained task keeps its incumbent PE;
+//! 2. **place** — unseeded tasks (newly admitted applications) are
+//!    inserted one by one in topological order, each onto the PE that
+//!    minimises the whole mapping's period on the incremental evaluator
+//!    (feasible hosts strictly preferred — the same one-pass scheme as
+//!    the comm-aware greedy);
+//! 3. **evict** — if the seeded seats themselves became infeasible (a
+//!    reweight grew buffer footprints, say), tasks are moved off the
+//!    violated SPEs onto the PPE, largest working set first, until the
+//!    §3.2 constraints hold again (the PPE accepts every task, so this
+//!    always terminates feasible);
+//! 4. **refine** — a budgeted [`local_search`] polishes the result from
+//!    the repaired seats.
+//!
+//! Steps 2–3 are O(K·n_PEs) probes on [`EvalState`]; step 4 is bounded
+//! by the caller's budget/round cap. That is what buys the serving
+//! layer's order-of-magnitude replan-latency headroom over a from-scratch
+//! portfolio while staying within a few percent of its quality (the
+//! `online` bench gates both).
+
+use crate::search::{local_search, LocalSearchOptions};
+use cellstream_core::scheduler::{Plan, PlanContext, PlanError, PlanStats, Scheduler};
+use cellstream_core::{EvalState, Mapping, Move};
+use cellstream_graph::{StreamGraph, TaskId};
+use cellstream_platform::{CellSpec, PeId};
+use std::time::Instant;
+
+/// Repair a partial assignment into a full feasible mapping and refine
+/// it. `partial[k]` is the retained PE of task `k` (`None` for tasks
+/// that need placing — newly admitted work). Returns the mapping and its
+/// exact verifier period (`+∞` only if even all-PPE is infeasible, which
+/// cannot happen on platforms with a PPE).
+///
+/// Panics if `partial` and the graph disagree on length, or a retained
+/// PE does not exist on `spec` — partial assignments and graphs travel
+/// together, like mappings.
+pub fn repair(
+    g: &StreamGraph,
+    spec: &CellSpec,
+    partial: &[Option<PeId>],
+    opts: &LocalSearchOptions,
+) -> (Mapping, f64) {
+    assert_eq!(partial.len(), g.n_tasks(), "partial assignment covers every task");
+    let ppe = spec.pe(0);
+    // seed: retained seats; unplaced tasks start on the PPE (always legal)
+    let assignment: Vec<PeId> = partial.iter().map(|p| p.unwrap_or(ppe)).collect();
+    let seed = Mapping::new(g, spec, assignment).expect("retained PEs exist on this platform");
+    let mut state = EvalState::new(g, spec, &seed).expect("seed is structurally valid");
+
+    // place the delta: topological order so producers sit before
+    // consumers. Period ties (frequent: placements below the current
+    // bottleneck all look equal) break toward the least-occupied host,
+    // so fresh work spreads over idle SPEs instead of piling onto the
+    // first PE probed.
+    for &t in g.topo_order() {
+        if partial[t.index()].is_some() {
+            continue;
+        }
+        let mut best: Option<(PeId, f64, bool, f64)> = None;
+        for to in spec.pes() {
+            state.apply(Move::Relocate { task: t, to });
+            let (p, feasible, occ) = (state.period(), state.is_feasible(), state.occupancy(to));
+            state.undo();
+            let better = match best {
+                None => true,
+                // feasible hosts strictly dominate infeasible ones;
+                // within a class: smaller period, then emptier host
+                Some((_, bp, bf, bocc)) => {
+                    (feasible && !bf)
+                        || (feasible == bf
+                            && (p < bp * (1.0 - 1e-12) || (p <= bp * (1.0 + 1e-12) && occ < bocc)))
+                }
+            };
+            if better {
+                best = Some((to, p, feasible, occ));
+            }
+        }
+        let (to, ..) = best.expect("platforms have at least one PE");
+        state.apply(Move::Relocate { task: t, to });
+    }
+
+    // evict: restore feasibility if the retained seats (or a reweight)
+    // broke it — move the largest working set off each violated SPE to
+    // the PPE until the verifier is satisfied
+    evict_until_feasible(&mut state, spec);
+    debug_assert!(state.is_feasible(), "eviction ends feasible");
+
+    // refine from the repaired seats
+    local_search(g, spec, &state.mapping(), opts)
+}
+
+/// Move tasks off violated SPEs onto the PPE until constraints (1i)–(1k)
+/// hold. Terminates: every step strictly shrinks the SPE-resident task
+/// set, and the all-PPE mapping satisfies all three constraints.
+fn evict_until_feasible(state: &mut EvalState<'_>, spec: &CellSpec) {
+    let g = state.graph();
+    let ppe = spec.pe(0);
+    if state.is_feasible() {
+        return;
+    }
+    let plan = cellstream_core::steady::buffers::BufferPlan::new(g);
+    while !state.is_feasible() {
+        // the report names the violated SPEs; evict from the first
+        let report = state.report();
+        let Some(violation) = report.violations.first() else {
+            break; // defensive: is_feasible and violations disagree
+        };
+        let pe = match *violation {
+            cellstream_core::Violation::LocalStore { pe, .. }
+            | cellstream_core::Violation::DmaIn { pe, .. }
+            | cellstream_core::Violation::DmaPpe { pe, .. } => pe,
+        };
+        // largest buffer working set first: frees the most memory (and
+        // its DMA slots) per move
+        let victim = g
+            .task_ids()
+            .filter(|&t| state.pe_of(t) == pe)
+            .max_by(|&a, &b| plan.for_task(a).total_cmp(&plan.for_task(b)))
+            .expect("a violated SPE hosts at least one task");
+        state.apply(Move::Relocate { task: victim, to: ppe });
+    }
+}
+
+/// [`repair`] as a registry [`Scheduler`] (`"repair"`).
+///
+/// The trait's [`PlanContext`] carries full mappings of the *current*
+/// graph, so the partial assignment is derived from the first seed:
+/// every task keeps its seed PE, and with no seed at all every task is
+/// "new" — repair degrades to its one-pass placement + refinement, a
+/// self-contained constructive heuristic. The serving layer calls
+/// [`repair`] directly with a name-matched partial instead.
+#[derive(Debug, Clone, Default)]
+pub struct RepairScheduler {
+    /// Refinement parameters (step 4).
+    pub opts: LocalSearchOptions,
+}
+
+impl Scheduler for RepairScheduler {
+    fn name(&self) -> &str {
+        "repair"
+    }
+
+    fn plan(&self, g: &StreamGraph, spec: &CellSpec, ctx: &PlanContext) -> Result<Plan, PlanError> {
+        let started = Instant::now();
+        let partial: Vec<Option<PeId>> =
+            match ctx.seeds.iter().find(|m| m.validate(g, spec).is_ok()) {
+                Some(m) => m.assignment().iter().map(|&pe| Some(pe)).collect(),
+                None => vec![None; g.n_tasks()],
+            };
+        let mut opts = self.opts.clone();
+        if opts.budget.is_none() {
+            opts.budget = ctx.budget;
+        }
+        if opts.cancel.is_none() {
+            opts.cancel = Some(ctx.cancel.clone());
+        }
+        let (mapping, _) = repair(g, spec, &partial, &opts);
+        Plan::from_mapping(
+            self.name(),
+            g,
+            spec,
+            mapping,
+            PlanStats::Search { iterations: 0 },
+            started.elapsed(),
+        )
+    }
+}
+
+/// Derive the partial assignment for [`repair`] by carrying an incumbent
+/// mapping of one graph over to another version of it: tasks are matched
+/// by name (stable across `Workload` recompositions), tasks without a
+/// namesake — or whose retained PE no longer exists — come back `None`.
+pub fn carry_over(
+    old_g: &StreamGraph,
+    old_m: &Mapping,
+    new_g: &StreamGraph,
+    spec: &CellSpec,
+) -> Vec<Option<PeId>> {
+    use std::collections::HashMap;
+    assert_eq!(old_m.assignment().len(), old_g.n_tasks(), "incumbent/graph mismatch");
+    let old_by_name: HashMap<&str, TaskId> =
+        old_g.tasks().iter().enumerate().map(|(i, t)| (t.name.as_str(), TaskId(i))).collect();
+    new_g
+        .tasks()
+        .iter()
+        .map(|t| {
+            old_by_name
+                .get(t.name.as_str())
+                .map(|&id| old_m.pe_of(id))
+                .filter(|pe| pe.index() < spec.n_pes())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellstream_core::evaluate;
+    use cellstream_daggen::{chain, fork_join, CostParams};
+    use cellstream_graph::Workload;
+
+    #[test]
+    fn full_partial_keeps_feasible_seats() {
+        let g = chain("c", 8, &CostParams::default(), 5);
+        let spec = CellSpec::ps3();
+        let seed = crate::greedy_cpu(&g, &spec);
+        let seed_p = evaluate(&g, &spec, &seed).unwrap().period;
+        let partial: Vec<_> = seed.assignment().iter().map(|&p| Some(p)).collect();
+        let (m, p) = repair(&g, &spec, &partial, &LocalSearchOptions::default());
+        assert!(p <= seed_p + 1e-15, "repair never worsens a feasible incumbent");
+        assert!(evaluate(&g, &spec, &m).unwrap().is_feasible());
+    }
+
+    #[test]
+    fn empty_partial_is_a_constructive_heuristic() {
+        let g = fork_join("fj", 3, &CostParams::default(), 7);
+        let spec = CellSpec::ps3();
+        let (m, p) = repair(&g, &spec, &vec![None; g.n_tasks()], &LocalSearchOptions::default());
+        let r = evaluate(&g, &spec, &m).unwrap();
+        assert!(r.is_feasible());
+        assert!((r.period - p).abs() < 1e-15);
+        // never worse than all-on-PPE (its own fallback seat)
+        let ppe = evaluate(&g, &spec, &Mapping::all_on(&g, PeId(0))).unwrap().period;
+        assert!(p <= ppe + 1e-15);
+    }
+
+    #[test]
+    fn eviction_restores_feasibility_from_broken_seats() {
+        use cellstream_graph::{StreamGraph, TaskSpec};
+        use cellstream_platform::{ByteSize, CellSpecBuilder};
+        // one tiny SPE; two fat-edged tasks pinned on it are infeasible
+        let spec = CellSpecBuilder::default()
+            .spes(1)
+            .local_store(ByteSize::kib(128))
+            .code_size(ByteSize::kib(64))
+            .build()
+            .unwrap();
+        let mut b = StreamGraph::builder("fat");
+        let a = b.add_task(TaskSpec::new("a").uniform_cost(1e-6));
+        let z = b.add_task(TaskSpec::new("z").uniform_cost(1e-6));
+        b.add_edge(a, z, 64.0 * 1024.0).unwrap();
+        let g = b.build().unwrap();
+        let partial = vec![Some(PeId(1)), Some(PeId(1))]; // both on the SPE
+        let (m, p) = repair(&g, &spec, &partial, &LocalSearchOptions::default());
+        let r = evaluate(&g, &spec, &m).unwrap();
+        assert!(r.is_feasible(), "repair must evict until feasible");
+        assert!(p.is_finite());
+    }
+
+    #[test]
+    fn carry_over_matches_by_name_across_versions() {
+        let a = chain("a", 3, &CostParams::default(), 1);
+        let b = chain("b", 2, &CostParams::default(), 2);
+        let spec = CellSpec::ps3();
+        let old_w = Workload::compose("w", &[&a]).unwrap();
+        let old_m = Mapping::new(old_w.graph(), &spec, vec![PeId(1), PeId(2), PeId(0)]).unwrap();
+        let mut new_w = old_w.clone();
+        new_w.add(&b, 1.0).unwrap();
+        let partial = carry_over(old_w.graph(), &old_m, new_w.graph(), &spec);
+        assert_eq!(
+            partial,
+            vec![Some(PeId(1)), Some(PeId(2)), Some(PeId(0)), None, None],
+            "retained tasks keep seats, admitted tasks are unplaced"
+        );
+        let (m, p) = repair(new_w.graph(), &spec, &partial, &LocalSearchOptions::default());
+        assert!(p.is_finite());
+        assert!(evaluate(new_w.graph(), &spec, &m).unwrap().is_feasible());
+    }
+
+    #[test]
+    fn scheduler_wrapper_uses_the_first_seed() {
+        let g = chain("c", 6, &CostParams::default(), 9);
+        let spec = CellSpec::with_spes(2);
+        let seed = crate::greedy_mem(&g, &spec);
+        let seed_p = evaluate(&g, &spec, &seed).unwrap().period;
+        let ctx = PlanContext::default().seed(seed);
+        let plan = RepairScheduler::default().plan(&g, &spec, &ctx).unwrap();
+        assert!(plan.is_feasible());
+        assert!(plan.period() <= seed_p + 1e-15);
+        assert_eq!(plan.scheduler, "repair");
+        // and with no seed it still plans
+        let plan = RepairScheduler::default().plan(&g, &spec, &PlanContext::default()).unwrap();
+        assert!(plan.is_feasible());
+    }
+}

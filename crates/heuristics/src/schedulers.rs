@@ -82,13 +82,17 @@ impl Scheduler for CommAwareScheduler {
     }
 }
 
-/// Fill an unset per-options budget from the planning context, so a
-/// [`Portfolio`](crate::Portfolio) wall-clock budget actually bounds the
-/// iterative members (explicit option budgets win).
+/// Fill an unset per-options budget and cancellation token from the
+/// planning context, so a [`Portfolio`](crate::Portfolio) wall-clock
+/// budget actually bounds the iterative members and a context-level
+/// cancel aborts them (explicit option values win).
 fn search_opts_for(base: &LocalSearchOptions, ctx: &PlanContext) -> LocalSearchOptions {
     let mut opts = base.clone();
     if opts.budget.is_none() {
         opts.budget = ctx.budget;
+    }
+    if opts.cancel.is_none() {
+        opts.cancel = Some(ctx.cancel.clone());
     }
     opts
 }
@@ -156,6 +160,9 @@ impl Scheduler for AnnealScheduler {
         if opts.budget.is_none() {
             opts.budget = ctx.budget;
         }
+        if opts.cancel.is_none() {
+            opts.cancel = Some(ctx.cancel.clone());
+        }
         let (mapping, _) = anneal(g, spec, &start, &opts);
         Plan::from_mapping(
             self.name(),
@@ -198,6 +205,9 @@ impl Scheduler for MultiStartScheduler {
         if opts.budget.is_none() {
             opts.budget = ctx.budget.map(|b| b / starts.len().max(1) as u32);
         }
+        if opts.cancel.is_none() {
+            opts.cancel = Some(ctx.cancel.clone());
+        }
         let (mapping, _) = multi_start(g, spec, &starts, &opts);
         Plan::from_mapping(
             self.name(),
@@ -211,7 +221,7 @@ impl Scheduler for MultiStartScheduler {
 }
 
 /// Names of every registered scheduler, in presentation order.
-pub const SCHEDULER_NAMES: [&str; 9] = [
+pub const SCHEDULER_NAMES: [&str; 10] = [
     "ppe_only",
     "greedy_mem",
     "greedy_cpu",
@@ -219,15 +229,23 @@ pub const SCHEDULER_NAMES: [&str; 9] = [
     "local_search",
     "anneal",
     "multi_start",
+    "repair",
     "milp",
     "brute",
 ];
 
+/// The registry's keys, in presentation order — what CLI/bench binaries
+/// and the serving layer enumerate instead of hard-coding the family.
+/// Every name resolves through [`scheduler_by_name`].
+pub fn scheduler_names() -> &'static [&'static str] {
+    &SCHEDULER_NAMES
+}
+
 /// Look up a scheduler by its registry name; `None` for unknown names.
 ///
 /// Covers the full family: the paper's §6.3 greedies, the extension
-/// heuristics, the §5 MILP driver, the exhaustive optimum, and the
-/// PPE-only baseline.
+/// heuristics, the incremental repair scheduler, the §5 MILP driver, the
+/// exhaustive optimum, and the PPE-only baseline.
 pub fn scheduler_by_name(name: &str) -> Option<Box<dyn Scheduler>> {
     match name {
         "ppe_only" => Some(Box::new(PpeOnlyScheduler)),
@@ -237,6 +255,7 @@ pub fn scheduler_by_name(name: &str) -> Option<Box<dyn Scheduler>> {
         "local_search" => Some(Box::new(LocalSearchScheduler::default())),
         "anneal" => Some(Box::new(AnnealScheduler::default())),
         "multi_start" => Some(Box::new(MultiStartScheduler::default())),
+        "repair" => Some(Box::new(crate::repair::RepairScheduler::default())),
         "milp" => Some(Box::new(MilpScheduler)),
         "brute" => Some(Box::new(BruteScheduler)),
         _ => None,

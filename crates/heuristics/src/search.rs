@@ -11,7 +11,18 @@
 //! orders of magnitude more moves. Infeasible neighbours score `+∞` and
 //! are never selected, so starting from a feasible mapping the result
 //! stays feasible. Deterministic given a deterministic start.
+//!
+//! **Plateau descent.** The period is a *maximum* over per-PE
+//! occupations, so two co-bottlenecked PEs stall pure steepest descent:
+//! no single move lowers both, every neighbour ties. With
+//! [`LocalSearchOptions::plateau`] (the default) the search also accepts
+//! period-preserving moves that strictly reduce the load-balance
+//! potential `Σ_PE occupancy²`, walking along the plateau until a strict
+//! improvement opens up. Descent stays monotone in the lexicographic
+//! objective (period, potential), so it still terminates and still never
+//! worsens the start.
 
+use cellstream_core::scheduler::CancelToken;
 use cellstream_core::{evaluate, EvalState, Mapping, Move};
 use cellstream_graph::StreamGraph;
 use cellstream_platform::CellSpec;
@@ -30,12 +41,49 @@ pub struct LocalSearchOptions {
     /// Wall-clock budget: stop after the first round that ends past it.
     /// `None` (the default) runs all `max_rounds`.
     pub budget: Option<Duration>,
+    /// Cooperative cancellation, polled between neighbourhood scans of
+    /// single tasks — raising it makes the search return its best
+    /// mapping so far within one such step. `None` (the default) lets
+    /// the scheduler layer fill in the [`PlanContext`] token; see
+    /// [`cellstream_core::scheduler::PlanContext::cancel`].
+    ///
+    /// [`PlanContext`]: cellstream_core::scheduler::PlanContext
+    pub cancel: Option<CancelToken>,
+    /// Escape period plateaus by accepting equal-period moves that
+    /// strictly reduce the `Σ occupancy²` balance potential (see the
+    /// module docs). On by default; disable to reproduce pure steepest
+    /// descent.
+    pub plateau: bool,
+    /// First-improvement sweeps instead of steepest descent: walk the
+    /// tasks in id order and apply each task's best accepted move
+    /// immediately, instead of rescanning the whole neighbourhood per
+    /// applied move. `max_rounds` then counts sweeps. Reaches a local
+    /// optimum of the same neighbourhood several times faster (many
+    /// moves per scan) at slightly different — occasionally worse,
+    /// occasionally better — final quality; the online serving layer's
+    /// repair path uses it to bound replan latency. Off by default.
+    pub sweep: bool,
 }
 
 impl Default for LocalSearchOptions {
     fn default() -> Self {
-        LocalSearchOptions { max_rounds: 64, swaps: true, min_gain: 1e-9, budget: None }
+        LocalSearchOptions {
+            max_rounds: 64,
+            swaps: true,
+            min_gain: 1e-9,
+            budget: None,
+            cancel: None,
+            plateau: true,
+            sweep: false,
+        }
     }
+}
+
+/// The plateau tie-break potential: `Σ_PE occupancy²` (finite iff the
+/// state is feasible is *not* implied — occupancies are always finite;
+/// feasibility is handled by the primary score).
+fn balance_potential(state: &EvalState<'_>, spec: &CellSpec) -> f64 {
+    spec.pes().map(|pe| state.occupancy(pe) * state.occupancy(pe)).sum()
 }
 
 /// Refine `start` by steepest descent. Returns the refined mapping and
@@ -53,51 +101,150 @@ pub fn local_search(
         Err(_) => return (start.clone(), f64::INFINITY),
     };
     let deadline = opts.budget.map(|b| Instant::now() + b);
+    let cancel = opts.cancel.clone().unwrap_or_default();
     let mut current = state.score();
+    let mut current_pot = balance_potential(&state, spec);
 
-    for _ in 0..opts.max_rounds {
-        let mut best: Option<(Move, f64)> = None;
-
-        // single-task moves
-        for t in g.task_ids() {
-            let from = state.pe_of(t);
-            for to in spec.pes() {
-                if to == from {
-                    continue;
-                }
-                let mv = Move::Relocate { task: t, to };
-                let p = state.score_move(mv);
-                if p < best.as_ref().map_or(current, |(_, bp)| *bp) {
-                    best = Some((mv, p));
-                }
-            }
+    // probe = apply → (score, potential) → exact undo
+    fn probe(state: &mut EvalState<'_>, spec: &CellSpec, mv: Move, plateau: bool) -> (f64, f64) {
+        state.apply(mv);
+        let s = state.score();
+        let pot = if plateau { balance_potential(state, spec) } else { 0.0 };
+        state.undo();
+        (s, pot)
+    }
+    // lexicographic (period, potential): the primary comparison is
+    // *exact* — with plateau off this reproduces classic steepest
+    // descent move-for-move (ulp-level accumulator differences used to
+    // pick winners, and a tolerance here silently rewrites those
+    // trajectories); plateau ties are bitwise-equal periods, which
+    // moves off non-critical PEs produce naturally
+    fn dominates(p: f64, pot: f64, bp: f64, bpot: f64) -> bool {
+        if p < bp {
+            return true;
         }
+        p == bp && pot < bpot * (1.0 - 1e-12)
+    }
 
-        // pairwise swaps
-        if opts.swaps {
-            for a in g.task_ids() {
-                for b in g.task_ids().skip(a.index() + 1) {
-                    if state.pe_of(a) == state.pe_of(b) {
+    // `(p, pot)` is acceptable from `(current, current_pot)`: a strict
+    // period improvement, or (with `plateau`) an equal-period move that
+    // strictly improves balance.
+    let accepts = |p: f64, pot: f64, current: f64, current_pot: f64| -> bool {
+        p < current * (1.0 - opts.min_gain)
+            || (opts.plateau && p <= current * (1.0 + 1e-12) && pot < current_pot * (1.0 - 1e-9))
+    };
+
+    if opts.sweep {
+        // first-improvement sweeps: apply each task's best accepted move
+        // on the spot — many moves per O(K·n) pass, no full rescan per
+        // applied move
+        'sweeps: for _ in 0..opts.max_rounds {
+            let mut changed = false;
+            for t in g.task_ids() {
+                if cancel.is_cancelled() {
+                    break 'sweeps;
+                }
+                let from = state.pe_of(t);
+                let mut best: Option<(Move, f64, f64)> = None;
+                for to in spec.pes() {
+                    if to == from {
                         continue;
                     }
-                    let mv = Move::Swap { a, b };
-                    let p = state.score_move(mv);
-                    if p < best.as_ref().map_or(current, |(_, bp)| *bp) {
-                        best = Some((mv, p));
+                    let mv = Move::Relocate { task: t, to };
+                    let (p, pot) = probe(&mut state, spec, mv, opts.plateau);
+                    if best.as_ref().is_none_or(|&(_, bp, bpot)| dominates(p, pot, bp, bpot)) {
+                        best = Some((mv, p, pot));
+                    }
+                }
+                if let Some((mv, p, pot)) = best {
+                    if accepts(p, pot, current, current_pot) {
+                        state.apply(mv);
+                        (current, current_pot) = (p.min(current), pot);
+                        changed = true;
                     }
                 }
             }
-        }
-
-        match best {
-            Some((mv, p)) if p < current * (1.0 - opts.min_gain) => {
-                state.apply(mv);
-                current = p;
+            // swaps only when a whole relocation sweep came up dry
+            if !changed && opts.swaps {
+                for a in g.task_ids() {
+                    if cancel.is_cancelled() {
+                        break 'sweeps;
+                    }
+                    for b in g.task_ids().skip(a.index() + 1) {
+                        if state.pe_of(a) == state.pe_of(b) {
+                            continue;
+                        }
+                        let mv = Move::Swap { a, b };
+                        let (p, pot) = probe(&mut state, spec, mv, opts.plateau);
+                        if accepts(p, pot, current, current_pot) {
+                            state.apply(mv);
+                            (current, current_pot) = (p.min(current), pot);
+                            changed = true;
+                        }
+                    }
+                }
             }
-            _ => break, // local optimum
+            if !changed {
+                break; // local optimum of the full neighbourhood
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                break;
+            }
         }
-        if deadline.is_some_and(|d| Instant::now() >= d) {
-            break;
+    } else {
+        'rounds: for _ in 0..opts.max_rounds {
+            let mut best: Option<(Move, f64, f64)> = None;
+
+            // single-task moves
+            for t in g.task_ids() {
+                if cancel.is_cancelled() {
+                    break 'rounds;
+                }
+                let from = state.pe_of(t);
+                for to in spec.pes() {
+                    if to == from {
+                        continue;
+                    }
+                    let mv = Move::Relocate { task: t, to };
+                    let (p, pot) = probe(&mut state, spec, mv, opts.plateau);
+                    if best.as_ref().is_none_or(|&(_, bp, bpot)| dominates(p, pot, bp, bpot)) {
+                        best = Some((mv, p, pot));
+                    }
+                }
+            }
+
+            // pairwise swaps: steepest descent scans the full
+            // neighbourhood every round — relocation-first staging lives
+            // in sweep mode only (skipping the swap scan mid-descent
+            // measurably degrades the classic search's final quality)
+            if opts.swaps {
+                for a in g.task_ids() {
+                    if cancel.is_cancelled() {
+                        break 'rounds;
+                    }
+                    for b in g.task_ids().skip(a.index() + 1) {
+                        if state.pe_of(a) == state.pe_of(b) {
+                            continue;
+                        }
+                        let mv = Move::Swap { a, b };
+                        let (p, pot) = probe(&mut state, spec, mv, opts.plateau);
+                        if best.as_ref().is_none_or(|&(_, bp, bpot)| dominates(p, pot, bp, bpot)) {
+                            best = Some((mv, p, pot));
+                        }
+                    }
+                }
+            }
+
+            match best {
+                Some((mv, p, pot)) if accepts(p, pot, current, current_pot) => {
+                    state.apply(mv);
+                    (current, current_pot) = (p.min(current), pot);
+                }
+                _ => break, // local optimum (in period *and* balance)
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                break;
+            }
         }
     }
     let refined = state.mapping();
@@ -215,6 +362,45 @@ mod tests {
         let budgeted = LocalSearchOptions { budget: Some(Duration::ZERO), ..Default::default() };
         let (m, p) = local_search(&g, &spec, &start, &budgeted);
         // still does (at most) one full round, and never worsens
+        assert!(p <= exact_period(&g, &spec, &start));
+        assert_eq!(exact_period(&g, &spec, &m), p);
+    }
+
+    #[test]
+    fn pre_cancelled_search_returns_the_start_within_one_step() {
+        use cellstream_core::scheduler::CancelToken;
+        // a graph big enough that one full round is ~10^4 probes: if the
+        // cancel flag were only polled per round this would do real work
+        let g = chain("c", 48, &CostParams::default(), 7);
+        let spec = CellSpec::qs22();
+        let start = Mapping::all_on(&g, PeId(0));
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = LocalSearchOptions { cancel: Some(token), ..Default::default() };
+        let started = std::time::Instant::now();
+        let (m, p) = local_search(&g, &spec, &start, &opts);
+        // cancelled before the first single-task scan: no move applied
+        assert_eq!(m, start);
+        assert_eq!(p, exact_period(&g, &spec, &start));
+        // and it returned within (much less than) one search round
+        assert!(started.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn cancelling_mid_search_keeps_the_best_so_far() {
+        use cellstream_core::scheduler::CancelToken;
+        let g = chain("c", 20, &CostParams::default(), 13);
+        let spec = CellSpec::qs22();
+        let start = Mapping::all_on(&g, PeId(0));
+        let token = CancelToken::new();
+        let opts = LocalSearchOptions { cancel: Some(token.clone()), ..Default::default() };
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            token.cancel();
+        });
+        let (m, p) = local_search(&g, &spec, &start, &opts);
+        canceller.join().unwrap();
+        // whatever was reached is valid, feasible and never worse
         assert!(p <= exact_period(&g, &spec, &start));
         assert_eq!(exact_period(&g, &spec, &m), p);
     }

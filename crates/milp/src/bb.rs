@@ -52,6 +52,9 @@ pub enum MipStatus {
     NodeLimit,
     /// Stopped on the time limit; incumbent may be sub-optimal.
     TimeLimit,
+    /// Stopped because [`MipOptions::stop`] was raised; incumbent may be
+    /// sub-optimal.
+    Cancelled,
     /// No feasible integral point exists.
     Infeasible,
     /// The LP relaxation is unbounded.
@@ -75,6 +78,13 @@ pub struct MipOptions {
     pub lp: LpOptions,
     /// Tolerance for considering a relaxed binary integral.
     pub int_tol: f64,
+    /// Cooperative cancellation flag, shared with the caller: checked at
+    /// every node *and* threaded into the LP pivot loops
+    /// ([`LpOptions::stop`]), so raising it aborts the search within a
+    /// handful of pivots, returning the incumbent with
+    /// [`MipStatus::Cancelled`]. The bare atomic (rather than a richer
+    /// token type) keeps this crate free of upward dependencies.
+    pub stop: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl Default for MipOptions {
@@ -86,6 +96,7 @@ impl Default for MipOptions {
             time_limit: Duration::from_secs(60),
             lp: LpOptions::default(),
             int_tol: 1e-6,
+            stop: None,
         }
     }
 }
@@ -327,10 +338,16 @@ pub fn solve_mip(
     let mut lp_iterations: u64 = 0;
     let mut warm = (0u64, 0u64);
 
-    // thread the MIP deadline into every LP pivot loop
+    // thread the MIP deadline and the cancellation flag into every LP
+    // pivot loop
     let deadline = start + opts.time_limit;
     let mut lp_opts = opts.lp.clone();
     lp_opts.deadline = Some(lp_opts.deadline.map_or(deadline, |d| d.min(deadline)));
+    if lp_opts.stop.is_none() {
+        lp_opts.stop = opts.stop.clone();
+    }
+    let cancelled =
+        || opts.stop.as_ref().is_some_and(|s| s.load(std::sync::atomic::Ordering::Relaxed));
 
     let mut engine = match opts.lp.algo {
         LpAlgo::Revised => Engine::Sparse(Box::new(SparseLp::from_model(model)?)),
@@ -454,6 +471,11 @@ pub fn solve_mip(
         }
         if start.elapsed() > opts.time_limit {
             status = MipStatus::TimeLimit;
+            global_bound = node.bound;
+            break;
+        }
+        if cancelled() {
+            status = MipStatus::Cancelled;
             global_bound = node.bound;
             break;
         }

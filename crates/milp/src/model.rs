@@ -144,6 +144,12 @@ pub struct LpOptions {
     /// Optional wall-clock deadline checked *inside* the pivot loop, so
     /// one long LP cannot overshoot a branch-and-bound budget.
     pub deadline: Option<std::time::Instant>,
+    /// Optional cooperative cancellation flag, checked alongside the
+    /// deadline in the revised-simplex pivot loops: raising it stops the
+    /// solve with [`LpStatus::TimeLimit`] within a few pivots. The dense
+    /// oracle ignores it (it exists for differential testing, not for
+    /// serving).
+    pub stop: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl Default for LpOptions {
@@ -153,6 +159,7 @@ impl Default for LpOptions {
             tolerance: 1e-8,
             algo: LpAlgo::default(),
             deadline: None,
+            stop: None,
         }
     }
 }

@@ -487,7 +487,12 @@ impl<'a> Simplex<'a> {
 
     fn deadline_hit(&self) -> bool {
         self.iterations.is_multiple_of(DEADLINE_EVERY)
-            && self.opts.deadline.is_some_and(|d| std::time::Instant::now() >= d)
+            && (self.opts.deadline.is_some_and(|d| std::time::Instant::now() >= d)
+                || self
+                    .opts
+                    .stop
+                    .as_ref()
+                    .is_some_and(|s| s.load(std::sync::atomic::Ordering::Relaxed)))
     }
 
     fn track_degeneracy(&mut self, t: f64) {

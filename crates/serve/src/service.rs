@@ -1,0 +1,1128 @@
+//! The event-driven serving loop. See the crate docs for the model.
+
+use cellstream_core::scheduler::{CancelToken, PlanContext};
+use cellstream_core::workload::AppReport;
+use cellstream_core::{evaluate_workload, Mapping, MappingDelta};
+use cellstream_graph::{AppId, StreamGraph, Workload};
+use cellstream_heuristics::repair::{carry_over, repair};
+use cellstream_heuristics::{LocalSearchOptions, Portfolio};
+use cellstream_platform::CellSpec;
+use cellstream_sim::online::{EventOutcome, OnlineSystem, TraceEvent};
+use std::collections::VecDeque;
+use std::fmt;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One workload-churn event. Applications are addressed by the **stable
+/// handle** [`Service::process`] returned at admission — handles never
+/// shift, unlike the positional ids inside the composed [`Workload`].
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// An application arrives, asking for the given throughput weight.
+    Admit(StreamGraph, f64),
+    /// The application with this handle departs.
+    Retire(AppId),
+    /// The application with this handle changes its throughput weight.
+    Reweight(AppId, f64),
+}
+
+impl Event {
+    /// Compact human label (`"admit audio w=1"`, `"retire A3"`, ...).
+    pub fn label(&self) -> String {
+        match self {
+            Event::Admit(g, w) => format!("admit {} w={w}", g.name()),
+            Event::Retire(id) => format!("retire {id}"),
+            Event::Reweight(id, w) => format!("reweight {id} w={w}"),
+        }
+    }
+}
+
+/// Why an admission (or a reweight) was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RejectReason {
+    /// No feasible placement exists at all (defensive: the repair
+    /// planner can always fall back to the PPE, so this indicates a
+    /// platform without one).
+    Infeasible,
+    /// The requested weight was zero, negative or non-finite. Never
+    /// queued — it cannot succeed later.
+    InvalidWeight(f64),
+    /// The candidate plan would break this application's per-instance
+    /// period guarantee.
+    Guarantee {
+        /// The application whose guarantee would break (may be a
+        /// resident one, not the arriving one).
+        app: String,
+        /// Its per-instance period under the candidate plan (seconds).
+        period: f64,
+        /// The configured cap ([`ServiceOptions::max_period`]).
+        guarantee: f64,
+    },
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::Infeasible => write!(f, "no feasible placement"),
+            RejectReason::InvalidWeight(w) => {
+                write!(f, "weight must be positive finite, got {w}")
+            }
+            RejectReason::Guarantee { app, period, guarantee } => write!(
+                f,
+                "'{app}' would run at {:.3} us > guaranteed {:.3} us",
+                period * 1e6,
+                guarantee * 1e6
+            ),
+        }
+    }
+}
+
+/// What happened to one event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Admission succeeded; the handle addresses the application from
+    /// now on.
+    Admitted(AppId),
+    /// Admission control refused the application and
+    /// [`ServiceOptions::queue_rejected`] parked it for retry when
+    /// capacity frees up.
+    Queued,
+    /// Admission control (or a guarantee-breaking reweight) refused.
+    Rejected(RejectReason),
+    /// A retire/reweight took effect.
+    Applied,
+    /// A background portfolio plan was adopted
+    /// ([`Service::poll_background`]).
+    Adopted,
+    /// A background solve concluded without beating the incumbent (or
+    /// arrived stale) and was discarded.
+    NoChange,
+}
+
+/// Errors from [`Service::process`]: malformed events, not admission
+/// outcomes (a refused admission is a [`Verdict`], not an error).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// No live application has this handle.
+    UnknownApp(AppId),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownApp(id) => write!(f, "no live application with handle {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Per-event report: what the service did and what it cost.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Human label of the processed event.
+    pub event: String,
+    /// The outcome.
+    pub verdict: Verdict,
+    /// Wall-clock replanning latency (compose + repair + checks).
+    pub replan: Duration,
+    /// What changed between the previous and the new incumbent mapping
+    /// (empty when nothing was adopted).
+    pub delta: MappingDelta,
+    /// Composed round period after the event (`+∞` while idle).
+    pub period: f64,
+    /// Per-application reports after the event (guarantee `w/T`,
+    /// fair-share prediction, isolated bound — see
+    /// [`cellstream_core::workload::AppReport`]).
+    pub per_app: Vec<AppReport>,
+    /// `true` if a finished background solve was adopted while handling
+    /// this event (before the event's own replanning).
+    pub background_adopted: bool,
+    /// The adoption's own task moves when `background_adopted` — the
+    /// EIB traffic of switching to the background plan, separate from
+    /// [`delta`](Self::delta) (which diffs against the already-adopted
+    /// incumbent). Empty otherwise.
+    pub background_delta: MappingDelta,
+    /// Reports of queued admissions that entered service because this
+    /// event freed capacity.
+    pub drained: Vec<ServeReport>,
+}
+
+impl ServeReport {
+    /// The assigned handle when this event admitted an application.
+    pub fn admitted(&self) -> Option<AppId> {
+        match self.verdict {
+            Verdict::Admitted(id) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// `true` when the event changed the served workload.
+    pub fn applied(&self) -> bool {
+        matches!(self.verdict, Verdict::Admitted(_) | Verdict::Applied | Verdict::Adopted)
+    }
+
+    /// Migration traffic this event's replan pushes over the EIB (bytes;
+    /// includes a background adoption folded into this event and any
+    /// drained queue admissions).
+    pub fn migration_bytes(&self) -> f64 {
+        self.delta.migration_bytes
+            + self.background_delta.migration_bytes
+            + self.drained.iter().map(ServeReport::migration_bytes).sum::<f64>()
+    }
+
+    /// Seconds the migration traffic occupies the EIB.
+    pub fn migration_time(&self, spec: &CellSpec) -> f64 {
+        self.delta.migration_time(spec)
+            + self.background_delta.migration_time(spec)
+            + self.drained.iter().map(|r| r.migration_time(spec)).sum::<f64>()
+    }
+}
+
+/// Tunables of one [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceOptions {
+    /// Local-search refinement applied by the repair replanner on every
+    /// event. The default runs first-improvement *sweeps*
+    /// ([`LocalSearchOptions::sweep`]) — warm-started repairs apply the
+    /// whole delta's worth of moves in a few O(K·n) passes instead of
+    /// paying a full neighbourhood rescan per move, which is what keeps
+    /// replan latency an order of magnitude under a from-scratch solve.
+    pub repair: LocalSearchOptions,
+    /// Uniform per-instance period guarantee: an admission (or reweight)
+    /// is refused if any application's per-instance period `T / w_i`
+    /// would exceed this under the candidate plan. `None` (default)
+    /// admits anything feasible.
+    pub max_period: Option<f64>,
+    /// Park refused admissions in a FIFO wait queue and retry them
+    /// whenever a retire/reweight frees capacity (default: reject
+    /// outright).
+    pub queue_rejected: bool,
+    /// Budget for the asynchronous full-portfolio improver spawned after
+    /// every adopted replan. `None` (default) disables background
+    /// improvement.
+    pub background: Option<Duration>,
+    /// Amortisation horizon (in composed rounds) for adopting a
+    /// background plan: adopt iff
+    /// `(T_incumbent − T_candidate) · migration_horizon >
+    /// migration_time`. Defaults to 10⁶ rounds (a streaming pipeline
+    /// runs many millions).
+    pub migration_horizon: f64,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions {
+            repair: LocalSearchOptions { sweep: true, ..Default::default() },
+            max_period: None,
+            queue_rejected: false,
+            background: None,
+            migration_horizon: 1e6,
+        }
+    }
+}
+
+/// The live state: what is currently being served.
+struct Live {
+    workload: Workload,
+    mapping: Mapping,
+    period: f64,
+}
+
+/// A queued (admission-refused) application awaiting capacity.
+struct Queued {
+    graph: StreamGraph,
+    weight: f64,
+}
+
+/// An in-flight background portfolio solve.
+struct Background {
+    cancel: CancelToken,
+    version: u64,
+    handle: JoinHandle<Option<(Mapping, f64)>>,
+}
+
+/// The online serving loop. See the crate docs.
+pub struct Service {
+    spec: CellSpec,
+    opts: ServiceOptions,
+    live: Option<Live>,
+    /// Stable handle of each live application, parallel to the
+    /// workload's positional app list.
+    handles: Vec<AppId>,
+    next_handle: usize,
+    /// Bumped on every workload change; stale background results are
+    /// discarded by comparing against it.
+    version: u64,
+    queue: VecDeque<Queued>,
+    background: Option<Background>,
+    /// Delta of the most recent background adoption, surfaced by
+    /// [`Service::poll_background`].
+    last_adoption_delta: MappingDelta,
+}
+
+impl Service {
+    /// A service on the given platform with default options.
+    pub fn new(spec: CellSpec) -> Self {
+        Service::with_options(spec, ServiceOptions::default())
+    }
+
+    /// A service with explicit options.
+    pub fn with_options(spec: CellSpec, opts: ServiceOptions) -> Self {
+        assert!(spec.n_ppe() >= 1, "the serving loop needs a PPE to evict to");
+        Service {
+            spec,
+            opts,
+            live: None,
+            handles: Vec::new(),
+            next_handle: 0,
+            version: 0,
+            queue: VecDeque::new(),
+            background: None,
+            last_adoption_delta: MappingDelta::default(),
+        }
+    }
+
+    /// The platform.
+    pub fn spec(&self) -> &CellSpec {
+        &self.spec
+    }
+
+    /// The served workload (`None` while idle).
+    pub fn workload(&self) -> Option<&Workload> {
+        self.live.as_ref().map(|l| &l.workload)
+    }
+
+    /// The incumbent mapping (`None` while idle).
+    pub fn mapping(&self) -> Option<&Mapping> {
+        self.live.as_ref().map(|l| &l.mapping)
+    }
+
+    /// Composed round period of the incumbent (`+∞` while idle).
+    pub fn period(&self) -> f64 {
+        self.live.as_ref().map_or(f64::INFINITY, |l| l.period)
+    }
+
+    /// Live applications as `(stable handle, name)` pairs, in workload
+    /// order.
+    pub fn apps(&self) -> Vec<(AppId, &str)> {
+        match &self.live {
+            None => Vec::new(),
+            Some(l) => self
+                .handles
+                .iter()
+                .zip(l.workload.apps())
+                .map(|(&h, info)| (h, info.name.as_str()))
+                .collect(),
+        }
+    }
+
+    /// The stable handle of a live application by name.
+    pub fn handle_of(&self, name: &str) -> Option<AppId> {
+        let l = self.live.as_ref()?;
+        let idx = l.workload.app_id(name)?;
+        Some(self.handles[idx.index()])
+    }
+
+    /// Number of admissions waiting in the queue.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Per-application reports of the incumbent (empty while idle).
+    pub fn app_reports(&self) -> Vec<AppReport> {
+        match &self.live {
+            None => Vec::new(),
+            Some(l) => {
+                evaluate_workload(&l.workload, &self.spec, &l.mapping)
+                    .expect("incumbents stay structurally valid")
+                    .per_app
+            }
+        }
+    }
+
+    /// Process one event. Refused admissions come back as
+    /// [`Verdict::Rejected`]/[`Verdict::Queued`] reports; only malformed
+    /// events (unknown handles) are errors.
+    pub fn process(&mut self, ev: Event) -> Result<ServeReport, ServeError> {
+        match ev {
+            Event::Admit(g, w) => Ok(self.admit(&g, w)),
+            Event::Retire(id) => self.retire(id),
+            Event::Reweight(id, w) => self.reweight(id, w),
+        }
+    }
+
+    /// Admit an application (see [`Event::Admit`]).
+    pub fn admit(&mut self, g: &StreamGraph, weight: f64) -> ServeReport {
+        let adopted = self.interrupt_background();
+        let mut report = self.try_admit(g, weight, self.opts.queue_rejected);
+        report.background_adopted = adopted;
+        report.background_delta = self.take_adoption_delta(adopted);
+        // respawn even after a refusal: the interrupt cancelled the
+        // previous solve, and the (unchanged) workload still deserves
+        // its improver
+        self.spawn_background();
+        report
+    }
+
+    /// Retire an application by handle (see [`Event::Retire`]).
+    pub fn retire(&mut self, id: AppId) -> Result<ServeReport, ServeError> {
+        let idx = self.index_of(id)?;
+        let adopted = self.interrupt_background();
+        let started = Instant::now();
+        let live = self.live.take().expect("index_of implies live");
+
+        let mut report = if live.workload.n_apps() == 1 {
+            // last application out: the service goes idle
+            let delta = MappingDelta {
+                dropped: live.workload.graph().tasks().iter().map(|t| t.name.clone()).collect(),
+                ..MappingDelta::default()
+            };
+            self.handles.clear();
+            self.version += 1;
+            ServeReport {
+                event: format!("retire {id}"),
+                verdict: Verdict::Applied,
+                replan: started.elapsed(),
+                delta,
+                period: f64::INFINITY,
+                per_app: Vec::new(),
+                background_adopted: adopted,
+                background_delta: MappingDelta::default(),
+                drained: Vec::new(),
+            }
+        } else {
+            let mut workload = live.workload.clone();
+            workload.retire(AppId(idx)).expect("index checked");
+            let partial =
+                carry_over(live.workload.graph(), &live.mapping, workload.graph(), &self.spec);
+            let (mapping, period) =
+                repair(workload.graph(), &self.spec, &partial, &self.opts.repair);
+            let delta = MappingDelta::between(
+                live.workload.graph(),
+                &live.mapping,
+                workload.graph(),
+                &mapping,
+            );
+            self.handles.remove(idx);
+            self.version += 1;
+            let per_app = evaluate_workload(&workload, &self.spec, &mapping)
+                .expect("repair returns valid mappings")
+                .per_app;
+            self.live = Some(Live { workload, mapping, period });
+            ServeReport {
+                event: format!("retire {id}"),
+                verdict: Verdict::Applied,
+                replan: started.elapsed(),
+                delta,
+                period,
+                per_app,
+                background_adopted: adopted,
+                background_delta: MappingDelta::default(),
+                drained: Vec::new(),
+            }
+        };
+        report.background_delta = self.take_adoption_delta(adopted);
+
+        report.drained = self.drain_queue();
+        if !report.drained.is_empty() {
+            // drained admissions re-populated the service: the report
+            // must describe the *post-event* state, not the momentary
+            // idle/pre-drain one
+            report.period = self.period();
+            report.per_app = self.app_reports();
+        }
+        self.spawn_background();
+        Ok(report)
+    }
+
+    /// Change an application's throughput weight (see
+    /// [`Event::Reweight`]). Guarantee-breaking reweights are refused
+    /// with [`Verdict::Rejected`] and leave the incumbent untouched.
+    pub fn reweight(&mut self, id: AppId, weight: f64) -> Result<ServeReport, ServeError> {
+        let idx = self.index_of(id)?;
+        let adopted = self.interrupt_background();
+        let started = Instant::now();
+        let live = self.live.as_ref().expect("index_of implies live");
+
+        let mut verdict = Verdict::Applied;
+        let mut delta = MappingDelta::default();
+        if !(weight.is_finite() && weight > 0.0) {
+            verdict = Verdict::Rejected(RejectReason::InvalidWeight(weight));
+        } else {
+            let mut workload = live.workload.clone();
+            workload.reweight(AppId(idx), weight).expect("index and weight pre-validated");
+            let partial =
+                carry_over(live.workload.graph(), &live.mapping, workload.graph(), &self.spec);
+            let (mapping, period) =
+                repair(workload.graph(), &self.spec, &partial, &self.opts.repair);
+            match self.guarantee_violation(&workload, period) {
+                Some(reason) => verdict = Verdict::Rejected(reason),
+                None => {
+                    delta = MappingDelta::between(
+                        live.workload.graph(),
+                        &live.mapping,
+                        workload.graph(),
+                        &mapping,
+                    );
+                    self.version += 1;
+                    self.live = Some(Live { workload, mapping, period });
+                }
+            }
+        }
+
+        let live = self.live.as_ref().expect("still live");
+        let per_app = evaluate_workload(&live.workload, &self.spec, &live.mapping)
+            .expect("incumbents stay valid")
+            .per_app;
+        let mut report = ServeReport {
+            event: format!("reweight {id} w={weight}"),
+            verdict,
+            replan: started.elapsed(),
+            delta,
+            period: live.period,
+            per_app,
+            background_adopted: adopted,
+            background_delta: MappingDelta::default(),
+            drained: Vec::new(),
+        };
+        report.background_delta = self.take_adoption_delta(adopted);
+        if report.applied() {
+            report.drained = self.drain_queue();
+            if !report.drained.is_empty() {
+                report.period = self.period();
+                report.per_app = self.app_reports();
+            }
+        }
+        // respawn even after a refusal (the interrupt above cancelled
+        // the previous solve)
+        self.spawn_background();
+        Ok(report)
+    }
+
+    /// Conclude a finished background solve, if any: adopt it when it
+    /// beats the incumbent including migration cost. Returns `None`
+    /// while the solve is still running (it is *not* interrupted) or
+    /// when none was started.
+    pub fn poll_background(&mut self) -> Option<ServeReport> {
+        if self.background.as_ref().is_some_and(|bg| !bg.handle.is_finished()) {
+            return None;
+        }
+        let started = Instant::now();
+        let adopted = self.reap_background(false)?;
+        let delta = self.take_adoption_delta(adopted);
+        let live = self.live.as_ref();
+        Some(ServeReport {
+            event: "background solve".to_owned(),
+            verdict: if adopted { Verdict::Adopted } else { Verdict::NoChange },
+            replan: started.elapsed(),
+            delta,
+            period: live.map_or(f64::INFINITY, |l| l.period),
+            per_app: self.app_reports(),
+            background_adopted: adopted,
+            background_delta: MappingDelta::default(),
+            drained: Vec::new(),
+        })
+    }
+
+    /// Cancel and discard any in-flight background solve (used on
+    /// shutdown; events do this implicitly).
+    pub fn shutdown(&mut self) {
+        let _ = self.interrupt_background();
+    }
+
+    // ---- internals --------------------------------------------------------
+
+    /// Workload index of a stable handle.
+    fn index_of(&self, id: AppId) -> Result<usize, ServeError> {
+        self.handles.iter().position(|&h| h == id).ok_or(ServeError::UnknownApp(id))
+    }
+
+    /// Hand over the most recent adoption's delta (empty when nothing
+    /// was adopted), clearing the stash so it is reported exactly once.
+    fn take_adoption_delta(&mut self, adopted: bool) -> MappingDelta {
+        if adopted {
+            std::mem::take(&mut self.last_adoption_delta)
+        } else {
+            MappingDelta::default()
+        }
+    }
+
+    /// The admission pipeline: candidate compose → repair → feasibility
+    /// and guarantee probes → commit or refuse. Does not touch the
+    /// background solver (callers do). `queue_on_refuse` parks refused
+    /// applications for retry; it is off during queue drains so a failed
+    /// retry does not re-enqueue through this path.
+    fn try_admit(&mut self, g: &StreamGraph, weight: f64, queue_on_refuse: bool) -> ServeReport {
+        let started = Instant::now();
+        let label = format!("admit {} w={weight}", g.name());
+        if !(weight.is_finite() && weight > 0.0) {
+            // malformed, not capacity-bound: never queued
+            return self.refuse(
+                label,
+                started,
+                RejectReason::InvalidWeight(weight),
+                g,
+                weight,
+                false,
+            );
+        }
+
+        // unique name: a second "video" becomes "video#<handle>"
+        let unique = match self.live.as_ref().is_some_and(|l| l.workload.app_id(g.name()).is_some())
+        {
+            true => g.renamed(format!("{}#{}", g.name(), self.next_handle)),
+            false => g.clone(),
+        };
+
+        // candidate workload + repaired candidate mapping
+        let (workload, partial) = match self.live.as_ref() {
+            None => {
+                let mut b = Workload::builder("served");
+                b.push(&unique, weight).expect("weight validated, name fresh");
+                let w = b.build().expect("single-app workloads compose");
+                let n = w.graph().n_tasks();
+                (w, vec![None; n])
+            }
+            Some(live) => {
+                let mut w = live.workload.clone();
+                w.add(&unique, weight).expect("weight validated, name uniquified");
+                let partial =
+                    carry_over(live.workload.graph(), &live.mapping, w.graph(), &self.spec);
+                (w, partial)
+            }
+        };
+        let (mapping, period) = repair(workload.graph(), &self.spec, &partial, &self.opts.repair);
+
+        // admission control: feasibility (repair evicts until the §3.2
+        // constraints hold, so an infinite period means no PPE fallback
+        // existed) and every application's period guarantee
+        if !period.is_finite() {
+            return self.refuse(
+                label,
+                started,
+                RejectReason::Infeasible,
+                g,
+                weight,
+                queue_on_refuse,
+            );
+        }
+        if let Some(reason) = self.guarantee_violation(&workload, period) {
+            return self.refuse(label, started, reason, g, weight, queue_on_refuse);
+        }
+
+        // commit
+        let delta = match self.live.as_ref() {
+            Some(live) => MappingDelta::between(
+                live.workload.graph(),
+                &live.mapping,
+                workload.graph(),
+                &mapping,
+            ),
+            None => MappingDelta {
+                placed: workload.graph().tasks().iter().map(|t| t.name.clone()).collect(),
+                ..MappingDelta::default()
+            },
+        };
+        let handle = AppId(self.next_handle);
+        self.next_handle += 1;
+        self.handles.push(handle);
+        self.version += 1;
+        let per_app = evaluate_workload(&workload, &self.spec, &mapping)
+            .expect("repair returns valid mappings")
+            .per_app;
+        self.live = Some(Live { workload, mapping, period });
+        ServeReport {
+            event: label,
+            verdict: Verdict::Admitted(handle),
+            replan: started.elapsed(),
+            delta,
+            period,
+            per_app,
+            background_adopted: false,
+            background_delta: MappingDelta::default(),
+            drained: Vec::new(),
+        }
+    }
+
+    /// Build a refusal report, queueing the application when asked.
+    fn refuse(
+        &mut self,
+        event: String,
+        started: Instant,
+        reason: RejectReason,
+        g: &StreamGraph,
+        weight: f64,
+        queue: bool,
+    ) -> ServeReport {
+        let verdict = if queue {
+            self.queue.push_back(Queued { graph: g.clone(), weight });
+            Verdict::Queued
+        } else {
+            Verdict::Rejected(reason)
+        };
+        ServeReport {
+            event,
+            verdict,
+            replan: started.elapsed(),
+            delta: MappingDelta::default(),
+            period: self.period(),
+            per_app: self.app_reports(),
+            background_adopted: false,
+            background_delta: MappingDelta::default(),
+            drained: Vec::new(),
+        }
+    }
+
+    /// The first application whose per-instance period guarantee the
+    /// candidate round `period` would break.
+    fn guarantee_violation(&self, w: &Workload, period: f64) -> Option<RejectReason> {
+        let cap = self.opts.max_period?;
+        for info in w.apps() {
+            let per_instance = period / info.weight;
+            if per_instance > cap * (1.0 + 1e-12) {
+                return Some(RejectReason::Guarantee {
+                    app: info.name.clone(),
+                    period: per_instance,
+                    guarantee: cap,
+                });
+            }
+        }
+        None
+    }
+
+    /// Retry queued admissions in FIFO order after capacity freed up.
+    /// An application that is refused again goes back to the *front* of
+    /// the queue (and retries stop), preserving arrival order.
+    fn drain_queue(&mut self) -> Vec<ServeReport> {
+        let mut drained = Vec::new();
+        while let Some(q) = self.queue.pop_front() {
+            let report = self.try_admit(&q.graph, q.weight, false);
+            if report.applied() {
+                drained.push(report);
+            } else {
+                self.queue.push_front(q);
+                break;
+            }
+        }
+        drained
+    }
+
+    // ---- background improver ----------------------------------------------
+
+    /// Launch the asynchronous full-portfolio re-solve for the current
+    /// workload (no-op when disabled or idle). Any previous solve must
+    /// already be reaped.
+    fn spawn_background(&mut self) {
+        let Some(budget) = self.opts.background else { return };
+        let Some(live) = self.live.as_ref() else { return };
+        debug_assert!(self.background.is_none(), "reap before spawn");
+        let cancel = CancelToken::new();
+        let ctx = PlanContext {
+            seeds: vec![live.mapping.clone()],
+            budget: Some(budget),
+            cancel: cancel.clone(),
+            ..Default::default()
+        };
+        let g = live.workload.graph().clone();
+        let spec = self.spec.clone();
+        let handle = std::thread::spawn(move || {
+            Portfolio::standard().run_with(&g, &spec, &ctx).ok().map(|o| {
+                let period = o.best.period();
+                (o.best.mapping, period)
+            })
+        });
+        self.background = Some(Background { cancel, version: self.version, handle });
+    }
+
+    /// Cancel any in-flight background solve, join it, and adopt its
+    /// result if it is current and worth the migration. Returns whether
+    /// adoption happened.
+    fn interrupt_background(&mut self) -> bool {
+        self.reap_background(true).unwrap_or(false)
+    }
+
+    /// Join the background solve (cancelling first when `abort`) and
+    /// apply the adoption rule. `None` when no solve was in flight.
+    fn reap_background(&mut self, abort: bool) -> Option<bool> {
+        let bg = self.background.take()?;
+        if abort {
+            bg.cancel.cancel();
+        }
+        let result = bg.handle.join().ok().flatten();
+        self.last_adoption_delta = MappingDelta::default();
+        let (mapping, period) = result?;
+        if bg.version != self.version {
+            return Some(false); // stale: the workload changed meanwhile
+        }
+        let Some(live) = self.live.as_mut() else {
+            return Some(false);
+        };
+        let gain = live.period - period;
+        if gain <= 0.0 {
+            return Some(false);
+        }
+        let delta = MappingDelta::between(
+            live.workload.graph(),
+            &live.mapping,
+            live.workload.graph(),
+            &mapping,
+        );
+        // migration-aware adoption: the one-off EIB transfer must pay
+        // for itself within the amortisation horizon
+        if gain * self.opts.migration_horizon <= delta.migration_time(&self.spec) {
+            return Some(false);
+        }
+        live.mapping = mapping;
+        live.period = period;
+        self.last_adoption_delta = delta;
+        Some(true)
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl OnlineSystem for Service {
+    fn apply_event(&mut self, ev: &TraceEvent) -> EventOutcome {
+        let report = match ev {
+            TraceEvent::Admit { graph, weight } => Some(self.admit(graph, *weight)),
+            TraceEvent::Retire { app } => {
+                self.handle_of(app).map(|id| self.retire(id).expect("live handle"))
+            }
+            TraceEvent::Reweight { app, weight } => {
+                self.handle_of(app).map(|id| self.reweight(id, *weight).expect("live handle"))
+            }
+        };
+        match report {
+            Some(r) => EventOutcome {
+                at: 0.0,
+                label: ev.label(),
+                applied: r.applied() || !r.drained.is_empty(),
+                queued: matches!(r.verdict, Verdict::Queued),
+                replan: r.replan,
+                migration_bytes: r.migration_bytes(),
+                period: self.period(),
+            },
+            // unknown application: the trace is data, not a contract —
+            // report "nothing happened" instead of panicking
+            None => EventOutcome {
+                at: 0.0,
+                label: ev.label(),
+                applied: false,
+                queued: false,
+                replan: Duration::ZERO,
+                migration_bytes: 0.0,
+                period: self.period(),
+            },
+        }
+    }
+
+    fn current(&self) -> Option<(&Workload, &Mapping)> {
+        self.live.as_ref().map(|l| (&l.workload, &l.mapping))
+    }
+
+    fn spec(&self) -> &CellSpec {
+        &self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellstream_core::evaluate;
+    use cellstream_daggen::{chain, CostParams};
+    use cellstream_graph::TaskSpec;
+    use cellstream_platform::{ByteSize, CellSpecBuilder, PeId};
+
+    fn app(name: &str, n: usize) -> StreamGraph {
+        chain(name, n, &CostParams::default(), (n * 7 + 1) as u64)
+    }
+
+    /// An app whose single cross-task edge carries a huge buffer: fits
+    /// nowhere but the PPE.
+    fn fat_app(name: &str, kib: f64) -> StreamGraph {
+        let mut b = StreamGraph::builder(name);
+        let s = b.add_task(TaskSpec::new("s").ppe_cost(5e-6).spe_cost(1e-6));
+        let t = b.add_task(TaskSpec::new("t").ppe_cost(5e-6).spe_cost(1e-6));
+        b.add_edge(s, t, kib * 1024.0).unwrap();
+        b.build().unwrap()
+    }
+
+    fn incumbent_feasible(svc: &Service) {
+        if let (Some(w), Some(m)) = (svc.workload(), svc.mapping()) {
+            let r = evaluate(w.graph(), svc.spec(), m).unwrap();
+            assert!(r.is_feasible(), "incumbent must stay feasible: {:?}", r.violations);
+            assert!((r.period - svc.period()).abs() <= 1e-9 * r.period.max(1e-12));
+        }
+    }
+
+    #[test]
+    fn lifecycle_admit_reweight_retire() {
+        let mut svc = Service::new(CellSpec::ps3());
+        assert!(svc.period().is_infinite());
+        assert!(svc.apps().is_empty());
+
+        let r1 = svc.process(Event::Admit(app("a", 5), 1.0)).unwrap();
+        let a = r1.admitted().expect("admitted");
+        assert_eq!(r1.delta.placed.len(), 5, "first admit places everything");
+        assert_eq!(r1.delta.migration_bytes, 0.0, "fresh placements cost no migration");
+        incumbent_feasible(&svc);
+
+        let r2 = svc.process(Event::Admit(app("b", 4), 2.0)).unwrap();
+        let b = r2.admitted().expect("admitted");
+        assert_ne!(a, b, "stable handles are distinct");
+        assert_eq!(svc.apps().len(), 2);
+        assert_eq!(r2.per_app.len(), 2);
+        incumbent_feasible(&svc);
+
+        let r3 = svc.process(Event::Reweight(b, 3.0)).unwrap();
+        assert_eq!(r3.verdict, Verdict::Applied);
+        incumbent_feasible(&svc);
+        // b now three times a's rate: per-instance periods differ 3x
+        let reports = svc.app_reports();
+        assert!((reports[0].period / reports[1].period - 3.0).abs() < 1e-9);
+
+        let r4 = svc.process(Event::Retire(a)).unwrap();
+        assert_eq!(r4.verdict, Verdict::Applied);
+        assert!(r4.delta.dropped.iter().all(|t| t.starts_with("a/")));
+        assert_eq!(svc.apps().len(), 1);
+        // b's stable handle survives a's retirement
+        assert_eq!(svc.handle_of("b"), Some(b));
+        svc.process(Event::Reweight(b, 1.0)).unwrap();
+        incumbent_feasible(&svc);
+
+        let r5 = svc.process(Event::Retire(b)).unwrap();
+        assert!(r5.period.is_infinite());
+        assert!(svc.workload().is_none());
+        // unknown handles are errors, not panics
+        assert!(
+            matches!(svc.process(Event::Retire(b)), Err(ServeError::UnknownApp(id)) if id == b)
+        );
+    }
+
+    #[test]
+    fn duplicate_names_are_uniquified() {
+        let mut svc = Service::new(CellSpec::ps3());
+        svc.process(Event::Admit(app("video", 3), 1.0)).unwrap();
+        let r = svc.process(Event::Admit(app("video", 3), 1.0)).unwrap();
+        assert!(r.admitted().is_some());
+        let names: Vec<&str> = svc.apps().iter().map(|(_, n)| *n).collect();
+        assert_eq!(names.len(), 2);
+        assert_eq!(names[0], "video");
+        assert!(names[1].starts_with("video#"), "{names:?}");
+    }
+
+    #[test]
+    fn admission_never_violates_spe_local_store() {
+        // one tiny SPE: each fat app fits only on the PPE
+        let spec = CellSpecBuilder::default()
+            .spes(1)
+            .local_store(ByteSize::kib(96))
+            .code_size(ByteSize::kib(64))
+            .build()
+            .unwrap();
+        let mut svc = Service::new(spec);
+        for i in 0..4 {
+            let r = svc.admit(&fat_app(&format!("f{i}"), 64.0), 1.0);
+            assert!(r.admitted().is_some(), "feasible via PPE fallback: {:?}", r.verdict);
+            incumbent_feasible(&svc);
+        }
+        // everything fat sits on the PPE, not the overflowing SPE
+        let m = svc.mapping().unwrap();
+        let w = svc.workload().unwrap();
+        let r = evaluate(w.graph(), svc.spec(), m).unwrap();
+        assert!(r.is_feasible());
+        let _ = m.count_on(PeId(1));
+    }
+
+    #[test]
+    fn guarantee_rejects_and_queue_drains_on_retire() {
+        // PPE-only capacity: each 2-task fat app costs 10us on the PPE;
+        // guarantee caps the per-instance period at 25us, so the third
+        // app cannot be admitted until one leaves
+        let spec = CellSpecBuilder::default()
+            .spes(1)
+            .local_store(ByteSize::kib(96))
+            .code_size(ByteSize::kib(64))
+            .build()
+            .unwrap();
+        let opts =
+            ServiceOptions { max_period: Some(25e-6), queue_rejected: true, ..Default::default() };
+        let mut svc = Service::with_options(spec, opts);
+        let a = svc.admit(&fat_app("a", 64.0), 1.0).admitted().expect("fits");
+        let _b = svc.admit(&fat_app("b", 64.0), 1.0).admitted().expect("fits");
+        let r = svc.admit(&fat_app("c", 64.0), 1.0);
+        assert_eq!(r.verdict, Verdict::Queued, "third app breaks the 25us guarantee");
+        assert_eq!(svc.queued(), 1);
+        incumbent_feasible(&svc);
+
+        // capacity frees: the queued app enters service
+        let r = svc.retire(a).unwrap();
+        assert_eq!(r.drained.len(), 1, "queued admission drained on retire");
+        assert!(r.drained[0].admitted().is_some());
+        assert_eq!(svc.queued(), 0);
+        assert_eq!(svc.apps().len(), 2);
+        incumbent_feasible(&svc);
+    }
+
+    #[test]
+    fn retiring_the_last_app_reports_post_drain_state() {
+        // the queued app enters service the moment the last live one
+        // leaves; the retire report must describe that state, not the
+        // momentary idle one between retire and drain
+        let spec = CellSpecBuilder::default()
+            .spes(1)
+            .local_store(ByteSize::kib(96))
+            .code_size(ByteSize::kib(64))
+            .build()
+            .unwrap();
+        // one fat app fills the 15us budget alone: c queues behind a
+        let opts =
+            ServiceOptions { max_period: Some(15e-6), queue_rejected: true, ..Default::default() };
+        let mut svc = Service::with_options(spec, opts);
+        let a = svc.admit(&fat_app("a", 64.0), 1.0).admitted().expect("fits");
+        let c = svc.admit(&fat_app("c", 64.0), 1.0);
+        assert_eq!(c.verdict, Verdict::Queued);
+        let r = svc.retire(a).unwrap();
+        assert_eq!(r.drained.len(), 1, "c enters as the last app leaves");
+        assert!(r.period.is_finite(), "the report reflects the drained admission");
+        assert_eq!(r.per_app.len(), 1);
+        assert_eq!(r.per_app[0].app, "c");
+        assert_eq!(svc.apps().len(), 1);
+    }
+
+    #[test]
+    fn guarantee_rejects_outright_without_queueing() {
+        let opts = ServiceOptions { max_period: Some(1e-9), ..Default::default() };
+        let mut svc = Service::with_options(CellSpec::ps3(), opts);
+        let r = svc.admit(&app("a", 5), 1.0);
+        assert!(
+            matches!(r.verdict, Verdict::Rejected(RejectReason::Guarantee { .. })),
+            "{:?}",
+            r.verdict
+        );
+        assert!(svc.workload().is_none(), "rejected admissions leave the service idle");
+        assert_eq!(svc.queued(), 0);
+    }
+
+    #[test]
+    fn invalid_weights_are_rejected_not_queued() {
+        let opts = ServiceOptions { queue_rejected: true, ..Default::default() };
+        let mut svc = Service::with_options(CellSpec::ps3(), opts);
+        let r = svc.admit(&app("a", 3), f64::NAN);
+        assert!(matches!(r.verdict, Verdict::Rejected(RejectReason::InvalidWeight(_))));
+        assert_eq!(svc.queued(), 0, "malformed admissions never queue");
+        let a = svc.admit(&app("a", 3), 1.0).admitted().unwrap();
+        let r = svc.reweight(a, -2.0).unwrap();
+        assert!(matches!(r.verdict, Verdict::Rejected(RejectReason::InvalidWeight(_))));
+        incumbent_feasible(&svc);
+    }
+
+    #[test]
+    fn guarantee_breaking_reweight_is_refused_and_reverted() {
+        let spec = CellSpecBuilder::default()
+            .spes(1)
+            .local_store(ByteSize::kib(96))
+            .code_size(ByteSize::kib(64))
+            .build()
+            .unwrap();
+        let opts = ServiceOptions { max_period: Some(25e-6), ..Default::default() };
+        let mut svc = Service::with_options(spec, opts);
+        let a = svc.admit(&fat_app("a", 64.0), 1.0).admitted().unwrap();
+        let _b = svc.admit(&fat_app("b", 64.0), 1.0).admitted().unwrap();
+        let before = svc.period();
+        // weight 40 would need a 40x faster round than the cap allows
+        let r = svc.reweight(a, 40.0).unwrap();
+        assert!(matches!(r.verdict, Verdict::Rejected(RejectReason::Guarantee { .. })));
+        assert_eq!(svc.period(), before, "refused reweight leaves the incumbent untouched");
+        assert_eq!(svc.workload().unwrap().app(cellstream_graph::AppId(0)).weight, 1.0);
+    }
+
+    #[test]
+    fn repair_reports_migration_bytes_when_seats_move() {
+        let mut svc = Service::new(CellSpec::with_spes(2));
+        svc.admit(&app("a", 6), 1.0);
+        // grow the workload until something has to move; sum deltas
+        let mut total_moved_bytes = 0.0;
+        for i in 0..3 {
+            let r = svc.admit(&app(&format!("x{i}"), 5), 1.0);
+            assert!(r.admitted().is_some());
+            total_moved_bytes += r.delta.migration_bytes;
+            for mv in &r.delta.moved {
+                assert!(mv.bytes > 0.0);
+                assert_ne!(mv.from, mv.to);
+            }
+            incumbent_feasible(&svc);
+        }
+        // migration time is consistent with the byte count
+        let t = MappingDelta { migration_bytes: total_moved_bytes, ..Default::default() }
+            .migration_time(svc.spec());
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn background_improver_adopts_better_plans() {
+        let opts = ServiceOptions {
+            background: Some(Duration::from_millis(600)),
+            // crippled foreground repair: no refinement at all, so the
+            // background portfolio has something to improve
+            repair: LocalSearchOptions { max_rounds: 0, ..Default::default() },
+            ..Default::default()
+        };
+        let mut svc = Service::with_options(CellSpec::ps3(), opts);
+        let r = svc.admit(&app("a", 8), 1.0);
+        assert!(r.admitted().is_some());
+        let rough = svc.period();
+        // wait for the background portfolio to finish, then poll
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let adoption = loop {
+            match svc.poll_background() {
+                Some(rep) => break rep,
+                None => {
+                    assert!(Instant::now() < deadline, "background solve never concluded");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        };
+        match adoption.verdict {
+            Verdict::Adopted => {
+                assert!(svc.period() < rough, "adoption must improve the period");
+                assert!(adoption.delta.n_moved() > 0);
+            }
+            Verdict::NoChange => {
+                // legal only if the unrefined repair was already optimal
+                assert!(svc.period() <= rough);
+            }
+            other => panic!("unexpected background verdict {other:?}"),
+        }
+        incumbent_feasible(&svc);
+        // polling again finds nothing in flight
+        assert!(svc.poll_background().is_none());
+    }
+
+    #[test]
+    fn new_events_abort_the_background_solve() {
+        let opts = ServiceOptions {
+            background: Some(Duration::from_secs(120)), // would run for minutes
+            ..Default::default()
+        };
+        let mut svc = Service::with_options(CellSpec::ps3(), opts);
+        svc.admit(&app("a", 10), 1.0);
+        let started = Instant::now();
+        // the admit spawned a 120s-budget solve; the next event must
+        // cancel it cooperatively instead of waiting it out
+        let r = svc.admit(&app("b", 8), 1.0);
+        assert!(r.admitted().is_some());
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "event waited {:?} on a cancelled background solve",
+            started.elapsed()
+        );
+        svc.shutdown();
+        incumbent_feasible(&svc);
+    }
+}

@@ -34,9 +34,11 @@
 
 pub mod engine;
 pub mod fair;
+pub mod online;
 pub mod trace;
 
 pub use engine::{simulate, SimConfig, SimError};
+pub use online::{EventOutcome, EventTrace, OnlineReport, OnlineSystem, TraceEvent};
 pub use trace::RunTrace;
 
 #[cfg(test)]

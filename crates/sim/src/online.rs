@@ -1,0 +1,436 @@
+//! The online half of the simulator: timestamped event traces and the
+//! replay driver that measures a serving system under churn.
+//!
+//! The paper's evaluation maps one application and streams it forever;
+//! the serving scenario (a Cell blade shared by media pipelines) sees
+//! applications **arrive, change rate, and depart**. An [`EventTrace`]
+//! captures such a run as timestamped [`TraceEvent`]s; [`replay`] feeds
+//! them to any [`OnlineSystem`] (the `cellstream-serve::Service`
+//! implements it) and, between events, simulates the system's current
+//! workload + mapping to attribute delivered throughput per application.
+//!
+//! Measured per run:
+//!
+//! * per-application **delivered instances** (simulated steady-state
+//!   throughput of the incumbent mapping × residency interval, in
+//!   application-instance terms);
+//! * per-event **replan latency** and **migration bytes** (what the
+//!   serving layer reports);
+//! * **rejected / queued admissions**.
+//!
+//! Events name applications by their graph name (stable across workload
+//! recompositions), not by positional app id — a trace is data and must
+//! survive the id shifts that retirements cause.
+
+use crate::engine::{simulate, SimConfig};
+use cellstream_core::Mapping;
+use cellstream_graph::{StreamGraph, Workload};
+use cellstream_platform::CellSpec;
+use std::time::Duration;
+
+/// One workload-churn event, application named by graph name.
+#[derive(Debug, Clone)]
+pub enum TraceEvent {
+    /// An application arrives, asking for the given throughput weight.
+    Admit {
+        /// The application's graph (its name identifies it from now on).
+        graph: StreamGraph,
+        /// Relative throughput target (instances per composed round).
+        weight: f64,
+    },
+    /// The named application departs.
+    Retire {
+        /// Application (graph) name.
+        app: String,
+    },
+    /// The named application changes its throughput weight.
+    Reweight {
+        /// Application (graph) name.
+        app: String,
+        /// New weight.
+        weight: f64,
+    },
+}
+
+impl TraceEvent {
+    /// Compact human label (`"admit audio"`, `"retire video"`, ...).
+    pub fn label(&self) -> String {
+        match self {
+            TraceEvent::Admit { graph, weight } => format!("admit {} w={weight}", graph.name()),
+            TraceEvent::Retire { app } => format!("retire {app}"),
+            TraceEvent::Reweight { app, weight } => format!("reweight {app} w={weight}"),
+        }
+    }
+}
+
+/// A timestamped [`TraceEvent`].
+#[derive(Debug, Clone)]
+pub struct TimedEvent {
+    /// Seconds since the start of the trace.
+    pub at: f64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// A replayable arrival/departure trace: events sorted by timestamp plus
+/// a measurement horizon.
+#[derive(Debug, Clone, Default)]
+pub struct EventTrace {
+    events: Vec<TimedEvent>,
+    /// End of the measured run (seconds). Intervals past the last event
+    /// up to the horizon still count toward delivered throughput.
+    pub horizon: f64,
+}
+
+impl EventTrace {
+    /// An empty trace with the given horizon.
+    pub fn new(horizon: f64) -> Self {
+        assert!(horizon.is_finite() && horizon >= 0.0, "horizon must be finite, got {horizon}");
+        EventTrace { events: Vec::new(), horizon }
+    }
+
+    /// Append an event (kept sorted by timestamp; ties keep insertion
+    /// order). Builder-style.
+    pub fn at(mut self, t: f64, event: TraceEvent) -> Self {
+        self.push(t, event);
+        self
+    }
+
+    /// Append an event, keeping the trace sorted by timestamp.
+    pub fn push(&mut self, t: f64, event: TraceEvent) {
+        assert!(t.is_finite() && t >= 0.0, "event timestamps must be finite, got {t}");
+        let idx = self.events.partition_point(|e| e.at <= t);
+        self.events.insert(idx, TimedEvent { at: t, event });
+    }
+
+    /// The events, sorted by timestamp.
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// What a serving system reports back for one applied event. The replay
+/// driver stamps [`at`](EventOutcome::at); everything else comes from
+/// the system (the serve crate maps its richer `ServeReport` into this).
+#[derive(Debug, Clone)]
+pub struct EventOutcome {
+    /// Trace timestamp (stamped by [`replay`]).
+    pub at: f64,
+    /// Event label.
+    pub label: String,
+    /// `true` when the event changed the served workload (admitted /
+    /// retired / reweighted); `false` for rejected or queued admissions
+    /// and unknown-app events.
+    pub applied: bool,
+    /// `true` when an admission was parked in the wait queue rather than
+    /// rejected outright.
+    pub queued: bool,
+    /// Wall-clock replanning latency of this event.
+    pub replan: Duration,
+    /// Migration traffic the adopted plan requires (bytes over the EIB).
+    pub migration_bytes: f64,
+    /// Composed round period after the event (`+∞` when nothing is
+    /// being served).
+    pub period: f64,
+}
+
+/// A system that can be driven by an [`EventTrace`]: apply one event,
+/// expose the incumbent workload + mapping for measurement.
+pub trait OnlineSystem {
+    /// Apply one event and report what happened.
+    fn apply_event(&mut self, ev: &TraceEvent) -> EventOutcome;
+
+    /// The currently served workload and its incumbent mapping (`None`
+    /// while nothing is admitted).
+    fn current(&self) -> Option<(&Workload, &Mapping)>;
+
+    /// The platform everything runs on.
+    fn spec(&self) -> &CellSpec;
+}
+
+/// Per-application delivery tally of one replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppServed {
+    /// Application (graph) name.
+    pub app: String,
+    /// Seconds the application was resident over the measured horizon.
+    pub seconds: f64,
+    /// Application instances delivered while resident (simulated
+    /// steady-state throughput × residency, summed over intervals).
+    pub instances: f64,
+}
+
+impl AppServed {
+    /// Mean delivered throughput over the application's residency
+    /// (instances per second); 0 for zero residency.
+    pub fn throughput(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.instances / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Everything [`replay`] measures.
+#[derive(Debug, Clone)]
+pub struct OnlineReport {
+    /// One outcome per trace event, in trace order.
+    pub events: Vec<EventOutcome>,
+    /// Delivered instances per application name.
+    pub served: Vec<AppServed>,
+    /// Admissions that did not enter service immediately (rejected or
+    /// queued).
+    pub rejected: usize,
+    /// Total migration traffic across all adopted replans (bytes).
+    pub total_migration_bytes: f64,
+}
+
+impl OnlineReport {
+    /// Median replanning latency across the *applied* events (what a
+    /// serving SLO would track). Zero for an empty trace.
+    pub fn median_replan(&self) -> Duration {
+        let mut applied: Vec<Duration> =
+            self.events.iter().filter(|e| e.applied).map(|e| e.replan).collect();
+        if applied.is_empty() {
+            return Duration::ZERO;
+        }
+        applied.sort();
+        applied[applied.len() / 2]
+    }
+
+    /// Delivery tally of one application by name.
+    pub fn app(&self, name: &str) -> Option<&AppServed> {
+        self.served.iter().find(|a| a.app == name)
+    }
+}
+
+/// Replay a trace against a serving system.
+///
+/// Between consecutive events (and from the last event to the trace
+/// horizon) the system's incumbent mapping is simulated for
+/// `instances_per_measure` instances under the **ideal** config (the
+/// model-faithful limit, same convention as the co-scheduling bench) and
+/// each resident application is credited its measured steady-state
+/// throughput × interval length. Replan latencies and migration bytes
+/// come from the system's own per-event reports.
+pub fn replay<S: OnlineSystem>(
+    sys: &mut S,
+    trace: &EventTrace,
+    instances_per_measure: u64,
+) -> OnlineReport {
+    let mut report = OnlineReport {
+        events: Vec::with_capacity(trace.len()),
+        served: Vec::new(),
+        rejected: 0,
+        total_migration_bytes: 0.0,
+    };
+    for (i, te) in trace.events().iter().enumerate() {
+        let mut outcome = sys.apply_event(&te.event);
+        outcome.at = te.at;
+        if !outcome.applied {
+            report.rejected += 1;
+        }
+        report.total_migration_bytes += outcome.migration_bytes;
+        report.events.push(outcome);
+
+        let until = trace.events().get(i + 1).map_or(trace.horizon, |n| n.at);
+        let interval = (until - te.at).max(0.0);
+        if interval > 0.0 {
+            credit_interval(sys, interval, instances_per_measure, &mut report.served);
+        }
+    }
+    report
+}
+
+/// Simulate the incumbent and credit every resident application its
+/// delivered share of one inter-event interval.
+fn credit_interval<S: OnlineSystem>(
+    sys: &S,
+    interval: f64,
+    instances: u64,
+    served: &mut Vec<AppServed>,
+) {
+    let Some((w, m)) = sys.current() else {
+        return; // idle: nothing served
+    };
+    let per_app = match simulate(w.graph(), sys.spec(), m, &SimConfig::ideal(), instances) {
+        Ok(trace) => trace.per_app_throughput(w),
+        Err(_) => vec![0.0; w.n_apps()],
+    };
+    for (info, thr) in w.apps().iter().zip(per_app) {
+        let entry = match served.iter_mut().find(|a| a.app == info.name) {
+            Some(e) => e,
+            None => {
+                served.push(AppServed { app: info.name.clone(), seconds: 0.0, instances: 0.0 });
+                served.last_mut().expect("just pushed")
+            }
+        };
+        entry.seconds += interval;
+        entry.instances += thr * interval;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellstream_graph::TaskSpec;
+    use cellstream_platform::PeId;
+
+    fn tiny_app(name: &str) -> StreamGraph {
+        let mut b = StreamGraph::builder(name);
+        let s = b.add_task(TaskSpec::new("s").uniform_cost(1e-6));
+        let t = b.add_task(TaskSpec::new("t").uniform_cost(1e-6));
+        b.add_edge(s, t, 64.0).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Minimal serving stand-in: admits everything onto the PPE, retires
+    /// by name, rejects admissions once `cap` apps are live.
+    struct PpeServer {
+        spec: CellSpec,
+        state: Option<(Workload, Mapping)>,
+        cap: usize,
+    }
+
+    impl PpeServer {
+        fn replan(&mut self, w: Option<Workload>) {
+            self.state = w.map(|w| {
+                let m = Mapping::all_on(w.graph(), PeId(0));
+                (w, m)
+            });
+        }
+        fn outcome(&self, ev: &TraceEvent, applied: bool) -> EventOutcome {
+            EventOutcome {
+                at: 0.0,
+                label: ev.label(),
+                applied,
+                queued: false,
+                replan: Duration::from_micros(10),
+                migration_bytes: if applied { 64.0 } else { 0.0 },
+                period: self
+                    .state
+                    .as_ref()
+                    .map_or(f64::INFINITY, |(w, _)| w.graph().total_ppe_work()),
+            }
+        }
+    }
+
+    impl OnlineSystem for PpeServer {
+        fn apply_event(&mut self, ev: &TraceEvent) -> EventOutcome {
+            match ev {
+                TraceEvent::Admit { graph, weight } => {
+                    let n = self.state.as_ref().map_or(0, |(w, _)| w.n_apps());
+                    if n >= self.cap {
+                        return self.outcome(ev, false);
+                    }
+                    let w = match self.state.take() {
+                        None => {
+                            let mut b = Workload::builder("served");
+                            b.push(graph, *weight).unwrap();
+                            b.build().unwrap()
+                        }
+                        Some((mut w, _)) => {
+                            w.add(graph, *weight).unwrap();
+                            w
+                        }
+                    };
+                    self.replan(Some(w));
+                    self.outcome(ev, true)
+                }
+                TraceEvent::Retire { app } => {
+                    let Some((mut w, _)) = self.state.take() else {
+                        return self.outcome(ev, false);
+                    };
+                    let Some(id) = w.app_id(app) else {
+                        self.state = Some((w.clone(), Mapping::all_on(w.graph(), PeId(0))));
+                        return self.outcome(ev, false);
+                    };
+                    if w.n_apps() == 1 {
+                        self.replan(None);
+                    } else {
+                        w.retire(id).unwrap();
+                        self.replan(Some(w));
+                    }
+                    self.outcome(ev, true)
+                }
+                TraceEvent::Reweight { app, weight } => {
+                    let Some((mut w, _)) = self.state.take() else {
+                        return self.outcome(ev, false);
+                    };
+                    let applied = match w.app_id(app) {
+                        Some(id) => w.reweight(id, *weight).is_ok(),
+                        None => false,
+                    };
+                    self.replan(Some(w));
+                    self.outcome(ev, applied)
+                }
+            }
+        }
+
+        fn current(&self) -> Option<(&Workload, &Mapping)> {
+            self.state.as_ref().map(|(w, m)| (w, m))
+        }
+
+        fn spec(&self) -> &CellSpec {
+            &self.spec
+        }
+    }
+
+    #[test]
+    fn trace_stays_sorted_and_labelled() {
+        let trace = EventTrace::new(1.0)
+            .at(0.5, TraceEvent::Retire { app: "a".into() })
+            .at(0.1, TraceEvent::Admit { graph: tiny_app("a"), weight: 1.0 })
+            .at(0.3, TraceEvent::Reweight { app: "a".into(), weight: 2.0 });
+        let ts: Vec<f64> = trace.events().iter().map(|e| e.at).collect();
+        assert_eq!(ts, vec![0.1, 0.3, 0.5]);
+        assert_eq!(trace.events()[0].event.label(), "admit a w=1");
+        assert_eq!(trace.len(), 3);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn replay_credits_residency_and_counts_rejections() {
+        let mut sys = PpeServer { spec: CellSpec::ps3(), state: None, cap: 1 };
+        let trace = EventTrace::new(1.0)
+            .at(0.0, TraceEvent::Admit { graph: tiny_app("a"), weight: 1.0 })
+            .at(0.4, TraceEvent::Admit { graph: tiny_app("b"), weight: 1.0 }) // over cap
+            .at(0.6, TraceEvent::Retire { app: "a".into() });
+        let report = replay(&mut sys, &trace, 400);
+        assert_eq!(report.events.len(), 3);
+        assert_eq!(report.rejected, 1, "the over-cap admission is rejected");
+        assert!(report.events[0].applied && !report.events[1].applied);
+        // a is resident from 0.0 to 0.6 and delivers ~1/(2us) inst/s
+        let a = report.app("a").expect("a was served");
+        assert!((a.seconds - 0.6).abs() < 1e-12);
+        assert!(a.instances > 0.0);
+        let thr = a.throughput();
+        let model = 1.0 / sys.spec.pes().count() as f64; // unused sanity anchor
+        let _ = model;
+        assert!((thr - 1.0 / 2e-6).abs() / (1.0 / 2e-6) < 0.05, "ppe-only chain rate, got {thr}");
+        // nothing served after the retire; b never entered
+        assert!(report.app("b").is_none());
+        assert_eq!(report.total_migration_bytes, 64.0 * 2.0);
+        assert!(report.median_replan() > Duration::ZERO);
+    }
+
+    #[test]
+    fn idle_trace_reports_nothing_served() {
+        let mut sys = PpeServer { spec: CellSpec::ps3(), state: None, cap: 8 };
+        let trace = EventTrace::new(0.5).at(0.2, TraceEvent::Retire { app: "ghost".into() });
+        let report = replay(&mut sys, &trace, 100);
+        assert!(report.served.is_empty());
+        assert_eq!(report.rejected, 1);
+    }
+}

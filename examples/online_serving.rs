@@ -1,0 +1,89 @@
+//! Online serving: applications arrive, change rate and depart while the
+//! Cell keeps streaming — each event replanned incrementally from the
+//! incumbent mapping, with the migration bill printed per event.
+//!
+//! Run with `cargo run --release --example online_serving`.
+
+use cellstream::prelude::*;
+use cellstream::serve::ServiceOptions;
+use std::time::Duration;
+
+fn main() {
+    let spec = CellSpec::qs22();
+    let opts = ServiceOptions {
+        // refuse any application that would push a resident pipeline's
+        // per-instance period beyond 1 ms, and queue it for later
+        max_period: Some(1e-3),
+        queue_rejected: true,
+        // keep a full portfolio re-solve running in the background and
+        // adopt it only when it pays for its own migration traffic
+        background: Some(Duration::from_millis(300)),
+        ..Default::default()
+    };
+    let mut svc = Service::with_options(spec, opts);
+
+    let audio = cellstream::apps::audio::graph().expect("audio builds");
+    let video = cellstream::apps::video::graph().expect("video builds");
+    let cipher = cellstream::apps::cipher::graph().expect("cipher builds");
+    let dsp = cellstream::apps::dsp::graph().expect("dsp builds");
+
+    println!(
+        "{:<28} {:>10} {:>12} {:>12} {:>8}",
+        "event", "verdict", "period(us)", "migr(KiB)", "ms"
+    );
+    let describe = |report: &ServeReport| {
+        println!(
+            "{:<28} {:>10} {:>12.3} {:>12.2} {:>8.2}",
+            report.event,
+            match &report.verdict {
+                Verdict::Admitted(id) => format!("{id}"),
+                other => format!("{other:?}").chars().take(10).collect(),
+            },
+            report.period * 1e6,
+            report.migration_bytes() / 1024.0,
+            report.replan.as_secs_f64() * 1e3,
+        );
+        for d in &report.drained {
+            println!("  └ drained: {} -> {:?}", d.event, d.verdict);
+        }
+    };
+
+    let a = svc.admit(&audio, 1.0);
+    describe(&a);
+    let a = a.admitted().expect("audio fits");
+    describe(&svc.admit(&video, 1.0));
+    describe(&svc.admit(&cipher, 2.0));
+
+    // audio doubles its rate: costs and buffers rescale, the incumbent
+    // is repaired, survivors keep their seats where possible
+    describe(&svc.reweight(a, 2.0).expect("live handle"));
+
+    // a second video stream joins under a fresh name
+    describe(&svc.admit(&video.renamed("video-2"), 1.0));
+    describe(&svc.admit(&dsp, 1.0));
+
+    // audio leaves; queued work (if any) is retried automatically
+    describe(&svc.retire(a).expect("live handle"));
+
+    // harvest the background improver's verdict, if it finished
+    if let Some(adoption) = svc.poll_background() {
+        println!(
+            "background: {:?} (Δ {} tasks, {:.1} KiB over the EIB)",
+            adoption.verdict,
+            adoption.delta.n_moved(),
+            adoption.delta.migration_bytes / 1024.0
+        );
+    }
+
+    println!(
+        "\nserving {} applications at round period {:.3} us:",
+        svc.apps().len(),
+        svc.period() * 1e6
+    );
+    for app in svc.app_reports() {
+        println!(
+            "  {:<10} weight {:>3}  guarantee {:>9.0}/s  fair share {:>9.0}/s",
+            app.app, app.weight, app.throughput, app.fair_throughput
+        );
+    }
+}

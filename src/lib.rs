@@ -33,9 +33,12 @@
 //! * [`core`] — steady-state scheduling: `firstPeriod`, buffers,
 //!   evaluation, Linear Program (1), the optimal-mapping driver (§3–§5)
 //! * [`heuristics`] — GreedyMem/GreedyCpu (§6.3) + extensions
-//! * [`sim`] — the discrete-event Cell simulator (the "hardware")
+//! * [`sim`] — the discrete-event Cell simulator (the "hardware") plus
+//!   the online arrival-trace driver (`sim::online`)
 //! * [`rt`] — the threaded runtime emulator (the §6.1 framework)
-//! * [`apps`] — audio encoder, video pipeline, cipher farm
+//! * [`serve`] — the online serving loop: dynamic application
+//!   arrival/departure with migration-aware incremental replanning
+//! * [`apps`] — audio encoder, video pipeline, cipher farm, DSP chain
 
 #![forbid(unsafe_code)]
 
@@ -47,6 +50,7 @@ pub use cellstream_heuristics as heuristics;
 pub use cellstream_milp as milp;
 pub use cellstream_platform as platform;
 pub use cellstream_rt as rt;
+pub use cellstream_serve as serve;
 pub use cellstream_sim as sim;
 
 pub mod session;
@@ -62,16 +66,18 @@ pub use session::{PlannedSession, ScheduledSession, Session};
 /// ```
 pub mod prelude {
     pub use crate::session::{PlannedSession, ScheduledSession, Session};
+    pub use cellstream_core::scheduler::CancelToken;
     pub use cellstream_core::{
-        evaluate, evaluate_workload, solve, AppReport, Mapping, MappingReport, Plan, PlanContext,
-        PlanError, PlanStats, Scheduler, SolveOptions, SolveOutcome, WorkloadReport,
+        evaluate, evaluate_workload, solve, AppReport, Mapping, MappingDelta, MappingReport, Plan,
+        PlanContext, PlanError, PlanStats, Scheduler, SolveOptions, SolveOutcome, WorkloadReport,
     };
     pub use cellstream_graph::{AppId, StreamGraph, TaskId, TaskSpec, Workload};
     pub use cellstream_heuristics::{
         all_schedulers, best_partition, multi_start, partition_mapping, scheduler_by_name,
-        Portfolio, PortfolioOutcome, SCHEDULER_NAMES,
+        scheduler_names, Portfolio, PortfolioOutcome, SCHEDULER_NAMES,
     };
     pub use cellstream_platform::{CellSpec, PeId, PeKind};
     pub use cellstream_rt::{RtConfig, RunStats};
-    pub use cellstream_sim::{simulate, RunTrace, SimConfig};
+    pub use cellstream_serve::{Event, ServeReport, Service, ServiceOptions, Verdict};
+    pub use cellstream_sim::{simulate, EventTrace, RunTrace, SimConfig, TraceEvent};
 }

@@ -1,0 +1,196 @@
+//! Online serving end-to-end: the acceptance tests for the
+//! `cellstream-serve` subsystem (ISSUE 5).
+//!
+//! * Admission control **never** admits an application whose mapping
+//!   would violate SPE local-store capacity: after every event in a
+//!   churn sequence the incumbent passes the §3.2 verifier.
+//! * Warm-started repair replanning stays within a few percent of a
+//!   from-scratch portfolio re-solve on the same workload (the full
+//!   95%/10× gates run in `bench/bin/online.rs`; here a cheap sanity
+//!   band keeps the property in tier-1).
+//! * The trace driver (`sim::online::replay`) measures per-app
+//!   throughput, replan latency, migration bytes and rejections.
+
+use cellstream::apps::{audio, cipher, dsp, video};
+use cellstream::platform::{ByteSize, CellSpecBuilder};
+use cellstream::prelude::*;
+use cellstream::serve::{RejectReason, ServiceOptions, Verdict};
+use cellstream::sim::online::{replay, EventTrace, TraceEvent};
+
+/// The §3.2 verifier's verdict on the service's incumbent.
+fn assert_incumbent_feasible(svc: &Service) {
+    if let (Some(w), Some(m)) = (svc.workload(), svc.mapping()) {
+        let report = evaluate(w.graph(), svc.spec(), m).expect("incumbent is structurally valid");
+        assert!(
+            report.is_feasible(),
+            "admission control let an infeasible incumbent through: {:?}",
+            report.violations
+        );
+    }
+}
+
+#[test]
+fn churn_sequence_never_violates_spe_capacity() {
+    // a deliberately tight platform: 2 SPEs with small stores, so the
+    // eviction/admission logic actually gets exercised
+    let spec = CellSpecBuilder::default()
+        .spes(2)
+        .local_store(ByteSize::kib(160))
+        .code_size(ByteSize::kib(64))
+        .build()
+        .unwrap();
+    let mut svc = Service::new(spec);
+
+    let a = svc.admit(&audio::graph().unwrap(), 1.0).admitted().expect("audio fits");
+    assert_incumbent_feasible(&svc);
+    let c = svc.admit(&cipher::graph().unwrap(), 2.0).admitted().expect("cipher fits");
+    assert_incumbent_feasible(&svc);
+    let d = svc.admit(&dsp::graph().unwrap(), 1.0).admitted().expect("dsp fits");
+    assert_incumbent_feasible(&svc);
+
+    for (id, w) in [(a, 3.0), (c, 1.0), (d, 2.0), (a, 1.0)] {
+        let r = svc.reweight(id, w).expect("live handle");
+        assert!(
+            matches!(r.verdict, Verdict::Applied | Verdict::Rejected(_)),
+            "unexpected verdict {:?}",
+            r.verdict
+        );
+        assert_incumbent_feasible(&svc);
+    }
+    svc.retire(c).expect("live handle");
+    assert_incumbent_feasible(&svc);
+    svc.admit(&video::graph().unwrap(), 1.0);
+    assert_incumbent_feasible(&svc);
+}
+
+#[test]
+fn repair_stays_close_to_from_scratch_portfolio() {
+    let spec = CellSpec::qs22();
+    let mut svc = Service::new(spec.clone());
+    svc.admit(&audio::graph().unwrap(), 1.0);
+    svc.admit(&cipher::graph().unwrap(), 1.0);
+    let r = svc.admit(&dsp::graph().unwrap(), 1.0);
+    assert!(r.admitted().is_some());
+
+    let w = svc.workload().unwrap();
+    let scratch = Portfolio::heuristics_only()
+        .run_workload(w, &spec, &PlanContext::default())
+        .expect("portfolio always plans");
+    // cheap tier-1 band; the bench gates the real 95% criterion
+    assert!(
+        svc.period() <= scratch.best.period() * 1.10 + 1e-12,
+        "repair period {} drifted >10% from from-scratch {}",
+        svc.period(),
+        scratch.best.period()
+    );
+}
+
+#[test]
+fn migration_bytes_are_surfaced_per_event() {
+    let mut svc = Service::new(CellSpec::with_spes(4));
+    svc.admit(&audio::graph().unwrap(), 1.0);
+    let mut any_moved = false;
+    for (i, app) in [cipher::graph().unwrap(), dsp::graph().unwrap()].iter().enumerate() {
+        let r = svc.admit(&app.renamed(format!("app{i}")), 1.0);
+        assert!(r.admitted().is_some());
+        // every reported move carries positive bytes and a real hop
+        for mv in &r.delta.moved {
+            assert!(mv.bytes > 0.0, "{} moved for free", mv.task);
+            assert_ne!(mv.from, mv.to);
+            any_moved = true;
+        }
+        assert!(
+            (r.migration_bytes() - r.delta.migration_bytes).abs() < 1e-9,
+            "admits drain no queue here"
+        );
+    }
+    // consolidating onto a tighter platform moves *something* eventually
+    let _ = any_moved; // not guaranteed on 4 roomy SPEs; asserted in the bench trace
+}
+
+#[test]
+fn guarantee_gate_and_queue_drain() {
+    // PPE-only platform: capacity is pure compute, easy to reason about
+    let spec = CellSpecBuilder::default()
+        .spes(1)
+        .local_store(ByteSize::kib(96))
+        .code_size(ByteSize::kib(64))
+        .build()
+        .unwrap();
+    let opts =
+        ServiceOptions { max_period: Some(40e-6), queue_rejected: true, ..Default::default() };
+    let mut svc = Service::with_options(spec, opts);
+
+    // audio alone is far inside the guarantee
+    let a = svc.admit(&audio::graph().unwrap(), 1.0).admitted().expect("fits");
+    // a heavy second copy at weight 8 would blow the 40us per-instance cap
+    let r = svc.admit(&audio::graph().unwrap().renamed("audio-8x"), 8.0);
+    assert_eq!(r.verdict, Verdict::Queued, "guarantee-breaking admit parks in the queue");
+    assert_eq!(svc.queued(), 1);
+    assert_incumbent_feasible(&svc);
+
+    // retiring the original frees the machine; the queued app enters
+    let r = svc.retire(a).expect("live");
+    assert_eq!(r.drained.len(), 1);
+    assert!(r.drained[0].admitted().is_some());
+    assert_eq!(svc.apps().len(), 1);
+    assert_eq!(svc.apps()[0].1, "audio-8x");
+    assert_incumbent_feasible(&svc);
+}
+
+#[test]
+fn rejecting_outright_reports_the_reason() {
+    let opts = ServiceOptions { max_period: Some(1e-9), ..Default::default() };
+    let mut svc = Service::with_options(CellSpec::ps3(), opts);
+    let r = svc.admit(&video::graph().unwrap(), 1.0);
+    match r.verdict {
+        Verdict::Rejected(RejectReason::Guarantee { period, guarantee, .. }) => {
+            assert!(period > guarantee);
+        }
+        other => panic!("expected a guarantee rejection, got {other:?}"),
+    }
+    assert!(svc.workload().is_none());
+}
+
+#[test]
+fn trace_replay_measures_the_serving_loop() {
+    let spec = CellSpec::qs22();
+    let mut svc = Service::new(spec);
+    let trace = EventTrace::new(0.10)
+        .at(0.00, TraceEvent::Admit { graph: audio::graph().unwrap(), weight: 1.0 })
+        .at(0.02, TraceEvent::Admit { graph: cipher::graph().unwrap(), weight: 2.0 })
+        .at(0.04, TraceEvent::Reweight { app: "audio-encoder".into(), weight: 2.0 })
+        .at(0.06, TraceEvent::Admit { graph: dsp::graph().unwrap(), weight: 1.0 })
+        .at(0.08, TraceEvent::Retire { app: "cipher-pipeline".into() });
+    let report = replay(&mut svc, &trace, 1200);
+
+    assert_eq!(report.events.len(), 5);
+    assert_eq!(report.rejected, 0, "everything fits on a QS22");
+    assert!(report.median_replan() > std::time::Duration::ZERO);
+
+    // per-app residency adds up: audio serves the whole horizon, cipher
+    // only until its retirement
+    let audio_served = report.app("audio-encoder").expect("audio measured");
+    assert!((audio_served.seconds - 0.10).abs() < 1e-12);
+    let cipher_served = report.app("cipher-pipeline").expect("cipher measured");
+    assert!((cipher_served.seconds - 0.06).abs() < 1e-12);
+    // delivered throughput is positive and bounded by the physical rate
+    assert!(audio_served.throughput() > 0.0);
+    assert!(audio_served.throughput() <= 1.0 / svc.period() * 2.0 * 1.05);
+    assert_incumbent_feasible(&svc);
+}
+
+#[test]
+fn app_names_resolve_to_stable_handles() {
+    let mut svc = Service::new(CellSpec::ps3());
+    let a = svc.admit(&audio::graph().unwrap(), 1.0).admitted().unwrap();
+    let v = svc.admit(&video::graph().unwrap(), 1.0).admitted().unwrap();
+    assert_eq!(svc.handle_of("audio-encoder"), Some(a));
+    assert_eq!(svc.handle_of("video-pipeline"), Some(v));
+    svc.retire(a).unwrap();
+    // v's handle is unchanged even though its positional id shifted
+    assert_eq!(svc.handle_of("video-pipeline"), Some(v));
+    assert_eq!(svc.handle_of("audio-encoder"), None);
+    let r = svc.reweight(v, 2.0).unwrap();
+    assert_eq!(r.verdict, Verdict::Applied);
+}

@@ -87,7 +87,8 @@ fn every_scheduler_is_valid_on_the_zoo() {
 
 #[test]
 fn registry_and_names_agree() {
-    assert_eq!(SCHEDULER_NAMES.len(), 9);
+    assert_eq!(SCHEDULER_NAMES.len(), 10);
+    assert_eq!(cellstream::heuristics::scheduler_names(), SCHEDULER_NAMES);
     for name in SCHEDULER_NAMES {
         let s = scheduler_by_name(name).expect("name registered");
         assert_eq!(s.name(), name);
