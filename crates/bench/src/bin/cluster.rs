@@ -1,0 +1,298 @@
+//! Fleet serving under churn: inter-node placement policies compared on
+//! aggregate delivered throughput over a cluster of simulated QS22
+//! nodes (ISSUE 6).
+//!
+//! The bench generates a seeded churn trace — 64 concurrent chain
+//! applications with skewed sizes and weights, a reweight wave, then a
+//! retire/replace wave — persists it as JSON under
+//! `crates/bench/traces/` (round-tripping it through the serializer),
+//! and replays it against a fresh [`Cluster`] per placement policy:
+//! the load/affinity scoring placer versus round-robin and random
+//! baselines. Delivered instances are credited per application
+//! cluster-wide by `sim::online::replay_fleet`.
+//!
+//! A drain demo then evacuates the busiest node of the scoring fleet
+//! and checks the maintenance story: every resident application moves,
+//! every move is priced by the network model, and every surviving
+//! incumbent still passes the §3.2 verifier.
+//!
+//! **Gates** (this binary exits non-zero on violation; CI runs it in
+//! quick mode):
+//!
+//! * scoring placer aggregate throughput ≥ random **and** ≥ round-robin;
+//! * median admission latency ≤ 50 ms (bounded under churn);
+//! * drain strands nothing and violates no capacity invariant.
+//!
+//! Emits `crates/bench/results/BENCH_cluster.json`.
+
+use cellstream_bench::{quick_mode, write_results};
+use cellstream_cluster::{policy_by_name, Cluster, ClusterOptions, ClusterVerdict, NetworkModel};
+use cellstream_daggen::{chain, CostParams};
+use cellstream_platform::CellSpec;
+use cellstream_sim::online::{replay_fleet, EventTrace, OnlineReport, TraceEvent};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+const NODES: usize = 8;
+const APPS: usize = 64;
+const HORIZON: f64 = 1.0;
+
+/// The churn trace: `APPS` arrivals with skewed sizes/weights, a
+/// reweight wave over ~30% of them, then a retire-and-replace wave over
+/// ~20%. Fully determined by the seed.
+fn churn_trace(seed: u64) -> EventTrace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = EventTrace::new(HORIZON);
+    let costs = CostParams::default();
+    let mut names: Vec<String> = Vec::new();
+
+    // arrival wave: sizes 2..=6 tasks, weights skewed low (many light
+    // apps, a few heavy ones) — the skew is what separates a
+    // load-aware placer from count-balancing baselines
+    for i in 0..APPS {
+        let name = format!("app{i:03}");
+        let n = rng.gen_range(2..=6usize);
+        let weight = (rng.gen_range(1..=6u32) as f64).powf(1.5);
+        let at = 0.3 * i as f64 / APPS as f64;
+        trace.push(
+            at,
+            TraceEvent::Admit { graph: chain(&name, n, &costs, seed ^ i as u64), weight },
+        );
+        names.push(name);
+    }
+
+    // reweight wave (~30%)
+    for k in 0..APPS * 3 / 10 {
+        let app = names[rng.gen_range(0..names.len())].clone();
+        let weight = (rng.gen_range(1..=6u32) as f64).powf(1.5);
+        trace.push(0.35 + 0.2 * k as f64 / APPS as f64, TraceEvent::Reweight { app, weight });
+    }
+
+    // retire-and-replace wave (~20%)
+    for k in 0..APPS / 5 {
+        let gone = names.swap_remove(rng.gen_range(0..names.len()));
+        let at = 0.65 + 0.25 * k as f64 / APPS as f64;
+        trace.push(at, TraceEvent::Retire { app: gone });
+        let name = format!("fresh{k:02}");
+        let n = rng.gen_range(2..=6usize);
+        let weight = (rng.gen_range(1..=6u32) as f64).powf(1.5);
+        trace.push(
+            at + 0.002,
+            TraceEvent::Admit { graph: chain(&name, n, &costs, seed ^ (1000 + k as u64)), weight },
+        );
+        names.push(name);
+    }
+    trace
+}
+
+/// Persist the trace as JSON under `crates/bench/traces/` and read it
+/// back — the replayed trace is the deserialized one, so the round
+/// trip is load-bearing, not decorative.
+fn persist_and_reload(trace: &EventTrace) -> EventTrace {
+    let json = serde_json::to_string(trace).expect("traces serialize");
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("traces");
+    std::fs::create_dir_all(&dir).expect("create traces dir");
+    let path: PathBuf = dir.join("cluster_churn.json");
+    std::fs::write(&path, &json).expect("write trace");
+    eprintln!("wrote {}", path.display());
+    let back: EventTrace = serde_json::from_str(&json).expect("traces deserialize");
+    assert_eq!(back.events().len(), trace.events().len(), "round trip is lossless");
+    back
+}
+
+struct PolicyRun {
+    policy: &'static str,
+    instances: f64,
+    rejected: usize,
+    median_admit: Duration,
+    max_period: f64,
+    migration_bytes: f64,
+}
+
+fn run_policy(policy: &'static str, trace: &EventTrace, instances: u64) -> (PolicyRun, Cluster) {
+    let opts = ClusterOptions {
+        policy: policy_by_name(policy, None, 42).expect("known policy"),
+        ..ClusterOptions::default()
+    };
+    let mut fleet = Cluster::homogeneous(NODES, &CellSpec::qs22(), opts);
+    let report: OnlineReport = replay_fleet(&mut fleet, trace, instances);
+    if std::env::var("CLUSTER_DEBUG").is_ok() {
+        for n in fleet.status().nodes {
+            let w: f64 = n.apps.iter().map(|(_, w)| w).sum();
+            eprintln!(
+                "  [{policy}] {} apps={} period={:.1}us W={:.1} rate={:.0}/s",
+                n.node,
+                n.n_apps,
+                n.period * 1e6,
+                w,
+                if n.period.is_finite() { w / n.period } else { 0.0 }
+            );
+        }
+    }
+    let mut admits: Vec<Duration> = report
+        .events
+        .iter()
+        .filter(|e| e.applied && e.label.starts_with("admit"))
+        .map(|e| e.replan)
+        .collect();
+    admits.sort();
+    let median_admit = admits.get(admits.len() / 2).copied().unwrap_or(Duration::ZERO);
+    (
+        PolicyRun {
+            policy,
+            instances: report.total_instances(),
+            rejected: report.rejected,
+            median_admit,
+            max_period: fleet.max_period(),
+            migration_bytes: report.total_migration_bytes,
+        },
+        fleet,
+    )
+}
+
+/// Evacuate the busiest node and check the maintenance invariants.
+/// Returns `(moved, stranded, network_bytes, network_seconds)`.
+fn drain_demo(fleet: &mut Cluster) -> (usize, usize, f64, f64) {
+    let status = fleet.status();
+    let victim = status.nodes.iter().max_by_key(|s| s.n_apps).expect("fleet has nodes").node;
+    let resident = status.nodes[victim.index()].n_apps;
+    let report = fleet.drain(victim).expect("victim is a real node");
+    let ClusterVerdict::Drained { moved, stranded } = report.verdict else {
+        panic!("drain reported {:?}", report.verdict)
+    };
+    assert_eq!(moved + stranded, resident, "every resident app accounted for");
+
+    // every move priced by the network model
+    let net = NetworkModel::default();
+    for m in &report.migrations {
+        assert_eq!(m.from, victim);
+        let expect = net.transfer_time(m.from, m.to, m.bytes);
+        assert!(
+            (m.seconds - expect).abs() < 1e-12,
+            "migration of {} not network-priced: {} vs {}",
+            m.app,
+            m.seconds,
+            expect
+        );
+    }
+
+    // zero capacity-invariant violations anywhere in the fleet
+    for a in fleet.agents() {
+        let s = a.service();
+        if let (Some(w), Some(m)) = (s.workload(), s.mapping()) {
+            let r = cellstream_core::evaluate(w.graph(), s.spec(), m).expect("valid incumbent");
+            assert!(r.is_feasible(), "capacity violated on {}: {:?}", a.node(), r.violations);
+        }
+    }
+    let empty = fleet.status().nodes[victim.index()].clone();
+    assert_eq!(empty.n_apps, 0, "the drained node is empty");
+    (moved, stranded, report.network_bytes(), report.network_seconds())
+}
+
+fn main() {
+    let instances = if quick_mode() { 200 } else { 2_000 };
+    let trace = persist_and_reload(&churn_trace(20100406));
+    println!(
+        "churn trace: {} events, {} concurrent apps, {} qs22 nodes, horizon {HORIZON} s",
+        trace.events().len(),
+        APPS,
+        NODES
+    );
+
+    let mut runs: Vec<PolicyRun> = Vec::new();
+    let mut scoring_fleet: Option<Cluster> = None;
+    for policy in ["load_affinity", "round_robin", "random"] {
+        let (run, fleet) = run_policy(policy, &trace, instances);
+        if policy == "load_affinity" {
+            scoring_fleet = Some(fleet);
+        }
+        runs.push(run);
+    }
+
+    println!(
+        "\n{:<14} {:>14} {:>9} {:>14} {:>12} {:>12}",
+        "policy", "instances", "rejected", "med admit ms", "period us", "migr KiB"
+    );
+    for r in &runs {
+        println!(
+            "{:<14} {:>14.0} {:>9} {:>14.3} {:>12.3} {:>12.1}",
+            r.policy,
+            r.instances,
+            r.rejected,
+            r.median_admit.as_secs_f64() * 1e3,
+            r.max_period * 1e6,
+            r.migration_bytes / 1024.0,
+        );
+    }
+
+    let mut fleet = scoring_fleet.expect("load_affinity ran");
+    let (moved, stranded, net_bytes, net_seconds) = drain_demo(&mut fleet);
+    println!(
+        "\ndrain demo: {moved} moved, {stranded} stranded, {:.1} KiB over the network \
+         ({:.3} ms of transfer)",
+        net_bytes / 1024.0,
+        net_seconds * 1e3,
+    );
+
+    // ---- JSON -------------------------------------------------------------
+    let policy_rows: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"policy\": \"{}\", \"instances\": {:.0}, \"rejected\": {}, \
+                 \"median_admit_ms\": {:.4}, \"max_period_s\": {:.9e}, \
+                 \"migration_bytes\": {:.1}}}",
+                r.policy,
+                r.instances,
+                r.rejected,
+                r.median_admit.as_secs_f64() * 1e3,
+                r.max_period,
+                r.migration_bytes,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"cluster\",\n  \"spec\": \"qs22\",\n  \"nodes\": {NODES},\n  \
+         \"apps\": {APPS},\n  \"quick\": {},\n  \"events\": {},\n  \"policies\": [\n{}\n  ],\n  \
+         \"drain\": {{\"moved\": {moved}, \"stranded\": {stranded}, \
+         \"network_bytes\": {net_bytes:.1}, \"network_seconds\": {net_seconds:.6}}}\n}}\n",
+        quick_mode(),
+        trace.events().len(),
+        policy_rows.join(",\n"),
+    );
+    write_results("BENCH_cluster.json", &json);
+
+    // ---- CI gates ---------------------------------------------------------
+    let by = |name: &str| runs.iter().find(|r| r.policy == name).unwrap();
+    let scoring = by("load_affinity");
+    let rr = by("round_robin");
+    let rnd = by("random");
+    assert!(
+        scoring.instances >= rr.instances,
+        "GATE: scoring placer delivered {:.0} < round-robin {:.0}",
+        scoring.instances,
+        rr.instances
+    );
+    assert!(
+        scoring.instances >= rnd.instances,
+        "GATE: scoring placer delivered {:.0} < random {:.0}",
+        scoring.instances,
+        rnd.instances
+    );
+    assert!(
+        scoring.median_admit <= Duration::from_millis(50),
+        "GATE: median admission latency {:?} exceeds 50 ms",
+        scoring.median_admit
+    );
+    assert_eq!(stranded, 0, "GATE: drain stranded {stranded} apps");
+    println!(
+        "gates passed: scoring {:.0} >= round-robin {:.0} and random {:.0}; \
+         median admit {:.3} ms <= 50 ms; drain stranded 0",
+        scoring.instances,
+        rr.instances,
+        rnd.instances,
+        scoring.median_admit.as_secs_f64() * 1e3,
+    );
+}

@@ -1,0 +1,210 @@
+//! The per-node agent: one `Service` incumbent behind the message
+//! protocol.
+//!
+//! An agent is deliberately thin — all scheduling intelligence stays in
+//! the serving loop it wraps. Its job is to translate [`ClusterMsg`]
+//! requests into `Service` calls, translate the verdicts back into
+//! [`AgentOutcome`]s, and stamp every reply with a fresh
+//! [`NodeSummary`] so the coordinator's capacity view tracks reality.
+
+use crate::msg::{AgentMsg, AgentOutcome, ClusterMsg, NodeId, NodeSummary};
+use cellstream_core::evaluate;
+use cellstream_core::steady::buffers::BufferPlan;
+use cellstream_graph::TaskId;
+use cellstream_platform::CellSpec;
+use cellstream_serve::{Service, ServiceOptions, Verdict};
+use std::time::Duration;
+
+/// One node's control loop: a local [`Service`] plus the protocol glue.
+pub struct Agent {
+    node: NodeId,
+    service: Service,
+}
+
+impl Agent {
+    /// An agent for `node` running a fresh serving loop on `spec`.
+    ///
+    /// The coordinator owns retry policy fleet-wide, so the local wait
+    /// queue is forced off: a cluster agent must answer every admission
+    /// definitively or the placer cannot move on to the next node.
+    pub fn new(node: NodeId, spec: CellSpec, opts: ServiceOptions) -> Agent {
+        let opts = ServiceOptions { queue_rejected: false, ..opts };
+        Agent { node, service: Service::with_options(spec, opts) }
+    }
+
+    /// This agent's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The wrapped serving loop (read-only; mutate via [`handle`](Self::handle)).
+    pub fn service(&self) -> &Service {
+        &self.service
+    }
+
+    /// Handle one coordinator request.
+    pub fn handle(&mut self, msg: ClusterMsg) -> AgentMsg {
+        match msg {
+            ClusterMsg::Admit { graph, weight } => {
+                let name = graph.name().to_owned();
+                let report = self.service.admit(&graph, weight);
+                match report.verdict {
+                    Verdict::Admitted(_) => {
+                        let ws = self.working_set(&name);
+                        self.reply(
+                            AgentOutcome::Admitted,
+                            report.replan,
+                            report.migration_bytes(),
+                            ws,
+                        )
+                    }
+                    Verdict::Rejected(r) => {
+                        self.reply(AgentOutcome::Rejected(r.to_string()), report.replan, 0.0, 0.0)
+                    }
+                    // queueing is disabled in `new`, and admit() never
+                    // returns Applied/Adopted/NoChange — treat any
+                    // protocol drift as a refusal rather than a crash
+                    other => self.reply(
+                        AgentOutcome::Rejected(format!("unexpected admit verdict {other:?}")),
+                        report.replan,
+                        0.0,
+                        0.0,
+                    ),
+                }
+            }
+            ClusterMsg::Retire { app } => match self.service.handle_of(&app) {
+                Some(id) => {
+                    // size the working set before the tasks vanish: it is
+                    // what the departing app's state transfer would cost
+                    let ws = self.working_set(&app);
+                    let report = self.service.retire(id).expect("handle came from handle_of");
+                    self.reply(AgentOutcome::Applied, report.replan, report.migration_bytes(), ws)
+                }
+                None => self.reply(AgentOutcome::UnknownApp, Duration::ZERO, 0.0, 0.0),
+            },
+            ClusterMsg::Reweight { app, weight } => match self.service.handle_of(&app) {
+                Some(id) => {
+                    let report =
+                        self.service.reweight(id, weight).expect("handle came from handle_of");
+                    let outcome = match &report.verdict {
+                        Verdict::Applied => AgentOutcome::Applied,
+                        Verdict::Rejected(r) => AgentOutcome::Rejected(r.to_string()),
+                        other => {
+                            AgentOutcome::Rejected(format!("unexpected reweight verdict {other:?}"))
+                        }
+                    };
+                    let ws = self.working_set(&app);
+                    self.reply(outcome, report.replan, report.migration_bytes(), ws)
+                }
+                None => self.reply(AgentOutcome::UnknownApp, Duration::ZERO, 0.0, 0.0),
+            },
+            ClusterMsg::Status => self.reply(AgentOutcome::Status, Duration::ZERO, 0.0, 0.0),
+        }
+    }
+
+    /// Buffer working set (bytes) of one resident application on the
+    /// current composed graph — the state a cross-node migration of it
+    /// would push over the network. 0 for unknown applications.
+    pub fn working_set(&self, app: &str) -> f64 {
+        let Some(w) = self.service.workload() else { return 0.0 };
+        let Some(a) = w.app_id(app) else { return 0.0 };
+        let g = w.graph();
+        let tasks: Vec<TaskId> = w.app(a).tasks.clone().map(TaskId).collect();
+        BufferPlan::new(g).for_tasks_dedup(g, &tasks)
+    }
+
+    /// A fresh capacity summary of this node.
+    pub fn summary(&self) -> NodeSummary {
+        let spec = self.service.spec();
+        let mut s = NodeSummary::idle(self.node, spec);
+        let (Some(w), Some(m)) = (self.service.workload(), self.service.mapping()) else {
+            return s;
+        };
+        let g = w.graph();
+        let report = evaluate(g, spec, m).expect("incumbent mapping is structurally valid");
+        s.n_apps = w.n_apps();
+        s.n_tasks = g.n_tasks();
+        s.period = self.service.period();
+        s.spe_load = spec.spes().map(|pe| report.compute_load[pe.index()]).sum::<f64>()
+            / spec.n_spe().max(1) as f64;
+        s.ppe_load = spec.ppes().map(|pe| report.compute_load[pe.index()]).sum();
+        s.store_used = spec.spes().map(|pe| report.memory_bytes[pe.index()]).sum();
+        s.min_weight = w.apps().iter().map(|a| a.weight).fold(f64::INFINITY, f64::min);
+        s.apps = w.apps().iter().map(|a| (a.name.clone(), a.weight)).collect();
+        s
+    }
+
+    fn reply(
+        &self,
+        outcome: AgentOutcome,
+        replan: Duration,
+        local_migration_bytes: f64,
+        working_set_bytes: f64,
+    ) -> AgentMsg {
+        AgentMsg {
+            node: self.node,
+            outcome,
+            replan,
+            local_migration_bytes,
+            working_set_bytes,
+            summary: self.summary(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellstream_daggen::{chain, CostParams};
+
+    fn agent() -> Agent {
+        Agent::new(NodeId(3), CellSpec::ps3(), ServiceOptions::default())
+    }
+
+    #[test]
+    fn admit_retire_round_trip_updates_the_summary() {
+        let mut a = agent();
+        let idle = a.handle(ClusterMsg::Status);
+        assert_eq!(idle.outcome, AgentOutcome::Status);
+        assert_eq!(idle.summary.n_apps, 0);
+        assert!(idle.summary.period.is_infinite());
+
+        let g = chain("app", 4, &CostParams::default(), 11);
+        let admitted = a.handle(ClusterMsg::Admit { graph: g, weight: 2.0 });
+        assert_eq!(admitted.outcome, AgentOutcome::Admitted);
+        assert_eq!(admitted.node, NodeId(3));
+        assert_eq!(admitted.summary.n_apps, 1);
+        assert_eq!(admitted.summary.apps, vec![("app".to_owned(), 2.0)]);
+        assert!(admitted.summary.period.is_finite());
+        assert_eq!(admitted.summary.min_weight, 2.0);
+        assert!(admitted.working_set_bytes > 0.0, "a chain has buffers to move");
+
+        let gone = a.handle(ClusterMsg::Retire { app: "app".to_owned() });
+        assert_eq!(gone.outcome, AgentOutcome::Applied);
+        assert!(gone.working_set_bytes > 0.0, "sized before the retire");
+        assert_eq!(gone.summary.n_apps, 0);
+        assert!(gone.summary.period.is_infinite());
+
+        let ghost = a.handle(ClusterMsg::Retire { app: "app".to_owned() });
+        assert_eq!(ghost.outcome, AgentOutcome::UnknownApp);
+    }
+
+    #[test]
+    fn reweight_routes_by_name_and_rejects_nonsense() {
+        let mut a = agent();
+        a.handle(ClusterMsg::Admit {
+            graph: chain("app", 3, &CostParams::default(), 5),
+            weight: 1.0,
+        });
+        let ok = a.handle(ClusterMsg::Reweight { app: "app".to_owned(), weight: 2.5 });
+        assert_eq!(ok.outcome, AgentOutcome::Applied);
+        assert_eq!(ok.summary.apps[0].1, 2.5);
+
+        let bad = a.handle(ClusterMsg::Reweight { app: "app".to_owned(), weight: -1.0 });
+        assert!(matches!(bad.outcome, AgentOutcome::Rejected(_)));
+        assert_eq!(bad.summary.apps[0].1, 2.5, "refused reweight rolls back");
+
+        let ghost = a.handle(ClusterMsg::Reweight { app: "ghost".to_owned(), weight: 1.0 });
+        assert_eq!(ghost.outcome, AgentOutcome::UnknownApp);
+    }
+}

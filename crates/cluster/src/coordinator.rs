@@ -1,0 +1,858 @@
+//! The coordinator: cluster state, event routing, drain and rebalance.
+//!
+//! One coordinator owns the fleet-wide picture — per-node capacity
+//! summaries (refreshed by every agent reply), the application → node
+//! assignment, and the cached source graphs it needs to move an
+//! application later. Admissions walk the placement policy's preference
+//! order until a node's own admission control accepts; retires and
+//! reweights route by name. [`Coordinator::drain`] evacuates a node
+//! make-before-break (admit on the target, then retire on the source),
+//! and [`Coordinator::rebalance`] migrates applications off the hottest
+//! node while the predicted period gain, amortised over the migration
+//! horizon, outweighs the network transfer cost. Every cross-node move
+//! is priced by the [`NetworkModel`] and reported as a [`Migration`].
+
+use crate::msg::{AgentMsg, AgentOutcome, ClusterMsg, NodeId, NodeSummary};
+use crate::net::NetworkModel;
+use crate::placer::{AppDemand, LoadAffinity, PlacePolicy};
+use crate::transport::{InProcessTransport, Transport};
+use cellstream_core::Mapping;
+use cellstream_graph::{StreamGraph, Workload};
+use cellstream_heuristics::scheduler_names;
+use cellstream_platform::CellSpec;
+use cellstream_serve::ServiceOptions;
+use cellstream_sim::online::{EventOutcome, FleetSystem, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// One fleet-level operation.
+#[derive(Debug, Clone)]
+pub enum ClusterEvent {
+    /// An application arrives, asking for the given throughput weight.
+    Admit(StreamGraph, f64),
+    /// The named application departs.
+    Retire(String),
+    /// The named application changes its throughput weight.
+    Reweight(String, f64),
+    /// Evacuate every application from a node and stop placing onto it.
+    DrainNode(NodeId),
+    /// Migrate applications off the hottest nodes while the period gain
+    /// amortises the network cost.
+    Rebalance,
+}
+
+impl ClusterEvent {
+    /// Compact human label.
+    pub fn label(&self) -> String {
+        match self {
+            ClusterEvent::Admit(g, w) => format!("admit {} w={w}", g.name()),
+            ClusterEvent::Retire(app) => format!("retire {app}"),
+            ClusterEvent::Reweight(app, w) => format!("reweight {app} w={w}"),
+            ClusterEvent::DrainNode(n) => format!("drain {n}"),
+            ClusterEvent::Rebalance => "rebalance".to_owned(),
+        }
+    }
+}
+
+/// Malformed fleet operations (a refused admission is a
+/// [`ClusterVerdict`], not an error).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// No application with this name is placed anywhere.
+    UnknownApp(String),
+    /// The node id is outside the fleet.
+    UnknownNode(NodeId),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::UnknownApp(app) => write!(f, "no application named '{app}' in the fleet"),
+            ClusterError::UnknownNode(n) => write!(f, "no node {n} in the fleet"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// What happened to one fleet-level operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterVerdict {
+    /// The admission entered service on this node.
+    Admitted(NodeId),
+    /// Every candidate node refused (last refusal quoted).
+    Rejected(String),
+    /// A retire/reweight took effect.
+    Applied,
+    /// A drain finished: `moved` applications evacuated, `stranded`
+    /// had no willing target and stayed put.
+    Drained {
+        /// Applications migrated off the node.
+        moved: usize,
+        /// Applications left behind (no node would admit them).
+        stranded: usize,
+    },
+    /// A rebalance finished after `moved` migrations.
+    Rebalanced {
+        /// Applications migrated between nodes.
+        moved: usize,
+    },
+}
+
+impl ClusterVerdict {
+    /// The hosting node, when the operation was an accepted admission.
+    pub fn admitted(&self) -> Option<NodeId> {
+        match self {
+            ClusterVerdict::Admitted(node) => Some(*node),
+            _ => None,
+        }
+    }
+}
+
+/// One cross-node application move, priced by the network model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Migration {
+    /// The migrated application.
+    pub app: String,
+    /// Source node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+    /// Buffer working set that crosses the network (bytes, sized on the
+    /// target's new composed graph).
+    pub bytes: f64,
+    /// Seconds the transfer occupies the `from → to` link
+    /// ([`NetworkModel::transfer_time`]).
+    pub seconds: f64,
+}
+
+/// Per-operation report: what the coordinator did and what it cost.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Human label of the processed operation.
+    pub event: String,
+    /// The outcome.
+    pub verdict: ClusterVerdict,
+    /// Final (possibly uniquified) application name, for admissions.
+    pub app: Option<String>,
+    /// Wall-clock latency of the whole operation, every agent exchange
+    /// included.
+    pub latency: Duration,
+    /// Cross-node moves this operation performed, each priced by the
+    /// network model.
+    pub migrations: Vec<Migration>,
+    /// EIB traffic of the intra-node replans the operation triggered
+    /// (bytes, summed across nodes).
+    pub local_migration_bytes: f64,
+    /// Worst composed round period across the fleet after the operation
+    /// (`+∞` while nothing is served anywhere).
+    pub max_period: f64,
+}
+
+impl ClusterReport {
+    /// `true` when the operation changed what some node serves.
+    pub fn applied(&self) -> bool {
+        match &self.verdict {
+            ClusterVerdict::Admitted(_) | ClusterVerdict::Applied => true,
+            ClusterVerdict::Rejected(_) => false,
+            ClusterVerdict::Drained { moved, .. } | ClusterVerdict::Rebalanced { moved } => {
+                *moved > 0
+            }
+        }
+    }
+
+    /// Total bytes this operation pushed across the network.
+    pub fn network_bytes(&self) -> f64 {
+        self.migrations.iter().map(|m| m.bytes).sum()
+    }
+
+    /// Total seconds of priced network transfer time.
+    pub fn network_seconds(&self) -> f64 {
+        self.migrations.iter().map(|m| m.seconds).sum()
+    }
+}
+
+/// A point-in-time view of the fleet, for operators and tests.
+#[derive(Debug, Clone)]
+pub struct ClusterStatus {
+    /// Every node's last-known capacity summary.
+    pub nodes: Vec<NodeSummary>,
+    /// Nodes currently draining (excluded from placement).
+    pub draining: Vec<NodeId>,
+    /// Applications placed fleet-wide.
+    pub n_apps: usize,
+    /// The per-node scheduler registry, sorted
+    /// ([`cellstream_heuristics::scheduler_names`]) — reproducible
+    /// order, suitable for diffing two status reports.
+    pub schedulers: Vec<&'static str>,
+}
+
+/// Tunables of one [`Coordinator`].
+pub struct ClusterOptions {
+    /// Inter-node placement policy (default: [`LoadAffinity`]).
+    pub policy: Box<dyn PlacePolicy>,
+    /// Network cost model for cross-node migrations.
+    pub network: NetworkModel,
+    /// Per-node serving options (the coordinator forces
+    /// `queue_rejected` off — it owns retry policy fleet-wide).
+    pub service: ServiceOptions,
+    /// Amortisation horizon (composed rounds) for rebalance moves:
+    /// migrate iff `period_gain × horizon > network_transfer_time`.
+    pub migration_horizon: f64,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> ClusterOptions {
+        ClusterOptions {
+            policy: Box::new(LoadAffinity::default()),
+            network: NetworkModel::default(),
+            service: ServiceOptions::default(),
+            migration_horizon: 1e6,
+        }
+    }
+}
+
+/// An application's fleet-level record: enough to route events to it
+/// and to re-admit it elsewhere during a drain or rebalance.
+#[derive(Clone)]
+struct Placed {
+    graph: StreamGraph,
+    weight: f64,
+    node: NodeId,
+}
+
+/// The fleet's control plane. Generic in the [`Transport`] so tests can
+/// interpose; [`Cluster`] is the ready-to-use in-process alias.
+pub struct Coordinator<T: Transport> {
+    transport: T,
+    policy: Box<dyn PlacePolicy>,
+    network: NetworkModel,
+    migration_horizon: f64,
+    summaries: Vec<NodeSummary>,
+    draining: Vec<bool>,
+    // BTreeMap: drains and rebalances iterate this — keep the order
+    // deterministic
+    apps: BTreeMap<String, Placed>,
+    next_unique: u64,
+}
+
+impl<T: Transport> Coordinator<T> {
+    /// Wire a coordinator to its fleet and probe every node's initial
+    /// capacity summary.
+    pub fn new(mut transport: T, opts: ClusterOptions) -> Coordinator<T> {
+        let n = transport.n_nodes();
+        assert!(n > 0, "a cluster needs at least one node");
+        let summaries =
+            (0..n).map(|i| transport.send(NodeId(i), ClusterMsg::Status).summary).collect();
+        Coordinator {
+            transport,
+            policy: opts.policy,
+            network: opts.network,
+            migration_horizon: opts.migration_horizon,
+            summaries,
+            draining: vec![false; n],
+            apps: BTreeMap::new(),
+            next_unique: 1,
+        }
+    }
+
+    /// Number of nodes in the fleet.
+    pub fn n_nodes(&self) -> usize {
+        self.summaries.len()
+    }
+
+    /// Applications placed fleet-wide.
+    pub fn n_apps(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// The node hosting the named application.
+    pub fn node_of(&self, app: &str) -> Option<NodeId> {
+        self.apps.get(app).map(|p| p.node)
+    }
+
+    /// Worst composed round period across the fleet (`+∞` while idle,
+    /// matching the serving loop's own idle period).
+    pub fn max_period(&self) -> f64 {
+        let worst = self
+            .summaries
+            .iter()
+            .map(|s| s.period)
+            .filter(|p| p.is_finite())
+            .fold(f64::NEG_INFINITY, f64::max);
+        if worst == f64::NEG_INFINITY {
+            f64::INFINITY
+        } else {
+            worst
+        }
+    }
+
+    /// A point-in-time view of the fleet.
+    pub fn status(&self) -> ClusterStatus {
+        ClusterStatus {
+            nodes: self.summaries.clone(),
+            draining: (0..self.draining.len()).filter(|&i| self.draining[i]).map(NodeId).collect(),
+            n_apps: self.apps.len(),
+            schedulers: scheduler_names().to_vec(),
+        }
+    }
+
+    /// Route one fleet-level operation.
+    pub fn process(&mut self, ev: ClusterEvent) -> Result<ClusterReport, ClusterError> {
+        match ev {
+            ClusterEvent::Admit(g, w) => Ok(self.admit(&g, w)),
+            ClusterEvent::Retire(app) => self.retire(&app),
+            ClusterEvent::Reweight(app, w) => self.reweight(&app, w),
+            ClusterEvent::DrainNode(n) => self.drain(n),
+            ClusterEvent::Rebalance => Ok(self.rebalance()),
+        }
+    }
+
+    /// Admit an application somewhere in the fleet: rank the
+    /// non-draining nodes, try each in order until one's admission
+    /// control accepts. Duplicate names are uniquified (`"name#k"`) —
+    /// routing is by name, so names must be fleet-unique.
+    pub fn admit(&mut self, g: &StreamGraph, weight: f64) -> ClusterReport {
+        let started = Instant::now();
+        let g = if self.apps.contains_key(g.name()) {
+            let unique = format!("{}#{}", g.name(), self.next_unique);
+            self.next_unique += 1;
+            g.renamed(unique)
+        } else {
+            g.clone()
+        };
+        let name = g.name().to_owned();
+        let label = format!("admit {name} w={weight}");
+
+        let demand = AppDemand::of(&g, weight);
+        let candidates: Vec<NodeSummary> =
+            self.summaries.iter().filter(|s| !self.draining[s.node.index()]).cloned().collect();
+        let order = self.policy.rank(&candidates, &demand);
+        let mut local_bytes = 0.0;
+        let mut last_refusal = "no schedulable node".to_owned();
+        for node in order {
+            let reply = self.transport.send(node, ClusterMsg::Admit { graph: g.clone(), weight });
+            self.absorb(&reply);
+            local_bytes += reply.local_migration_bytes;
+            match reply.outcome {
+                AgentOutcome::Admitted => {
+                    self.apps.insert(name.clone(), Placed { graph: g, weight, node });
+                    return self.report(
+                        label,
+                        ClusterVerdict::Admitted(node),
+                        Some(name),
+                        started,
+                        Vec::new(),
+                        local_bytes,
+                    );
+                }
+                AgentOutcome::Rejected(reason) => last_refusal = format!("{node}: {reason}"),
+                other => last_refusal = format!("{node}: unexpected reply {other:?}"),
+            }
+        }
+        self.report(
+            label,
+            ClusterVerdict::Rejected(last_refusal),
+            Some(name),
+            started,
+            Vec::new(),
+            local_bytes,
+        )
+    }
+
+    /// Retire an application wherever it lives.
+    pub fn retire(&mut self, app: &str) -> Result<ClusterReport, ClusterError> {
+        let started = Instant::now();
+        let node = self.node_of(app).ok_or_else(|| ClusterError::UnknownApp(app.to_owned()))?;
+        let reply = self.transport.send(node, ClusterMsg::Retire { app: app.to_owned() });
+        self.absorb(&reply);
+        if reply.outcome != AgentOutcome::Applied {
+            // assignment said the app lives there but the agent disagrees
+            // — surface the drift instead of pretending it was retired
+            return Err(ClusterError::UnknownApp(app.to_owned()));
+        }
+        self.apps.remove(app);
+        Ok(self.report(
+            format!("retire {app}"),
+            ClusterVerdict::Applied,
+            None,
+            started,
+            Vec::new(),
+            reply.local_migration_bytes,
+        ))
+    }
+
+    /// Change an application's throughput weight wherever it lives.
+    pub fn reweight(&mut self, app: &str, weight: f64) -> Result<ClusterReport, ClusterError> {
+        let started = Instant::now();
+        let node = self.node_of(app).ok_or_else(|| ClusterError::UnknownApp(app.to_owned()))?;
+        let reply = self.transport.send(node, ClusterMsg::Reweight { app: app.to_owned(), weight });
+        self.absorb(&reply);
+        let verdict = match reply.outcome {
+            AgentOutcome::Applied => {
+                self.apps.get_mut(app).expect("routed via node_of").weight = weight;
+                ClusterVerdict::Applied
+            }
+            AgentOutcome::Rejected(reason) => ClusterVerdict::Rejected(reason),
+            _ => return Err(ClusterError::UnknownApp(app.to_owned())),
+        };
+        Ok(self.report(
+            format!("reweight {app} w={weight}"),
+            verdict,
+            None,
+            started,
+            Vec::new(),
+            reply.local_migration_bytes,
+        ))
+    }
+
+    /// Evacuate every application from `node` and exclude it from
+    /// placement until [`undrain`](Self::undrain). Each application is
+    /// moved make-before-break: admitted on the best willing target
+    /// first, then retired from the source, so fleet capacity
+    /// invariants hold at every step. Applications no other node will
+    /// take stay put and are counted as stranded.
+    pub fn drain(&mut self, node: NodeId) -> Result<ClusterReport, ClusterError> {
+        let started = Instant::now();
+        if node.index() >= self.summaries.len() {
+            return Err(ClusterError::UnknownNode(node));
+        }
+        self.draining[node.index()] = true;
+        let resident: Vec<String> = self
+            .apps
+            .iter()
+            .filter(|(_, p)| p.node == node)
+            .map(|(name, _)| name.clone())
+            .collect();
+        let mut migrations = Vec::new();
+        let mut local_bytes = 0.0;
+        let mut stranded = 0;
+        for app in resident {
+            match self.migrate(&app, None, &mut local_bytes) {
+                Some(m) => migrations.push(m),
+                None => stranded += 1,
+            }
+        }
+        let moved = migrations.len();
+        Ok(self.report(
+            format!("drain {node}"),
+            ClusterVerdict::Drained { moved, stranded },
+            None,
+            started,
+            migrations,
+            local_bytes,
+        ))
+    }
+
+    /// Put a drained node back into placement rotation.
+    pub fn undrain(&mut self, node: NodeId) -> Result<(), ClusterError> {
+        if node.index() >= self.draining.len() {
+            return Err(ClusterError::UnknownNode(node));
+        }
+        self.draining[node.index()] = false;
+        Ok(())
+    }
+
+    /// Migrate applications off the hottest node onto the coolest while
+    /// it pays: a move happens iff the *predicted* fleet-period gain,
+    /// amortised over the migration horizon, exceeds the network
+    /// transfer cost — the fleet-level twin of the serving loop's
+    /// background-adoption rule. Each application moves at most once
+    /// per call: the gain estimate shifts after every migration, and
+    /// without that guard a marginal app can ping-pong between two
+    /// near-tied nodes until the loop bound runs out.
+    pub fn rebalance(&mut self) -> ClusterReport {
+        let started = Instant::now();
+        let mut migrations: Vec<Migration> = Vec::new();
+        let mut local_bytes = 0.0;
+        let mut moved_apps: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for _ in 0..self.apps.len() {
+            let Some(mv) = self.best_rebalance_move(&moved_apps) else { break };
+            let (app, to) = mv;
+            match self.migrate(&app, Some(to), &mut local_bytes) {
+                Some(m) => {
+                    moved_apps.insert(m.app.clone());
+                    migrations.push(m);
+                }
+                // the estimate said yes but the target's admission
+                // control said no: stop rather than loop on a move that
+                // will keep failing
+                None => break,
+            }
+        }
+        let moved = migrations.len();
+        self.report(
+            "rebalance".to_owned(),
+            ClusterVerdict::Rebalanced { moved },
+            None,
+            started,
+            migrations,
+            local_bytes,
+        )
+    }
+
+    /// The most profitable single migration right now, if any passes
+    /// the horizon rule: the hottest node's best application, moved to
+    /// the coolest schedulable node. Applications in `already_moved`
+    /// are off the table for this rebalance pass.
+    fn best_rebalance_move(
+        &mut self,
+        already_moved: &std::collections::BTreeSet<String>,
+    ) -> Option<(String, NodeId)> {
+        let schedulable = |s: &&NodeSummary| !self.draining[s.node.index()];
+        let hot = self
+            .summaries
+            .iter()
+            .filter(schedulable)
+            .filter(|s| s.period.is_finite() && s.n_apps > 0)
+            .max_by(|a, b| a.period.total_cmp(&b.period))?
+            .clone();
+        let cool = self
+            .summaries
+            .iter()
+            .filter(schedulable)
+            .filter(|s| s.node != hot.node)
+            .min_by(|a, b| {
+                let load = |s: &NodeSummary| if s.period.is_finite() { s.period } else { 0.0 };
+                load(a).total_cmp(&load(b))
+            })?
+            .clone();
+        let cool_base = if cool.period.is_finite() { cool.period } else { 0.0 };
+
+        // pick hot's best move: largest predicted max-period gain that
+        // amortises its own network cost over the horizon
+        let mut best: Option<(String, f64)> = None;
+        let candidates = self
+            .apps
+            .iter()
+            .filter(|(name, p)| p.node == hot.node && !already_moved.contains(*name));
+        for (name, placed) in candidates {
+            let demand = AppDemand::of(&placed.graph, placed.weight);
+            let share = demand.spe_work / hot.n_spe.max(1) as f64;
+            let new_hot = (hot.period - share).max(0.0);
+            let new_cool = cool_base + demand.spe_work / cool.n_spe.max(1) as f64;
+            let gain = hot.period - new_hot.max(new_cool);
+            let cost = self.network.transfer_time(hot.node, cool.node, demand.buffer_bytes);
+            if gain > 0.0 && gain * self.migration_horizon > cost {
+                match &best {
+                    Some((_, g)) if *g >= gain => {}
+                    _ => best = Some((name.clone(), gain)),
+                }
+            }
+        }
+        best.map(|(app, _)| (app, cool.node))
+    }
+
+    /// Make-before-break move of one application: admit on the target
+    /// (the ranked best, or `force_to`), then retire from the source.
+    /// Returns the priced migration, or `None` when no target admits
+    /// it (the application stays where it is).
+    fn migrate(
+        &mut self,
+        app: &str,
+        force_to: Option<NodeId>,
+        local_bytes: &mut f64,
+    ) -> Option<Migration> {
+        let placed = self.apps.get(app)?.clone();
+        let demand = AppDemand::of(&placed.graph, placed.weight);
+        let candidates: Vec<NodeSummary> = self
+            .summaries
+            .iter()
+            .filter(|s| s.node != placed.node && !self.draining[s.node.index()])
+            .filter(|s| force_to.is_none_or(|t| s.node == t))
+            .cloned()
+            .collect();
+        for to in self.policy.rank(&candidates, &demand) {
+            let reply = self
+                .transport
+                .send(to, ClusterMsg::Admit { graph: placed.graph.clone(), weight: placed.weight });
+            self.absorb(&reply);
+            *local_bytes += reply.local_migration_bytes;
+            if reply.outcome != AgentOutcome::Admitted {
+                continue;
+            }
+            let bytes = reply.working_set_bytes;
+            let bye = self.transport.send(placed.node, ClusterMsg::Retire { app: app.to_owned() });
+            self.absorb(&bye);
+            *local_bytes += bye.local_migration_bytes;
+            self.apps.get_mut(app).expect("still placed").node = to;
+            return Some(Migration {
+                app: app.to_owned(),
+                from: placed.node,
+                to,
+                bytes,
+                seconds: self.network.transfer_time(placed.node, to, bytes),
+            });
+        }
+        None
+    }
+
+    fn absorb(&mut self, msg: &AgentMsg) {
+        self.summaries[msg.node.index()] = msg.summary.clone();
+    }
+
+    fn report(
+        &self,
+        event: String,
+        verdict: ClusterVerdict,
+        app: Option<String>,
+        started: Instant,
+        migrations: Vec<Migration>,
+        local_migration_bytes: f64,
+    ) -> ClusterReport {
+        ClusterReport {
+            event,
+            verdict,
+            app,
+            latency: started.elapsed(),
+            migrations,
+            local_migration_bytes,
+            max_period: self.max_period(),
+        }
+    }
+}
+
+/// The ready-to-use fleet: a [`Coordinator`] over the in-process
+/// transport.
+pub type Cluster = Coordinator<InProcessTransport>;
+
+impl Cluster {
+    /// A homogeneous in-process fleet: `n` nodes of platform `spec`.
+    pub fn homogeneous(n: usize, spec: &CellSpec, opts: ClusterOptions) -> Cluster {
+        let transport = InProcessTransport::homogeneous(n, spec, &opts.service);
+        Coordinator::new(transport, opts)
+    }
+
+    /// The per-node agents (read-only).
+    pub fn agents(&self) -> &[crate::agent::Agent] {
+        self.transport.agents()
+    }
+}
+
+impl FleetSystem for Cluster {
+    fn apply_event(&mut self, ev: &TraceEvent) -> EventOutcome {
+        let report = match ev {
+            TraceEvent::Admit { graph, weight } => Some(self.admit(graph, *weight)),
+            TraceEvent::Retire { app } => self.retire(app).ok(),
+            TraceEvent::Reweight { app, weight } => self.reweight(app, *weight).ok(),
+        };
+        match report {
+            Some(r) => EventOutcome {
+                at: 0.0,
+                label: r.event.clone(),
+                applied: r.applied(),
+                queued: false,
+                replan: r.latency,
+                migration_bytes: r.local_migration_bytes + r.network_bytes(),
+                period: r.max_period,
+            },
+            // unknown application: the trace is data, not a contract
+            None => EventOutcome {
+                at: 0.0,
+                label: ev.label(),
+                applied: false,
+                queued: false,
+                replan: Duration::ZERO,
+                migration_bytes: 0.0,
+                period: self.max_period(),
+            },
+        }
+    }
+
+    fn incumbents(&self) -> Vec<(&Workload, &Mapping, &CellSpec)> {
+        self.agents()
+            .iter()
+            .filter_map(|a| {
+                let s = a.service();
+                match (s.workload(), s.mapping()) {
+                    (Some(w), Some(m)) => Some((w, m, s.spec())),
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placer::{FirstFit, RoundRobin};
+    use cellstream_daggen::{chain, CostParams};
+
+    fn app(name: &str, n: usize, seed: u64) -> StreamGraph {
+        chain(name, n, &CostParams::default(), seed)
+    }
+
+    fn opts_with(policy: Box<dyn PlacePolicy>) -> ClusterOptions {
+        ClusterOptions { policy, ..ClusterOptions::default() }
+    }
+
+    #[test]
+    fn admissions_spread_and_route_back_by_name() {
+        let mut fleet = Cluster::homogeneous(3, &CellSpec::ps3(), ClusterOptions::default());
+        for i in 0..6 {
+            let r = fleet.admit(&app(&format!("a{i}"), 3, i), 1.0 + i as f64);
+            assert!(matches!(r.verdict, ClusterVerdict::Admitted(_)), "{:?}", r.verdict);
+            assert!(r.migrations.is_empty(), "plain admissions never cross nodes");
+        }
+        assert_eq!(fleet.n_apps(), 6);
+        assert!(fleet.max_period().is_finite());
+
+        // reweight and retire find the right node without being told
+        let home = fleet.node_of("a3").unwrap();
+        let rw = fleet.reweight("a3", 9.0).unwrap();
+        assert_eq!(rw.verdict, ClusterVerdict::Applied);
+        assert_eq!(fleet.node_of("a3"), Some(home), "reweight does not move the app");
+        assert_eq!(fleet.retire("a3").unwrap().verdict, ClusterVerdict::Applied);
+        assert_eq!(fleet.n_apps(), 5);
+        assert!(matches!(fleet.retire("a3"), Err(ClusterError::UnknownApp(_))));
+        assert!(matches!(fleet.reweight("ghost", 1.0), Err(ClusterError::UnknownApp(_))));
+    }
+
+    #[test]
+    fn duplicate_names_are_uniquified_fleet_wide() {
+        let mut fleet = Cluster::homogeneous(2, &CellSpec::ps3(), ClusterOptions::default());
+        let g = app("dup", 3, 7);
+        let first = fleet.admit(&g, 1.0);
+        let second = fleet.admit(&g, 1.0);
+        assert_eq!(first.app.as_deref(), Some("dup"));
+        assert_eq!(second.app.as_deref(), Some("dup#1"));
+        assert!(second.applied());
+        assert_eq!(fleet.n_apps(), 2);
+        assert!(fleet.node_of("dup#1").is_some());
+    }
+
+    #[test]
+    fn drain_evacuates_with_priced_migrations_and_valid_survivors() {
+        let mut fleet = Cluster::homogeneous(4, &CellSpec::ps3(), ClusterOptions::default());
+        for i in 0..8 {
+            assert!(fleet.admit(&app(&format!("a{i}"), 3, 40 + i), 1.0).applied());
+        }
+        let victim = fleet.node_of("a0").unwrap();
+        let before: Vec<String> = fleet
+            .status()
+            .nodes
+            .iter()
+            .find(|s| s.node == victim)
+            .unwrap()
+            .apps
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
+        assert!(!before.is_empty(), "the victim hosts something to evacuate");
+
+        let report = fleet.drain(victim).unwrap();
+        let ClusterVerdict::Drained { moved, stranded } = report.verdict else {
+            panic!("{:?}", report.verdict)
+        };
+        assert_eq!(moved, before.len(), "every resident app evacuated");
+        assert_eq!(stranded, 0);
+        assert_eq!(report.migrations.len(), moved);
+
+        let net = NetworkModel::default();
+        for m in &report.migrations {
+            assert_eq!(m.from, victim);
+            assert_ne!(m.to, victim);
+            assert!(m.bytes > 0.0, "a chain's working set is never empty");
+            let expect = net.transfer_time(m.from, m.to, m.bytes);
+            assert!((m.seconds - expect).abs() < 1e-12, "priced by the network model");
+            assert_eq!(fleet.node_of(&m.app), Some(m.to), "assignment tracked the move");
+        }
+
+        // the drained node is empty and out of placement rotation
+        let status = fleet.status();
+        let empty = status.nodes.iter().find(|s| s.node == victim).unwrap();
+        assert_eq!(empty.n_apps, 0);
+        assert!(empty.period.is_infinite());
+        assert_eq!(status.draining, vec![victim]);
+        let late = fleet.admit(&app("late", 3, 99), 1.0);
+        assert!(late.applied());
+        assert_ne!(fleet.node_of("late"), Some(victim));
+
+        // capacity invariants: every surviving incumbent still evaluates
+        for a in fleet.agents() {
+            let s = a.service();
+            if let (Some(w), Some(m)) = (s.workload(), s.mapping()) {
+                cellstream_core::evaluate(w.graph(), s.spec(), m)
+                    .expect("survivor mappings stay structurally valid");
+            }
+        }
+
+        // and the node can come back
+        fleet.undrain(victim).unwrap();
+        assert!(fleet.status().draining.is_empty());
+        assert!(matches!(fleet.drain(NodeId(42)), Err(ClusterError::UnknownNode(_))));
+    }
+
+    #[test]
+    fn identical_runs_place_identically() {
+        let run = || {
+            let mut fleet = Cluster::homogeneous(4, &CellSpec::ps3(), ClusterOptions::default());
+            let mut placements = Vec::new();
+            for i in 0..10 {
+                let r = fleet.admit(&app(&format!("a{i}"), 2 + (i as usize % 3), i), 1.0);
+                placements.push((r.app.clone(), format!("{:?}", r.verdict)));
+            }
+            fleet.retire("a4").unwrap();
+            placements.push((None, format!("{:?}", fleet.drain(NodeId(1)).unwrap().verdict)));
+            placements.push((None, format!("{:.6}", fleet.max_period())));
+            placements
+        };
+        assert_eq!(run(), run(), "the control plane is deterministic");
+    }
+
+    #[test]
+    fn rebalance_unpiles_a_first_fit_cluster() {
+        // first-fit piles everything onto node 0 while it fits
+        let mut fleet =
+            Cluster::homogeneous(3, &CellSpec::ps3(), opts_with(Box::<FirstFit>::default()));
+        for i in 0..6 {
+            assert!(fleet.admit(&app(&format!("a{i}"), 4, 70 + i), 1.0).applied());
+        }
+        let piled = fleet.max_period();
+        let hosts: std::collections::BTreeSet<NodeId> =
+            (0..6).map(|i| fleet.node_of(&format!("a{i}")).unwrap()).collect();
+        assert_eq!(hosts.len(), 1, "first-fit piled every app on one node");
+
+        let report = fleet.rebalance();
+        let ClusterVerdict::Rebalanced { moved } = report.verdict else {
+            panic!("{:?}", report.verdict)
+        };
+        assert!(moved > 0, "a piled cluster has profitable moves");
+        assert!(
+            fleet.max_period() < piled,
+            "rebalance improved the fleet period: {} -> {}",
+            piled,
+            fleet.max_period()
+        );
+        for m in &report.migrations {
+            assert!(m.seconds > 0.0, "every move is network-priced");
+        }
+
+        // a second pass converges rather than ping-ponging forever
+        let again = fleet.rebalance();
+        let ClusterVerdict::Rebalanced { moved: again_moved } = again.verdict else {
+            panic!("{:?}", again.verdict)
+        };
+        assert!(again_moved <= moved, "rebalance converges");
+    }
+
+    #[test]
+    fn process_routes_every_event_kind() {
+        let mut fleet =
+            Cluster::homogeneous(2, &CellSpec::ps3(), opts_with(Box::<RoundRobin>::default()));
+        let r = fleet.process(ClusterEvent::Admit(app("a", 3, 1), 1.0)).unwrap();
+        assert!(matches!(r.verdict, ClusterVerdict::Admitted(_)));
+        let r = fleet.process(ClusterEvent::Reweight("a".into(), 2.0)).unwrap();
+        assert_eq!(r.verdict, ClusterVerdict::Applied);
+        let r = fleet.process(ClusterEvent::Rebalance).unwrap();
+        assert!(matches!(r.verdict, ClusterVerdict::Rebalanced { .. }));
+        let r = fleet.process(ClusterEvent::DrainNode(fleet.node_of("a").unwrap())).unwrap();
+        assert!(matches!(r.verdict, ClusterVerdict::Drained { .. }));
+        let r = fleet.process(ClusterEvent::Retire("a".into())).unwrap();
+        assert_eq!(r.verdict, ClusterVerdict::Applied);
+        assert_eq!(fleet.n_apps(), 0);
+        assert!(fleet.max_period().is_infinite(), "empty fleet is idle");
+    }
+}

@@ -1,0 +1,168 @@
+//! The typed coordinator ↔ agent protocol.
+//!
+//! The coordinator only ever speaks [`ClusterMsg`] and only ever hears
+//! [`AgentMsg`] — it never touches a node's `Service` directly. Both
+//! types are plain data (owned strings and graphs, no references or
+//! handles), so a socket transport could serialise them wholesale; the
+//! in-process transport just moves them across a function call.
+//!
+//! Every reply piggybacks a fresh [`NodeSummary`], so the coordinator's
+//! view of a node is exactly as stale as its last exchange with it —
+//! there is no separate heartbeat path to race against.
+
+use cellstream_graph::StreamGraph;
+use cellstream_platform::CellSpec;
+use std::fmt;
+use std::time::Duration;
+
+/// Identifies one Cell node (one agent) in the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The raw index (agents are numbered `0..n_nodes`).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// A coordinator → agent request.
+#[derive(Debug, Clone)]
+pub enum ClusterMsg {
+    /// Place this application on the receiving node.
+    Admit {
+        /// The application's graph (its name identifies it fleet-wide).
+        graph: StreamGraph,
+        /// Relative throughput target.
+        weight: f64,
+    },
+    /// Retire the named application from the receiving node.
+    Retire {
+        /// Application (graph) name.
+        app: String,
+    },
+    /// Change the named application's throughput weight.
+    Reweight {
+        /// Application (graph) name.
+        app: String,
+        /// New weight.
+        weight: f64,
+    },
+    /// No-op: reply with a fresh capacity summary.
+    Status,
+}
+
+/// What an agent did with a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AgentOutcome {
+    /// The admission entered service on this node.
+    Admitted,
+    /// The node's admission control refused (reason text is the local
+    /// `RejectReason` rendered — the coordinator treats it as opaque).
+    Rejected(String),
+    /// A retire/reweight took effect.
+    Applied,
+    /// The named application does not live on this node.
+    UnknownApp,
+    /// Reply to a [`ClusterMsg::Status`] probe.
+    Status,
+}
+
+/// An agent → coordinator reply.
+#[derive(Debug, Clone)]
+pub struct AgentMsg {
+    /// The replying node.
+    pub node: NodeId,
+    /// What happened.
+    pub outcome: AgentOutcome,
+    /// Wall-clock replanning latency the request cost on this node.
+    pub replan: Duration,
+    /// EIB migration traffic of the node's local replan (bytes): tasks
+    /// the repair planner shuffled *within* the node.
+    pub local_migration_bytes: f64,
+    /// Buffer working set (bytes) of the application the request
+    /// concerned — for an admission, sized on the node's new composed
+    /// graph; this is what a cross-node migration pushes over the
+    /// network link instead of the EIB.
+    pub working_set_bytes: f64,
+    /// Fresh capacity summary after the request.
+    pub summary: NodeSummary,
+}
+
+/// One node's capacity summary: everything the inter-node placer scores
+/// on. Refreshed on every reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSummary {
+    /// The summarised node.
+    pub node: NodeId,
+    /// SPE count of the node's platform.
+    pub n_spe: usize,
+    /// Applications resident on the node.
+    pub n_apps: usize,
+    /// Composed tasks resident on the node.
+    pub n_tasks: usize,
+    /// Composed round period of the node's incumbent (`+∞` when idle).
+    pub period: f64,
+    /// Mean SPE compute occupation per round (seconds).
+    pub spe_load: f64,
+    /// PPE compute occupation per round (seconds).
+    pub ppe_load: f64,
+    /// Stream-buffer bytes resident in SPE local stores, summed.
+    pub store_used: f64,
+    /// Total local-store budget across the node's SPEs (bytes).
+    pub store_budget: f64,
+    /// Smallest resident throughput weight (`+∞` when idle) — the
+    /// binding application for a per-instance period guarantee.
+    pub min_weight: f64,
+    /// Resident `(application, weight)` pairs, in workload order.
+    pub apps: Vec<(String, f64)>,
+}
+
+impl NodeSummary {
+    /// The summary of a node serving nothing.
+    pub fn idle(node: NodeId, spec: &CellSpec) -> NodeSummary {
+        NodeSummary {
+            node,
+            n_spe: spec.n_spe(),
+            n_apps: 0,
+            n_tasks: 0,
+            period: f64::INFINITY,
+            spe_load: 0.0,
+            ppe_load: 0.0,
+            store_used: 0.0,
+            store_budget: (spec.n_spe() as u64 * spec.local_store_budget()) as f64,
+            min_weight: f64::INFINITY,
+            apps: Vec::new(),
+        }
+    }
+
+    /// Local-store headroom (bytes) across the node's SPEs.
+    pub fn store_free(&self) -> f64 {
+        (self.store_budget - self.store_used).max(0.0)
+    }
+}
+
+impl fmt::Display for NodeSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.period.is_finite() {
+            write!(
+                f,
+                "{}: {} apps / {} tasks, T={:.2} us, store {:.0}/{:.0} KiB",
+                self.node,
+                self.n_apps,
+                self.n_tasks,
+                self.period * 1e6,
+                self.store_used / 1024.0,
+                self.store_budget / 1024.0
+            )
+        } else {
+            write!(f, "{}: idle", self.node)
+        }
+    }
+}

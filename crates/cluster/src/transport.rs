@@ -1,0 +1,70 @@
+//! How the coordinator reaches its agents.
+//!
+//! The protocol is synchronous request/reply: the coordinator sends one
+//! [`ClusterMsg`] and blocks on the [`AgentMsg`] answer. That keeps the
+//! control plane deterministic — there is no reordering to reason
+//! about — while still drawing the process boundary where a real
+//! deployment would put it: everything crossing [`Transport::send`] is
+//! owned data a socket implementation could serialise.
+
+use crate::agent::Agent;
+use crate::msg::{AgentMsg, ClusterMsg, NodeId};
+use cellstream_platform::CellSpec;
+use cellstream_serve::ServiceOptions;
+
+/// A request/reply channel to the fleet's agents.
+pub trait Transport {
+    /// Number of reachable nodes (ids `0..n_nodes`).
+    fn n_nodes(&self) -> usize;
+
+    /// Deliver one request to node `to` and block on its reply.
+    fn send(&mut self, to: NodeId, msg: ClusterMsg) -> AgentMsg;
+}
+
+/// The in-process transport: agents live in the coordinator's address
+/// space and handle requests as direct calls. Deterministic and
+/// socket-free — the reference implementation every test and bench
+/// runs on.
+pub struct InProcessTransport {
+    agents: Vec<Agent>,
+}
+
+impl InProcessTransport {
+    /// Wrap a fleet of agents. Agents must be numbered positionally
+    /// (`agents[i]` is `NodeId(i)`).
+    pub fn new(agents: Vec<Agent>) -> InProcessTransport {
+        assert!(!agents.is_empty(), "a cluster needs at least one node");
+        for (i, a) in agents.iter().enumerate() {
+            assert_eq!(a.node(), NodeId(i), "agents must be numbered positionally");
+        }
+        InProcessTransport { agents }
+    }
+
+    /// A homogeneous fleet: `n` nodes of the same platform and serving
+    /// options.
+    pub fn homogeneous(n: usize, spec: &CellSpec, opts: &ServiceOptions) -> InProcessTransport {
+        InProcessTransport::new(
+            (0..n).map(|i| Agent::new(NodeId(i), spec.clone(), opts.clone())).collect(),
+        )
+    }
+
+    /// The wrapped agents (read-only; mutate through [`send`](Transport::send)).
+    pub fn agents(&self) -> &[Agent] {
+        &self.agents
+    }
+}
+
+impl Transport for InProcessTransport {
+    fn n_nodes(&self) -> usize {
+        self.agents.len()
+    }
+
+    fn send(&mut self, to: NodeId, msg: ClusterMsg) -> AgentMsg {
+        assert!(
+            to.index() < self.agents.len(),
+            "no node {to} in a {}-node fleet",
+            self.agents.len()
+        );
+        self.agents[to.index()].handle(msg)
+    }
+}

@@ -70,6 +70,32 @@ impl MappingDelta {
         new_g: &StreamGraph,
         new_m: &Mapping,
     ) -> MappingDelta {
+        Self::diff(old_g, old_m, new_g, new_m, false)
+    }
+
+    /// Diff two mappings that live on **different platform instances**
+    /// (the cluster-migration case): every name-matched survivor pays
+    /// its buffer working set, even when its [`PeId`] happens to
+    /// coincide on both nodes — the state still crosses a network link,
+    /// not the EIB. Price the result with
+    /// [`transfer_time`](Self::transfer_time) instead of
+    /// [`migration_time`](Self::migration_time).
+    pub fn between_nodes(
+        old_g: &StreamGraph,
+        old_m: &Mapping,
+        new_g: &StreamGraph,
+        new_m: &Mapping,
+    ) -> MappingDelta {
+        Self::diff(old_g, old_m, new_g, new_m, true)
+    }
+
+    fn diff(
+        old_g: &StreamGraph,
+        old_m: &Mapping,
+        new_g: &StreamGraph,
+        new_m: &Mapping,
+        cross_node: bool,
+    ) -> MappingDelta {
         assert_eq!(old_m.assignment().len(), old_g.n_tasks(), "old mapping/graph mismatch");
         assert_eq!(new_m.assignment().len(), new_g.n_tasks(), "new mapping/graph mismatch");
         let old_by_name: HashMap<&str, TaskId> =
@@ -84,7 +110,7 @@ impl MappingDelta {
                 Some(&old_id) => {
                     survived[old_id.index()] = true;
                     let (from, to) = (old_m.pe_of(old_id), new_m.pe_of(new_id));
-                    if from != to {
+                    if cross_node || from != to {
                         let bytes = plan.for_task(new_id);
                         delta.migration_bytes += bytes;
                         delta.moved.push(TaskMove {
@@ -125,6 +151,18 @@ impl MappingDelta {
             return 0.0;
         }
         self.migration_bytes / spec.eib_bw().as_bytes_per_s()
+    }
+
+    /// Seconds the migration traffic occupies a generic link of
+    /// `bytes_per_s` bandwidth with `latency` seconds of setup cost —
+    /// the cluster-layer analogue of [`migration_time`](Self::migration_time)
+    /// for state that crosses a **network** link between nodes rather
+    /// than the EIB. An empty delta costs nothing, latency included.
+    pub fn transfer_time(&self, bytes_per_s: f64, latency: f64) -> f64 {
+        if self.migration_bytes == 0.0 {
+            return 0.0;
+        }
+        latency + self.migration_bytes / bytes_per_s
     }
 }
 
@@ -215,6 +253,67 @@ mod tests {
         assert_eq!(back.dropped, vec!["b/s".to_owned(), "b/t".to_owned()]);
         assert_eq!(back.n_moved(), 1, "a/t moves back");
         assert!(back.placed.is_empty());
+    }
+
+    #[test]
+    fn renamed_app_still_name_matches() {
+        // the serving layer uniquifies duplicate admissions via
+        // `StreamGraph::renamed("a#1")`; diffs across later workload
+        // versions must keep matching the renamed tasks by name
+        let a = two_stage("a", 128.0);
+        let dup = a.renamed("a#1");
+        let mut old_w = Workload::compose("w", &[&a]).unwrap();
+        old_w.add(&dup, 1.0).unwrap();
+        let old_m = Mapping::all_on(old_w.graph(), PeId(0));
+
+        // retire the original; the renamed copy survives in place
+        let mut new_w = old_w.clone();
+        let id = new_w.app_id("a").unwrap();
+        new_w.retire(id).unwrap();
+        let new_m = Mapping::all_on(new_w.graph(), PeId(0));
+
+        let d = MappingDelta::between(old_w.graph(), &old_m, new_w.graph(), &new_m);
+        assert!(d.placed.is_empty(), "a#1 tasks name-match, not placed fresh: {d}");
+        assert!(d.moved.is_empty(), "renamed survivors stayed put: {d}");
+        assert_eq!(d.dropped, vec!["a/s".to_owned(), "a/t".to_owned()]);
+        assert_eq!(d.migration_bytes, 0.0);
+    }
+
+    #[test]
+    fn zero_byte_working_set_migrates_for_free() {
+        // a zero-byte edge is legal and yields an empty working set:
+        // the move is recorded but costs nothing on EIB or network
+        let g = two_stage("a", 0.0);
+        let spec = CellSpec::ps3();
+        let old = Mapping::all_on(&g, PeId(0));
+        let new = Mapping::new(&g, &spec, vec![PeId(1), PeId(0)]).unwrap();
+        let d = MappingDelta::between(&g, &old, &g, &new);
+        assert_eq!(d.n_moved(), 1);
+        assert_eq!(d.moved[0].bytes, 0.0);
+        assert_eq!(d.migration_bytes, 0.0);
+        assert_eq!(d.migration_time(&spec), 0.0);
+        assert_eq!(d.transfer_time(1e9, 50e-6), 0.0, "no bytes, no latency either");
+    }
+
+    #[test]
+    fn cross_node_diff_charges_unmoved_survivors() {
+        // same PeId on both nodes, but the state still crosses the
+        // network: between_nodes must price every survivor
+        let g = two_stage("a", 256.0);
+        let m = Mapping::all_on(&g, PeId(0));
+        let same = MappingDelta::between(&g, &m, &g, &m);
+        assert_eq!(same.migration_bytes, 0.0, "EIB diff sees no movement");
+
+        let cross = MappingDelta::between_nodes(&g, &m, &g, &m);
+        assert_eq!(cross.n_moved(), 2, "every survivor pays across nodes");
+        let plan = BufferPlan::new(&g);
+        let want = plan.for_task(TaskId(0)) + plan.for_task(TaskId(1));
+        assert_eq!(cross.migration_bytes, want);
+
+        // transfer_time = latency + bytes/bw once there is traffic
+        let (bw, lat) = (1e9, 50e-6);
+        let t = cross.transfer_time(bw, lat);
+        assert!((t - (lat + want / bw)).abs() < 1e-15, "{t}");
     }
 
     #[test]

@@ -234,11 +234,19 @@ pub const SCHEDULER_NAMES: [&str; 10] = [
     "brute",
 ];
 
-/// The registry's keys, in presentation order — what CLI/bench binaries
-/// and the serving layer enumerate instead of hard-coding the family.
+/// The registry's keys, **sorted alphabetically** — what CLI/bench
+/// binaries and the serving layers enumerate instead of hard-coding the
+/// family. The cluster coordinator surfaces this list in status
+/// reports, so its order must be reproducible across builds rather than
+/// whatever presentation order [`SCHEDULER_NAMES`] happens to use.
 /// Every name resolves through [`scheduler_by_name`].
 pub fn scheduler_names() -> &'static [&'static str] {
-    &SCHEDULER_NAMES
+    static SORTED: std::sync::OnceLock<Vec<&'static str>> = std::sync::OnceLock::new();
+    SORTED.get_or_init(|| {
+        let mut names = SCHEDULER_NAMES.to_vec();
+        names.sort_unstable();
+        names
+    })
 }
 
 /// Look up a scheduler by its registry name; `None` for unknown names.
@@ -283,6 +291,21 @@ mod tests {
         }
         assert!(scheduler_by_name("nope").is_none());
         assert_eq!(all_schedulers().len(), SCHEDULER_NAMES.len());
+    }
+
+    #[test]
+    fn scheduler_names_is_the_sorted_registry() {
+        let names = scheduler_names();
+        let mut sorted = SCHEDULER_NAMES.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted.as_slice(), "sorted view of the registry");
+        assert!(names.windows(2).all(|w| w[0] < w[1]), "strictly sorted, no duplicates");
+        // parity: same key set as the registry, every key resolves
+        for name in names {
+            assert!(SCHEDULER_NAMES.contains(name));
+            assert_eq!(scheduler_by_name(name).expect(name).name(), *name);
+        }
+        assert_eq!(names.len(), SCHEDULER_NAMES.len());
     }
 
     #[test]

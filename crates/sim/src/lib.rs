@@ -38,7 +38,10 @@ pub mod online;
 pub mod trace;
 
 pub use engine::{simulate, SimConfig, SimError};
-pub use online::{EventOutcome, EventTrace, OnlineReport, OnlineSystem, TraceEvent};
+pub use online::{
+    replay, replay_fleet, AppServed, EventOutcome, EventTrace, FleetSystem, OnlineReport,
+    OnlineSystem, TimedEvent, TraceEvent,
+};
 pub use trace::RunTrace;
 
 #[cfg(test)]

@@ -119,6 +119,84 @@ impl EventTrace {
     }
 }
 
+// Traces are data: benches persist them under `bench/traces/` so the
+// online and cluster drivers replay the identical churn. Events render
+// as tagged objects ({"type": "admit", ...}); the unit-enum macro cannot
+// express payload-carrying variants, so the impls are spelled out.
+impl serde::Serialize for TraceEvent {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        let obj = |pairs: Vec<(&str, Value)>| {
+            Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+        };
+        match self {
+            TraceEvent::Admit { graph, weight } => obj(vec![
+                ("type", Value::Str("admit".into())),
+                ("graph", graph.to_value()),
+                ("weight", Value::Num(*weight)),
+            ]),
+            TraceEvent::Retire { app } => {
+                obj(vec![("type", Value::Str("retire".into())), ("app", Value::Str(app.clone()))])
+            }
+            TraceEvent::Reweight { app, weight } => obj(vec![
+                ("type", Value::Str("reweight".into())),
+                ("app", Value::Str(app.clone())),
+                ("weight", Value::Num(*weight)),
+            ]),
+        }
+    }
+}
+
+impl serde::Deserialize for TraceEvent {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v.field("type")?.as_str()? {
+            "admit" => Ok(TraceEvent::Admit {
+                graph: StreamGraph::from_value(v.field("graph")?)?,
+                weight: v.field("weight")?.as_f64()?,
+            }),
+            "retire" => Ok(TraceEvent::Retire { app: v.field("app")?.as_str()?.to_owned() }),
+            "reweight" => Ok(TraceEvent::Reweight {
+                app: v.field("app")?.as_str()?.to_owned(),
+                weight: v.field("weight")?.as_f64()?,
+            }),
+            other => Err(serde::Error::new(format!("unknown TraceEvent type `{other}`"))),
+        }
+    }
+}
+
+serde::impl_json_struct!(TimedEvent { at, event });
+
+impl serde::Serialize for EventTrace {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Obj(vec![
+            ("horizon".to_owned(), serde::Value::Num(self.horizon)),
+            ("events".to_owned(), self.events.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for EventTrace {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let horizon = v.field("horizon")?.as_f64()?;
+        if !(horizon.is_finite() && horizon >= 0.0) {
+            return Err(serde::Error::new(format!("invalid trace horizon {horizon}")));
+        }
+        // rebuild through push so the sorted-by-timestamp invariant (and
+        // timestamp validity) is re-established, whatever the file says
+        let events = Vec::<TimedEvent>::from_value(v.field("events")?)?;
+        for e in &events {
+            if !(e.at.is_finite() && e.at >= 0.0) {
+                return Err(serde::Error::new(format!("invalid event timestamp {}", e.at)));
+            }
+        }
+        let mut trace = EventTrace::new(horizon);
+        for e in events {
+            trace.push(e.at, e.event);
+        }
+        Ok(trace)
+    }
+}
+
 /// What a serving system reports back for one applied event. The replay
 /// driver stamps [`at`](EventOutcome::at); everything else comes from
 /// the system (the serve crate maps its richer `ServeReport` into this).
@@ -213,6 +291,12 @@ impl OnlineReport {
     pub fn app(&self, name: &str) -> Option<&AppServed> {
         self.served.iter().find(|a| a.app == name)
     }
+
+    /// Total application instances delivered across all applications —
+    /// the aggregate-throughput numerator the cluster bench gates on.
+    pub fn total_instances(&self) -> f64 {
+        self.served.iter().map(|a| a.instances).sum()
+    }
 }
 
 /// Replay a trace against a serving system.
@@ -264,7 +348,19 @@ fn credit_interval<S: OnlineSystem>(
     let Some((w, m)) = sys.current() else {
         return; // idle: nothing served
     };
-    let per_app = match simulate(w.graph(), sys.spec(), m, &SimConfig::ideal(), instances) {
+    credit_node(w, m, sys.spec(), interval, instances, served);
+}
+
+/// Credit one node's resident applications for one interval.
+fn credit_node(
+    w: &Workload,
+    m: &Mapping,
+    spec: &CellSpec,
+    interval: f64,
+    instances: u64,
+    served: &mut Vec<AppServed>,
+) {
+    let per_app = match simulate(w.graph(), spec, m, &SimConfig::ideal(), instances) {
         Ok(trace) => trace.per_app_throughput(w),
         Err(_) => vec![0.0; w.n_apps()],
     };
@@ -279,6 +375,55 @@ fn credit_interval<S: OnlineSystem>(
         entry.seconds += interval;
         entry.instances += thr * interval;
     }
+}
+
+/// A *sharded* serving system driven by an [`EventTrace`]: one
+/// coordinator routing events across many nodes, each with its own
+/// platform and incumbent mapping (the `cellstream-cluster` crate's
+/// in-process `Cluster` implements it).
+pub trait FleetSystem {
+    /// Apply one event and report what happened cluster-wide.
+    fn apply_event(&mut self, ev: &TraceEvent) -> EventOutcome;
+
+    /// Every node's incumbent `(workload, mapping, platform)` triple,
+    /// idle nodes omitted. Application names are cluster-unique, so the
+    /// per-node tallies merge into one cluster-wide account.
+    fn incumbents(&self) -> Vec<(&Workload, &Mapping, &CellSpec)>;
+}
+
+/// [`replay`] for a fleet: identical trace semantics, but between events
+/// **every** node's incumbent is simulated and each resident application
+/// is credited on whichever node hosts it, yielding cluster-wide
+/// aggregate delivered throughput.
+pub fn replay_fleet<S: FleetSystem>(
+    sys: &mut S,
+    trace: &EventTrace,
+    instances_per_measure: u64,
+) -> OnlineReport {
+    let mut report = OnlineReport {
+        events: Vec::with_capacity(trace.len()),
+        served: Vec::new(),
+        rejected: 0,
+        total_migration_bytes: 0.0,
+    };
+    for (i, te) in trace.events().iter().enumerate() {
+        let mut outcome = sys.apply_event(&te.event);
+        outcome.at = te.at;
+        if !outcome.applied {
+            report.rejected += 1;
+        }
+        report.total_migration_bytes += outcome.migration_bytes;
+        report.events.push(outcome);
+
+        let until = trace.events().get(i + 1).map_or(trace.horizon, |n| n.at);
+        let interval = (until - te.at).max(0.0);
+        if interval > 0.0 {
+            for (w, m, spec) in sys.incumbents() {
+                credit_node(w, m, spec, interval, instances_per_measure, &mut report.served);
+            }
+        }
+    }
+    report
 }
 
 #[cfg(test)]
@@ -423,6 +568,82 @@ mod tests {
         assert!(report.app("b").is_none());
         assert_eq!(report.total_migration_bytes, 64.0 * 2.0);
         assert!(report.median_replan() > Duration::ZERO);
+    }
+
+    #[test]
+    fn traces_round_trip_through_json() {
+        let trace = EventTrace::new(2.5)
+            .at(0.0, TraceEvent::Admit { graph: tiny_app("a"), weight: 1.5 })
+            .at(0.25, TraceEvent::Reweight { app: "a".into(), weight: 3.0 })
+            .at(1.0, TraceEvent::Retire { app: "a".into() });
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: EventTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.horizon, trace.horizon);
+        assert_eq!(back.len(), trace.len());
+        for (orig, re) in trace.events().iter().zip(back.events()) {
+            assert_eq!(orig.at, re.at);
+            assert_eq!(orig.event.label(), re.event.label());
+        }
+        match &back.events()[0].event {
+            TraceEvent::Admit { graph, weight } => {
+                assert_eq!(graph.name(), "a");
+                assert_eq!(graph.n_tasks(), 2);
+                assert_eq!(*weight, 1.5);
+            }
+            other => panic!("expected admit, got {}", other.label()),
+        }
+        // a bogus tag is rejected, not misparsed
+        let bad = r#"{"horizon": 1.0, "events": [{"at": 0.0, "event": {"type": "explode"}}]}"#;
+        assert!(serde_json::from_str::<EventTrace>(bad).is_err());
+    }
+
+    /// Two independent [`PpeServer`]s behind a modulo router: enough of
+    /// a fleet to pin `replay_fleet`'s cluster-wide crediting.
+    struct TwoNode {
+        nodes: [PpeServer; 2],
+        next: usize,
+        homes: Vec<(String, usize)>,
+    }
+
+    impl FleetSystem for TwoNode {
+        fn apply_event(&mut self, ev: &TraceEvent) -> EventOutcome {
+            let node = match ev {
+                TraceEvent::Admit { graph, .. } => {
+                    let n = self.next % 2;
+                    self.next += 1;
+                    self.homes.push((graph.name().to_owned(), n));
+                    n
+                }
+                TraceEvent::Retire { app } | TraceEvent::Reweight { app, .. } => {
+                    self.homes.iter().find(|(name, _)| name == app).map_or(0, |&(_, n)| n)
+                }
+            };
+            self.nodes[node].apply_event(ev)
+        }
+
+        fn incumbents(&self) -> Vec<(&Workload, &Mapping, &CellSpec)> {
+            self.nodes.iter().filter_map(|n| n.current().map(|(w, m)| (w, m, n.spec()))).collect()
+        }
+    }
+
+    #[test]
+    fn fleet_replay_credits_every_node() {
+        let node = || PpeServer { spec: CellSpec::ps3(), state: None, cap: 8 };
+        let mut fleet = TwoNode { nodes: [node(), node()], next: 0, homes: Vec::new() };
+        let trace = EventTrace::new(1.0)
+            .at(0.0, TraceEvent::Admit { graph: tiny_app("a"), weight: 1.0 })
+            .at(0.0, TraceEvent::Admit { graph: tiny_app("b"), weight: 1.0 });
+        let report = replay_fleet(&mut fleet, &trace, 400);
+        assert_eq!(report.rejected, 0);
+        // both apps run the whole horizon, one per node, each at the
+        // full single-node ppe-chain rate — the fleet doubles delivery
+        let (a, b) = (report.app("a").unwrap(), report.app("b").unwrap());
+        assert!((a.seconds - 1.0).abs() < 1e-12);
+        assert!((b.seconds - 1.0).abs() < 1e-12);
+        let rate = 1.0 / 2e-6;
+        assert!((a.throughput() - rate).abs() / rate < 0.05, "{}", a.throughput());
+        assert!((b.throughput() - rate).abs() / rate < 0.05, "{}", b.throughput());
+        assert!((report.total_instances() - 2.0 * rate).abs() / (2.0 * rate) < 0.05);
     }
 
     #[test]

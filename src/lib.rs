@@ -38,11 +38,15 @@
 //! * [`rt`] — the threaded runtime emulator (the §6.1 framework)
 //! * [`serve`] — the online serving loop: dynamic application
 //!   arrival/departure with migration-aware incremental replanning
+//! * [`cluster`] — two-level fleet scheduling: a coordinator sharding
+//!   the serving loop across many Cell nodes, with network-priced
+//!   cross-node migration
 //! * [`apps`] — audio encoder, video pipeline, cipher farm, DSP chain
 
 #![forbid(unsafe_code)]
 
 pub use cellstream_apps as apps;
+pub use cellstream_cluster as cluster;
 pub use cellstream_core as core;
 pub use cellstream_daggen as daggen;
 pub use cellstream_graph as graph;
@@ -66,6 +70,10 @@ pub use session::{PlannedSession, ScheduledSession, Session};
 /// ```
 pub mod prelude {
     pub use crate::session::{PlannedSession, ScheduledSession, Session};
+    pub use cellstream_cluster::{
+        Cluster, ClusterEvent, ClusterOptions, ClusterReport, ClusterVerdict, NetworkModel, NodeId,
+        PlacePolicy,
+    };
     pub use cellstream_core::scheduler::CancelToken;
     pub use cellstream_core::{
         evaluate, evaluate_workload, solve, AppReport, Mapping, MappingDelta, MappingReport, Plan,

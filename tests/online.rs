@@ -194,3 +194,64 @@ fn app_names_resolve_to_stable_handles() {
     let r = svc.reweight(v, 2.0).unwrap();
     assert_eq!(r.verdict, Verdict::Applied);
 }
+
+/// Retiring the *final* application must leave the service in a valid
+/// empty state — workload and mapping gone, period back to idle, stale
+/// handles dead — and the next admission must replan from scratch
+/// rather than diffing against a ghost incumbent (ISSUE 6 satellite).
+#[test]
+fn retiring_the_final_app_resets_to_a_clean_empty_state() {
+    let mut svc = Service::new(CellSpec::ps3());
+    let g = audio::graph().unwrap();
+    let id = svc.admit(&g, 1.0).admitted().expect("audio fits a PS3");
+    assert!(svc.period().is_finite());
+
+    let bye = svc.retire(id).expect("live handle");
+    assert!(matches!(bye.verdict, Verdict::Applied));
+    assert!(svc.workload().is_none(), "no workload survives the last retire");
+    assert!(svc.mapping().is_none(), "no mapping survives the last retire");
+    assert!(svc.period().is_infinite(), "an empty service is idle");
+    assert!(svc.handle_of("audio-encoder").is_none(), "stale names do not resolve");
+    assert!(svc.retire(id).is_err(), "stale handles are dead");
+
+    // the next admission is a from-scratch plan: every task freshly
+    // placed, nothing moved, zero EIB migration traffic
+    let again = svc.admit(&g, 2.0);
+    assert!(again.admitted().is_some(), "an empty service re-admits");
+    assert_eq!(again.delta.placed.len(), g.n_tasks(), "all tasks placed anew");
+    assert!(again.delta.moved.is_empty(), "nothing to migrate from");
+    assert_eq!(again.delta.migration_bytes, 0.0);
+    assert_incumbent_feasible(&svc);
+
+    // same name, new lifetime: the fresh handle resolves, period is live
+    assert!(svc.handle_of(g.name()).is_some());
+    assert!(svc.period().is_finite());
+}
+
+/// The same reset must hold with the wait queue and background improver
+/// switched on — the empty state has no queue ghosts and no background
+/// plan racing a workload that no longer exists.
+#[test]
+fn final_retire_is_clean_with_queue_and_background_enabled() {
+    let opts = ServiceOptions {
+        queue_rejected: true,
+        background: Some(std::time::Duration::from_millis(50)),
+        ..ServiceOptions::default()
+    };
+    let mut svc = Service::with_options(CellSpec::ps3(), opts);
+    let id = svc.admit(&dsp::graph().unwrap(), 1.0).admitted().expect("dsp fits");
+
+    let bye = svc.retire(id).expect("live handle");
+    assert!(matches!(bye.verdict, Verdict::Applied));
+    assert!(bye.drained.is_empty(), "nothing was queued, nothing drains");
+    assert!(svc.workload().is_none() && svc.mapping().is_none());
+    assert!(svc.period().is_infinite());
+
+    // a later event must not adopt a background plan for the retired
+    // workload; the re-admission plans from scratch
+    let again = svc.admit(&cipher::graph().unwrap(), 1.0);
+    assert!(again.admitted().is_some());
+    assert!(!again.background_adopted, "no ghost background plan to adopt");
+    assert!(again.delta.moved.is_empty());
+    assert_incumbent_feasible(&svc);
+}

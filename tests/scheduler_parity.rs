@@ -88,7 +88,13 @@ fn every_scheduler_is_valid_on_the_zoo() {
 #[test]
 fn registry_and_names_agree() {
     assert_eq!(SCHEDULER_NAMES.len(), 10);
-    assert_eq!(cellstream::heuristics::scheduler_names(), SCHEDULER_NAMES);
+    // scheduler_names() is the sorted view of the registry: same key
+    // set as SCHEDULER_NAMES, reproducible alphabetical order
+    let names = cellstream::heuristics::scheduler_names();
+    let mut sorted = SCHEDULER_NAMES.to_vec();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted.as_slice());
+    assert!(names.windows(2).all(|w| w[0] < w[1]));
     for name in SCHEDULER_NAMES {
         let s = scheduler_by_name(name).expect("name registered");
         assert_eq!(s.name(), name);
