@@ -101,7 +101,7 @@ fn main() {
             _ => 1.0, // idle after the last retire: nothing to compare
         };
         rows.push(Row {
-            label: report.event.clone(),
+            label: report.event.to_string(),
             applied: report.applied(),
             repair_period: report.period,
             scratch_period,

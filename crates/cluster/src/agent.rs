@@ -7,12 +7,12 @@
 //! [`AgentOutcome`]s, and stamp every reply with a fresh
 //! [`NodeSummary`] so the coordinator's capacity view tracks reality.
 
-use crate::msg::{AgentMsg, AgentOutcome, ClusterMsg, NodeId, NodeSummary};
+use crate::msg::{AgentMsg, AgentOutcome, BatchOp, ClusterMsg, NodeId, NodeSummary};
 use cellstream_core::evaluate;
 use cellstream_core::steady::buffers::BufferPlan;
 use cellstream_graph::TaskId;
 use cellstream_platform::CellSpec;
-use cellstream_serve::{Service, ServiceOptions, Verdict};
+use cellstream_serve::{Event, Service, ServiceOptions, Verdict};
 use std::time::Duration;
 
 /// One node's control loop: a local [`Service`] plus the protocol glue.
@@ -98,8 +98,100 @@ impl Agent {
                 }
                 None => self.reply(AgentOutcome::UnknownApp, Duration::ZERO, 0.0, 0.0),
             },
+            ClusterMsg::Batch { ops } => self.handle_batch(&ops),
             ClusterMsg::Status => self.reply(AgentOutcome::Status, Duration::ZERO, 0.0, 0.0),
         }
+    }
+
+    /// Apply a coordinator burst through `Service::process_batch`: one
+    /// composed replan per run of ops touching distinct application
+    /// names. A repeated name cuts the run — names resolve to handles
+    /// against the live incumbent, which only advances when a batch
+    /// commits — so in-order semantics hold across the cut. Unresolved
+    /// retires/reweights get [`AgentOutcome::UnknownApp`] without
+    /// poisoning the rest of the burst.
+    fn handle_batch(&mut self, ops: &[BatchOp]) -> AgentMsg {
+        let mut outcomes: Vec<Option<AgentOutcome>> = vec![None; ops.len()];
+        let mut replan = Duration::ZERO;
+        let mut local_bytes = 0.0;
+        let mut events: Vec<Event> = Vec::new();
+        let mut slots: Vec<usize> = Vec::new();
+        let mut touched: Vec<&str> = Vec::new();
+        let mut i = 0;
+        while i < ops.len() {
+            events.clear();
+            slots.clear();
+            touched.clear();
+            while i < ops.len() {
+                let name = ops[i].app_name();
+                if touched.contains(&name) {
+                    break;
+                }
+                touched.push(name);
+                match &ops[i] {
+                    BatchOp::Admit { graph, weight } => {
+                        events.push(Event::Admit(graph.clone(), *weight));
+                        slots.push(i);
+                    }
+                    BatchOp::Retire { app } => match self.service.handle_of(app) {
+                        Some(id) => {
+                            events.push(Event::Retire(id));
+                            slots.push(i);
+                        }
+                        None => outcomes[i] = Some(AgentOutcome::UnknownApp),
+                    },
+                    BatchOp::Reweight { app, weight } => match self.service.handle_of(app) {
+                        Some(id) => {
+                            events.push(Event::Reweight(id, *weight));
+                            slots.push(i);
+                        }
+                        None => outcomes[i] = Some(AgentOutcome::UnknownApp),
+                    },
+                }
+                i += 1;
+            }
+            if events.is_empty() {
+                continue;
+            }
+            match self.service.process_batch(&events) {
+                Ok(report) => {
+                    replan += report.replan;
+                    local_bytes += report.migration_bytes();
+                    // the report's verdicts are in the canonical
+                    // retire → reweight → admit order; recompute the
+                    // same stable permutation to map them back to
+                    // request slots
+                    let rank = |ev: &Event| match ev {
+                        Event::Retire(_) => 0u8,
+                        Event::Reweight(..) => 1,
+                        Event::Admit(..) => 2,
+                    };
+                    let mut order: Vec<usize> = (0..events.len()).collect();
+                    order.sort_by_key(|&k| rank(&events[k]));
+                    for (pos, (_, verdict)) in report.events.iter().enumerate() {
+                        outcomes[slots[order[pos]]] = Some(match verdict {
+                            Verdict::Admitted(_) => AgentOutcome::Admitted,
+                            Verdict::Applied => AgentOutcome::Applied,
+                            Verdict::Rejected(r) => AgentOutcome::Rejected(r.to_string()),
+                            other => AgentOutcome::Rejected(format!(
+                                "unexpected batch verdict {other:?}"
+                            )),
+                        });
+                    }
+                }
+                // unreachable by construction — handles resolved above
+                // and names within a run are distinct — but refuse
+                // rather than crash on protocol drift
+                Err(e) => {
+                    for &slot in &slots {
+                        outcomes[slot] =
+                            Some(AgentOutcome::Rejected(format!("batch refused: {e}")));
+                    }
+                }
+            }
+        }
+        let outcomes = outcomes.into_iter().map(|o| o.expect("every op got an outcome")).collect();
+        self.reply(AgentOutcome::Batch(outcomes), replan, local_bytes, 0.0)
     }
 
     /// Buffer working set (bytes) of one resident application on the
@@ -206,5 +298,72 @@ mod tests {
 
         let ghost = a.handle(ClusterMsg::Reweight { app: "ghost".to_owned(), weight: 1.0 });
         assert_eq!(ghost.outcome, AgentOutcome::UnknownApp);
+    }
+
+    #[test]
+    fn batch_fuses_ops_and_reports_outcomes_in_request_order() {
+        let mut a = agent();
+        a.handle(ClusterMsg::Admit {
+            graph: chain("x", 3, &CostParams::default(), 1),
+            weight: 1.0,
+        });
+        a.handle(ClusterMsg::Admit {
+            graph: chain("y", 3, &CostParams::default(), 2),
+            weight: 1.0,
+        });
+
+        let reply = a.handle(ClusterMsg::Batch {
+            ops: vec![
+                BatchOp::Reweight { app: "x".to_owned(), weight: 2.0 },
+                BatchOp::Retire { app: "ghost".to_owned() },
+                BatchOp::Admit { graph: chain("z", 3, &CostParams::default(), 3), weight: 1.5 },
+                BatchOp::Retire { app: "y".to_owned() },
+            ],
+        });
+        assert_eq!(
+            reply.outcome,
+            AgentOutcome::Batch(vec![
+                AgentOutcome::Applied,
+                AgentOutcome::UnknownApp,
+                AgentOutcome::Admitted,
+                AgentOutcome::Applied,
+            ]),
+            "one outcome per op, in request order"
+        );
+        assert_eq!(reply.summary.n_apps, 2, "x reweighted, y retired, z admitted");
+        let names: Vec<&str> = reply.summary.apps.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["x", "z"]);
+        assert_eq!(reply.summary.apps[0].1, 2.0, "the reweight landed");
+    }
+
+    #[test]
+    fn batch_cuts_at_repeated_names_so_dependent_ops_still_apply() {
+        let mut a = agent();
+        // admit then retire the same name in one burst: the second op
+        // cannot resolve until the first commits, so the agent splits
+        // the run and both land
+        let reply = a.handle(ClusterMsg::Batch {
+            ops: vec![
+                BatchOp::Admit { graph: chain("w", 3, &CostParams::default(), 9), weight: 1.0 },
+                BatchOp::Retire { app: "w".to_owned() },
+            ],
+        });
+        assert_eq!(
+            reply.outcome,
+            AgentOutcome::Batch(vec![AgentOutcome::Admitted, AgentOutcome::Applied])
+        );
+        assert_eq!(reply.summary.n_apps, 0, "the burst admitted and retired the same app");
+
+        // an invalid weight inside a batch is refused per-op, not per-burst
+        let reply = a.handle(ClusterMsg::Batch {
+            ops: vec![
+                BatchOp::Admit { graph: chain("ok", 3, &CostParams::default(), 4), weight: 1.0 },
+                BatchOp::Admit { graph: chain("bad", 3, &CostParams::default(), 5), weight: 0.0 },
+            ],
+        });
+        let AgentOutcome::Batch(outs) = reply.outcome else { panic!("batch reply") };
+        assert_eq!(outs[0], AgentOutcome::Admitted);
+        assert!(matches!(outs[1], AgentOutcome::Rejected(_)));
+        assert_eq!(reply.summary.n_apps, 1);
     }
 }

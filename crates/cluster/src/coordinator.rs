@@ -12,7 +12,7 @@
 //! horizon, outweighs the network transfer cost. Every cross-node move
 //! is priced by the [`NetworkModel`] and reported as a [`Migration`].
 
-use crate::msg::{AgentMsg, AgentOutcome, ClusterMsg, NodeId, NodeSummary};
+use crate::msg::{AgentMsg, AgentOutcome, BatchOp, ClusterMsg, NodeId, NodeSummary};
 use crate::net::NetworkModel;
 use crate::placer::{AppDemand, LoadAffinity, PlacePolicy};
 use crate::transport::{InProcessTransport, Transport};
@@ -173,6 +173,35 @@ impl ClusterReport {
     }
 }
 
+/// What one fleet-level burst did: per-event verdicts in request order
+/// plus the aggregate cost of the node batches that carried it — see
+/// [`Coordinator::process_burst`].
+#[derive(Debug, Clone)]
+pub struct BurstReport {
+    /// Per-event `(label, verdict)` pairs, in request order.
+    pub events: Vec<(String, ClusterVerdict)>,
+    /// Wall-clock latency of the whole burst, every agent exchange
+    /// included.
+    pub latency: Duration,
+    /// Node-level batch messages the burst was carried by.
+    pub batches: usize,
+    /// EIB traffic of the intra-node replans the burst triggered
+    /// (bytes, summed across nodes).
+    pub local_migration_bytes: f64,
+    /// Worst composed round period across the fleet after the burst.
+    pub max_period: f64,
+}
+
+impl BurstReport {
+    /// Events that changed what some node serves.
+    pub fn applied(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|(_, v)| matches!(v, ClusterVerdict::Admitted(_) | ClusterVerdict::Applied))
+            .count()
+    }
+}
+
 /// A point-in-time view of the fleet, for operators and tests.
 #[derive(Debug, Clone)]
 pub struct ClusterStatus {
@@ -306,6 +335,163 @@ impl<T: Transport> Coordinator<T> {
             ClusterEvent::Reweight(app, w) => self.reweight(&app, w),
             ClusterEvent::DrainNode(n) => self.drain(n),
             ClusterEvent::Rebalance => Ok(self.rebalance()),
+        }
+    }
+
+    /// Route a burst of fleet-level operations through per-node
+    /// [`ClusterMsg::Batch`] messages: one agent exchange (and on the
+    /// agent, one composed replan per run of independent ops) instead
+    /// of one exchange per event.
+    ///
+    /// The burst is split into groups that touch each application name
+    /// at most once — a repeated name cuts the group, so in-order
+    /// semantics hold across the cut — and each group's ops are
+    /// bucketed by target node: retires and reweights route to the
+    /// app's home node, admissions to the placement policy's
+    /// top-ranked node against the summaries as of the group start. An
+    /// admission the pre-ranked node refuses falls back to the
+    /// sequential preference walk ([`admit`](Self::admit)) with the
+    /// refusal's fresh summaries. Unknown applications get a
+    /// [`ClusterVerdict::Rejected`] verdict — the trace is data, not a
+    /// contract.
+    pub fn process_burst(&mut self, events: &[TraceEvent]) -> BurstReport {
+        let started = Instant::now();
+        let mut labels: Vec<String> = events.iter().map(TraceEvent::label).collect();
+        let mut verdicts: Vec<Option<ClusterVerdict>> = vec![None; events.len()];
+        let mut local_bytes = 0.0;
+        let mut batches = 0;
+        let mut i = 0;
+        while i < events.len() {
+            let mut touched: Vec<String> = Vec::new();
+            let mut per_node: BTreeMap<NodeId, Vec<(usize, BatchOp)>> = BTreeMap::new();
+            while i < events.len() {
+                let raw_name = match &events[i] {
+                    TraceEvent::Admit { graph, .. } => graph.name(),
+                    TraceEvent::Retire { app } | TraceEvent::Reweight { app, .. } => app.as_str(),
+                };
+                if touched.iter().any(|t| t == raw_name) {
+                    break;
+                }
+                match &events[i] {
+                    TraceEvent::Admit { graph, weight } => {
+                        // fleet-unique name, exactly as single admissions
+                        let g = if self.apps.contains_key(graph.name()) {
+                            let unique = format!("{}#{}", graph.name(), self.next_unique);
+                            self.next_unique += 1;
+                            graph.renamed(unique)
+                        } else {
+                            graph.clone()
+                        };
+                        labels[i] = format!("admit {} w={weight}", g.name());
+                        touched.push(g.name().to_owned());
+                        let demand = AppDemand::of(&g, *weight);
+                        let candidates: Vec<NodeSummary> = self
+                            .summaries
+                            .iter()
+                            .filter(|s| !self.draining[s.node.index()])
+                            .cloned()
+                            .collect();
+                        match self.policy.rank(&candidates, &demand).first() {
+                            Some(&node) => per_node
+                                .entry(node)
+                                .or_default()
+                                .push((i, BatchOp::Admit { graph: g, weight: *weight })),
+                            None => {
+                                verdicts[i] =
+                                    Some(ClusterVerdict::Rejected("no schedulable node".to_owned()))
+                            }
+                        }
+                    }
+                    TraceEvent::Retire { app } => {
+                        touched.push(app.clone());
+                        match self.node_of(app) {
+                            Some(node) => per_node
+                                .entry(node)
+                                .or_default()
+                                .push((i, BatchOp::Retire { app: app.clone() })),
+                            None => verdicts[i] = Some(unknown_app(app)),
+                        }
+                    }
+                    TraceEvent::Reweight { app, weight } => {
+                        touched.push(app.clone());
+                        match self.node_of(app) {
+                            Some(node) => per_node
+                                .entry(node)
+                                .or_default()
+                                .push((i, BatchOp::Reweight { app: app.clone(), weight: *weight })),
+                            None => verdicts[i] = Some(unknown_app(app)),
+                        }
+                    }
+                }
+                i += 1;
+            }
+            // dispatch one batch per node, in node order (deterministic)
+            for (node, ops) in per_node {
+                batches += 1;
+                let msg_ops: Vec<BatchOp> = ops.iter().map(|(_, op)| op.clone()).collect();
+                let reply = self.transport.send(node, ClusterMsg::Batch { ops: msg_ops });
+                self.absorb(&reply);
+                local_bytes += reply.local_migration_bytes;
+                let AgentOutcome::Batch(outs) = &reply.outcome else {
+                    for (idx, _) in &ops {
+                        verdicts[*idx] = Some(ClusterVerdict::Rejected(format!(
+                            "{node}: unexpected reply {:?}",
+                            reply.outcome
+                        )));
+                    }
+                    continue;
+                };
+                for ((idx, op), out) in ops.iter().zip(outs.iter()) {
+                    let v = match (op, out) {
+                        (BatchOp::Admit { graph, weight }, AgentOutcome::Admitted) => {
+                            self.apps.insert(
+                                graph.name().to_owned(),
+                                Placed { graph: graph.clone(), weight: *weight, node },
+                            );
+                            ClusterVerdict::Admitted(node)
+                        }
+                        // the pre-ranked node refused: fall back to the
+                        // sequential preference walk with the refusal's
+                        // fresh summaries
+                        (BatchOp::Admit { graph, weight }, AgentOutcome::Rejected(_)) => {
+                            let r = self.admit(graph, *weight);
+                            local_bytes += r.local_migration_bytes;
+                            r.verdict
+                        }
+                        (BatchOp::Retire { app }, AgentOutcome::Applied) => {
+                            self.apps.remove(app);
+                            ClusterVerdict::Applied
+                        }
+                        (BatchOp::Reweight { app, weight }, AgentOutcome::Applied) => {
+                            self.apps.get_mut(app).expect("routed via node_of").weight = *weight;
+                            ClusterVerdict::Applied
+                        }
+                        (_, AgentOutcome::Rejected(r)) => {
+                            ClusterVerdict::Rejected(format!("{node}: {r}"))
+                        }
+                        // assignment said the app lives there but the
+                        // agent disagrees — surface the drift
+                        (_, AgentOutcome::UnknownApp) => ClusterVerdict::Rejected(format!(
+                            "{node}: assignment drift — node does not host this application"
+                        )),
+                        (_, other) => {
+                            ClusterVerdict::Rejected(format!("{node}: unexpected reply {other:?}"))
+                        }
+                    };
+                    verdicts[*idx] = Some(v);
+                }
+            }
+        }
+        let events = labels
+            .into_iter()
+            .zip(verdicts.into_iter().map(|v| v.expect("every event got a verdict")))
+            .collect();
+        BurstReport {
+            events,
+            latency: started.elapsed(),
+            batches,
+            local_migration_bytes: local_bytes,
+            max_period: self.max_period(),
         }
     }
 
@@ -613,6 +799,11 @@ impl<T: Transport> Coordinator<T> {
     }
 }
 
+/// The burst-path verdict for an application no node hosts.
+fn unknown_app(app: &str) -> ClusterVerdict {
+    ClusterVerdict::Rejected(format!("no application named '{app}' in the fleet"))
+}
+
 /// The ready-to-use fleet: a [`Coordinator`] over the in-process
 /// transport.
 pub type Cluster = Coordinator<InProcessTransport>;
@@ -836,6 +1027,81 @@ mod tests {
             panic!("{:?}", again.verdict)
         };
         assert!(again_moved <= moved, "rebalance converges");
+    }
+
+    #[test]
+    fn bursts_land_like_sequential_routing() {
+        let mk = || {
+            let mut fleet =
+                Cluster::homogeneous(3, &CellSpec::ps3(), opts_with(Box::<RoundRobin>::default()));
+            for i in 0..6 {
+                assert!(fleet.admit(&app(&format!("a{i}"), 3, i), 1.0).applied());
+            }
+            fleet
+        };
+        let mut bursty = mk();
+        let mut seq = mk();
+        let burst = vec![
+            TraceEvent::Retire { app: "a1".to_owned() },
+            TraceEvent::Reweight { app: "a3".to_owned(), weight: 4.0 },
+            TraceEvent::Admit { graph: app("b0", 3, 100), weight: 2.0 },
+            TraceEvent::Retire { app: "a4".to_owned() },
+            TraceEvent::Admit { graph: app("b1", 4, 101), weight: 1.0 },
+        ];
+
+        let report = bursty.process_burst(&burst);
+        assert_eq!(report.events.len(), burst.len());
+        assert_eq!(report.applied(), burst.len(), "{:?}", report.events);
+        assert!(report.batches >= 1 && report.batches <= 3, "grouped per node");
+
+        for ev in &burst {
+            seq.apply_event(ev);
+        }
+        assert_eq!(bursty.n_apps(), seq.n_apps());
+        for name in ["a0", "a2", "a3", "a5", "b0", "b1"] {
+            assert_eq!(
+                bursty.node_of(name),
+                seq.node_of(name),
+                "{name} routed to the same node either way"
+            );
+        }
+        assert!(bursty.max_period().is_finite());
+
+        // every incumbent the burst produced still evaluates feasible
+        for a in bursty.agents() {
+            let s = a.service();
+            if let (Some(w), Some(m)) = (s.workload(), s.mapping()) {
+                let r = cellstream_core::evaluate(w.graph(), s.spec(), m).expect("valid");
+                assert!(r.is_feasible(), "burst broke {}: {:?}", a.node(), r.violations);
+            }
+        }
+    }
+
+    #[test]
+    fn burst_cuts_at_repeated_names_and_reports_unknowns() {
+        let mut fleet = Cluster::homogeneous(2, &CellSpec::ps3(), ClusterOptions::default());
+        assert!(fleet.admit(&app("a", 3, 1), 1.0).applied());
+        let burst = vec![
+            TraceEvent::Retire { app: "ghost".to_owned() },
+            TraceEvent::Admit { graph: app("b", 3, 2), weight: 1.0 },
+            TraceEvent::Retire { app: "b".to_owned() },
+            TraceEvent::Admit { graph: app("b", 3, 3), weight: 2.0 },
+        ];
+        let report = fleet.process_burst(&burst);
+        assert!(
+            matches!(&report.events[0].1, ClusterVerdict::Rejected(r) if r.contains("ghost")),
+            "{:?}",
+            report.events[0]
+        );
+        assert!(matches!(report.events[1].1, ClusterVerdict::Admitted(_)));
+        assert_eq!(report.events[2].1, ClusterVerdict::Applied, "retire saw the in-burst admit");
+        assert!(
+            matches!(report.events[3].1, ClusterVerdict::Admitted(_)),
+            "the re-admission got a clean name after the cut"
+        );
+        assert_eq!(fleet.n_apps(), 2, "a plus the re-admitted b");
+        assert!(fleet.node_of("b").is_some());
+        assert!(report.batches >= 3, "dependent ops forced separate groups");
     }
 
     #[test]

@@ -52,10 +52,10 @@ pub mod transport;
 
 pub use agent::Agent;
 pub use coordinator::{
-    Cluster, ClusterError, ClusterEvent, ClusterOptions, ClusterReport, ClusterStatus,
+    BurstReport, Cluster, ClusterError, ClusterEvent, ClusterOptions, ClusterReport, ClusterStatus,
     ClusterVerdict, Coordinator, Migration,
 };
-pub use msg::{AgentMsg, AgentOutcome, ClusterMsg, NodeId, NodeSummary};
+pub use msg::{AgentMsg, AgentOutcome, BatchOp, ClusterMsg, NodeId, NodeSummary};
 pub use net::NetworkModel;
 pub use placer::{
     policy_by_name, AppDemand, BestFit, FirstFit, LoadAffinity, PlacePolicy, RandomPlace,

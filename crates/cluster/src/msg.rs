@@ -54,8 +54,52 @@ pub enum ClusterMsg {
         /// New weight.
         weight: f64,
     },
+    /// Apply a burst of operations in one exchange. The agent fuses as
+    /// many consecutive ops as touch distinct application names into
+    /// single `Service::process_batch` calls (one compose + one repair
+    /// per run), and replies with [`AgentOutcome::Batch`] — one outcome
+    /// per op, in request order. Batch replies do not size working
+    /// sets: coordinator bursts never migrate.
+    Batch {
+        /// The operations, applied in order.
+        ops: Vec<BatchOp>,
+    },
     /// No-op: reply with a fresh capacity summary.
     Status,
+}
+
+/// One name-addressed operation inside a [`ClusterMsg::Batch`].
+#[derive(Debug, Clone)]
+pub enum BatchOp {
+    /// Place this application on the receiving node.
+    Admit {
+        /// The application's graph (its name identifies it fleet-wide).
+        graph: StreamGraph,
+        /// Relative throughput target.
+        weight: f64,
+    },
+    /// Retire the named application.
+    Retire {
+        /// Application (graph) name.
+        app: String,
+    },
+    /// Change the named application's throughput weight.
+    Reweight {
+        /// Application (graph) name.
+        app: String,
+        /// New weight.
+        weight: f64,
+    },
+}
+
+impl BatchOp {
+    /// The application name this op concerns.
+    pub fn app_name(&self) -> &str {
+        match self {
+            BatchOp::Admit { graph, .. } => graph.name(),
+            BatchOp::Retire { app } | BatchOp::Reweight { app, .. } => app,
+        }
+    }
 }
 
 /// What an agent did with a request.
@@ -70,6 +114,9 @@ pub enum AgentOutcome {
     Applied,
     /// The named application does not live on this node.
     UnknownApp,
+    /// Reply to a [`ClusterMsg::Batch`]: one outcome per op, in request
+    /// order.
+    Batch(Vec<AgentOutcome>),
     /// Reply to a [`ClusterMsg::Status`] probe.
     Status,
 }

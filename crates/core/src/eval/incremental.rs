@@ -243,6 +243,35 @@ impl<'a> EvalState<'a> {
         self.has_frame = false;
     }
 
+    /// Re-seat the state from raw per-task seats (task id order) of the
+    /// **same** graph and platform — [`reset`](Self::reset) without a
+    /// [`Mapping`] in hand, for callers that keep no `Mapping` on the
+    /// hot path. O(V + E), allocation-free. Panics when the iterator
+    /// does not yield exactly one in-range PE per task: raw seats and
+    /// states travel together, like mappings and graphs.
+    pub fn reseat(&mut self, seats: impl IntoIterator<Item = PeId>) {
+        let n_pes = self.compute.len();
+        let mut k = 0;
+        for pe in seats {
+            assert!(k < self.assignment.len(), "reseat: more seats than tasks");
+            assert!(pe.index() < n_pes, "{pe} out of range");
+            self.assignment[k] = pe;
+            k += 1;
+        }
+        assert_eq!(k, self.assignment.len(), "reseat covers every task");
+        self.recompute();
+    }
+
+    /// Recompute the accumulators from the current assignment, shedding
+    /// the floating-point drift committed moves accumulate (each
+    /// apply/undo pair restores exactly, but *committed* deltas are
+    /// add/subtract sequences). Equivalent to rebuilding the state from
+    /// [`mapping`](Self::mapping) — O(V + E), allocation-free, clears
+    /// the undo log.
+    pub fn rebase(&mut self) {
+        self.recompute();
+    }
+
     /// The graph this state evaluates against.
     pub fn graph(&self) -> &'a StreamGraph {
         self.g
@@ -256,6 +285,35 @@ impl<'a> EvalState<'a> {
     /// Current PE of a task.
     pub fn pe_of(&self, t: TaskId) -> PeId {
         self.assignment[t.index()]
+    }
+
+    /// The current assignment, task id order (the borrow-only view of
+    /// [`mapping`](Self::mapping) for allocation-free readers).
+    pub fn assignment(&self) -> &[PeId] {
+        &self.assignment
+    }
+
+    /// One task's local-store buffer footprint (bytes) from the
+    /// precomputed [`BufferPlan`] — what the task occupies when seated
+    /// on an SPE. O(1), allocation-free.
+    pub fn task_buffer_bytes(&self, t: TaskId) -> f64 {
+        self.task_buf[t.index()]
+    }
+
+    /// The lowest-id SPE currently violating a §3.2 constraint
+    /// ((1i)–(1k)), or `None` when feasible — the allocation-free
+    /// counterpart of scanning [`report`](Self::report)'s violation
+    /// list, for eviction loops. O(n_SPEs).
+    pub fn first_violated_spe(&self) -> Option<PeId> {
+        for i in self.n_ppe..self.compute.len() {
+            if self.memory_bytes[i] > self.ls_budget + 1e-9
+                || self.dma_in[i] > self.dma_in_limit
+                || self.dma_ppe[i] > self.dma_ppe_limit
+            {
+                return Some(PeId(i));
+            }
+        }
+        None
     }
 
     /// The current assignment as a validated [`Mapping`] (clones the
@@ -689,6 +747,62 @@ mod tests {
         assert!(!state.is_feasible(), "both tasks on the tiny SPE must overflow");
         assert_matches_full(&state, "overflowed");
         assert!(state.score().is_infinite());
+    }
+
+    #[test]
+    fn reseat_matches_reset_and_panics_on_bad_seats() {
+        let g = chain("c", 6, &CostParams::default(), 4);
+        let spec = CellSpec::with_spes(2);
+        let mut state = EvalState::new(&g, &spec, &Mapping::all_on(&g, PeId(0))).unwrap();
+        let seats = [PeId(1), PeId(2), PeId(0), PeId(1), PeId(2), PeId(0)];
+        state.reseat(seats.iter().copied());
+        assert_eq!(state.assignment(), &seats);
+        assert_matches_full(&state, "after reseat");
+        assert!(!state.undo(), "reseat clears the undo log");
+        let mut short = state.clone();
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            short.reseat(seats.iter().copied().take(3));
+        }))
+        .is_err());
+        let mut wrong = state.clone();
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            wrong.reseat(std::iter::repeat_n(PeId(99), 6));
+        }))
+        .is_err());
+    }
+
+    #[test]
+    fn first_violated_spe_agrees_with_the_report() {
+        // same overflow construction as feasibility_flips_with_local_store
+        let spec = CellSpecBuilder::default()
+            .spes(2)
+            .local_store(cellstream_platform::ByteSize::kib(128))
+            .code_size(cellstream_platform::ByteSize::kib(64))
+            .build()
+            .unwrap();
+        let mut b = StreamGraph::builder("p");
+        let a = b.add_task(cellstream_graph::TaskSpec::new("a").uniform_cost(1e-6));
+        let z = b.add_task(cellstream_graph::TaskSpec::new("z").uniform_cost(1e-6));
+        b.add_edge(a, z, 64.0 * 1024.0).unwrap();
+        let g = b.build().unwrap();
+        let mut state = EvalState::new(&g, &spec, &Mapping::all_on(&g, PeId(0))).unwrap();
+        assert_eq!(state.first_violated_spe(), None);
+        state.apply(Move::Relocate { task: TaskId(0), to: PeId(2) });
+        state.apply(Move::Relocate { task: TaskId(1), to: PeId(2) });
+        assert!(!state.is_feasible());
+        let pe = state.first_violated_spe().expect("overflowed SPE is reported");
+        let report = state.report();
+        let first = match report.violations.first().expect("report sees it too") {
+            Violation::LocalStore { pe, .. }
+            | Violation::DmaIn { pe, .. }
+            | Violation::DmaPpe { pe, .. } => *pe,
+        };
+        assert_eq!(pe, first, "same PE the report names first");
+        // and the buffer accessor matches the plan the state was built from
+        let plan = BufferPlan::new(&g);
+        for t in g.task_ids() {
+            assert_eq!(state.task_buffer_bytes(t), plan.task_bytes[t.index()]);
+        }
     }
 
     #[test]

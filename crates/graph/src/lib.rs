@@ -48,7 +48,7 @@ pub use ccr::CcrReport;
 pub use edge::{Edge, EdgeId};
 pub use graph::{GraphBuilder, GraphError, StreamGraph};
 pub use task::{Task, TaskId, TaskSpec};
-pub use workload::{AppId, AppInfo, Workload, WorkloadBuilder, WorkloadError};
+pub use workload::{AppId, AppInfo, Workload, WorkloadBatch, WorkloadBuilder, WorkloadError};
 
 #[cfg(test)]
 mod tests;

@@ -401,6 +401,25 @@ impl Workload {
         Ok(())
     }
 
+    /// Start a batched mutation: add/retire/reweight operations on the
+    /// returned guard edit the source list immediately but recompose the
+    /// tagged graph **once**, when the guard commits (or drops). A burst
+    /// of k churn events costs one composition instead of k — the
+    /// serving layer's batch path rides on this.
+    ///
+    /// Until commit, the composed graph is stale; sequence further
+    /// operations through the guard's source-list views
+    /// ([`WorkloadBatch::n_apps`], [`WorkloadBatch::contains`],
+    /// [`WorkloadBatch::position`]), not the workload's. Unlike
+    /// [`Workload::retire`], the guard may retire down to zero
+    /// applications mid-batch (to admit replacements afterwards);
+    /// committing an emptied batch is [`WorkloadError::Empty`], and an
+    /// emptied guard that merely drops leaves the workload fit only for
+    /// dropping too.
+    pub fn batch(&mut self) -> WorkloadBatch<'_> {
+        WorkloadBatch { w: self, dirty: false }
+    }
+
     /// Rebuild graph/apps/app_of from the current sources — exactly the
     /// from-scratch build path.
     fn recompose(&mut self) -> Result<(), WorkloadError> {
@@ -409,6 +428,91 @@ impl Workload {
         self.apps = apps;
         self.app_of = app_of;
         Ok(())
+    }
+}
+
+/// Deferred-recomposition mutation guard — see [`Workload::batch`].
+#[derive(Debug)]
+pub struct WorkloadBatch<'a> {
+    w: &'a mut Workload,
+    dirty: bool,
+}
+
+impl WorkloadBatch<'_> {
+    /// Applications currently in the batch (sources, not the stale
+    /// composed graph).
+    pub fn n_apps(&self) -> usize {
+        self.w.sources.len()
+    }
+
+    /// `true` when an application with this name is in the batch.
+    pub fn contains(&self, name: &str) -> bool {
+        self.w.sources.iter().any(|s| s.name == name)
+    }
+
+    /// Positional id of the named application, as of the operations so
+    /// far.
+    pub fn position(&self, name: &str) -> Option<AppId> {
+        self.w.sources.iter().position(|s| s.name == name).map(AppId)
+    }
+
+    /// Record an admission; the new application's positional id (valid
+    /// after commit) is returned. The batch is untouched on error.
+    pub fn add(&mut self, g: &StreamGraph, weight: f64) -> Result<AppId, WorkloadError> {
+        if self.contains(g.name()) {
+            return Err(WorkloadError::DuplicateApp(g.name().to_owned()));
+        }
+        let src = AppSource::capture(g, weight)?;
+        self.w.sources.push(src);
+        self.dirty = true;
+        Ok(AppId(self.w.sources.len() - 1))
+    }
+
+    /// Record a retirement; later applications shift down by one id
+    /// immediately (for subsequent batch operations).
+    pub fn retire(&mut self, a: AppId) -> Result<(), WorkloadError> {
+        if a.index() >= self.w.sources.len() {
+            return Err(WorkloadError::UnknownApp(a));
+        }
+        self.w.sources.remove(a.index());
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Record a weight change. The batch is untouched on error.
+    pub fn reweight(&mut self, a: AppId, weight: f64) -> Result<(), WorkloadError> {
+        let Some(src) = self.w.sources.get_mut(a.index()) else {
+            return Err(WorkloadError::UnknownApp(a));
+        };
+        if !(weight.is_finite() && weight > 0.0) {
+            return Err(WorkloadError::InvalidWeight(src.name.clone(), weight));
+        }
+        src.weight = weight;
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Recompose the tagged graph over the batch's final source list —
+    /// the one composition the whole burst pays. After an `Ok` the
+    /// workload is indistinguishable from applying the same operations
+    /// through the one-at-a-time mutators.
+    pub fn commit(mut self) -> Result<(), WorkloadError> {
+        if !self.dirty {
+            return Ok(());
+        }
+        self.dirty = false; // disarm the drop-path recompose
+        self.w.recompose()
+    }
+}
+
+impl Drop for WorkloadBatch<'_> {
+    fn drop(&mut self) {
+        // best effort: never leave a non-empty workload stale. An
+        // emptied batch cannot recompose — its workload must be dropped
+        // (the commit path reports that as `Empty`).
+        if self.dirty && !self.w.sources.is_empty() {
+            self.w.recompose().expect("retained sources recompose");
+        }
     }
 }
 
@@ -433,6 +537,11 @@ pub struct WorkloadBuilder {
 }
 
 impl WorkloadBuilder {
+    /// `true` when an application with this name was already pushed.
+    pub fn contains(&self, name: &str) -> bool {
+        self.sources.iter().any(|s| s.name == name)
+    }
+
     /// Add one application with the given throughput weight. The graph's
     /// name becomes the application name and must be unique within the
     /// workload.
@@ -626,5 +735,57 @@ mod tests {
         assert!(matches!(w.add(&a, 1.0), Err(WorkloadError::DuplicateApp(_))));
         assert!(matches!(w.add(&chain("b", 1), -1.0), Err(WorkloadError::InvalidWeight(_, _))));
         assert_eq!(w, before);
+    }
+
+    #[test]
+    fn batch_matches_one_at_a_time_mutation() {
+        let (a, b, c, d) = (chain("a", 3), chain("b", 2), chain("c", 4), chain("d", 2));
+        let mut seq = Workload::compose("w", &[&a, &b, &c]).unwrap();
+        let mut bat = seq.clone();
+
+        seq.retire(AppId(1)).unwrap();
+        seq.reweight(AppId(0), 2.5).unwrap();
+        seq.add(&d, 3.0).unwrap();
+
+        let mut g = bat.batch();
+        g.retire(AppId(1)).unwrap();
+        assert_eq!(g.n_apps(), 2);
+        assert_eq!(g.position("c"), Some(AppId(1)), "ids shift inside the batch");
+        g.reweight(AppId(0), 2.5).unwrap();
+        assert!(!g.contains("d"));
+        g.add(&d, 3.0).unwrap();
+        g.commit().unwrap();
+        assert_eq!(bat, seq, "batched mutation == sequential mutation");
+    }
+
+    #[test]
+    fn batch_can_empty_and_refill_but_not_commit_empty() {
+        let (a, b) = (chain("a", 2), chain("b", 2));
+        let mut w = Workload::compose("w", &[&a]).unwrap();
+        let mut g = w.batch();
+        g.retire(AppId(0)).unwrap();
+        assert_eq!(g.n_apps(), 0, "a batch may pass through empty");
+        g.add(&b, 1.0).unwrap();
+        g.commit().unwrap();
+        assert_eq!(w, Workload::compose("w", &[&b]).unwrap());
+
+        let mut g = w.batch();
+        g.retire(AppId(0)).unwrap();
+        assert_eq!(g.commit(), Err(WorkloadError::Empty));
+    }
+
+    #[test]
+    fn dropped_batch_still_recomposes() {
+        let (a, b) = (chain("a", 2), chain("b", 2));
+        let mut w = Workload::compose("w", &[&a]).unwrap();
+        {
+            let mut g = w.batch();
+            g.add(&b, 2.0).unwrap();
+            // guard dropped without an explicit commit
+        }
+        let mut wb = Workload::builder("w");
+        wb.push(&a, 1.0).unwrap();
+        wb.push(&b, 2.0).unwrap();
+        assert_eq!(w, wb.build().unwrap(), "the drop path never leaves the graph stale");
     }
 }

@@ -52,13 +52,16 @@ pub use comm_aware::comm_aware_greedy;
 pub use greedy::{greedy_cpu, greedy_mem};
 pub use multi_app::{best_partition, partition_mapping};
 pub use portfolio::{MemberResult, Portfolio, PortfolioOutcome};
-pub use repair::{carry_over, repair, RepairScheduler};
+pub use repair::{
+    carry_over, carry_over_into, repair, repair_in_place, repair_in_place_with, repair_with,
+    RepairOptions, RepairScheduler,
+};
 pub use schedulers::{
     all_schedulers, scheduler_by_name, scheduler_names, AnnealScheduler, CommAwareScheduler,
     GreedyCpuScheduler, GreedyMemScheduler, LocalSearchScheduler, MultiStartScheduler,
     SCHEDULER_NAMES,
 };
-pub use search::{local_search, multi_start, LocalSearchOptions};
+pub use search::{local_search, multi_start, refine_in_place, LocalSearchOptions};
 
 #[cfg(test)]
 mod tests;

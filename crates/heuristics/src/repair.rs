@@ -28,12 +28,41 @@
 //! portfolio while staying within a few percent of its quality (the
 //! `online` bench gates both).
 
-use crate::search::{local_search, LocalSearchOptions};
+use crate::search::{exact_period, refine_in_place, LocalSearchOptions};
 use cellstream_core::scheduler::{Plan, PlanContext, PlanError, PlanStats, Scheduler};
 use cellstream_core::{EvalState, Mapping, Move};
 use cellstream_graph::{StreamGraph, TaskId};
 use cellstream_platform::{CellSpec, PeId};
 use std::time::Instant;
+
+/// Knobs for [`repair_with`] beyond the refinement pass.
+#[derive(Debug, Clone)]
+pub struct RepairOptions {
+    /// Parameters of the final [`refine_in_place`] polish (step 4).
+    pub refine: LocalSearchOptions,
+    /// Worker threads for the placement probes (step 2). `0`/`1` keeps
+    /// placement sequential; more threads split the PE range into
+    /// contiguous id chunks probed concurrently on per-thread
+    /// [`EvalState`] clones. The chosen seats are **identical** to the
+    /// sequential scan's — workers report raw per-PE verdicts and the
+    /// reduction folds them in global PE id order, so the tie-break
+    /// stays "lowest PE id wins" regardless of thread timing.
+    pub probe_threads: usize,
+    /// Minimum probe count (`unplaced tasks × PEs`) before the thread
+    /// pool spins up; smaller deltas stay sequential (spawning costs
+    /// more than it buys on a handful of O(degree) probes).
+    pub parallel_min_probes: usize,
+}
+
+impl Default for RepairOptions {
+    fn default() -> Self {
+        RepairOptions {
+            refine: LocalSearchOptions::default(),
+            probe_threads: 1,
+            parallel_min_probes: 2048,
+        }
+    }
+}
 
 /// Repair a partial assignment into a full feasible mapping and refine
 /// it. `partial[k]` is the retained PE of task `k` (`None` for tasks
@@ -50,18 +79,116 @@ pub fn repair(
     partial: &[Option<PeId>],
     opts: &LocalSearchOptions,
 ) -> (Mapping, f64) {
+    let ropts = RepairOptions { refine: opts.clone(), ..RepairOptions::default() };
+    repair_with(g, spec, partial, &ropts)
+}
+
+/// [`repair`] with explicit [`RepairOptions`] (parallel probing et al.).
+pub fn repair_with(
+    g: &StreamGraph,
+    spec: &CellSpec,
+    partial: &[Option<PeId>],
+    opts: &RepairOptions,
+) -> (Mapping, f64) {
     assert_eq!(partial.len(), g.n_tasks(), "partial assignment covers every task");
     let ppe = spec.pe(0);
     // seed: retained seats; unplaced tasks start on the PPE (always legal)
     let assignment: Vec<PeId> = partial.iter().map(|p| p.unwrap_or(ppe)).collect();
     let seed = Mapping::new(g, spec, assignment).expect("retained PEs exist on this platform");
     let mut state = EvalState::new(g, spec, &seed).expect("seed is structurally valid");
+    repair_in_place_with(&mut state, partial, opts);
+    // publish the exact verifier period, free of incremental drift
+    let mapping = state.mapping();
+    let period = exact_period(g, spec, &mapping);
+    (mapping, period)
+}
 
-    // place the delta: topological order so producers sit before
-    // consumers. Period ties (frequent: placements below the current
-    // bottleneck all look equal) break toward the least-occupied host,
-    // so fresh work spreads over idle SPEs instead of piling onto the
-    // first PE probed.
+/// The allocation-free core of [`repair`]: re-seat a caller-owned
+/// [`EvalState`] on `partial` (unplaced tasks fall back to the PPE),
+/// place the delta, evict until feasible and refine — committing the
+/// result into the state and returning its incremental score. With a
+/// warmed-up state this performs **zero heap allocations** (the
+/// counting-allocator suite pins it); the serving layer leans on that to
+/// keep steady-state replans off the allocator entirely.
+pub fn repair_in_place(
+    state: &mut EvalState<'_>,
+    partial: &[Option<PeId>],
+    opts: &LocalSearchOptions,
+) -> f64 {
+    repair_seats(state, partial, opts, 1)
+}
+
+/// [`repair_in_place`] with [`RepairOptions`] (the parallel-probing
+/// variant allocates for its thread plumbing; the sequential path stays
+/// allocation-free).
+pub fn repair_in_place_with(
+    state: &mut EvalState<'_>,
+    partial: &[Option<PeId>],
+    opts: &RepairOptions,
+) -> f64 {
+    let unplaced = partial.iter().filter(|p| p.is_none()).count();
+    let threads =
+        if opts.probe_threads > 1 && unplaced * state.spec().n_pes() >= opts.parallel_min_probes {
+            opts.probe_threads
+        } else {
+            1
+        };
+    repair_seats(state, partial, &opts.refine, threads)
+}
+
+fn repair_seats(
+    state: &mut EvalState<'_>,
+    partial: &[Option<PeId>],
+    refine: &LocalSearchOptions,
+    threads: usize,
+) -> f64 {
+    let spec = state.spec();
+    assert_eq!(partial.len(), state.graph().n_tasks(), "partial assignment covers every task");
+    let ppe = spec.pe(0);
+    // seed: retained seats; unplaced tasks start on the PPE (always legal)
+    state.reseat(partial.iter().map(|p| p.unwrap_or(ppe)));
+
+    if threads > 1 {
+        place_delta_parallel(state, partial, threads);
+    } else {
+        place_delta(state, partial);
+    }
+
+    // evict: restore feasibility if the retained seats (or a reweight)
+    // broke it — move the largest working set off each violated SPE to
+    // the PPE until the verifier is satisfied
+    evict_until_feasible(state, spec);
+    debug_assert!(state.is_feasible(), "eviction ends feasible");
+
+    // drop the drift the committed placement/eviction moves accumulated
+    // before refining, so the descent trajectory matches a fresh start
+    // from the repaired seats
+    state.rebase();
+    refine_in_place(state, refine)
+}
+
+/// One seat candidate strictly beats the incumbent: feasible hosts
+/// dominate infeasible ones; within a class, smaller period, then the
+/// emptier host. Period ties (frequent: placements below the current
+/// bottleneck all look equal) break toward the least-occupied host, so
+/// fresh work spreads over idle SPEs instead of piling onto the first PE
+/// probed.
+fn seat_better(best: &Option<(PeId, f64, bool, f64)>, p: f64, feasible: bool, occ: f64) -> bool {
+    match *best {
+        None => true,
+        Some((_, bp, bf, bocc)) => {
+            (feasible && !bf)
+                || (feasible == bf
+                    && (p < bp * (1.0 - 1e-12) || (p <= bp * (1.0 + 1e-12) && occ < bocc)))
+        }
+    }
+}
+
+/// Place the delta tasks sequentially: topological order so producers
+/// sit before consumers, each onto the best seat per [`seat_better`].
+fn place_delta(state: &mut EvalState<'_>, partial: &[Option<PeId>]) {
+    let g = state.graph();
+    let spec = state.spec();
     for &t in g.topo_order() {
         if partial[t.index()].is_some() {
             continue;
@@ -71,61 +198,125 @@ pub fn repair(
             state.apply(Move::Relocate { task: t, to });
             let (p, feasible, occ) = (state.period(), state.is_feasible(), state.occupancy(to));
             state.undo();
-            let better = match best {
-                None => true,
-                // feasible hosts strictly dominate infeasible ones;
-                // within a class: smaller period, then emptier host
-                Some((_, bp, bf, bocc)) => {
-                    (feasible && !bf)
-                        || (feasible == bf
-                            && (p < bp * (1.0 - 1e-12) || (p <= bp * (1.0 + 1e-12) && occ < bocc)))
-                }
-            };
-            if better {
+            if seat_better(&best, p, feasible, occ) {
                 best = Some((to, p, feasible, occ));
             }
         }
         let (to, ..) = best.expect("platforms have at least one PE");
         state.apply(Move::Relocate { task: t, to });
     }
+}
 
-    // evict: restore feasibility if the retained seats (or a reweight)
-    // broke it — move the largest working set off each violated SPE to
-    // the PPE until the verifier is satisfied
-    evict_until_feasible(&mut state, spec);
-    debug_assert!(state.is_feasible(), "eviction ends feasible");
+/// Per-PE probe verdict a worker reports: (period, feasible, occupancy).
+type SeatProbe = (f64, bool, f64);
 
-    // refine from the repaired seats
-    local_search(g, spec, &state.mapping(), opts)
+enum ProbeJob {
+    /// Probe every PE in the worker's chunk for this task.
+    Probe(TaskId),
+    /// The main thread chose this seat: commit it so the clone tracks.
+    Commit(TaskId, PeId),
+}
+
+/// [`place_delta`] with the per-task PE scan fanned out over worker
+/// threads holding [`EvalState`] clones. Workers report raw per-PE
+/// verdicts for contiguous PE id chunks and the main thread folds them
+/// in global PE id order through the same [`seat_better`] predicate, so
+/// the chosen seats — including every tie-break — are bitwise identical
+/// to the sequential scan's, independent of thread scheduling (probes
+/// restore exactly and commits replay identically on every clone, so no
+/// clone ever drifts from the main state).
+fn place_delta_parallel(state: &mut EvalState<'_>, partial: &[Option<PeId>], threads: usize) {
+    let g = state.graph();
+    let spec = state.spec();
+    let n_pes = spec.n_pes();
+    let threads = threads.min(n_pes).max(1);
+    // chunk w probes PE ids [bounds[w], bounds[w+1])
+    let bounds: Vec<usize> = (0..=threads).map(|w| w * n_pes / threads).collect();
+    std::thread::scope(|scope| {
+        let (res_tx, res_rx) = std::sync::mpsc::channel::<(usize, Vec<SeatProbe>)>();
+        let mut job_txs = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let (tx, rx) = std::sync::mpsc::channel::<ProbeJob>();
+            job_txs.push(tx);
+            let res_tx = res_tx.clone();
+            let mut local = state.clone();
+            let (lo, hi) = (bounds[w], bounds[w + 1]);
+            scope.spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    match job {
+                        ProbeJob::Probe(t) => {
+                            let mut probes = Vec::with_capacity(hi - lo);
+                            for i in lo..hi {
+                                let to = spec.pe(i);
+                                local.apply(Move::Relocate { task: t, to });
+                                probes.push((
+                                    local.period(),
+                                    local.is_feasible(),
+                                    local.occupancy(to),
+                                ));
+                                local.undo();
+                            }
+                            if res_tx.send((w, probes)).is_err() {
+                                break;
+                            }
+                        }
+                        ProbeJob::Commit(t, to) => local.apply(Move::Relocate { task: t, to }),
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        let mut round: Vec<Option<Vec<SeatProbe>>> = vec![None; threads];
+        for &t in g.topo_order() {
+            if partial[t.index()].is_some() {
+                continue;
+            }
+            for tx in &job_txs {
+                tx.send(ProbeJob::Probe(t)).expect("probe worker alive");
+            }
+            round.iter_mut().for_each(|r| *r = None);
+            for _ in 0..threads {
+                let (w, probes) = res_rx.recv().expect("probe worker replies");
+                round[w] = Some(probes);
+            }
+            // the sequential scan's fold, replayed in global PE id order
+            let mut best: Option<(PeId, f64, bool, f64)> = None;
+            for w in 0..threads {
+                let probes = round[w].as_ref().expect("every worker reported");
+                for (k, &(p, feasible, occ)) in probes.iter().enumerate() {
+                    if seat_better(&best, p, feasible, occ) {
+                        best = Some((spec.pe(bounds[w] + k), p, feasible, occ));
+                    }
+                }
+            }
+            let (to, ..) = best.expect("platforms have at least one PE");
+            for tx in &job_txs {
+                tx.send(ProbeJob::Commit(t, to)).expect("probe worker alive");
+            }
+            state.apply(Move::Relocate { task: t, to });
+        }
+    });
 }
 
 /// Move tasks off violated SPEs onto the PPE until constraints (1i)–(1k)
 /// hold. Terminates: every step strictly shrinks the SPE-resident task
 /// set, and the all-PPE mapping satisfies all three constraints.
+/// Allocation-free: the violated SPE and the victim's buffer working set
+/// are read straight off the live state instead of materialising a
+/// report or a fresh `BufferPlan`.
 fn evict_until_feasible(state: &mut EvalState<'_>, spec: &CellSpec) {
     let g = state.graph();
     let ppe = spec.pe(0);
-    if state.is_feasible() {
-        return;
-    }
-    let plan = cellstream_core::steady::buffers::BufferPlan::new(g);
     while !state.is_feasible() {
-        // the report names the violated SPEs; evict from the first
-        let report = state.report();
-        let Some(violation) = report.violations.first() else {
-            break; // defensive: is_feasible and violations disagree
-        };
-        let pe = match *violation {
-            cellstream_core::Violation::LocalStore { pe, .. }
-            | cellstream_core::Violation::DmaIn { pe, .. }
-            | cellstream_core::Violation::DmaPpe { pe, .. } => pe,
+        let Some(pe) = state.first_violated_spe() else {
+            break; // defensive: is_feasible and the scan disagree
         };
         // largest buffer working set first: frees the most memory (and
         // its DMA slots) per move
         let victim = g
             .task_ids()
             .filter(|&t| state.pe_of(t) == pe)
-            .max_by(|&a, &b| plan.for_task(a).total_cmp(&plan.for_task(b)))
+            .max_by(|&a, &b| state.task_buffer_bytes(a).total_cmp(&state.task_buffer_bytes(b)))
             .expect("a violated SPE hosts at least one task");
         state.apply(Move::Relocate { task: victim, to: ppe });
     }
@@ -186,20 +377,32 @@ pub fn carry_over(
     new_g: &StreamGraph,
     spec: &CellSpec,
 ) -> Vec<Option<PeId>> {
+    let mut out = Vec::with_capacity(new_g.n_tasks());
+    carry_over_into(old_g, old_m, new_g, spec, &mut out);
+    out
+}
+
+/// [`carry_over`] into a caller-owned buffer: `out` is cleared and
+/// refilled, so an event loop reuses one seat vector across replans
+/// instead of allocating a fresh one per event.
+pub fn carry_over_into(
+    old_g: &StreamGraph,
+    old_m: &Mapping,
+    new_g: &StreamGraph,
+    spec: &CellSpec,
+    out: &mut Vec<Option<PeId>>,
+) {
     use std::collections::HashMap;
     assert_eq!(old_m.assignment().len(), old_g.n_tasks(), "incumbent/graph mismatch");
     let old_by_name: HashMap<&str, TaskId> =
         old_g.tasks().iter().enumerate().map(|(i, t)| (t.name.as_str(), TaskId(i))).collect();
-    new_g
-        .tasks()
-        .iter()
-        .map(|t| {
-            old_by_name
-                .get(t.name.as_str())
-                .map(|&id| old_m.pe_of(id))
-                .filter(|pe| pe.index() < spec.n_pes())
-        })
-        .collect()
+    out.clear();
+    out.extend(new_g.tasks().iter().map(|t| {
+        old_by_name
+            .get(t.name.as_str())
+            .map(|&id| old_m.pe_of(id))
+            .filter(|pe| pe.index() < spec.n_pes())
+    }));
 }
 
 #[cfg(test)]
@@ -275,6 +478,73 @@ mod tests {
         let (m, p) = repair(new_w.graph(), &spec, &partial, &LocalSearchOptions::default());
         assert!(p.is_finite());
         assert!(evaluate(new_w.graph(), &spec, &m).unwrap().is_feasible());
+    }
+
+    #[test]
+    fn parallel_probing_places_identically_to_sequential() {
+        // several graph shapes × platforms × thread counts: the chosen
+        // mapping must be bitwise identical to the sequential scan's
+        // (workers report raw verdicts; the fold replays PE id order)
+        let spec_big = CellSpec::qs22();
+        let spec_small = CellSpec::ps3();
+        for (g, spec) in [
+            (chain("c", 24, &CostParams::default(), 3), &spec_big),
+            (fork_join("fj", 9, &CostParams::default(), 8), &spec_big),
+            (chain("s", 12, &CostParams::default(), 5), &spec_small),
+        ] {
+            // half the tasks retained (alternating), half unplaced
+            let partial: Vec<Option<PeId>> =
+                (0..g.n_tasks()).map(|k| (k % 2 == 0).then(|| spec.pe(k % spec.n_pes()))).collect();
+            let (seq, seq_p) = repair(&g, spec, &partial, &LocalSearchOptions::default());
+            for threads in [2, 3, 8] {
+                let opts = RepairOptions {
+                    probe_threads: threads,
+                    parallel_min_probes: 1, // force the pool on
+                    ..RepairOptions::default()
+                };
+                let (par, par_p) = repair_with(&g, spec, &partial, &opts);
+                assert_eq!(par, seq, "{threads} threads diverged on {}", g.name());
+                assert_eq!(par_p, seq_p);
+            }
+        }
+    }
+
+    #[test]
+    fn small_deltas_stay_sequential_under_the_probe_threshold() {
+        // under parallel_min_probes the pool must not spin up; results
+        // are identical either way, so pin via the default threshold
+        let g = chain("c", 4, &CostParams::default(), 2);
+        let spec = CellSpec::ps3();
+        let partial = vec![None; g.n_tasks()];
+        let opts = RepairOptions { probe_threads: 4, ..RepairOptions::default() };
+        assert!(g.n_tasks() * spec.n_pes() < opts.parallel_min_probes);
+        let (m, p) = repair_with(&g, &spec, &partial, &opts);
+        let (seq, seq_p) = repair(&g, &spec, &partial, &LocalSearchOptions::default());
+        assert_eq!(m, seq);
+        assert_eq!(p, seq_p);
+    }
+
+    #[test]
+    fn repair_in_place_reuses_one_state_across_deltas() {
+        // the serving shape: one EvalState, successive partials on the
+        // same composed graph — each in-place pass must match a from-
+        // scratch repair of the same partial
+        let g = fork_join("fj", 5, &CostParams::default(), 11);
+        let spec = CellSpec::ps3();
+        let opts = LocalSearchOptions { sweep: true, ..LocalSearchOptions::default() };
+        let seed = Mapping::all_on(&g, PeId(0));
+        let mut state = EvalState::new(&g, &spec, &seed).unwrap();
+        for round in 0..4 {
+            // retain a sliding window of seats, leave the rest unplaced
+            let partial: Vec<Option<PeId>> = (0..g.n_tasks())
+                .map(|k| ((k + round) % 3 != 0).then(|| spec.pe((k + round) % spec.n_pes())))
+                .collect();
+            let score = repair_in_place(&mut state, &partial, &opts);
+            let (fresh, fresh_p) = repair(&g, &spec, &partial, &opts);
+            assert_eq!(state.mapping(), fresh, "round {round}");
+            assert!(state.is_feasible());
+            assert!((score - fresh_p).abs() <= 1e-9 * fresh_p.max(1e-12), "round {round}");
+        }
     }
 
     #[test]

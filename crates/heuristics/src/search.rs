@@ -100,10 +100,29 @@ pub fn local_search(
         // structurally invalid start: nothing to refine
         Err(_) => return (start.clone(), f64::INFINITY),
     };
+    refine_in_place(&mut state, opts);
+    let refined = state.mapping();
+    let exact = exact_period(g, spec, &refined);
+    (refined, exact)
+}
+
+/// [`local_search`] on a caller-owned [`EvalState`]: descend from the
+/// state's current seats, committing accepted moves into the state, and
+/// return the incremental score reached (`+∞` only from an infeasible
+/// state no move can fix). The hot-path entry point — no `EvalState`
+/// construction, no `Mapping` clone, no final full [`evaluate`]: given a
+/// warmed-up state this performs **zero heap allocations** (the
+/// counting-allocator suite pins it). Callers that publish a period
+/// re-derive it at their boundary; the incremental drift stays below
+/// 1e-9 relative (see the `EvalState` docs).
+pub fn refine_in_place(state: &mut EvalState<'_>, opts: &LocalSearchOptions) -> f64 {
+    let g = state.graph();
+    let spec = state.spec();
     let deadline = opts.budget.map(|b| Instant::now() + b);
-    let cancel = opts.cancel.clone().unwrap_or_default();
+    // poll through the Option: materialising a default token allocates
+    let cancelled = || opts.cancel.as_ref().is_some_and(|c| c.is_cancelled());
     let mut current = state.score();
-    let mut current_pot = balance_potential(&state, spec);
+    let mut current_pot = balance_potential(state, spec);
 
     // probe = apply → (score, potential) → exact undo
     fn probe(state: &mut EvalState<'_>, spec: &CellSpec, mv: Move, plateau: bool) -> (f64, f64) {
@@ -141,7 +160,7 @@ pub fn local_search(
         'sweeps: for _ in 0..opts.max_rounds {
             let mut changed = false;
             for t in g.task_ids() {
-                if cancel.is_cancelled() {
+                if cancelled() {
                     break 'sweeps;
                 }
                 let from = state.pe_of(t);
@@ -151,7 +170,7 @@ pub fn local_search(
                         continue;
                     }
                     let mv = Move::Relocate { task: t, to };
-                    let (p, pot) = probe(&mut state, spec, mv, opts.plateau);
+                    let (p, pot) = probe(state, spec, mv, opts.plateau);
                     if best.as_ref().is_none_or(|&(_, bp, bpot)| dominates(p, pot, bp, bpot)) {
                         best = Some((mv, p, pot));
                     }
@@ -167,7 +186,7 @@ pub fn local_search(
             // swaps only when a whole relocation sweep came up dry
             if !changed && opts.swaps {
                 for a in g.task_ids() {
-                    if cancel.is_cancelled() {
+                    if cancelled() {
                         break 'sweeps;
                     }
                     for b in g.task_ids().skip(a.index() + 1) {
@@ -175,7 +194,7 @@ pub fn local_search(
                             continue;
                         }
                         let mv = Move::Swap { a, b };
-                        let (p, pot) = probe(&mut state, spec, mv, opts.plateau);
+                        let (p, pot) = probe(state, spec, mv, opts.plateau);
                         if accepts(p, pot, current, current_pot) {
                             state.apply(mv);
                             (current, current_pot) = (p.min(current), pot);
@@ -197,7 +216,7 @@ pub fn local_search(
 
             // single-task moves
             for t in g.task_ids() {
-                if cancel.is_cancelled() {
+                if cancelled() {
                     break 'rounds;
                 }
                 let from = state.pe_of(t);
@@ -206,7 +225,7 @@ pub fn local_search(
                         continue;
                     }
                     let mv = Move::Relocate { task: t, to };
-                    let (p, pot) = probe(&mut state, spec, mv, opts.plateau);
+                    let (p, pot) = probe(state, spec, mv, opts.plateau);
                     if best.as_ref().is_none_or(|&(_, bp, bpot)| dominates(p, pot, bp, bpot)) {
                         best = Some((mv, p, pot));
                     }
@@ -219,7 +238,7 @@ pub fn local_search(
             // measurably degrades the classic search's final quality)
             if opts.swaps {
                 for a in g.task_ids() {
-                    if cancel.is_cancelled() {
+                    if cancelled() {
                         break 'rounds;
                     }
                     for b in g.task_ids().skip(a.index() + 1) {
@@ -227,7 +246,7 @@ pub fn local_search(
                             continue;
                         }
                         let mv = Move::Swap { a, b };
-                        let (p, pot) = probe(&mut state, spec, mv, opts.plateau);
+                        let (p, pot) = probe(state, spec, mv, opts.plateau);
                         if best.as_ref().is_none_or(|&(_, bp, bpot)| dominates(p, pot, bp, bpot)) {
                             best = Some((mv, p, pot));
                         }
@@ -247,13 +266,11 @@ pub fn local_search(
             }
         }
     }
-    let refined = state.mapping();
-    let exact = exact_period(g, spec, &refined);
-    (refined, exact)
+    state.score()
 }
 
 /// The full verifier's verdict on a mapping: feasible period or `+∞`.
-fn exact_period(g: &StreamGraph, spec: &CellSpec, m: &Mapping) -> f64 {
+pub(crate) fn exact_period(g: &StreamGraph, spec: &CellSpec, m: &Mapping) -> f64 {
     match evaluate(g, spec, m) {
         Ok(r) if r.is_feasible() => r.period,
         _ => f64::INFINITY,

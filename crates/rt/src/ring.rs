@@ -94,6 +94,92 @@ impl EdgeRing {
     }
 }
 
+/// A bounded single-producer / single-consumer queue of owned items —
+/// [`EdgeRing`]'s counter discipline generalised from byte slots to any
+/// `T`. The serving layer threads admission/retire/reweight events
+/// through one of these between the intake thread and the planner
+/// thread; a full ring is the backpressure signal ([`try_push`] hands
+/// the item back instead of blocking or dropping).
+///
+/// The produced/consumed [`AtomicU64`]s carry the synchronisation; slot
+/// reuse is impossible while the counters disagree, so each per-slot
+/// `Mutex` is uncontended in steady state — it exists, as in
+/// [`EdgeRing`], to keep the crate free of `unsafe`. The SPSC contract
+/// (one pushing thread, one popping thread) is the caller's to uphold;
+/// breaking it cannot corrupt memory, only fairness.
+///
+/// [`try_push`]: Self::try_push
+#[derive(Debug)]
+pub struct SpscRing<T> {
+    slots: Vec<Mutex<Option<T>>>,
+    produced: AtomicU64,
+    consumed: AtomicU64,
+    capacity: u64,
+}
+
+impl<T> SpscRing<T> {
+    /// A ring holding up to `capacity` items.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "a ring needs at least one slot");
+        SpscRing {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            produced: AtomicU64::new(0),
+            consumed: AtomicU64::new(0),
+            capacity: capacity as u64,
+        }
+    }
+
+    /// Maximum number of items the ring holds.
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// Items currently queued (pushed, not yet popped).
+    pub fn len(&self) -> usize {
+        (self.produced.load(Ordering::Acquire) - self.consumed.load(Ordering::Acquire)) as usize
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` when a push would be refused.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.capacity as usize
+    }
+
+    /// Items pushed over the ring's lifetime.
+    pub fn pushed(&self) -> u64 {
+        self.produced.load(Ordering::Acquire)
+    }
+
+    /// Push from the producer side. On a full ring the item comes back
+    /// as `Err` — the backpressure signal; the producer decides whether
+    /// to spin, yield or shed load.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let i = self.produced.load(Ordering::Relaxed);
+        if i - self.consumed.load(Ordering::Acquire) == self.capacity {
+            return Err(item);
+        }
+        *self.slots[(i % self.capacity) as usize].lock() = Some(item);
+        self.produced.store(i + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Pop from the consumer side; `None` when the ring is empty.
+    pub fn try_pop(&self) -> Option<T> {
+        let c = self.consumed.load(Ordering::Relaxed);
+        if self.produced.load(Ordering::Acquire) == c {
+            return None;
+        }
+        let item = self.slots[(c % self.capacity) as usize].lock().take();
+        self.consumed.store(c + 1, Ordering::Release);
+        debug_assert!(item.is_some(), "published slot holds an item");
+        item
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +234,67 @@ mod tests {
     fn early_window_panics() {
         let ring = EdgeRing::new(2, 1);
         ring.with_window(0, 0, |_| ());
+    }
+
+    #[test]
+    fn spsc_ring_full_and_empty_boundaries() {
+        let ring: SpscRing<u32> = SpscRing::with_capacity(2);
+        assert!(ring.is_empty());
+        assert_eq!(ring.try_pop(), None, "empty ring pops nothing");
+        assert_eq!(ring.try_push(1), Ok(()));
+        assert_eq!(ring.try_push(2), Ok(()));
+        assert!(ring.is_full());
+        assert_eq!(ring.try_push(3), Err(3), "full ring hands the item back");
+        assert_eq!(ring.try_pop(), Some(1), "FIFO");
+        assert_eq!(ring.try_push(3), Ok(()), "freed slot is reusable");
+        assert_eq!(ring.try_pop(), Some(2));
+        assert_eq!(ring.try_pop(), Some(3));
+        assert_eq!(ring.try_pop(), None);
+        assert_eq!(ring.len(), 0);
+        assert_eq!(ring.pushed(), 3);
+    }
+
+    #[test]
+    fn spsc_ring_stress_no_lost_or_reordered_items() {
+        // a tiny ring forced through many wrap-arounds by two real
+        // threads: every item arrives exactly once, in push order, and
+        // backpressure refusals never drop anything
+        let ring: SpscRing<u64> = SpscRing::with_capacity(3);
+        let n = 50_000u64;
+        let refusals = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let mut next = 0u64;
+                while next < n {
+                    match ring.try_push(next) {
+                        Ok(()) => next += 1,
+                        Err(back) => {
+                            assert_eq!(back, next, "refused push returns the same item");
+                            refusals.fetch_add(1, Ordering::Relaxed);
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            });
+            scope.spawn(|| {
+                let mut expect = 0u64;
+                while expect < n {
+                    match ring.try_pop() {
+                        Some(v) => {
+                            assert_eq!(v, expect, "FIFO order violated");
+                            expect += 1;
+                        }
+                        None => std::hint::spin_loop(),
+                    }
+                }
+            });
+        });
+        assert!(ring.is_empty());
+        assert_eq!(ring.pushed(), n);
+        assert!(
+            refusals.load(Ordering::Relaxed) > 0,
+            "a 3-slot ring under 50k pushes must backpressure at least once"
+        );
     }
 
     #[test]

@@ -72,6 +72,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod pipeline;
 mod service;
 
-pub use service::{Event, RejectReason, ServeError, ServeReport, Service, ServiceOptions, Verdict};
+pub use pipeline::{PipelineOptions, PipelineStats, ServePipeline};
+pub use service::{
+    BatchReport, Event, EventLabel, RejectReason, ServeError, ServeReport, Service, ServiceOptions,
+    Verdict,
+};

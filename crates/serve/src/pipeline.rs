@@ -1,0 +1,442 @@
+//! Concurrent serving: a lock-free intake ring feeding a planner thread.
+//!
+//! [`Service`] is single-threaded — every `process` call replans before
+//! the caller may hand over the next event, so intake stalls for the
+//! whole replan. [`ServePipeline`] splits the two roles across threads:
+//! the **intake** side pushes name-addressed [`TraceEvent`]s into a
+//! bounded [`SpscRing`] (a full ring hands the event back — the
+//! backpressure signal), while the **planner** thread owns the
+//! [`Service`] and drains whatever has accumulated since its last
+//! replan into one [`Service::process_batch`] call. A burst that piled
+//! up behind a slow replan is then amortised over a *single* compose +
+//! carry-over + repair instead of paying one replan per event.
+//!
+//! Events are applied in submission order; the planner never reorders
+//! across a dependency. Two events touching the **same application
+//! name** (admit then retire, retire then re-admit, ...) are split into
+//! separate batches, because names resolve to handles against the live
+//! incumbent — the first batch must commit before the second one's
+//! names make sense.
+//!
+//! The pipeline implements [`IntakeSystem`], so
+//! [`cellstream_sim::online::replay_concurrent`] can drive it straight
+//! from an [`EventTrace`](cellstream_sim::online::EventTrace).
+
+use crate::service::{Event, Service, Verdict};
+use cellstream_rt::SpscRing;
+use cellstream_sim::online::{IntakeSystem, TraceEvent};
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tunables of one [`ServePipeline`].
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Intake ring slots; a full ring backpressures the submitter.
+    pub capacity: usize,
+    /// Largest burst fused into one [`Service::process_batch`] call.
+    pub max_batch: usize,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions { capacity: 256, max_batch: 64 }
+    }
+}
+
+/// What the planner thread did, harvested by [`ServePipeline::finish`].
+#[derive(Debug, Clone, Default)]
+pub struct PipelineStats {
+    /// Events handed to the service (admits, retires, reweights).
+    pub events: u64,
+    /// Replans — `process_batch` calls covering those events.
+    pub batches: u64,
+    /// Events whose application name resolved to no live handle and
+    /// that were therefore dropped (a retire racing a rejection, say).
+    pub skipped: u64,
+    /// Events the service refused (guarantee/feasibility/weight).
+    pub rejected: u64,
+    /// Most events ever fused into one replan.
+    pub largest_batch: usize,
+    /// Per-batch replan wall-clock, in completion order.
+    pub replans: Vec<Duration>,
+}
+
+impl PipelineStats {
+    /// The `p`-th percentile (0.0 ..= 1.0) of per-batch replan latency.
+    pub fn replan_percentile(&self, p: f64) -> Duration {
+        if self.replans.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.replans.clone();
+        sorted.sort();
+        let rank = ((sorted.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+        sorted[rank]
+    }
+
+    /// Mean events per replan — the batching win over one-at-a-time.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.events as f64 / self.batches as f64
+        }
+    }
+}
+
+/// A [`Service`] behind a lock-free intake ring and a planner thread.
+///
+/// Submit name-addressed [`TraceEvent`]s from one thread (the SPSC
+/// contract: a single submitting thread at a time); the planner applies
+/// them asynchronously, batching whatever accumulates. [`finish`] joins
+/// the planner and returns the service with its incumbent, plus the
+/// batching statistics.
+///
+/// [`finish`]: Self::finish
+#[derive(Debug)]
+pub struct ServePipeline {
+    ring: Arc<SpscRing<TraceEvent>>,
+    done: Arc<AtomicBool>,
+    planner: Option<JoinHandle<(Service, PipelineStats)>>,
+}
+
+impl ServePipeline {
+    /// Move `service` onto a fresh planner thread and open the intake.
+    pub fn launch(service: Service, opts: PipelineOptions) -> Self {
+        let ring = Arc::new(SpscRing::with_capacity(opts.capacity.max(1)));
+        let done = Arc::new(AtomicBool::new(false));
+        let planner = {
+            let ring = Arc::clone(&ring);
+            let done = Arc::clone(&done);
+            let max_batch = opts.max_batch.max(1);
+            std::thread::spawn(move || planner_loop(service, &ring, &done, max_batch))
+        };
+        ServePipeline { ring, done, planner: Some(planner) }
+    }
+
+    /// Try to submit one event; a full ring hands it back as `Err`.
+    ///
+    /// The event rides in the `Err` by value so the caller can retry
+    /// without ever heap-allocating on the intake path; boxing it to
+    /// shrink the variant would defeat that.
+    #[allow(clippy::result_large_err)]
+    pub fn try_submit(&self, ev: TraceEvent) -> Result<(), TraceEvent> {
+        self.ring.try_push(ev)
+    }
+
+    /// Submit one event, yielding until the ring accepts it. Returns
+    /// `true` if the ring refused it at least once first.
+    pub fn submit(&self, mut ev: TraceEvent) -> bool {
+        let mut refused = false;
+        loop {
+            match self.ring.try_push(ev) {
+                Ok(()) => return refused,
+                Err(back) => {
+                    refused = true;
+                    ev = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Events accepted but not yet popped by the planner.
+    pub fn backlog(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Close the intake, drain the ring, join the planner, and return
+    /// the service (with its final incumbent) and the batching stats.
+    pub fn finish(mut self) -> (Service, PipelineStats) {
+        self.done.store(true, Ordering::Release);
+        let handle = self.planner.take().expect("finish runs once");
+        handle.join().expect("planner thread never panics")
+    }
+}
+
+impl Drop for ServePipeline {
+    fn drop(&mut self) {
+        if let Some(handle) = self.planner.take() {
+            self.done.store(true, Ordering::Release);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl IntakeSystem for ServePipeline {
+    fn submit(&self, ev: TraceEvent) -> bool {
+        ServePipeline::submit(self, ev)
+    }
+
+    fn backlog(&self) -> usize {
+        ServePipeline::backlog(self)
+    }
+}
+
+/// Build the next batch from the front of `pending`: translate
+/// name-addressed trace events into handle-addressed [`Event`]s against
+/// the live incumbent, stopping at `max_batch` or at the first event
+/// whose application name an earlier event of this batch already
+/// touched (its handle only exists once this batch commits). Unknown
+/// names are dropped and counted, never blocking the batch.
+fn build_batch(
+    service: &Service,
+    pending: &mut VecDeque<TraceEvent>,
+    max_batch: usize,
+    events: &mut Vec<Event>,
+    touched: &mut HashSet<String>,
+) -> u64 {
+    let mut skipped = 0;
+    touched.clear();
+    while events.len() < max_batch {
+        let name = match pending.front() {
+            Some(TraceEvent::Admit { graph, .. }) => graph.name(),
+            Some(TraceEvent::Retire { app }) | Some(TraceEvent::Reweight { app, .. }) => app,
+            None => break,
+        };
+        if touched.contains(name) {
+            break; // dependency on this batch's own commit: cut here
+        }
+        match pending.pop_front().expect("front was Some") {
+            TraceEvent::Admit { graph, weight } => {
+                touched.insert(graph.name().to_owned());
+                events.push(Event::Admit(graph, weight));
+            }
+            TraceEvent::Retire { app } => match service.handle_of(&app) {
+                Some(id) => {
+                    touched.insert(app);
+                    events.push(Event::Retire(id));
+                }
+                None => skipped += 1,
+            },
+            TraceEvent::Reweight { app, weight } => match service.handle_of(&app) {
+                Some(id) => {
+                    touched.insert(app);
+                    events.push(Event::Reweight(id, weight));
+                }
+                None => skipped += 1,
+            },
+        }
+    }
+    skipped
+}
+
+fn planner_loop(
+    mut service: Service,
+    ring: &SpscRing<TraceEvent>,
+    done: &AtomicBool,
+    max_batch: usize,
+) -> (Service, PipelineStats) {
+    let mut stats = PipelineStats::default();
+    let mut pending: VecDeque<TraceEvent> = VecDeque::with_capacity(max_batch);
+    let mut events: Vec<Event> = Vec::with_capacity(max_batch);
+    let mut touched: HashSet<String> = HashSet::with_capacity(max_batch);
+    loop {
+        while pending.len() < max_batch {
+            match ring.try_pop() {
+                Some(ev) => pending.push_back(ev),
+                None => break,
+            }
+        }
+        if pending.is_empty() {
+            if done.load(Ordering::Acquire) && ring.is_empty() {
+                break;
+            }
+            std::thread::yield_now();
+            continue;
+        }
+
+        events.clear();
+        stats.skipped += build_batch(&service, &mut pending, max_batch, &mut events, &mut touched);
+        if events.is_empty() {
+            continue;
+        }
+        match service.process_batch(&events) {
+            Ok(report) => {
+                stats.events += events.len() as u64;
+                stats.batches += 1;
+                stats.largest_batch = stats.largest_batch.max(events.len());
+                stats.rejected +=
+                    report.events.iter().filter(|(_, v)| matches!(v, Verdict::Rejected(_))).count()
+                        as u64;
+                stats.replans.push(report.replan);
+            }
+            // every handle was resolved against the live incumbent on
+            // this same thread, so batch validation cannot fail — but if
+            // it ever does, degrade to one-at-a-time rather than lose
+            // the burst
+            Err(_) => {
+                for ev in events.drain(..) {
+                    match service.process(ev) {
+                        Ok(report) => {
+                            stats.events += 1;
+                            stats.batches += 1;
+                            stats.replans.push(report.replan);
+                        }
+                        Err(_) => stats.skipped += 1,
+                    }
+                }
+            }
+        }
+    }
+    (service, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceOptions;
+    use cellstream_apps::{audio, cipher, dsp, video};
+    use cellstream_platform::CellSpec;
+    use cellstream_sim::online::{replay_concurrent, EventTrace};
+
+    fn churn_trace() -> EventTrace {
+        let audio = audio::graph().unwrap();
+        let video = video::graph().unwrap();
+        let cipher = cipher::graph().unwrap();
+        let dsp = dsp::graph().unwrap();
+        EventTrace::new(0.30)
+            .at(0.00, TraceEvent::Admit { graph: audio.clone(), weight: 1.0 })
+            .at(0.02, TraceEvent::Admit { graph: video.clone(), weight: 1.0 })
+            .at(0.04, TraceEvent::Admit { graph: cipher.clone(), weight: 2.0 })
+            .at(0.06, TraceEvent::Reweight { app: audio.name().into(), weight: 2.0 })
+            .at(0.08, TraceEvent::Admit { graph: dsp.clone(), weight: 1.0 })
+            .at(0.10, TraceEvent::Retire { app: video.name().into() })
+            .at(0.12, TraceEvent::Admit { graph: video.renamed("video-2"), weight: 1.0 })
+            .at(0.14, TraceEvent::Reweight { app: cipher.name().into(), weight: 1.0 })
+            .at(0.16, TraceEvent::Retire { app: audio.name().into() })
+            .at(0.18, TraceEvent::Admit { graph: audio.renamed("audio-2"), weight: 2.0 })
+            .at(0.20, TraceEvent::Retire { app: dsp.name().into() })
+    }
+
+    /// Apply a trace to a plain single-threaded service, resolving
+    /// names exactly the way the planner thread does.
+    fn replay_sequential(svc: &mut Service, trace: &EventTrace) {
+        for te in trace.events() {
+            match &te.event {
+                TraceEvent::Admit { graph, weight } => {
+                    svc.admit(graph, *weight);
+                }
+                TraceEvent::Retire { app } => {
+                    let id = svc.handle_of(app).expect("trace retires live apps");
+                    svc.retire(id).unwrap();
+                }
+                TraceEvent::Reweight { app, weight } => {
+                    let id = svc.handle_of(app).expect("trace reweights live apps");
+                    svc.reweight(id, *weight).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_replay_matches_sequential_final_state() {
+        let spec = CellSpec::qs22();
+        let trace = churn_trace();
+
+        let mut seq = Service::new(spec.clone());
+        replay_sequential(&mut seq, &trace);
+
+        let pipe = ServePipeline::launch(Service::new(spec), PipelineOptions::default());
+        let intake = replay_concurrent(&pipe, &trace);
+        let (svc, stats) = pipe.finish();
+
+        assert_eq!(intake.submitted, trace.len());
+        assert_eq!(stats.skipped, 0, "every name resolves in submission order");
+        assert_eq!(stats.events, trace.len() as u64);
+        assert!(stats.batches as usize <= trace.len());
+        assert_eq!(stats.replans.len() as u64, stats.batches);
+
+        // same surviving applications under the same names and weights
+        let names = |s: &Service| -> Vec<String> { s.apps().map(|(_, n)| n.to_owned()).collect() };
+        assert_eq!(names(&svc), names(&seq));
+        assert_eq!(svc.workload(), seq.workload());
+        // both incumbents feasible, periods in the same band (different
+        // warm starts may land in different local optima)
+        let (a, b) = (svc.period(), seq.period());
+        assert!(a.is_finite() && b.is_finite());
+        assert!(a <= b * 2.0 + 1e-12 && b <= a * 2.0 + 1e-12, "periods {a} vs {b}");
+    }
+
+    #[test]
+    fn tiny_ring_backpressures_without_losing_events() {
+        let trace = churn_trace();
+        let pipe = ServePipeline::launch(
+            Service::new(CellSpec::ps3()),
+            PipelineOptions { capacity: 2, max_batch: 4 },
+        );
+        let intake = replay_concurrent(&pipe, &trace);
+        let (svc, stats) = pipe.finish();
+        assert_eq!(intake.submitted, trace.len());
+        assert!(intake.peak_backlog <= 2);
+        assert_eq!(stats.events + stats.skipped, trace.len() as u64);
+        assert_eq!(stats.skipped, 0);
+        assert_eq!(svc.n_apps(), 3, "audio-2, cipher and video-2 survive");
+    }
+
+    #[test]
+    fn batches_cut_at_same_name_dependencies() {
+        let g = audio::graph().unwrap();
+        let svc = Service::new(CellSpec::ps3());
+        let mut pending: VecDeque<TraceEvent> = VecDeque::from([
+            TraceEvent::Admit { graph: g.clone(), weight: 1.0 },
+            TraceEvent::Retire { app: g.name().into() },
+            TraceEvent::Admit { graph: g.clone(), weight: 2.0 },
+            TraceEvent::Admit { graph: g.renamed("other"), weight: 1.0 },
+        ]);
+        let mut events = Vec::new();
+        let mut touched = HashSet::new();
+
+        // batch 1: just the first admit — the retire names it
+        let skipped = build_batch(&svc, &mut pending, 16, &mut events, &mut touched);
+        assert_eq!(skipped, 0);
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], Event::Admit(..)));
+        assert_eq!(pending.len(), 3);
+
+        // the retire now resolves only once batch 1 committed; against
+        // the still-idle service it is an unknown name and is dropped —
+        // batch 2 then cuts again between retire and re-admit
+        events.clear();
+        let skipped = build_batch(&svc, &mut pending, 16, &mut events, &mut touched);
+        assert_eq!(skipped, 1, "retire of a never-admitted name is dropped");
+        assert_eq!(events.len(), 2, "re-admit and the unrelated admit fuse");
+        assert!(pending.is_empty());
+    }
+
+    #[test]
+    fn pipelined_same_name_churn_lands_on_the_re_admission() {
+        let g = audio::graph().unwrap();
+        let trace = EventTrace::new(0.10)
+            .at(0.00, TraceEvent::Admit { graph: g.clone(), weight: 1.0 })
+            .at(0.02, TraceEvent::Retire { app: g.name().into() })
+            .at(0.04, TraceEvent::Admit { graph: g.clone(), weight: 2.0 })
+            .at(0.06, TraceEvent::Reweight { app: g.name().into(), weight: 3.0 });
+        let pipe = ServePipeline::launch(Service::new(CellSpec::ps3()), PipelineOptions::default());
+        replay_concurrent(&pipe, &trace);
+        let (svc, stats) = pipe.finish();
+        assert_eq!(stats.skipped, 0);
+        assert_eq!(svc.n_apps(), 1);
+        let w = svc.workload().expect("one app lives");
+        assert_eq!(w.apps().len(), 1);
+        assert_eq!(w.apps()[0].name, g.name());
+        assert!((w.apps()[0].weight - 3.0).abs() < 1e-12, "the reweight landed last");
+    }
+
+    #[test]
+    fn guarantee_mode_pipeline_still_gates_admissions() {
+        let opts = ServiceOptions { max_period: Some(1e-9), ..ServiceOptions::default() };
+        let pipe = ServePipeline::launch(
+            Service::with_options(CellSpec::ps3(), opts),
+            PipelineOptions::default(),
+        );
+        let trace = EventTrace::new(0.02)
+            .at(0.00, TraceEvent::Admit { graph: video::graph().unwrap(), weight: 1.0 });
+        replay_concurrent(&pipe, &trace);
+        let (svc, stats) = pipe.finish();
+        assert_eq!(svc.n_apps(), 0, "an impossible guarantee admits nothing");
+        assert_eq!(stats.rejected, 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property test: `Service::process_batch` and one-at-a-time
+//! `Service::process` (in the canonical retire → reweight → admit
+//! order) agree on the **final service state** for random bursts over
+//! random workloads — same surviving applications under the same
+//! handles, names and weights, identically composed workload, both
+//! incumbents feasible. The *mappings* may differ (one fused repair and
+//! per-event repairs descend from different warm starts), so the period
+//! is held to a 2× quality band rather than equality.
+
+use cellstream_graph::{AppId, StreamGraph, TaskSpec};
+use cellstream_platform::CellSpec;
+use cellstream_serve::{Event, Service};
+use proptest::prelude::*;
+
+fn pipeline(name: &str, n: usize, cost_scale: u8) -> StreamGraph {
+    let c = 1e-6 * (1.0 + f64::from(cost_scale));
+    let mut b = StreamGraph::builder(name);
+    let mut prev = None;
+    for i in 0..n {
+        let t = b.add_task(TaskSpec::new(format!("t{i}")).ppe_cost(c).spe_cost(c / 3.0));
+        if let Some(p) = prev {
+            b.add_edge(p, t, 1024.0).unwrap();
+        }
+        prev = Some(t);
+    }
+    b.build().unwrap()
+}
+
+/// One seed application: task count, cost scale, weight.
+type SeedApp = (usize, u8, f64);
+
+/// One admission in the burst: task count, cost scale, weight, and
+/// whether it reuses the first seed's name (exercising the uniquify
+/// path) instead of a fresh one.
+type BurstAdmit = (usize, u8, f64, bool);
+
+#[derive(Debug, Clone)]
+struct Burst {
+    seeds: Vec<SeedApp>,
+    /// Per-seed retire mask.
+    retire: Vec<bool>,
+    /// Seed index → new weight; retired or repeated targets are skipped
+    /// when the events are materialised.
+    reweights: Vec<(usize, f64)>,
+    admits: Vec<BurstAdmit>,
+}
+
+/// Mostly sane weights, occasionally an invalid zero: rejection
+/// verdicts must agree between the two paths too.
+fn arb_weight() -> impl Strategy<Value = f64> {
+    (0u8..9, 0.25f64..4.0).prop_map(|(z, w)| if z == 0 { 0.0 } else { w })
+}
+
+fn arb_burst() -> impl Strategy<Value = Burst> {
+    collection::vec((2usize..=5, 0u8..4, 0.5f64..3.0), 1..=3).prop_flat_map(|seeds| {
+        let n = seeds.len();
+        (
+            Just(seeds),
+            collection::vec(any::<bool>(), n..=n),
+            collection::vec((0..n, arb_weight()), 0..=2),
+            collection::vec((2usize..=4, 0u8..4, arb_weight(), any::<bool>()), 0..=2),
+        )
+            .prop_map(|(seeds, retire, reweights, admits)| Burst {
+                seeds,
+                retire,
+                reweights,
+                admits,
+            })
+    })
+}
+
+fn events_of(burst: &Burst, handles: &[AppId]) -> Vec<Event> {
+    let mut seen_reweight: Vec<usize> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+    for (k, &(t, c, w, dup)) in burst.admits.iter().enumerate() {
+        let name = if dup { "seed0".to_owned() } else { format!("new{k}") };
+        events.push(Event::Admit(pipeline(&name, t, c), w));
+    }
+    for &(i, w) in &burst.reweights {
+        // a handle may be targeted by at most one reweight and must not
+        // race its own retire — batch validation refuses such bursts up
+        // front, which is its own (separately tested) contract
+        if burst.retire[i] || seen_reweight.contains(&i) {
+            continue;
+        }
+        seen_reweight.push(i);
+        events.push(Event::Reweight(handles[i], w));
+    }
+    for (i, &gone) in burst.retire.iter().enumerate() {
+        if gone {
+            events.push(Event::Retire(handles[i]));
+        }
+    }
+    events
+}
+
+fn assert_feasible(svc: &Service) {
+    if let (Some(w), Some(m)) = (svc.workload(), svc.mapping()) {
+        let report =
+            cellstream_core::evaluate(w.graph(), svc.spec(), m).expect("structurally valid");
+        assert!(report.is_feasible(), "infeasible incumbent: {:?}", report.violations);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_bursts_batch_like_sequential(burst in arb_burst()) {
+        let mut batched = Service::new(CellSpec::ps3());
+        let mut seq = Service::new(CellSpec::ps3());
+        let mut handles = Vec::new();
+        for (k, &(t, c, w)) in burst.seeds.iter().enumerate() {
+            let g = pipeline(&format!("seed{k}"), t, c);
+            let hb = batched.admit(&g, w).admitted().expect("seed fits a PS3");
+            let hs = seq.admit(&g, w).admitted().expect("seed fits a PS3");
+            prop_assert_eq!(hb, hs, "seeding runs in lockstep");
+            handles.push(hb);
+        }
+        let events = events_of(&burst, &handles);
+        prop_assume!(!events.is_empty());
+
+        let report = batched.process_batch(&events).expect("valid burst");
+
+        // sequential reference: canonical retire → reweight → admit order
+        let rank = |ev: &Event| match ev {
+            Event::Retire(_) => 0u8,
+            Event::Reweight(..) => 1,
+            Event::Admit(..) => 2,
+        };
+        let mut order: Vec<usize> = (0..events.len()).collect();
+        order.sort_by_key(|&i| rank(&events[i]));
+        for &i in &order {
+            seq.process(events[i].clone()).expect("valid event");
+        }
+
+        let bn: Vec<(AppId, String)> = batched.apps().map(|(h, n)| (h, n.to_owned())).collect();
+        let sn: Vec<(AppId, String)> = seq.apps().map(|(h, n)| (h, n.to_owned())).collect();
+        prop_assert_eq!(bn, sn, "handles and names agree");
+        prop_assert_eq!(batched.workload(), seq.workload(), "composed workloads agree");
+        prop_assert_eq!(report.events.len(), events.len(), "every event gets a verdict");
+
+        let (bp, sp) = (batched.period(), seq.period());
+        prop_assert_eq!(bp.is_finite(), sp.is_finite(), "batched {} vs sequential {}", bp, sp);
+        if bp.is_finite() {
+            prop_assert!(bp <= 2.0 * sp && sp <= 2.0 * bp, "batched {} vs sequential {}", bp, sp);
+        }
+        assert_feasible(&batched);
+        assert_feasible(&seq);
+    }
+}

@@ -39,8 +39,8 @@ pub mod trace;
 
 pub use engine::{simulate, SimConfig, SimError};
 pub use online::{
-    replay, replay_fleet, AppServed, EventOutcome, EventTrace, FleetSystem, OnlineReport,
-    OnlineSystem, TimedEvent, TraceEvent,
+    replay, replay_concurrent, replay_fleet, AppServed, EventOutcome, EventTrace, FleetSystem,
+    IntakeReport, IntakeSystem, OnlineReport, OnlineSystem, TimedEvent, TraceEvent,
 };
 pub use trace::RunTrace;
 

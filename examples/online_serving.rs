@@ -34,7 +34,7 @@ fn main() {
     let describe = |report: &ServeReport| {
         println!(
             "{:<28} {:>10} {:>12.3} {:>12.2} {:>8.2}",
-            report.event,
+            report.event.to_string(),
             match &report.verdict {
                 Verdict::Admitted(id) => format!("{id}"),
                 other => format!("{other:?}").chars().take(10).collect(),
@@ -77,7 +77,7 @@ fn main() {
 
     println!(
         "\nserving {} applications at round period {:.3} us:",
-        svc.apps().len(),
+        svc.n_apps(),
         svc.period() * 1e6
     );
     for app in svc.app_reports() {

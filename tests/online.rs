@@ -133,8 +133,8 @@ fn guarantee_gate_and_queue_drain() {
     let r = svc.retire(a).expect("live");
     assert_eq!(r.drained.len(), 1);
     assert!(r.drained[0].admitted().is_some());
-    assert_eq!(svc.apps().len(), 1);
-    assert_eq!(svc.apps()[0].1, "audio-8x");
+    assert_eq!(svc.n_apps(), 1);
+    assert_eq!(svc.apps().next().unwrap().1, "audio-8x");
     assert_incumbent_feasible(&svc);
 }
 
