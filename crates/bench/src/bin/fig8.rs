@@ -34,9 +34,7 @@ fn main() {
             let variants = paper::ccr_variants(base);
             let (_, g) = variants
                 .iter()
-                .min_by(|a, b| {
-                    (a.0 - target).abs().partial_cmp(&(b.0 - target).abs()).expect("finite")
-                })
+                .min_by(|a, b| (a.0 - target).abs().total_cmp(&(b.0 - target).abs()))
                 .expect("six variants");
             let plan = lp_plan(g, &spec);
             let ppe_rho = ppe_only_throughput(g, &spec);

@@ -1,0 +1,27 @@
+//! Correctness tooling for the `cellstream` workspace.
+//!
+//! Two independent layers share this crate (see DESIGN.md, "Correctness
+//! tooling"):
+//!
+//! * [`lint`] — a dependency-free Rust-source scanner enforcing the
+//!   repo-specific conventions the compiler cannot: `total_cmp`-only
+//!   float orderings, panic-free serving hot paths, `forbid(unsafe_code)`
+//!   in every crate root, allocation-free `// check: no-alloc` functions,
+//!   and justified `Ordering::Relaxed`/`SeqCst` sites. Run it as
+//!   `cargo run -p cellstream-check -- --deny`.
+//! * [`mc`] — an exhaustive interleaving model checker for the SPSC
+//!   rings in `cellstream-rt`. It substitutes simulated weakly-ordered
+//!   counters and slots into the *shipped* generic `SpscRing` code and
+//!   enumerates every producer/consumer schedule, including store-buffer
+//!   reordering of non-`Release` stores. Its suite runs under
+//!   `cargo test -p cellstream-check`.
+//!
+//! The third layer of the tooling, the `debug_invariants` cargo feature,
+//! lives in the audited crates themselves (`cellstream-core`,
+//! `cellstream-serve`, `cellstream-cluster`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lint;
+pub mod mc;

@@ -1,0 +1,142 @@
+//! The workspace lint engine: walk `crates/*/src`, lex each file
+//! ([`source`]), apply the repo rules ([`rules`]), and report findings
+//! with `file:line` + rule id, optionally as machine-readable JSON.
+
+pub mod rules;
+pub mod source;
+
+use source::SourceFile;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule id (see [`rules`]).
+    pub rule: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// The result of one lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// The workspace root scanned.
+    pub root: String,
+    /// Number of `.rs` files lexed.
+    pub files_scanned: usize,
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Render the report as a small JSON document (hand-rolled — the
+    /// tool itself must stay dependency-free).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"root\": \"{}\",\n", esc(&self.root)));
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+                esc(&f.file),
+                f.line,
+                esc(&f.rule),
+                esc(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Lint every `.rs` file under `<root>/crates/*/src`.
+pub fn run(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    members.sort();
+    for member in members {
+        collect_rs(&member.join("src"), &mut files)?;
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let text = fs::read_to_string(path)?;
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        let rel = rel.to_string_lossy().replace('\\', "/");
+        let sf = SourceFile::lex(&rel, &text);
+        rules::apply_all(&sf, &mut findings);
+        scanned += 1;
+    }
+    findings
+        .sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)).then(a.rule.cmp(&b.rule)));
+    Ok(Report { root: root.to_string_lossy().into_owned(), files_scanned: scanned, findings })
+}
+
+/// Lint a single in-memory file — the entry point the rule tests use to
+/// seed banned patterns without touching the filesystem.
+pub fn check_source(path: &str, text: &str) -> Vec<Finding> {
+    let sf = SourceFile::lex(path, text);
+    let mut findings = Vec::new();
+    rules::apply_all(&sf, &mut findings);
+    findings
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,81 @@
+//! Model-checker pins: the shipped ordering discipline must survive
+//! every schedule, and each deliberately weakened ordering must be
+//! caught — otherwise the checker proves nothing.
+
+use super::{check_spsc, CheckConfig, Weaken};
+
+fn cfg(capacity: usize, push_attempts: usize, pop_attempts: usize, weaken: Weaken) -> CheckConfig {
+    CheckConfig { capacity, push_attempts, pop_attempts, weaken }
+}
+
+#[test]
+fn shipped_orderings_survive_capacity_1() {
+    let out = check_spsc(&cfg(1, 4, 4, Weaken::Nothing))
+        .unwrap_or_else(|v| panic!("violation `{}` under schedule {:?}", v.message, v.schedule));
+    // exhaustiveness sanity: this is a real state-space walk, not a
+    // handful of smoke schedules
+    assert!(out.executions > 1_000, "only {} schedules explored", out.executions);
+}
+
+#[test]
+fn shipped_orderings_survive_capacity_2() {
+    let out = check_spsc(&cfg(2, 3, 3, Weaken::Nothing))
+        .unwrap_or_else(|v| panic!("violation `{}` under schedule {:?}", v.message, v.schedule));
+    assert!(out.executions > 1_000, "only {} schedules explored", out.executions);
+}
+
+#[test]
+fn shipped_orderings_survive_capacity_3() {
+    let out = check_spsc(&cfg(3, 4, 4, Weaken::Nothing))
+        .unwrap_or_else(|v| panic!("violation `{}` under schedule {:?}", v.message, v.schedule));
+    assert!(out.executions > 1_000, "only {} schedules explored", out.executions);
+}
+
+#[test]
+fn weakened_publish_ordering_is_caught() {
+    // producer's `produced.store(.., Release)` demoted to relaxed: the
+    // counter increment may drain before the slot value, so the
+    // consumer can observe a published-but-empty slot
+    let v = check_spsc(&cfg(1, 3, 3, Weaken::ProducedRelease))
+        .expect_err("a relaxed publish store must be caught");
+    assert!(
+        v.message.contains("panic in ring code")
+            || v.message.contains("lost publish")
+            || v.message.contains("FIFO"),
+        "unexpected violation kind: {}",
+        v.message
+    );
+}
+
+#[test]
+fn weakened_recycle_ordering_is_caught() {
+    // consumer's `consumed.store(.., Release)` demoted to relaxed: the
+    // free-slot signal may drain before the slot is actually cleared,
+    // so the producer can overwrite an untaken item
+    let v = check_spsc(&cfg(1, 3, 3, Weaken::ConsumedRelease))
+        .expect_err("a relaxed recycle store must be caught");
+    assert!(
+        v.message.contains("slot reuse") || v.message.contains("FIFO"),
+        "unexpected violation kind: {}",
+        v.message
+    );
+}
+
+#[test]
+fn weakened_recycle_ordering_is_caught_at_capacity_2() {
+    check_spsc(&cfg(2, 4, 4, Weaken::ConsumedRelease))
+        .expect_err("a relaxed recycle store must be caught at capacity 2 too");
+}
+
+#[test]
+fn trivial_scenarios_terminate() {
+    // no ops at all, and one-sided programs: nothing to race on
+    for c in [
+        cfg(1, 0, 0, Weaken::Nothing),
+        cfg(2, 3, 0, Weaken::Nothing),
+        cfg(2, 0, 3, Weaken::Nothing),
+    ] {
+        let out = check_spsc(&c).expect("one-sided scenarios are trivially safe");
+        assert!(out.executions >= 1);
+    }
+}

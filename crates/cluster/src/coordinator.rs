@@ -329,12 +329,64 @@ impl<T: Transport> Coordinator<T> {
 
     /// Route one fleet-level operation.
     pub fn process(&mut self, ev: ClusterEvent) -> Result<ClusterReport, ClusterError> {
-        match ev {
+        let res = match ev {
             ClusterEvent::Admit(g, w) => Ok(self.admit(&g, w)),
             ClusterEvent::Retire(app) => self.retire(&app),
             ClusterEvent::Reweight(app, w) => self.reweight(&app, w),
             ClusterEvent::DrainNode(n) => self.drain(n),
             ClusterEvent::Rebalance => Ok(self.rebalance()),
+        };
+        #[cfg(feature = "debug_invariants")]
+        self.check_invariants("process");
+        res
+    }
+
+    /// Deep audit (`debug_invariants` feature): the control plane's
+    /// view must agree with what the nodes last reported — the routing
+    /// table places every application on an in-range node, per-node
+    /// placement counts and app lists (names *and* weights) match the
+    /// node summaries absorbed from the latest replies, and the
+    /// bookkeeping vectors stay parallel. Panics with `ctx` on any
+    /// breach. Call it only between operations: mid-operation the
+    /// summaries are intentionally ahead of the routing table.
+    #[cfg(feature = "debug_invariants")]
+    pub fn check_invariants(&self, ctx: &str) {
+        assert_eq!(
+            self.summaries.len(),
+            self.draining.len(),
+            "{ctx}: summaries and draining flags out of step"
+        );
+        for (i, s) in self.summaries.iter().enumerate() {
+            assert_eq!(s.node.index(), i, "{ctx}: summary {i} reports node {}", s.node);
+        }
+        for (name, p) in &self.apps {
+            assert!(
+                p.node.index() < self.summaries.len(),
+                "{ctx}: {name} routed to out-of-range node {}",
+                p.node
+            );
+        }
+        for (i, s) in self.summaries.iter().enumerate() {
+            let here: Vec<(&String, &Placed)> =
+                self.apps.iter().filter(|(_, p)| p.node.index() == i).collect();
+            assert_eq!(
+                here.len(),
+                s.n_apps,
+                "{ctx}: node {i} summary counts {} app(s), routing table has {}",
+                s.n_apps,
+                here.len()
+            );
+            for (name, p) in here {
+                let Some((_, w)) = s.apps.iter().find(|(n, _)| n == name) else {
+                    panic!("{ctx}: {name} routed to node {i} but absent from its summary");
+                };
+                assert!(
+                    (w - p.weight).abs() <= 1e-12 * p.weight.abs().max(1.0),
+                    "{ctx}: {name} weight {} on node {i}, coordinator expects {}",
+                    w,
+                    p.weight
+                );
+            }
         }
     }
 
@@ -486,6 +538,8 @@ impl<T: Transport> Coordinator<T> {
             .into_iter()
             .zip(verdicts.into_iter().map(|v| v.expect("every event got a verdict")))
             .collect();
+        #[cfg(feature = "debug_invariants")]
+        self.check_invariants("process_burst");
         BurstReport {
             events,
             latency: started.elapsed(),
@@ -523,6 +577,8 @@ impl<T: Transport> Coordinator<T> {
             local_bytes += reply.local_migration_bytes;
             match reply.outcome {
                 AgentOutcome::Admitted => {
+                    #[cfg(feature = "debug_invariants")]
+                    assert!(!self.draining[node.index()], "admission landed on draining {node}");
                     self.apps.insert(name.clone(), Placed { graph: g, weight, node });
                     return self.report(
                         label,
@@ -762,6 +818,8 @@ impl<T: Transport> Coordinator<T> {
             let bye = self.transport.send(placed.node, ClusterMsg::Retire { app: app.to_owned() });
             self.absorb(&bye);
             *local_bytes += bye.local_migration_bytes;
+            #[cfg(feature = "debug_invariants")]
+            assert!(!self.draining[to.index()], "migration landed on draining {to}");
             self.apps.get_mut(app).expect("still placed").node = to;
             return Some(Migration {
                 app: app.to_owned(),

@@ -43,6 +43,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod agent;
 pub mod coordinator;
 pub mod msg;

@@ -1,0 +1,126 @@
+//! `debug_invariants` replay harness for the fleet control plane:
+//! random sequences of admissions, retirements, reweights, drains,
+//! undrains and rebalances against an in-process cluster, with the
+//! coordinator's deep audit (routing table ↔ node summaries, drain-set
+//! honoured at every placement) running after every operation.
+//!
+//! Compiles to nothing without the feature:
+//! `cargo test -p cellstream-cluster --features debug_invariants`.
+#![cfg(feature = "debug_invariants")]
+
+use cellstream_cluster::{Cluster, ClusterEvent, ClusterOptions, NodeId};
+use cellstream_graph::{StreamGraph, TaskSpec};
+use cellstream_platform::CellSpec;
+use proptest::prelude::*;
+
+fn pipeline(name: &str, n: usize, cost_scale: u8) -> StreamGraph {
+    let c = 1e-6 * (1.0 + f64::from(cost_scale));
+    let mut b = StreamGraph::builder(name);
+    let mut prev = None;
+    for i in 0..n {
+        let t = b.add_task(TaskSpec::new(format!("t{i}")).ppe_cost(c).spe_cost(c / 3.0));
+        if let Some(p) = prev {
+            b.add_edge(p, t, 1024.0).unwrap();
+        }
+        prev = Some(t);
+    }
+    b.build().unwrap()
+}
+
+#[derive(Debug, Clone)]
+enum Step {
+    /// Admit a fresh pipeline: (tasks, cost scale, weight).
+    Admit(usize, u8, f64),
+    /// Retire the `k % placed`-th tracked application.
+    Retire(usize),
+    /// Reweight the `k % placed`-th tracked application.
+    Reweight(usize, f64),
+    /// Retire a name that was never admitted: an error, never corruption.
+    RetireUnknown,
+    /// Drain node `k % n_nodes`.
+    Drain(usize),
+    /// Undrain node `k % n_nodes`.
+    Undrain(usize),
+    /// Fleet-wide rebalance pass.
+    Rebalance,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    // the vendored proptest has no prop_oneof: draw every variant's
+    // operands plus a selector and pick in a map (admissions and churn
+    // weighted heavier than drains so fleets actually fill up)
+    (0u8..11, (2usize..=5, 0u8..4, 0.25f64..4.0), 0usize..8).prop_map(|(sel, (t, c, w), k)| {
+        match sel {
+            0..=2 => Step::Admit(t, c, w),
+            3 | 4 => Step::Retire(k),
+            5 | 6 => Step::Reweight(k, w),
+            7 => Step::RetireUnknown,
+            8 => Step::Drain(k),
+            9 => Step::Undrain(k),
+            _ => Step::Rebalance,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_fleet_operations_uphold_the_coordinator_invariants(
+        steps in collection::vec(arb_step(), 1..=14)
+    ) {
+        let nodes = 3;
+        let mut fleet = Cluster::homogeneous(nodes, &CellSpec::ps3(), ClusterOptions::default());
+        let mut placed: Vec<String> = Vec::new();
+        let mut fresh = 0usize;
+        for step in steps {
+            match step {
+                Step::Admit(t, c, w) => {
+                    let g = pipeline(&format!("app{fresh}"), t, c);
+                    fresh += 1;
+                    let report = fleet
+                        .process(ClusterEvent::Admit(g, w))
+                        .expect("admissions never error");
+                    if report.verdict.admitted().is_some() {
+                        placed.push(report.app.clone().expect("admissions carry a name"));
+                    }
+                }
+                Step::Retire(k) => {
+                    if placed.is_empty() {
+                        continue;
+                    }
+                    let name = placed.remove(k % placed.len());
+                    fleet.process(ClusterEvent::Retire(name)).expect("placed apps retire");
+                }
+                Step::Reweight(k, w) => {
+                    if placed.is_empty() {
+                        continue;
+                    }
+                    let name = placed[k % placed.len()].clone();
+                    fleet.process(ClusterEvent::Reweight(name, w)).expect("placed apps reweight");
+                }
+                Step::RetireUnknown => {
+                    let res = fleet.process(ClusterEvent::Retire("never-admitted".into()));
+                    prop_assert!(res.is_err());
+                }
+                Step::Drain(k) => {
+                    fleet
+                        .process(ClusterEvent::DrainNode(NodeId(k % nodes)))
+                        .expect("in-range drains succeed");
+                }
+                Step::Undrain(k) => {
+                    fleet.undrain(NodeId(k % nodes)).expect("in-range undrains succeed");
+                    // undrain bypasses process(); audit it explicitly
+                    fleet.check_invariants("after undrain");
+                }
+                Step::Rebalance => {
+                    fleet.process(ClusterEvent::Rebalance).expect("rebalance never errors");
+                }
+            }
+            // process() audits itself under the feature; keep a sweep
+            // here too so the harness pins the between-steps state
+            fleet.check_invariants("harness sweep");
+            prop_assert_eq!(placed.len(), fleet.n_apps(), "harness and fleet agree");
+        }
+    }
+}

@@ -249,6 +249,7 @@ impl<'a> EvalState<'a> {
     /// hot path. O(V + E), allocation-free. Panics when the iterator
     /// does not yield exactly one in-range PE per task: raw seats and
     /// states travel together, like mappings and graphs.
+    // check: no-alloc
     pub fn reseat(&mut self, seats: impl IntoIterator<Item = PeId>) {
         let n_pes = self.compute.len();
         let mut k = 0;
@@ -268,6 +269,7 @@ impl<'a> EvalState<'a> {
     /// add/subtract sequences). Equivalent to rebuilding the state from
     /// [`mapping`](Self::mapping) — O(V + E), allocation-free, clears
     /// the undo log.
+    // check: no-alloc
     pub fn rebase(&mut self) {
         self.recompute();
     }
@@ -405,6 +407,7 @@ impl<'a> EvalState<'a> {
     /// Apply a move, committing any previously applied one (single-level
     /// undo — see the type docs). Panics on out-of-range task or PE ids:
     /// moves and states travel together, like mappings and graphs.
+    // check: no-alloc
     pub fn apply(&mut self, mv: Move) {
         self.frame.clear();
         self.has_frame = true;
@@ -421,6 +424,7 @@ impl<'a> EvalState<'a> {
     /// Revert the most recent [`apply`](Self::apply), restoring every
     /// touched accumulator entry to its exact previous value. Returns
     /// `false` (and does nothing) when there is nothing to undo.
+    // check: no-alloc
     pub fn undo(&mut self) -> bool {
         if !self.has_frame {
             return false;
@@ -601,12 +605,25 @@ impl<'a> EvalState<'a> {
     }
 }
 
-/// Test-only contract check shared by the unit tests here and the
-/// property suite in `crate::tests`: the live state must agree with a
-/// from-scratch `evaluate()` of its current mapping — period and loads
-/// within 1e-9 relative (committed deltas accumulate IEEE drift), the
-/// verdicts, bottleneck, DMA counters and violation list exactly.
-#[cfg(test)]
+#[cfg(any(test, feature = "debug_invariants"))]
+impl EvalState<'_> {
+    /// Deep audit (`debug_invariants` feature): the accumulators must
+    /// agree with a from-scratch [`evaluate`](crate::eval::evaluate) of
+    /// the current mapping. Panics with `ctx` in the message on any
+    /// divergence. O(V + E) and allocating — strictly a debug/test
+    /// tool, called from hot-path boundaries only under the feature.
+    pub fn check_invariants(&self, ctx: &str) {
+        assert_matches_full(self, ctx);
+    }
+}
+
+/// Contract check shared by the unit tests here, the property suite in
+/// `crate::tests`, and [`EvalState::check_invariants`]: the live state
+/// must agree with a from-scratch `evaluate()` of its current mapping —
+/// period and loads within 1e-9 relative (committed deltas accumulate
+/// IEEE drift), the verdicts, bottleneck, DMA counters and violation
+/// list exactly.
+#[cfg(any(test, feature = "debug_invariants"))]
 pub(crate) fn assert_matches_full(state: &EvalState<'_>, ctx: &str) {
     let full = crate::eval::evaluate(state.graph(), state.spec(), &state.mapping()).unwrap();
     let rep = state.report();

@@ -52,11 +52,15 @@ impl CancelToken {
     /// Raise the flag. Idempotent; there is no way to lower it again —
     /// start a new token for the next run.
     pub fn cancel(&self) {
+        // check:allow(atomic-ordering): lone cancellation flag, no data
+        // published alongside it
         self.0.store(true, Ordering::Relaxed);
     }
 
     /// `true` once [`cancel`](Self::cancel) has been called.
     pub fn is_cancelled(&self) -> bool {
+        // check:allow(atomic-ordering): lone cancellation flag, no data
+        // published alongside it
         self.0.load(Ordering::Relaxed)
     }
 

@@ -94,8 +94,8 @@ pub fn repair_with(
     let ppe = spec.pe(0);
     // seed: retained seats; unplaced tasks start on the PPE (always legal)
     let assignment: Vec<PeId> = partial.iter().map(|p| p.unwrap_or(ppe)).collect();
-    let seed = Mapping::new(g, spec, assignment).expect("retained PEs exist on this platform");
-    let mut state = EvalState::new(g, spec, &seed).expect("seed is structurally valid");
+    let seed = Mapping::new(g, spec, assignment).expect("retained PEs exist on this platform"); // check:allow(hot-path-panic): seed uses only PE ids the caller retained
+    let mut state = EvalState::new(g, spec, &seed).expect("seed is structurally valid"); // check:allow(hot-path-panic): the just-built seed mapping is structurally valid
     repair_in_place_with(&mut state, partial, opts);
     // publish the exact verifier period, free of incremental drift
     let mapping = state.mapping();
@@ -110,6 +110,7 @@ pub fn repair_with(
 /// warmed-up state this performs **zero heap allocations** (the
 /// counting-allocator suite pins it); the serving layer leans on that to
 /// keep steady-state replans off the allocator entirely.
+// check: no-alloc
 pub fn repair_in_place(
     state: &mut EvalState<'_>,
     partial: &[Option<PeId>],
@@ -136,6 +137,7 @@ pub fn repair_in_place_with(
     repair_seats(state, partial, &opts.refine, threads)
 }
 
+// check: no-alloc
 fn repair_seats(
     state: &mut EvalState<'_>,
     partial: &[Option<PeId>],
@@ -164,6 +166,8 @@ fn repair_seats(
     // before refining, so the descent trajectory matches a fresh start
     // from the repaired seats
     state.rebase();
+    #[cfg(feature = "debug_invariants")]
+    state.check_invariants("repair_seats: after eviction and rebase");
     refine_in_place(state, refine)
 }
 
@@ -202,7 +206,7 @@ fn place_delta(state: &mut EvalState<'_>, partial: &[Option<PeId>]) {
                 best = Some((to, p, feasible, occ));
             }
         }
-        let (to, ..) = best.expect("platforms have at least one PE");
+        let (to, ..) = best.expect("platforms have at least one PE"); // check:allow(hot-path-panic): every platform has at least the PPE, so the fold is non-empty
         state.apply(Move::Relocate { task: t, to });
     }
 }
@@ -272,26 +276,26 @@ fn place_delta_parallel(state: &mut EvalState<'_>, partial: &[Option<PeId>], thr
                 continue;
             }
             for tx in &job_txs {
-                tx.send(ProbeJob::Probe(t)).expect("probe worker alive");
+                tx.send(ProbeJob::Probe(t)).expect("probe worker alive"); // check:allow(hot-path-panic): probe workers live until Shutdown is sent
             }
             round.iter_mut().for_each(|r| *r = None);
             for _ in 0..threads {
-                let (w, probes) = res_rx.recv().expect("probe worker replies");
+                let (w, probes) = res_rx.recv().expect("probe worker replies"); // check:allow(hot-path-panic): each worker sends exactly one reply per round
                 round[w] = Some(probes);
             }
             // the sequential scan's fold, replayed in global PE id order
             let mut best: Option<(PeId, f64, bool, f64)> = None;
             for w in 0..threads {
-                let probes = round[w].as_ref().expect("every worker reported");
+                let probes = round[w].as_ref().expect("every worker reported"); // check:allow(hot-path-panic): filled by the recv loop just above
                 for (k, &(p, feasible, occ)) in probes.iter().enumerate() {
                     if seat_better(&best, p, feasible, occ) {
                         best = Some((spec.pe(bounds[w] + k), p, feasible, occ));
                     }
                 }
             }
-            let (to, ..) = best.expect("platforms have at least one PE");
+            let (to, ..) = best.expect("platforms have at least one PE"); // check:allow(hot-path-panic): every platform has at least the PPE, so the fold is non-empty
             for tx in &job_txs {
-                tx.send(ProbeJob::Commit(t, to)).expect("probe worker alive");
+                tx.send(ProbeJob::Commit(t, to)).expect("probe worker alive"); // check:allow(hot-path-panic): probe workers live until Shutdown is sent
             }
             state.apply(Move::Relocate { task: t, to });
         }
@@ -304,6 +308,7 @@ fn place_delta_parallel(state: &mut EvalState<'_>, partial: &[Option<PeId>], thr
 /// Allocation-free: the violated SPE and the victim's buffer working set
 /// are read straight off the live state instead of materialising a
 /// report or a fresh `BufferPlan`.
+// check: no-alloc
 fn evict_until_feasible(state: &mut EvalState<'_>, spec: &CellSpec) {
     let g = state.graph();
     let ppe = spec.pe(0);
@@ -317,7 +322,7 @@ fn evict_until_feasible(state: &mut EvalState<'_>, spec: &CellSpec) {
             .task_ids()
             .filter(|&t| state.pe_of(t) == pe)
             .max_by(|&a, &b| state.task_buffer_bytes(a).total_cmp(&state.task_buffer_bytes(b)))
-            .expect("a violated SPE hosts at least one task");
+            .expect("a violated SPE hosts at least one task"); // check:allow(hot-path-panic): a violated SPE cannot be empty: zero tasks means zero load
         state.apply(Move::Relocate { task: victim, to: ppe });
     }
 }

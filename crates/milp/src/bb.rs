@@ -153,6 +153,8 @@ impl PartialEq for Node {
 }
 impl Eq for Node {}
 impl PartialOrd for Node {
+    // check:allow(float-ord): canonical PartialOrd-from-Ord forwarding; the
+    // total order itself lives in `Ord::cmp` via `total_cmp`
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
@@ -346,8 +348,11 @@ pub fn solve_mip(
     if lp_opts.stop.is_none() {
         lp_opts.stop = opts.stop.clone();
     }
-    let cancelled =
-        || opts.stop.as_ref().is_some_and(|s| s.load(std::sync::atomic::Ordering::Relaxed));
+    let cancelled = || {
+        // check:allow(atomic-ordering): lone cancellation flag, no data
+        // published alongside it
+        opts.stop.as_ref().is_some_and(|s| s.load(std::sync::atomic::Ordering::Relaxed))
+    };
 
     let mut engine = match opts.lp.algo {
         LpAlgo::Revised => Engine::Sparse(Box::new(SparseLp::from_model(model)?)),

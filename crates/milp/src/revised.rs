@@ -492,6 +492,8 @@ impl<'a> Simplex<'a> {
                     .opts
                     .stop
                     .as_ref()
+                    // check:allow(atomic-ordering): lone cancellation flag,
+                    // no data published alongside it
                     .is_some_and(|s| s.load(std::sync::atomic::Ordering::Relaxed)))
     }
 

@@ -125,6 +125,8 @@ pub type VerifyPredicate = Box<dyn Fn(u64, &[Window<'_>]) -> bool + Send + Sync>
 impl Kernel for VerifyKernel {
     fn process(&self, ctx: &KernelCtx<'_>, inputs: &[Window<'_>], outputs: &mut [&mut [u8]]) {
         if !(self.expect)(ctx.instance, inputs) {
+            // check:allow(atomic-ordering): monotone statistics counter,
+            // read only after the engine joins its threads
             self.mismatches.fetch_add(1, Ordering::Relaxed);
         }
         let _ = outputs;

@@ -40,7 +40,7 @@ pub use kernels::{
     ChecksumKernel, ClosureKernel, Kernel, KernelCtx, SpinKernel, VerifyKernel, Window,
 };
 pub use local_store::{LocalStore, StoreError};
-pub use ring::{EdgeRing, SpscRing};
+pub use ring::{AtomicCounter, EdgeRing, MutexSlot, RingSlot, SpscRing};
 pub use synthetic::{synthetic_kernels, synthetic_kernels_for_mapping};
 
 #[cfg(test)]

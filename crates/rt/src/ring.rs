@@ -7,16 +7,105 @@
 //! prevented by the produced/consumed counters, so each `Mutex` is
 //! uncontended in steady state — it exists to keep the crate free of
 //! `unsafe`.
+//!
+//! # Memory-ordering contract
+//!
+//! Both rings hand items across threads through exactly two
+//! Release→Acquire pairs, documented here once because the model checker
+//! in `cellstream-check` verifies precisely these (see DESIGN.md,
+//! "Correctness tooling"):
+//!
+//! * **Publish pair** — the producer's `produced.store(i + 1, Release)`
+//!   synchronises-with the consumer's `produced.load(Acquire)`. The slot
+//!   write program-order-precedes the Release store, so any consumer
+//!   that observes the incremented count also observes the slot
+//!   contents: no *lost publish* (reading a slot before its item
+//!   landed).
+//! * **Recycle pair** — the consumer's `consumed.store(i + 1, Release)`
+//!   synchronises-with the producer's `consumed.load(Acquire)`. The slot
+//!   read/take program-order-precedes the Release store, so any producer
+//!   that observes the freed count may safely overwrite the slot: no
+//!   *slot reuse* (clobbering an item the consumer has not taken).
+//!
+//! Each side loads **its own** counter with `Relaxed`: the loading
+//! thread is that counter's only writer, so it always observes its own
+//! latest store and no cross-thread ordering is needed.
+//!
+//! The counters are generic over [`AtomicCounter`] (and `SpscRing`'s
+//! slots over [`RingSlot`]) so `cellstream-check` can substitute a
+//! simulated weakly-ordered memory and exhaustively enumerate
+//! interleavings of this exact source; normal builds monomorphise to
+//! [`AtomicU64`]/[`MutexSlot`] with zero overhead.
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// The counter operations the rings need, abstracted so a model checker
+/// can substitute a simulated weakly-ordered implementation for the
+/// real [`AtomicU64`]. Implementations must make `load` observe the
+/// implementation's memory model; the rings only ever use
+/// `Relaxed`/`Acquire` loads and `Release` stores.
+pub trait AtomicCounter {
+    /// Read the counter with the given ordering.
+    fn load(&self, order: Ordering) -> u64;
+    /// Write the counter with the given ordering.
+    fn store(&self, value: u64, order: Ordering);
+}
+
+impl AtomicCounter for AtomicU64 {
+    #[inline(always)]
+    fn load(&self, order: Ordering) -> u64 {
+        AtomicU64::load(self, order)
+    }
+
+    #[inline(always)]
+    fn store(&self, value: u64, order: Ordering) {
+        AtomicU64::store(self, value, order)
+    }
+}
+
+/// One owned-item slot of a [`SpscRing`], abstracted so a model checker
+/// can route slot traffic through simulated memory. The shipping
+/// implementation is [`MutexSlot`].
+pub trait RingSlot<T> {
+    /// Store `item` in the slot (the producer side of the publish pair).
+    fn put(&self, item: T);
+    /// Take the slot's item, leaving it empty (the consumer side).
+    fn take(&self) -> Option<T>;
+}
+
+/// The default [`RingSlot`]: a mutex-guarded `Option<T>`. The counters
+/// already exclude concurrent access to one slot, so the lock is
+/// uncontended in steady state — it exists to keep the crate free of
+/// `unsafe`.
+#[derive(Debug)]
+pub struct MutexSlot<T>(Mutex<Option<T>>);
+
+impl<T> MutexSlot<T> {
+    /// A fresh, empty slot.
+    pub fn empty() -> Self {
+        MutexSlot(Mutex::new(None))
+    }
+}
+
+impl<T> RingSlot<T> for MutexSlot<T> {
+    #[inline]
+    fn put(&self, item: T) {
+        *self.0.lock() = Some(item);
+    }
+
+    #[inline]
+    fn take(&self) -> Option<T> {
+        self.0.lock().take()
+    }
+}
+
 /// A fixed-capacity SPSC ring of byte slots.
 #[derive(Debug)]
-pub struct EdgeRing {
+pub struct EdgeRing<C = AtomicU64> {
     slots: Vec<Mutex<Vec<u8>>>,
-    produced: AtomicU64,
-    consumed: AtomicU64,
+    produced: C,
+    consumed: C,
     capacity: u64,
 }
 
@@ -31,7 +120,9 @@ impl EdgeRing {
             capacity,
         }
     }
+}
 
+impl<C: AtomicCounter> EdgeRing<C> {
     /// Number of slots.
     pub fn capacity(&self) -> u64 {
         self.capacity
@@ -39,11 +130,13 @@ impl EdgeRing {
 
     /// Instances produced so far.
     pub fn produced(&self) -> u64 {
+        // publish pair (consumer side): see the module docs
         self.produced.load(Ordering::Acquire)
     }
 
     /// Instances consumed (released) so far.
     pub fn consumed(&self) -> u64 {
+        // recycle pair (producer side): see the module docs
         self.consumed.load(Ordering::Acquire)
     }
 
@@ -55,7 +148,10 @@ impl EdgeRing {
     /// Write the next instance through `fill` and publish it.
     /// Caller must be the unique producer and must have checked
     /// [`can_produce`](Self::can_produce).
+    // check: no-alloc
     pub fn produce(&self, fill: impl FnOnce(&mut [u8])) {
+        // own counter, sole writer — no ordering needed
+        // check:allow(atomic-ordering): producer reads its own counter
         let i = self.produced.load(Ordering::Relaxed);
         assert!(
             i - self.consumed() < self.capacity,
@@ -65,6 +161,8 @@ impl EdgeRing {
             let mut slot = self.slots[(i % self.capacity) as usize].lock();
             fill(&mut slot);
         }
+        // publish pair (producer side): the Release orders the slot
+        // write above before the visible count
         self.produced.store(i + 1, Ordering::Release);
     }
 
@@ -88,8 +186,14 @@ impl EdgeRing {
 
     /// Release instance `i` (and everything before it), freeing its slot
     /// for the producer. Caller must be the unique consumer.
+    // check: no-alloc
     pub fn release(&self, i: u64) {
-        debug_assert!(i >= self.consumed.load(Ordering::Relaxed));
+        // own counter, sole writer — no ordering needed
+        // check:allow(atomic-ordering): consumer reads its own counter
+        let c = self.consumed.load(Ordering::Relaxed);
+        assert!(i >= c, "release({i}) of an instance already released (consumed = {c})");
+        // recycle pair (consumer side): the Release orders the window
+        // reads (all program-order earlier) before the freed count
         self.consumed.store(i + 1, Ordering::Release);
     }
 }
@@ -101,32 +205,49 @@ impl EdgeRing {
 /// thread; a full ring is the backpressure signal ([`try_push`] hands
 /// the item back instead of blocking or dropping).
 ///
-/// The produced/consumed [`AtomicU64`]s carry the synchronisation; slot
-/// reuse is impossible while the counters disagree, so each per-slot
-/// `Mutex` is uncontended in steady state — it exists, as in
+/// The produced/consumed counters carry the synchronisation (see the
+/// module docs for the two Release→Acquire pairs); slot reuse is
+/// impossible while the counters disagree, so each per-slot
+/// [`MutexSlot`] is uncontended in steady state — it exists, as in
 /// [`EdgeRing`], to keep the crate free of `unsafe`. The SPSC contract
 /// (one pushing thread, one popping thread) is the caller's to uphold;
 /// breaking it cannot corrupt memory, only fairness.
 ///
+/// The `C`/`S` parameters exist for `cellstream-check`'s interleaving
+/// model checker, which runs **this** code against simulated memory;
+/// every normal build uses the defaults.
+///
 /// [`try_push`]: Self::try_push
 #[derive(Debug)]
-pub struct SpscRing<T> {
-    slots: Vec<Mutex<Option<T>>>,
-    produced: AtomicU64,
-    consumed: AtomicU64,
+pub struct SpscRing<T, C = AtomicU64, S = MutexSlot<T>> {
+    slots: Vec<S>,
+    produced: C,
+    consumed: C,
     capacity: u64,
+    _items: std::marker::PhantomData<fn() -> T>,
 }
 
 impl<T> SpscRing<T> {
     /// A ring holding up to `capacity` items.
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity >= 1, "a ring needs at least one slot");
-        SpscRing {
-            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
-            produced: AtomicU64::new(0),
-            consumed: AtomicU64::new(0),
-            capacity: capacity as u64,
-        }
+        SpscRing::from_parts(
+            (0..capacity).map(|_| MutexSlot::empty()).collect(),
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+        )
+    }
+}
+
+impl<T, C: AtomicCounter, S: RingSlot<T>> SpscRing<T, C, S> {
+    /// Assemble a ring from caller-built slots and counters (both
+    /// counters must read 0). This is the model checker's entry point —
+    /// it injects simulated slots/counters here; normal code uses
+    /// [`SpscRing::with_capacity`].
+    pub fn from_parts(slots: Vec<S>, produced: C, consumed: C) -> Self {
+        assert!(!slots.is_empty(), "a ring needs at least one slot");
+        let capacity = slots.len() as u64;
+        SpscRing { slots, produced, consumed, capacity, _items: std::marker::PhantomData }
     }
 
     /// Maximum number of items the ring holds.
@@ -157,23 +278,37 @@ impl<T> SpscRing<T> {
     /// Push from the producer side. On a full ring the item comes back
     /// as `Err` — the backpressure signal; the producer decides whether
     /// to spin, yield or shed load.
+    // check: no-alloc
     pub fn try_push(&self, item: T) -> Result<(), T> {
+        // own counter, sole writer — no ordering needed
+        // check:allow(atomic-ordering): producer reads its own counter
         let i = self.produced.load(Ordering::Relaxed);
+        // recycle pair (producer side): the Acquire makes the consumer's
+        // slot take visible before we trust the freed count
         if i - self.consumed.load(Ordering::Acquire) == self.capacity {
             return Err(item);
         }
-        *self.slots[(i % self.capacity) as usize].lock() = Some(item);
+        self.slots[(i % self.capacity) as usize].put(item);
+        // publish pair (producer side): the Release orders the put above
+        // before the visible count
         self.produced.store(i + 1, Ordering::Release);
         Ok(())
     }
 
     /// Pop from the consumer side; `None` when the ring is empty.
+    // check: no-alloc
     pub fn try_pop(&self) -> Option<T> {
+        // own counter, sole writer — no ordering needed
+        // check:allow(atomic-ordering): consumer reads its own counter
         let c = self.consumed.load(Ordering::Relaxed);
+        // publish pair (consumer side): the Acquire makes the producer's
+        // put visible before we trust the published count
         if self.produced.load(Ordering::Acquire) == c {
             return None;
         }
-        let item = self.slots[(c % self.capacity) as usize].lock().take();
+        let item = self.slots[(c % self.capacity) as usize].take();
+        // recycle pair (consumer side): the Release orders the take
+        // above before the freed count
         self.consumed.store(c + 1, Ordering::Release);
         debug_assert!(item.is_some(), "published slot holds an item");
         item
@@ -237,6 +372,51 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "already released")]
+    fn double_release_panics() {
+        let ring = EdgeRing::new(2, 1);
+        ring.produce(|_| {});
+        ring.release(0);
+        ring.release(0);
+    }
+
+    #[test]
+    fn capacity_one_edge_ring_ping_pong() {
+        // the degenerate ring: every produce fills it, every release
+        // empties it, and the single slot is rewritten in place each
+        // cycle — the wrap point is every instance
+        let ring = EdgeRing::new(1, 8);
+        for i in 0u64..5 {
+            assert!(ring.can_produce(), "instance {i}: empty ring accepts");
+            ring.produce(|s| s.copy_from_slice(&i.to_le_bytes()));
+            assert!(!ring.can_produce(), "instance {i}: full after one produce");
+            assert!(ring.window_ready(i));
+            let v = ring.with_window(i, i, |w| u64::from_le_bytes(w[0].try_into().unwrap()));
+            assert_eq!(v, i, "instance {i} read back from the reused slot");
+            ring.release(i);
+            assert!(ring.can_produce(), "instance {i}: empty again after release");
+        }
+        assert_eq!(ring.produced(), 5);
+        assert_eq!(ring.consumed(), 5);
+    }
+
+    #[test]
+    fn peek_window_at_wrap_point() {
+        // a window of two instances that straddles the slot-index wrap:
+        // instances 2 and 3 of a 3-slot ring live in slots 2 and 0
+        let ring = EdgeRing::new(3, 8);
+        for i in 0u64..3 {
+            ring.produce(|s| s.copy_from_slice(&i.to_le_bytes()));
+        }
+        ring.release(0); // frees slot 0 for instance 3
+        ring.produce(|s| s.copy_from_slice(&3u64.to_le_bytes()));
+        ring.with_window(2, 3, |w| {
+            assert_eq!(u64::from_le_bytes(w[0].try_into().unwrap()), 2, "slot 2");
+            assert_eq!(u64::from_le_bytes(w[1].try_into().unwrap()), 3, "slot 0, wrapped");
+        });
+    }
+
+    #[test]
     fn spsc_ring_full_and_empty_boundaries() {
         let ring: SpscRing<u32> = SpscRing::with_capacity(2);
         assert!(ring.is_empty());
@@ -252,6 +432,21 @@ mod tests {
         assert_eq!(ring.try_pop(), None);
         assert_eq!(ring.len(), 0);
         assert_eq!(ring.pushed(), 3);
+    }
+
+    #[test]
+    fn capacity_one_spsc_ring_ping_pong() {
+        // full↔empty every operation: the strictest backpressure cycle
+        let ring: SpscRing<u64> = SpscRing::with_capacity(1);
+        for i in 0u64..5 {
+            assert!(ring.is_empty(), "item {i}: starts empty");
+            assert_eq!(ring.try_push(i), Ok(()));
+            assert!(ring.is_full(), "item {i}: one push fills capacity 1");
+            assert_eq!(ring.try_push(99), Err(99), "item {i}: full ring refuses");
+            assert_eq!(ring.try_pop(), Some(i), "item {i}: pops in order");
+            assert_eq!(ring.try_pop(), None, "item {i}: empty again");
+        }
+        assert_eq!(ring.pushed(), 5);
     }
 
     #[test]

@@ -60,6 +60,8 @@ impl<K> CountingKernel<K> {
 
 impl<K: Kernel> Kernel for CountingKernel<K> {
     fn process(&self, ctx: &KernelCtx<'_>, inputs: &[Window<'_>], outputs: &mut [&mut [u8]]) {
+        // check:allow(atomic-ordering): monotone statistics counter, read
+        // only after the engine joins its threads
         self.calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.inner.process(ctx, inputs, outputs);
     }

@@ -151,8 +151,8 @@ impl ServePipeline {
     /// the service (with its final incumbent) and the batching stats.
     pub fn finish(mut self) -> (Service, PipelineStats) {
         self.done.store(true, Ordering::Release);
-        let handle = self.planner.take().expect("finish runs once");
-        handle.join().expect("planner thread never panics")
+        let handle = self.planner.take().expect("finish runs once"); // check:allow(hot-path-panic): finish consumes self, so the handle is still present
+        handle.join().expect("planner thread never panics") // check:allow(hot-path-panic): propagating a planner panic is the right failure mode
     }
 }
 
@@ -199,6 +199,7 @@ fn build_batch(
         if touched.contains(name) {
             break; // dependency on this batch's own commit: cut here
         }
+        // check:allow(hot-path-panic): the loop peeked Some at the front just above
         match pending.pop_front().expect("front was Some") {
             TraceEvent::Admit { graph, weight } => {
                 touched.insert(graph.name().to_owned());

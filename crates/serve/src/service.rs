@@ -477,7 +477,7 @@ impl Service {
         if let Some(l) = &self.live {
             out.extend(
                 evaluate_workload(&l.workload, &self.spec, &l.mapping)
-                    .expect("incumbents stay structurally valid")
+                    .expect("incumbents stay structurally valid") // check:allow(hot-path-panic): incumbent mappings were validated when committed
                     .per_app,
             );
         }
@@ -487,11 +487,14 @@ impl Service {
     /// [`Verdict::Rejected`]/[`Verdict::Queued`] reports; only malformed
     /// events (unknown handles) are errors.
     pub fn process(&mut self, ev: Event) -> Result<ServeReport, ServeError> {
-        match ev {
+        let res = match ev {
             Event::Admit(g, w) => Ok(self.admit(&g, w)),
             Event::Retire(id) => self.retire(id),
             Event::Reweight(id, w) => self.reweight(id, w),
-        }
+        };
+        #[cfg(feature = "debug_invariants")]
+        self.check_invariants("process");
+        res
     }
 
     /// Process a burst of events as **one replan**. Events apply in
@@ -566,8 +569,8 @@ impl Service {
                     match &events[i] {
                         Event::Retire(id) => {
                             let pos =
-                                handles.iter().position(|h| h == id).expect("validated upfront");
-                            b.retire(AppId(pos)).expect("position in range");
+                                handles.iter().position(|h| h == id).expect("validated upfront"); // check:allow(hot-path-panic): handle membership validated before the batch formed
+                            b.retire(AppId(pos)).expect("position in range"); // check:allow(hot-path-panic): position comes from the handle table just searched
                             handles.remove(pos);
                             outcomes.push((EventLabel::retire(*id), Verdict::Applied));
                             applied += 1;
@@ -581,8 +584,8 @@ impl Service {
                                 continue;
                             }
                             let pos =
-                                handles.iter().position(|h| h == id).expect("validated upfront");
-                            b.reweight(AppId(pos), *weight).expect("weight pre-validated");
+                                handles.iter().position(|h| h == id).expect("validated upfront"); // check:allow(hot-path-panic): handle membership validated before the batch formed
+                            b.reweight(AppId(pos), *weight).expect("weight pre-validated"); // check:allow(hot-path-panic): weight was validated at submission
                             outcomes.push((EventLabel::reweight(*id, *weight), Verdict::Applied));
                             applied += 1;
                         }
@@ -600,7 +603,7 @@ impl Service {
                                 true => g.renamed(format!("{}#{next}", g.name())),
                                 false => g.clone(),
                             };
-                            b.add(&unique, *weight).expect("weight validated, name uniquified");
+                            b.add(&unique, *weight).expect("weight validated, name uniquified"); // check:allow(hot-path-panic): weight validated and the name uniquified at admission
                             let handle = AppId(next);
                             next += 1;
                             handles.push(handle);
@@ -615,7 +618,7 @@ impl Service {
                 // the burst's one recomposition; an emptied workload is
                 // dropped below (handles decide)
                 if b.n_apps() > 0 {
-                    b.commit().expect("non-empty batches recompose");
+                    b.commit().expect("non-empty batches recompose"); // check:allow(hot-path-panic): a non-empty batch always recomposes
                 }
             }
             None => {
@@ -636,7 +639,7 @@ impl Service {
                         true => g.renamed(format!("{}#{next}", g.name())),
                         false => g.clone(),
                     };
-                    b.push(&unique, *weight).expect("weight validated, name uniquified");
+                    b.push(&unique, *weight).expect("weight validated, name uniquified"); // check:allow(hot-path-panic): weight validated and the name uniquified at admission
                     let handle = AppId(next);
                     next += 1;
                     handles.push(handle);
@@ -647,6 +650,7 @@ impl Service {
                     applied += 1;
                 }
                 if applied > 0 {
+                    // check:allow(hot-path-panic): each admitted workload was validated on entry
                     work = Some(b.build().expect("admitted workloads compose"));
                 }
             }
@@ -755,7 +759,61 @@ impl Service {
             self.current_per_app_into(&mut report.per_app);
         }
         self.spawn_background();
+        #[cfg(feature = "debug_invariants")]
+        self.check_invariants("process_batch");
         Ok(report)
+    }
+
+    /// Deep audit (`debug_invariants` feature): the service's
+    /// bookkeeping must be self-consistent — the handle table is
+    /// parallel to (and exactly covers) the live workload, handles are
+    /// unique and below the allocator watermark, the incumbent still
+    /// evaluates feasible with its cached period, and nothing invalid
+    /// sits in the admission queue. Panics with `ctx` on any breach.
+    /// Allocating and O(V + E) — never call it outside the feature.
+    #[cfg(feature = "debug_invariants")]
+    pub fn check_invariants(&self, ctx: &str) {
+        match &self.live {
+            None => {
+                assert!(self.handles.is_empty(), "{ctx}: handles without a live workload");
+            }
+            Some(l) => {
+                assert_eq!(
+                    self.handles.len(),
+                    l.workload.n_apps(),
+                    "{ctx}: handle table and workload disagree on the app count"
+                );
+                let rep = evaluate_workload(&l.workload, &self.spec, &l.mapping)
+                    .expect("audited incumbents evaluate"); // check:allow(hot-path-panic): debug_invariants audit, not the serving path
+                assert!(
+                    rep.is_feasible(),
+                    "{ctx}: incumbent mapping violates the placement constraints"
+                );
+                let verified = rep.aggregate.period;
+                let tol = 1e-9 * verified.abs().max(1e-12);
+                assert!(
+                    (verified - l.period).abs() <= tol,
+                    "{ctx}: cached period {} drifted from verified {verified}",
+                    l.period
+                );
+            }
+        }
+        for (i, a) in self.handles.iter().enumerate() {
+            assert!(
+                a.index() < self.next_handle,
+                "{ctx}: handle {a} at or above the allocator watermark {}",
+                self.next_handle
+            );
+            assert!(!self.handles[..i].contains(a), "{ctx}: duplicate handle {a}");
+        }
+        for q in &self.queue {
+            assert!(
+                q.weight.is_finite() && q.weight > 0.0,
+                "{ctx}: queued app {} carries invalid weight {} (must be rejected, not queued)",
+                q.graph.name(),
+                q.weight
+            );
+        }
     }
 
     /// The guarantee-gated fallback: process the burst one event at a
@@ -825,7 +883,7 @@ impl Service {
         let idx = self.index_of(id)?;
         let adopted = self.interrupt_background();
         let started = Instant::now();
-        let live = self.live.take().expect("index_of implies live");
+        let live = self.live.take().expect("index_of implies live"); // check:allow(hot-path-panic): index_of returned Some, so a live incumbent exists
 
         let mut report = if live.workload.n_apps() == 1 {
             // last application out: the service goes idle
@@ -848,7 +906,7 @@ impl Service {
             }
         } else {
             let mut workload = live.workload.clone();
-            workload.retire(AppId(idx)).expect("index checked");
+            workload.retire(AppId(idx)).expect("index checked"); // check:allow(hot-path-panic): the index was just resolved against the live workload
             let (mapping, period) =
                 self.replan(live.workload.graph(), &live.mapping, workload.graph());
             let delta = MappingDelta::between(
@@ -894,7 +952,7 @@ impl Service {
         let idx = self.index_of(id)?;
         let adopted = self.interrupt_background();
         let started = Instant::now();
-        let mut incumbent = self.live.take().expect("index_of implies live");
+        let mut incumbent = self.live.take().expect("index_of implies live"); // check:allow(hot-path-panic): index_of returned Some, so a live incumbent exists
 
         let mut verdict = Verdict::Applied;
         let mut delta = MappingDelta::default();
@@ -902,7 +960,7 @@ impl Service {
             verdict = Verdict::Rejected(RejectReason::InvalidWeight(weight));
         } else {
             let mut workload = incumbent.workload.clone();
-            workload.reweight(AppId(idx), weight).expect("index and weight pre-validated");
+            workload.reweight(AppId(idx), weight).expect("index and weight pre-validated"); // check:allow(hot-path-panic): index and weight were validated by the caller
             let (mapping, period) =
                 self.replan(incumbent.workload.graph(), &incumbent.mapping, workload.graph());
             match self.guarantee_violation(&workload, period) {
@@ -1028,12 +1086,12 @@ impl Service {
         let workload = match self.live.as_ref() {
             None => {
                 let mut b = Workload::builder("served");
-                b.push(&unique, weight).expect("weight validated, name fresh");
-                b.build().expect("single-app workloads compose")
+                b.push(&unique, weight).expect("weight validated, name fresh"); // check:allow(hot-path-panic): weight validated and the name is fresh
+                b.build().expect("single-app workloads compose") // check:allow(hot-path-panic): a single freshly validated app always composes
             }
             Some(live) => {
                 let mut w = live.workload.clone();
-                w.add(&unique, weight).expect("weight validated, name uniquified");
+                w.add(&unique, weight).expect("weight validated, name uniquified"); // check:allow(hot-path-panic): weight validated and the name is uniquified
                 w
             }
         };
@@ -1191,6 +1249,7 @@ impl Service {
         if !self.opts.per_app_reports {
             return Vec::new();
         }
+        // check:allow(hot-path-panic): repair returns mappings valid by construction
         evaluate_workload(w, &self.spec, m).expect("repair returns valid mappings").per_app
     }
 
@@ -1287,9 +1346,11 @@ impl OnlineSystem for Service {
         let report = match ev {
             TraceEvent::Admit { graph, weight } => Some(self.admit(graph, *weight)),
             TraceEvent::Retire { app } => {
+                // check:allow(hot-path-panic): handle_of returned a live handle
                 self.handle_of(app).map(|id| self.retire(id).expect("live handle"))
             }
             TraceEvent::Reweight { app, weight } => {
+                // check:allow(hot-path-panic): handle_of returned a live handle
                 self.handle_of(app).map(|id| self.reweight(id, *weight).expect("live handle"))
             }
         };

@@ -1,0 +1,128 @@
+//! `debug_invariants` replay harness: drive a [`Service`] through
+//! random event sequences — single events and fused bursts, valid and
+//! deliberately invalid — and let the deep audit wired into
+//! `process`/`process_batch` (plus an explicit sweep after every step)
+//! catch any divergence between the handle table, the live workload,
+//! the cached period and the admission queue.
+//!
+//! Compiles to nothing without the feature:
+//! `cargo test -p cellstream-serve --features debug_invariants`.
+#![cfg(feature = "debug_invariants")]
+
+use cellstream_graph::{AppId, StreamGraph, TaskSpec};
+use cellstream_platform::CellSpec;
+use cellstream_serve::{Event, Service};
+use proptest::prelude::*;
+
+fn pipeline(name: &str, n: usize, cost_scale: u8) -> StreamGraph {
+    let c = 1e-6 * (1.0 + f64::from(cost_scale));
+    let mut b = StreamGraph::builder(name);
+    let mut prev = None;
+    for i in 0..n {
+        let t = b.add_task(TaskSpec::new(format!("t{i}")).ppe_cost(c).spe_cost(c / 3.0));
+        if let Some(p) = prev {
+            b.add_edge(p, t, 1024.0).unwrap();
+        }
+        prev = Some(t);
+    }
+    b.build().unwrap()
+}
+
+/// One scripted step, with indices resolved against the service's own
+/// handle listing at replay time.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Admit a fresh pipeline: (tasks, cost scale, weight).
+    Admit(usize, u8, f64),
+    /// Retire the `k % live`-th handle (no-op while idle).
+    Retire(usize),
+    /// Reweight the `k % live`-th handle (occasionally to an invalid
+    /// weight — the service must reject without corrupting state).
+    Reweight(usize, f64),
+    /// Retire a handle that was never issued: must error, must not
+    /// corrupt state.
+    RetireUnknown,
+    /// Process several admissions as one fused burst.
+    Burst(Vec<(usize, u8, f64)>),
+}
+
+fn arb_weight() -> impl Strategy<Value = f64> {
+    (0u8..12, 0.25f64..4.0).prop_map(|(z, w)| if z == 0 { 0.0 } else { w })
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    // the vendored proptest has no prop_oneof: draw every variant's
+    // operands plus a selector and pick in a map (admissions weighted
+    // double so services actually fill up)
+    (
+        0u8..6,
+        (2usize..=6, 0u8..4, arb_weight()),
+        0usize..8,
+        collection::vec((2usize..=4, 0u8..4, arb_weight()), 1..=3),
+    )
+        .prop_map(|(sel, (t, c, w), k, burst)| match sel {
+            0 | 1 => Step::Admit(t, c, w),
+            2 => Step::Retire(k),
+            3 => Step::Reweight(k, w),
+            4 => Step::RetireUnknown,
+            _ => Step::Burst(burst),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_event_sequences_uphold_the_service_invariants(
+        steps in collection::vec(arb_step(), 1..=12)
+    ) {
+        let mut svc = Service::new(CellSpec::ps3());
+        let mut fresh = 0usize;
+        for step in steps {
+            // queue drains can admit (and hand out handles) inside any
+            // event, so resolve indices against the live listing instead
+            // of hand-tracking admissions
+            let live: Vec<AppId> = svc.apps().map(|(h, _)| h).collect();
+            match step {
+                Step::Admit(t, c, w) => {
+                    let g = pipeline(&format!("app{fresh}"), t, c);
+                    fresh += 1;
+                    svc.process(Event::Admit(g, w)).expect("admissions never error");
+                }
+                Step::Retire(k) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let h = live[k % live.len()];
+                    svc.process(Event::Retire(h)).expect("live handles retire");
+                }
+                Step::Reweight(k, w) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let h = live[k % live.len()];
+                    svc.process(Event::Reweight(h, w)).expect("live handles reweight");
+                }
+                Step::RetireUnknown => {
+                    let bogus = AppId(9_999);
+                    prop_assert!(svc.process(Event::Retire(bogus)).is_err());
+                }
+                Step::Burst(admits) => {
+                    let events: Vec<Event> = admits
+                        .iter()
+                        .map(|&(t, c, w)| {
+                            let g = pipeline(&format!("app{fresh}"), t, c);
+                            fresh += 1;
+                            Event::Admit(g, w)
+                        })
+                        .collect();
+                    svc.process_batch(&events).expect("admit-only bursts are valid");
+                }
+            }
+            // the entry points audit themselves under the feature; this
+            // explicit sweep additionally pins the post-event state the
+            // harness observes between steps
+            svc.check_invariants("harness sweep");
+        }
+    }
+}

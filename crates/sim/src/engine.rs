@@ -124,6 +124,8 @@ impl PartialEq for Event {
 }
 impl Eq for Event {}
 impl PartialOrd for Event {
+    // check:allow(float-ord): canonical PartialOrd-from-Ord forwarding; the
+    // total order itself lives in `Ord::cmp` via `total_cmp`
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
