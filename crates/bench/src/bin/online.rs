@@ -85,6 +85,7 @@ fn main() {
                 let id = svc.handle_of(app).expect("trace reweights live apps");
                 svc.reweight(id, *weight).expect("live handle")
             }
+            other => panic!("the churn trace carries no fault events: {other:?}"),
         };
         let (scratch_period, scratch_wall) = match svc.workload() {
             Some(w) => {

@@ -144,6 +144,7 @@ fn apply_sequential(svc: &mut Service, ev: &TraceEvent) -> Duration {
             let id = svc.handle_of(app).expect("schedule reweights live apps");
             svc.reweight(id, *weight).expect("live handle")
         }
+        other => panic!("hot-path schedules carry churn only: {other:?}"),
     };
     assert!(report.applied(), "hot-path schedule never rejects: {}", report.event);
     report.replan
@@ -178,6 +179,7 @@ fn run_batched(fill: &[StreamGraph], bursts: &[Vec<TraceEvent>]) -> (Run, Servic
                 TraceEvent::Reweight { app, weight } => {
                     Event::Reweight(svc.handle_of(app).expect("live app"), *weight)
                 }
+                other => panic!("hot-path schedules carry churn only: {other:?}"),
             })
             .collect();
         let report = svc.process_batch(&batch).expect("validated schedule");

@@ -11,6 +11,8 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/serve/src/pipeline.rs",
     "crates/heuristics/src/repair.rs",
     "crates/rt/src/ring.rs",
+    "crates/cluster/src/coordinator.rs",
+    "crates/cluster/src/agent.rs",
 ];
 
 /// Rule id: float comparisons must use `total_cmp`.

@@ -19,6 +19,10 @@ use std::time::Duration;
 pub struct Agent {
     node: NodeId,
     service: Service,
+    /// Kept so a [`ClusterMsg::NodeFailed`] crash-wipe can rebuild the
+    /// serving loop from scratch.
+    spec: CellSpec,
+    opts: ServiceOptions,
 }
 
 impl Agent {
@@ -26,10 +30,12 @@ impl Agent {
     ///
     /// The coordinator owns retry policy fleet-wide, so the local wait
     /// queue is forced off: a cluster agent must answer every admission
-    /// definitively or the placer cannot move on to the next node.
+    /// definitively or the placer cannot move on to the next node (and
+    /// fault-shed applications surface in [`AgentOutcome::Recovered`]
+    /// instead of parking locally).
     pub fn new(node: NodeId, spec: CellSpec, opts: ServiceOptions) -> Agent {
         let opts = ServiceOptions { queue_rejected: false, ..opts };
-        Agent { node, service: Service::with_options(spec, opts) }
+        Agent { node, service: Service::with_options(spec.clone(), opts.clone()), spec, opts }
     }
 
     /// This agent's node id.
@@ -77,6 +83,7 @@ impl Agent {
                     // size the working set before the tasks vanish: it is
                     // what the departing app's state transfer would cost
                     let ws = self.working_set(&app);
+                    // check:allow(hot-path-panic): handle came from handle_of
                     let report = self.service.retire(id).expect("handle came from handle_of");
                     self.reply(AgentOutcome::Applied, report.replan, report.migration_bytes(), ws)
                 }
@@ -85,6 +92,7 @@ impl Agent {
             ClusterMsg::Reweight { app, weight } => match self.service.handle_of(&app) {
                 Some(id) => {
                     let report =
+                        // check:allow(hot-path-panic): handle came from handle_of
                         self.service.reweight(id, weight).expect("handle came from handle_of");
                     let outcome = match &report.verdict {
                         Verdict::Applied => AgentOutcome::Applied,
@@ -100,7 +108,56 @@ impl Agent {
             },
             ClusterMsg::Batch { ops } => self.handle_batch(&ops),
             ClusterMsg::Status => self.reply(AgentOutcome::Status, Duration::ZERO, 0.0, 0.0),
+            ClusterMsg::PeFailed { pe } => match self.service.fail_pe(pe) {
+                Ok(report) => self.recovered_reply(&report),
+                Err(e) => {
+                    self.reply(AgentOutcome::Rejected(e.to_string()), Duration::ZERO, 0.0, 0.0)
+                }
+            },
+            ClusterMsg::PeRestored { pe } => match self.service.restore_pe(pe) {
+                Ok(report) => self.recovered_reply(&report),
+                Err(e) => {
+                    self.reply(AgentOutcome::Rejected(e.to_string()), Duration::ZERO, 0.0, 0.0)
+                }
+            },
+            ClusterMsg::CostDrift { app, factor } => match self.service.handle_of(&app) {
+                Some(id) => {
+                    let report =
+                        // check:allow(hot-path-panic): handle came from handle_of
+                        self.service.cost_drift(id, factor).expect("handle came from handle_of");
+                    match &report.verdict {
+                        Verdict::Rejected(r) => self.reply(
+                            AgentOutcome::Rejected(r.to_string()),
+                            report.replan,
+                            0.0,
+                            0.0,
+                        ),
+                        _ => self.recovered_reply(&report),
+                    }
+                }
+                None => self.reply(AgentOutcome::UnknownApp, Duration::ZERO, 0.0, 0.0),
+            },
+            // the crash stand-in: resident applications and their buffer
+            // state are lost with the process — rebuild an empty serving
+            // loop so the restored node rejoins cold
+            ClusterMsg::NodeFailed => {
+                self.service = Service::with_options(self.spec.clone(), self.opts.clone());
+                self.reply(AgentOutcome::Applied, Duration::ZERO, 0.0, 0.0)
+            }
+            // state was already wiped at failure; rejoining is a no-op
+            // beyond handing the coordinator a fresh (idle) summary
+            ClusterMsg::NodeRestored => self.reply(AgentOutcome::Applied, Duration::ZERO, 0.0, 0.0),
         }
+    }
+
+    /// Reply to an absorbed fault: [`AgentOutcome::Recovered`] carrying
+    /// the shed applications when the recovery displaced anyone,
+    /// [`AgentOutcome::Applied`] otherwise.
+    fn recovered_reply(&mut self, report: &cellstream_serve::ServeReport) -> AgentMsg {
+        let shed = self.service.take_shed();
+        let outcome =
+            if shed.is_empty() { AgentOutcome::Applied } else { AgentOutcome::Recovered { shed } };
+        self.reply(outcome, report.replan, report.migration_bytes(), 0.0)
     }
 
     /// Apply a coordinator burst through `Service::process_batch`: one
@@ -165,6 +222,10 @@ impl Agent {
                         Event::Retire(_) => 0u8,
                         Event::Reweight(..) => 1,
                         Event::Admit(..) => 2,
+                        // check:allow(hot-path-panic): batches are built
+                        // from BatchOp churn only — faults arrive as
+                        // dedicated ClusterMsg variants, never batched
+                        _ => unreachable!("fault events are never batched"),
                     };
                     let mut order: Vec<usize> = (0..events.len()).collect();
                     order.sort_by_key(|&k| rank(&events[k]));
@@ -190,6 +251,7 @@ impl Agent {
                 }
             }
         }
+        // check:allow(hot-path-panic): the dispatch loop above fills every slot
         let outcomes = outcomes.into_iter().map(|o| o.expect("every op got an outcome")).collect();
         self.reply(AgentOutcome::Batch(outcomes), replan, local_bytes, 0.0)
     }
@@ -213,6 +275,7 @@ impl Agent {
             return s;
         };
         let g = w.graph();
+        // check:allow(hot-path-panic): the incumbent mapping is structurally valid
         let report = evaluate(g, spec, m).expect("incumbent mapping is structurally valid");
         s.n_apps = w.n_apps();
         s.n_tasks = g.n_tasks();

@@ -19,7 +19,7 @@ use crate::transport::{InProcessTransport, Transport};
 use cellstream_core::Mapping;
 use cellstream_graph::{StreamGraph, Workload};
 use cellstream_heuristics::scheduler_names;
-use cellstream_platform::CellSpec;
+use cellstream_platform::{CellSpec, PeId};
 use cellstream_serve::ServiceOptions;
 use cellstream_sim::online::{EventOutcome, FleetSystem, TraceEvent};
 use std::collections::BTreeMap;
@@ -40,6 +40,19 @@ pub enum ClusterEvent {
     /// Migrate applications off the hottest nodes while the period gain
     /// amortises the network cost.
     Rebalance,
+    /// One SPE on a node failed; the node sheds what no longer fits and
+    /// the coordinator re-homes the shed applications.
+    PeFailed(NodeId, PeId),
+    /// A failed SPE came back; stranded applications get a retry.
+    PeRestored(NodeId, PeId),
+    /// The named application's measured compute drifted by this factor.
+    CostDrift(String, f64),
+    /// A whole node died: its resident applications are lost on the
+    /// node and re-homed from the coordinator's cache.
+    NodeFailed(NodeId),
+    /// A dead node came back empty; stranded applications get a retry
+    /// and rebalance sees it as the coldest target.
+    NodeRestored(NodeId),
 }
 
 impl ClusterEvent {
@@ -51,6 +64,11 @@ impl ClusterEvent {
             ClusterEvent::Reweight(app, w) => format!("reweight {app} w={w}"),
             ClusterEvent::DrainNode(n) => format!("drain {n}"),
             ClusterEvent::Rebalance => "rebalance".to_owned(),
+            ClusterEvent::PeFailed(n, pe) => format!("fail {n} {pe}"),
+            ClusterEvent::PeRestored(n, pe) => format!("restore {n} {pe}"),
+            ClusterEvent::CostDrift(app, f) => format!("drift {app} x{f}"),
+            ClusterEvent::NodeFailed(n) => format!("node-fail {n}"),
+            ClusterEvent::NodeRestored(n) => format!("node-restore {n}"),
         }
     }
 }
@@ -97,6 +115,29 @@ pub enum ClusterVerdict {
     Rebalanced {
         /// Applications migrated between nodes.
         moved: usize,
+    },
+    /// An impairment shed applications from a node; the coordinator
+    /// re-homed what it could and stranded the rest (stranded
+    /// applications stay in the retry ledger — they are never dropped).
+    Recovered {
+        /// Shed applications re-admitted on another node.
+        rehomed: usize,
+        /// Shed applications no node would take, parked in the ledger.
+        stranded: usize,
+    },
+    /// A whole node died; its residents were re-homed from the
+    /// coordinator's cache or stranded in the retry ledger.
+    NodeLost {
+        /// Lost residents re-admitted elsewhere.
+        rehomed: usize,
+        /// Lost residents parked in the ledger.
+        stranded: usize,
+    },
+    /// A dead node returned (empty); `readmitted` counts stranded
+    /// applications the retry pass placed back into service.
+    NodeReturned {
+        /// Stranded applications re-admitted by the retry pass.
+        readmitted: usize,
     },
 }
 
@@ -159,6 +200,11 @@ impl ClusterReport {
             ClusterVerdict::Drained { moved, .. } | ClusterVerdict::Rebalanced { moved } => {
                 *moved > 0
             }
+            // impairments always change fleet state (health masks,
+            // routing, the ledger), even when nothing could be re-homed
+            ClusterVerdict::Recovered { .. }
+            | ClusterVerdict::NodeLost { .. }
+            | ClusterVerdict::NodeReturned { .. } => true,
         }
     }
 
@@ -209,6 +255,11 @@ pub struct ClusterStatus {
     pub nodes: Vec<NodeSummary>,
     /// Nodes currently draining (excluded from placement).
     pub draining: Vec<NodeId>,
+    /// Nodes currently dead (excluded from placement and routing).
+    pub dead: Vec<NodeId>,
+    /// Applications shed by impairments that no node would re-admit
+    /// yet — parked in the retry ledger, never silently dropped.
+    pub stranded: Vec<String>,
     /// Applications placed fleet-wide.
     pub n_apps: usize,
     /// The per-node scheduler registry, sorted
@@ -251,6 +302,23 @@ struct Placed {
     node: NodeId,
 }
 
+/// A shed application no node would re-admit yet. Entries live in the
+/// coordinator's ledger until a retry pass places them — they are
+/// never silently dropped, and `status()` surfaces them.
+#[derive(Clone)]
+struct Stranded {
+    graph: StreamGraph,
+    weight: f64,
+    /// The node that shed it (retries prefer anywhere else first only
+    /// through policy ranking — the ledger keeps it for forensics).
+    from: NodeId,
+    /// Failed retry passes so far.
+    attempts: u32,
+    /// Retry passes to skip before the next attempt (bounded
+    /// exponential backoff: `1 << attempts`, capped).
+    cooldown: u32,
+}
+
 /// The fleet's control plane. Generic in the [`Transport`] so tests can
 /// interpose; [`Cluster`] is the ready-to-use in-process alias.
 pub struct Coordinator<T: Transport> {
@@ -260,9 +328,15 @@ pub struct Coordinator<T: Transport> {
     migration_horizon: f64,
     summaries: Vec<NodeSummary>,
     draining: Vec<bool>,
+    /// Nodes that died ([`ClusterEvent::NodeFailed`]) and have not been
+    /// restored — excluded from placement, routing, and rebalance.
+    dead: Vec<bool>,
     // BTreeMap: drains and rebalances iterate this — keep the order
     // deterministic
     apps: BTreeMap<String, Placed>,
+    /// Shed applications awaiting a willing node (BTreeMap: retry
+    /// passes iterate this — keep the order deterministic).
+    stranded: BTreeMap<String, Stranded>,
     next_unique: u64,
 }
 
@@ -281,9 +355,17 @@ impl<T: Transport> Coordinator<T> {
             migration_horizon: opts.migration_horizon,
             summaries,
             draining: vec![false; n],
+            dead: vec![false; n],
             apps: BTreeMap::new(),
+            stranded: BTreeMap::new(),
             next_unique: 1,
         }
+    }
+
+    /// `true` when the node may host placements: neither draining nor
+    /// dead. Every candidate filter goes through this.
+    fn schedulable(&self, node: NodeId) -> bool {
+        !self.draining[node.index()] && !self.dead[node.index()]
     }
 
     /// Number of nodes in the fleet.
@@ -322,6 +404,8 @@ impl<T: Transport> Coordinator<T> {
         ClusterStatus {
             nodes: self.summaries.clone(),
             draining: (0..self.draining.len()).filter(|&i| self.draining[i]).map(NodeId).collect(),
+            dead: (0..self.dead.len()).filter(|&i| self.dead[i]).map(NodeId).collect(),
+            stranded: self.stranded.keys().cloned().collect(),
             n_apps: self.apps.len(),
             schedulers: scheduler_names().to_vec(),
         }
@@ -335,6 +419,11 @@ impl<T: Transport> Coordinator<T> {
             ClusterEvent::Reweight(app, w) => self.reweight(&app, w),
             ClusterEvent::DrainNode(n) => self.drain(n),
             ClusterEvent::Rebalance => Ok(self.rebalance()),
+            ClusterEvent::PeFailed(n, pe) => self.pe_failed(n, pe),
+            ClusterEvent::PeRestored(n, pe) => self.pe_restored(n, pe),
+            ClusterEvent::CostDrift(app, f) => self.cost_drift(&app, f),
+            ClusterEvent::NodeFailed(n) => self.node_failed(n),
+            ClusterEvent::NodeRestored(n) => self.node_restored(n),
         };
         #[cfg(feature = "debug_invariants")]
         self.check_invariants("process");
@@ -356,6 +445,11 @@ impl<T: Transport> Coordinator<T> {
             self.draining.len(),
             "{ctx}: summaries and draining flags out of step"
         );
+        assert_eq!(
+            self.summaries.len(),
+            self.dead.len(),
+            "{ctx}: summaries and dead flags out of step"
+        );
         for (i, s) in self.summaries.iter().enumerate() {
             assert_eq!(s.node.index(), i, "{ctx}: summary {i} reports node {}", s.node);
         }
@@ -365,6 +459,10 @@ impl<T: Transport> Coordinator<T> {
                 "{ctx}: {name} routed to out-of-range node {}",
                 p.node
             );
+            assert!(!self.dead[p.node.index()], "{ctx}: {name} routed to dead node {}", p.node);
+        }
+        for name in self.stranded.keys() {
+            assert!(!self.apps.contains_key(name), "{ctx}: {name} both placed and stranded");
         }
         for (i, s) in self.summaries.iter().enumerate() {
             let here: Vec<(&String, &Placed)> =
@@ -378,6 +476,7 @@ impl<T: Transport> Coordinator<T> {
             );
             for (name, p) in here {
                 let Some((_, w)) = s.apps.iter().find(|(n, _)| n == name) else {
+                    // check:allow(hot-path-panic): debug_invariants-only audit
                     panic!("{ctx}: {name} routed to node {i} but absent from its summary");
                 };
                 assert!(
@@ -417,9 +516,16 @@ impl<T: Transport> Coordinator<T> {
             let mut touched: Vec<String> = Vec::new();
             let mut per_node: BTreeMap<NodeId, Vec<(usize, BatchOp)>> = BTreeMap::new();
             while i < events.len() {
+                // impairments are burst barriers: flush the batched
+                // churn first, then run the fault sequentially below
+                if events[i].is_fault() {
+                    break;
+                }
                 let raw_name = match &events[i] {
                     TraceEvent::Admit { graph, .. } => graph.name(),
                     TraceEvent::Retire { app } | TraceEvent::Reweight { app, .. } => app.as_str(),
+                    // check:allow(hot-path-panic): is_fault() gated above
+                    _ => unreachable!("fault events never reach the churn path"),
                 };
                 if touched.iter().any(|t| t == raw_name) {
                     break;
@@ -440,7 +546,7 @@ impl<T: Transport> Coordinator<T> {
                         let candidates: Vec<NodeSummary> = self
                             .summaries
                             .iter()
-                            .filter(|s| !self.draining[s.node.index()])
+                            .filter(|s| self.schedulable(s.node))
                             .cloned()
                             .collect();
                         match self.policy.rank(&candidates, &demand).first() {
@@ -461,7 +567,14 @@ impl<T: Transport> Coordinator<T> {
                                 .entry(node)
                                 .or_default()
                                 .push((i, BatchOp::Retire { app: app.clone() })),
-                            None => verdicts[i] = Some(unknown_app(app)),
+                            // a stranded app retires out of the ledger
+                            None => {
+                                verdicts[i] = Some(if self.stranded.remove(app).is_some() {
+                                    ClusterVerdict::Applied
+                                } else {
+                                    unknown_app(app)
+                                })
+                            }
                         }
                     }
                     TraceEvent::Reweight { app, weight } => {
@@ -471,9 +584,22 @@ impl<T: Transport> Coordinator<T> {
                                 .entry(node)
                                 .or_default()
                                 .push((i, BatchOp::Reweight { app: app.clone(), weight: *weight })),
-                            None => verdicts[i] = Some(unknown_app(app)),
+                            // a stranded app carries the new weight
+                            // into its next retry
+                            None => {
+                                verdicts[i] = Some(match self.stranded.get_mut(app) {
+                                    Some(e) => {
+                                        e.weight = *weight;
+                                        ClusterVerdict::Applied
+                                    }
+                                    None => unknown_app(app),
+                                })
+                            }
                         }
                     }
+                    // check:allow(hot-path-panic): is_fault() gated at
+                    // the top of the loop
+                    _ => unreachable!("fault events never reach the churn path"),
                 }
                 i += 1;
             }
@@ -515,6 +641,7 @@ impl<T: Transport> Coordinator<T> {
                             ClusterVerdict::Applied
                         }
                         (BatchOp::Reweight { app, weight }, AgentOutcome::Applied) => {
+                            // check:allow(hot-path-panic): routed via node_of
                             self.apps.get_mut(app).expect("routed via node_of").weight = *weight;
                             ClusterVerdict::Applied
                         }
@@ -533,9 +660,33 @@ impl<T: Transport> Coordinator<T> {
                     verdicts[*idx] = Some(v);
                 }
             }
+            // a fault at the cut point runs sequentially, in trace
+            // order, against the summaries the batches left behind —
+            // it can shed arbitrary applications, so it never fuses
+            // with the churn around it
+            if i < events.len() && events[i].is_fault() {
+                let res = match &events[i] {
+                    TraceEvent::PeFailed { node, pe } => self.pe_failed(NodeId(*node), *pe),
+                    TraceEvent::PeRestored { node, pe } => self.pe_restored(NodeId(*node), *pe),
+                    TraceEvent::CostDrift { app, factor } => self.cost_drift(app, *factor),
+                    TraceEvent::NodeFailed { node } => self.node_failed(NodeId(*node)),
+                    TraceEvent::NodeRestored { node } => self.node_restored(NodeId(*node)),
+                    // check:allow(hot-path-panic): is_fault() gated above
+                    _ => unreachable!("only fault events reach the barrier"),
+                };
+                verdicts[i] = Some(match res {
+                    Ok(r) => {
+                        local_bytes += r.local_migration_bytes;
+                        r.verdict
+                    }
+                    Err(e) => ClusterVerdict::Rejected(e.to_string()),
+                });
+                i += 1;
+            }
         }
         let events = labels
             .into_iter()
+            // check:allow(hot-path-panic): the dispatch loop above fills every slot
             .zip(verdicts.into_iter().map(|v| v.expect("every event got a verdict")))
             .collect();
         #[cfg(feature = "debug_invariants")]
@@ -567,7 +718,7 @@ impl<T: Transport> Coordinator<T> {
 
         let demand = AppDemand::of(&g, weight);
         let candidates: Vec<NodeSummary> =
-            self.summaries.iter().filter(|s| !self.draining[s.node.index()]).cloned().collect();
+            self.summaries.iter().filter(|s| self.schedulable(s.node)).cloned().collect();
         let order = self.policy.rank(&candidates, &demand);
         let mut local_bytes = 0.0;
         let mut last_refusal = "no schedulable node".to_owned();
@@ -603,10 +754,24 @@ impl<T: Transport> Coordinator<T> {
         )
     }
 
-    /// Retire an application wherever it lives.
+    /// Retire an application wherever it lives — a stranded one
+    /// retires straight out of the ledger.
     pub fn retire(&mut self, app: &str) -> Result<ClusterReport, ClusterError> {
         let started = Instant::now();
-        let node = self.node_of(app).ok_or_else(|| ClusterError::UnknownApp(app.to_owned()))?;
+        let Some(node) = self.node_of(app) else {
+            if self.stranded.remove(app).is_some() {
+                let label = format!("retire {app}");
+                return Ok(self.report(
+                    label,
+                    ClusterVerdict::Applied,
+                    None,
+                    started,
+                    Vec::new(),
+                    0.0,
+                ));
+            }
+            return Err(ClusterError::UnknownApp(app.to_owned()));
+        };
         let reply = self.transport.send(node, ClusterMsg::Retire { app: app.to_owned() });
         self.absorb(&reply);
         if reply.outcome != AgentOutcome::Applied {
@@ -625,14 +790,30 @@ impl<T: Transport> Coordinator<T> {
         ))
     }
 
-    /// Change an application's throughput weight wherever it lives.
+    /// Change an application's throughput weight wherever it lives — a
+    /// stranded one carries the new weight into its next retry.
     pub fn reweight(&mut self, app: &str, weight: f64) -> Result<ClusterReport, ClusterError> {
         let started = Instant::now();
-        let node = self.node_of(app).ok_or_else(|| ClusterError::UnknownApp(app.to_owned()))?;
+        let Some(node) = self.node_of(app) else {
+            if let Some(e) = self.stranded.get_mut(app) {
+                e.weight = weight;
+                let label = format!("reweight {app} w={weight}");
+                return Ok(self.report(
+                    label,
+                    ClusterVerdict::Applied,
+                    None,
+                    started,
+                    Vec::new(),
+                    0.0,
+                ));
+            }
+            return Err(ClusterError::UnknownApp(app.to_owned()));
+        };
         let reply = self.transport.send(node, ClusterMsg::Reweight { app: app.to_owned(), weight });
         self.absorb(&reply);
         let verdict = match reply.outcome {
             AgentOutcome::Applied => {
+                // check:allow(hot-path-panic): routed via node_of
                 self.apps.get_mut(app).expect("routed via node_of").weight = weight;
                 ClusterVerdict::Applied
             }
@@ -696,6 +877,316 @@ impl<T: Transport> Coordinator<T> {
         Ok(())
     }
 
+    /// One SPE on a node failed. The node replans around the dead PE
+    /// and sheds what no longer fits; the coordinator re-homes the
+    /// shed applications (drift-corrected source graphs travel with
+    /// them) or strands them in the retry ledger. A PE fault on an
+    /// already-dead node is a no-op — the whole node is gone, and only
+    /// [`node_restored`](Self::node_restored) brings it back.
+    pub fn pe_failed(&mut self, node: NodeId, pe: PeId) -> Result<ClusterReport, ClusterError> {
+        let started = Instant::now();
+        self.check_node(node)?;
+        let label = format!("fail {node} {pe}");
+        if self.dead[node.index()] {
+            let v = ClusterVerdict::Recovered { rehomed: 0, stranded: 0 };
+            return Ok(self.report(label, v, None, started, Vec::new(), 0.0));
+        }
+        let reply = self.transport.send(node, ClusterMsg::PeFailed { pe });
+        self.absorb(&reply);
+        let mut local_bytes = reply.local_migration_bytes;
+        let verdict_and_moves = match reply.outcome {
+            AgentOutcome::Applied => {
+                (ClusterVerdict::Recovered { rehomed: 0, stranded: 0 }, Vec::new())
+            }
+            AgentOutcome::Recovered { shed } => {
+                let (migrations, stranded) = self.rehome(shed, node, &mut local_bytes);
+                (ClusterVerdict::Recovered { rehomed: migrations.len(), stranded }, migrations)
+            }
+            AgentOutcome::Rejected(r) => {
+                (ClusterVerdict::Rejected(format!("{node}: {r}")), Vec::new())
+            }
+            other => (
+                ClusterVerdict::Rejected(format!("{node}: unexpected reply {other:?}")),
+                Vec::new(),
+            ),
+        };
+        let (verdict, migrations) = verdict_and_moves;
+        Ok(self.report(label, verdict, None, started, migrations, local_bytes))
+    }
+
+    /// A failed SPE came back. The node replans onto the recovered
+    /// silicon, then a retry pass offers stranded applications to the
+    /// fleet again. Restoring a PE on a dead node is refused — the
+    /// node itself is down.
+    pub fn pe_restored(&mut self, node: NodeId, pe: PeId) -> Result<ClusterReport, ClusterError> {
+        let started = Instant::now();
+        self.check_node(node)?;
+        let label = format!("restore {node} {pe}");
+        if self.dead[node.index()] {
+            let v =
+                ClusterVerdict::Rejected(format!("{node} is down — restore the node, not its PEs"));
+            return Ok(self.report(label, v, None, started, Vec::new(), 0.0));
+        }
+        let reply = self.transport.send(node, ClusterMsg::PeRestored { pe });
+        self.absorb(&reply);
+        let mut local_bytes = reply.local_migration_bytes;
+        match reply.outcome {
+            // capacity only grows on a restore: agents never shed here
+            AgentOutcome::Applied | AgentOutcome::Recovered { .. } => {}
+            AgentOutcome::Rejected(r) => {
+                let v = ClusterVerdict::Rejected(format!("{node}: {r}"));
+                return Ok(self.report(label, v, None, started, Vec::new(), local_bytes));
+            }
+            other => {
+                let v = ClusterVerdict::Rejected(format!("{node}: unexpected reply {other:?}"));
+                return Ok(self.report(label, v, None, started, Vec::new(), local_bytes));
+            }
+        }
+        let migrations = self.retry_stranded(&mut local_bytes);
+        let readmitted = migrations.len();
+        Ok(self.report(
+            label,
+            ClusterVerdict::NodeReturned { readmitted },
+            None,
+            started,
+            migrations,
+            local_bytes,
+        ))
+    }
+
+    /// The named application's measured compute drifted by `factor`.
+    /// Routed to its home node: the agent rescales the source costs
+    /// and replans, possibly shedding applications (the drifted one
+    /// included). The coordinator mirrors the correction into its
+    /// cached graph so later migrations admit the app at its real
+    /// size; for shed applications the agent's corrected source graph
+    /// is authoritative and overwrites the cache on re-homing.
+    pub fn cost_drift(&mut self, app: &str, factor: f64) -> Result<ClusterReport, ClusterError> {
+        let started = Instant::now();
+        let label = format!("drift {app} x{factor}");
+        let Some(node) = self.node_of(app) else {
+            // drift reaches stranded applications too: correct the
+            // ledger copy so the eventual re-admission uses real costs
+            let verdict = match self.stranded.get_mut(app) {
+                None => return Err(ClusterError::UnknownApp(app.to_owned())),
+                Some(e) if factor.is_finite() && factor > 0.0 => {
+                    e.graph = e.graph.rescale_costs(factor);
+                    ClusterVerdict::Applied
+                }
+                Some(_) => ClusterVerdict::Rejected(format!("invalid drift factor {factor}")),
+            };
+            return Ok(self.report(label, verdict, None, started, Vec::new(), 0.0));
+        };
+        let reply =
+            self.transport.send(node, ClusterMsg::CostDrift { app: app.to_owned(), factor });
+        self.absorb(&reply);
+        let mut local_bytes = reply.local_migration_bytes;
+        if matches!(reply.outcome, AgentOutcome::Applied | AgentOutcome::Recovered { .. }) {
+            if let Some(p) = self.apps.get_mut(app) {
+                p.graph = p.graph.rescale_costs(factor);
+            }
+        }
+        let (verdict, migrations) = match reply.outcome {
+            AgentOutcome::Applied => (ClusterVerdict::Applied, Vec::new()),
+            AgentOutcome::Recovered { shed } => {
+                let (migrations, stranded) = self.rehome(shed, node, &mut local_bytes);
+                (ClusterVerdict::Recovered { rehomed: migrations.len(), stranded }, migrations)
+            }
+            AgentOutcome::Rejected(r) => {
+                (ClusterVerdict::Rejected(format!("{node}: {r}")), Vec::new())
+            }
+            // assignment said the app lives there but the agent
+            // disagrees — surface the drift
+            AgentOutcome::UnknownApp => {
+                return Err(ClusterError::UnknownApp(app.to_owned()));
+            }
+            other => (
+                ClusterVerdict::Rejected(format!("{node}: unexpected reply {other:?}")),
+                Vec::new(),
+            ),
+        };
+        Ok(self.report(label, verdict, None, started, migrations, local_bytes))
+    }
+
+    /// A whole node died. The agent stand-in wipes its serving state —
+    /// resident buffer state is *lost*, not migrated — and the
+    /// coordinator marks the node dead, absorbs the idle summary, and
+    /// re-homes every resident from its own cache (the cached source
+    /// graphs are exactly what a cold re-admission needs). Residents
+    /// no surviving node admits go to the stranded ledger.
+    pub fn node_failed(&mut self, node: NodeId) -> Result<ClusterReport, ClusterError> {
+        let started = Instant::now();
+        self.check_node(node)?;
+        let label = format!("node-fail {node}");
+        if self.dead[node.index()] {
+            let v = ClusterVerdict::NodeLost { rehomed: 0, stranded: 0 };
+            return Ok(self.report(label, v, None, started, Vec::new(), 0.0));
+        }
+        self.dead[node.index()] = true;
+        let reply = self.transport.send(node, ClusterMsg::NodeFailed);
+        self.absorb(&reply);
+        let mut local_bytes = reply.local_migration_bytes;
+        let shed: Vec<(StreamGraph, f64)> = self
+            .apps
+            .values()
+            .filter(|p| p.node == node)
+            .map(|p| (p.graph.clone(), p.weight))
+            .collect();
+        let (migrations, stranded) = self.rehome(shed, node, &mut local_bytes);
+        let rehomed = migrations.len();
+        Ok(self.report(
+            label,
+            ClusterVerdict::NodeLost { rehomed, stranded },
+            None,
+            started,
+            migrations,
+            local_bytes,
+        ))
+    }
+
+    /// A dead node came back — empty: the crash lost its state, so it
+    /// rejoins as cold capacity. The retry pass offers stranded
+    /// applications to the whole fleet (the restored node included),
+    /// and [`rebalance`](Self::rebalance) naturally reads the idle
+    /// node (infinite period ⇒ load 0) as the coldest target for
+    /// later moves. Restoring a live node is an idempotent no-op.
+    pub fn node_restored(&mut self, node: NodeId) -> Result<ClusterReport, ClusterError> {
+        let started = Instant::now();
+        self.check_node(node)?;
+        let label = format!("node-restore {node}");
+        if !self.dead[node.index()] {
+            let v = ClusterVerdict::NodeReturned { readmitted: 0 };
+            return Ok(self.report(label, v, None, started, Vec::new(), 0.0));
+        }
+        self.dead[node.index()] = false;
+        let reply = self.transport.send(node, ClusterMsg::NodeRestored);
+        self.absorb(&reply);
+        let mut local_bytes = reply.local_migration_bytes;
+        let migrations = self.retry_stranded(&mut local_bytes);
+        let readmitted = migrations.len();
+        Ok(self.report(
+            label,
+            ClusterVerdict::NodeReturned { readmitted },
+            None,
+            started,
+            migrations,
+            local_bytes,
+        ))
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), ClusterError> {
+        if node.index() >= self.summaries.len() {
+            return Err(ClusterError::UnknownNode(node));
+        }
+        Ok(())
+    }
+
+    /// Admission-only placement walk for an application the fleet no
+    /// longer hosts (shed or lost): rank the schedulable nodes
+    /// (optionally excluding one), admit on the first that accepts,
+    /// record the placement, and price the move from `from`. There is
+    /// no retire leg — the source already lost the application.
+    fn place_from_cache(
+        &mut self,
+        app: &str,
+        graph: &StreamGraph,
+        weight: f64,
+        from: NodeId,
+        exclude: Option<NodeId>,
+        local_bytes: &mut f64,
+    ) -> Option<Migration> {
+        let demand = AppDemand::of(graph, weight);
+        let candidates: Vec<NodeSummary> = self
+            .summaries
+            .iter()
+            .filter(|s| self.schedulable(s.node))
+            .filter(|s| exclude.is_none_or(|x| s.node != x))
+            .cloned()
+            .collect();
+        for to in self.policy.rank(&candidates, &demand) {
+            let reply = self.transport.send(to, ClusterMsg::Admit { graph: graph.clone(), weight });
+            self.absorb(&reply);
+            *local_bytes += reply.local_migration_bytes;
+            if reply.outcome != AgentOutcome::Admitted {
+                continue;
+            }
+            let bytes = reply.working_set_bytes;
+            self.apps.insert(app.to_owned(), Placed { graph: graph.clone(), weight, node: to });
+            return Some(Migration {
+                app: app.to_owned(),
+                from,
+                to,
+                bytes,
+                seconds: self.network.transfer_time(from, to, bytes),
+            });
+        }
+        None
+    }
+
+    /// Re-home applications a node shed or lost. The shed list carries
+    /// drift-corrected source graphs — they overwrite the cache on
+    /// placement. Whatever no surviving node admits goes to the
+    /// stranded ledger: shed applications are never silently dropped.
+    fn rehome(
+        &mut self,
+        shed: Vec<(StreamGraph, f64)>,
+        from: NodeId,
+        local_bytes: &mut f64,
+    ) -> (Vec<Migration>, usize) {
+        let mut migrations = Vec::new();
+        let mut stranded = 0;
+        for (graph, weight) in shed {
+            let name = graph.name().to_owned();
+            self.apps.remove(&name);
+            match self.place_from_cache(&name, &graph, weight, from, Some(from), local_bytes) {
+                Some(m) => migrations.push(m),
+                None => {
+                    stranded += 1;
+                    self.stranded
+                        .insert(name, Stranded { graph, weight, from, attempts: 0, cooldown: 0 });
+                }
+            }
+        }
+        (migrations, stranded)
+    }
+
+    /// One retry pass over the stranded ledger. Entries whose cooldown
+    /// has not elapsed skip this pass (and tick down); the rest walk
+    /// the fleet again. A failed attempt doubles the cooldown
+    /// (`1 << attempts`, capped at 64 passes) — the entry stays in the
+    /// ledger until some node finally admits it.
+    fn retry_stranded(&mut self, local_bytes: &mut f64) -> Vec<Migration> {
+        let mut migrations = Vec::new();
+        let entries: Vec<(String, Stranded)> =
+            self.stranded.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        for (name, mut entry) in entries {
+            if entry.cooldown > 0 {
+                entry.cooldown -= 1;
+                self.stranded.insert(name, entry);
+                continue;
+            }
+            match self.place_from_cache(
+                &name,
+                &entry.graph,
+                entry.weight,
+                entry.from,
+                None,
+                local_bytes,
+            ) {
+                Some(m) => {
+                    migrations.push(m);
+                    self.stranded.remove(&name);
+                }
+                None => {
+                    entry.attempts += 1;
+                    entry.cooldown = 1u32 << entry.attempts.min(6);
+                    self.stranded.insert(name, entry);
+                }
+            }
+        }
+        migrations
+    }
+
     /// Migrate applications off the hottest node onto the coolest while
     /// it pays: a move happens iff the *predicted* fleet-period gain,
     /// amortised over the migration horizon, exceeds the network
@@ -742,7 +1233,7 @@ impl<T: Transport> Coordinator<T> {
         &mut self,
         already_moved: &std::collections::BTreeSet<String>,
     ) -> Option<(String, NodeId)> {
-        let schedulable = |s: &&NodeSummary| !self.draining[s.node.index()];
+        let schedulable = |s: &&NodeSummary| self.schedulable(s.node);
         let hot = self
             .summaries
             .iter()
@@ -801,7 +1292,7 @@ impl<T: Transport> Coordinator<T> {
         let candidates: Vec<NodeSummary> = self
             .summaries
             .iter()
-            .filter(|s| s.node != placed.node && !self.draining[s.node.index()])
+            .filter(|s| s.node != placed.node && self.schedulable(s.node))
             .filter(|s| force_to.is_none_or(|t| s.node == t))
             .cloned()
             .collect();
@@ -820,6 +1311,7 @@ impl<T: Transport> Coordinator<T> {
             *local_bytes += bye.local_migration_bytes;
             #[cfg(feature = "debug_invariants")]
             assert!(!self.draining[to.index()], "migration landed on draining {to}");
+            // check:allow(hot-path-panic): inserted above, still placed
             self.apps.get_mut(app).expect("still placed").node = to;
             return Some(Migration {
                 app: app.to_owned(),
@@ -885,6 +1377,11 @@ impl FleetSystem for Cluster {
             TraceEvent::Admit { graph, weight } => Some(self.admit(graph, *weight)),
             TraceEvent::Retire { app } => self.retire(app).ok(),
             TraceEvent::Reweight { app, weight } => self.reweight(app, *weight).ok(),
+            TraceEvent::PeFailed { node, pe } => self.pe_failed(NodeId(*node), *pe).ok(),
+            TraceEvent::PeRestored { node, pe } => self.pe_restored(NodeId(*node), *pe).ok(),
+            TraceEvent::CostDrift { app, factor } => self.cost_drift(app, *factor).ok(),
+            TraceEvent::NodeFailed { node } => self.node_failed(NodeId(*node)).ok(),
+            TraceEvent::NodeRestored { node } => self.node_restored(NodeId(*node)).ok(),
         };
         match report {
             Some(r) => EventOutcome {
@@ -1178,5 +1675,215 @@ mod tests {
         assert_eq!(r.verdict, ClusterVerdict::Applied);
         assert_eq!(fleet.n_apps(), 0);
         assert!(fleet.max_period().is_infinite(), "empty fleet is idle");
+    }
+
+    #[test]
+    fn process_routes_every_fault_event_kind() {
+        let spec = CellSpec::ps3();
+        let spe = spec.pe(spec.n_ppe()); // first SPE
+        let mut fleet = Cluster::homogeneous(2, &spec, opts_with(Box::<RoundRobin>::default()));
+        assert!(fleet.admit(&app("a", 3, 1), 1.0).applied());
+        let home = fleet.node_of("a").unwrap();
+        let other = NodeId((home.index() + 1) % 2);
+
+        let r = fleet.process(ClusterEvent::PeFailed(home, spe)).unwrap();
+        assert!(matches!(r.verdict, ClusterVerdict::Recovered { .. }), "{:?}", r.verdict);
+        let r = fleet.process(ClusterEvent::PeRestored(home, spe)).unwrap();
+        assert!(matches!(r.verdict, ClusterVerdict::NodeReturned { .. }), "{:?}", r.verdict);
+        let r = fleet.process(ClusterEvent::CostDrift("a".into(), 1.25)).unwrap();
+        assert!(r.applied(), "{:?}", r.verdict);
+        let r = fleet.process(ClusterEvent::NodeFailed(other)).unwrap();
+        assert!(matches!(r.verdict, ClusterVerdict::NodeLost { rehomed: 0, stranded: 0 }));
+        let r = fleet.process(ClusterEvent::NodeRestored(other)).unwrap();
+        assert!(matches!(r.verdict, ClusterVerdict::NodeReturned { readmitted: 0 }));
+        assert!(matches!(
+            fleet.process(ClusterEvent::NodeFailed(NodeId(9))),
+            Err(ClusterError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            fleet.process(ClusterEvent::CostDrift("ghost".into(), 2.0)),
+            Err(ClusterError::UnknownApp(_))
+        ));
+    }
+
+    #[test]
+    fn node_failure_rehomes_residents_and_restore_rejoins_cold() {
+        let mut fleet =
+            Cluster::homogeneous(3, &CellSpec::ps3(), opts_with(Box::<RoundRobin>::default()));
+        for i in 0..6 {
+            assert!(fleet.admit(&app(&format!("a{i}"), 3, 20 + i), 1.0).applied());
+        }
+        let victim = fleet.node_of("a0").unwrap();
+        let residents = (0..6).filter(|i| fleet.node_of(&format!("a{i}")) == Some(victim)).count();
+        assert!(residents > 0);
+
+        let report = fleet.node_failed(victim).unwrap();
+        let ClusterVerdict::NodeLost { rehomed, stranded } = report.verdict else {
+            panic!("{:?}", report.verdict)
+        };
+        assert_eq!(rehomed + stranded, residents, "every lost resident is accounted for");
+        assert_eq!(report.migrations.len(), rehomed);
+        for m in &report.migrations {
+            assert_eq!(m.from, victim);
+            assert_ne!(m.to, victim, "nothing re-homes onto the dead node");
+            assert!(m.seconds >= 0.0);
+        }
+        assert_eq!(fleet.n_apps() + fleet.status().stranded.len(), 6, "nothing silently dropped");
+        assert_eq!(fleet.status().dead, vec![victim]);
+
+        // the dead node is out of rotation: admissions and re-homes avoid it
+        let late = fleet.admit(&app("late", 3, 77), 1.0);
+        assert!(late.applied());
+        assert_ne!(fleet.node_of("late"), Some(victim));
+        // faults on a dead node are absorbed, restores of its PEs refused
+        let r = fleet.pe_failed(victim, CellSpec::ps3().pe(CellSpec::ps3().n_ppe())).unwrap();
+        assert!(matches!(r.verdict, ClusterVerdict::Recovered { rehomed: 0, stranded: 0 }));
+        let r = fleet.pe_restored(victim, CellSpec::ps3().pe(CellSpec::ps3().n_ppe())).unwrap();
+        assert!(matches!(r.verdict, ClusterVerdict::Rejected(_)));
+        // a second node-failure is an idempotent no-op
+        let r = fleet.node_failed(victim).unwrap();
+        assert!(matches!(r.verdict, ClusterVerdict::NodeLost { rehomed: 0, stranded: 0 }));
+
+        // the node returns empty — cold capacity
+        let r = fleet.node_restored(victim).unwrap();
+        assert!(matches!(r.verdict, ClusterVerdict::NodeReturned { .. }));
+        assert!(fleet.status().dead.is_empty());
+        let back = fleet.status().nodes.iter().find(|s| s.node == victim).unwrap().clone();
+        assert_eq!(back.n_apps, 0, "the crash lost the node's state");
+        assert!(back.period.is_infinite());
+
+        // rebalance reads the idle node as the coolest target
+        let report = fleet.rebalance();
+        let ClusterVerdict::Rebalanced { moved } = report.verdict else {
+            panic!("{:?}", report.verdict)
+        };
+        assert!(moved > 0, "a lopsided fleet has profitable moves");
+        assert!(report.migrations.iter().all(|m| m.to == victim), "moves target the cold node");
+    }
+
+    /// Cheap on the SPE, expensive on the PPE: a period guarantee can
+    /// make the lone SPE load-bearing, so its failure must shed.
+    fn lean_app(name: &str) -> StreamGraph {
+        use cellstream_graph::TaskSpec;
+        let mut b = StreamGraph::builder(name);
+        let s = b.add_task(TaskSpec::new("s").ppe_cost(10e-6).spe_cost(2e-6));
+        let t = b.add_task(TaskSpec::new("t").ppe_cost(10e-6).spe_cost(2e-6));
+        b.add_edge(s, t, 1024.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pe_failures_shed_to_the_ledger_and_restores_drain_it() {
+        use cellstream_platform::{ByteSize, CellSpecBuilder};
+        // a one-node fleet has nowhere to re-home: shed applications
+        // must land in the stranded ledger, never be dropped.
+        // PPE-only arithmetic as in the single-node shed test:
+        // heavy(w=2) 40us + light(w=1) 20us = 60us round, light's
+        // per-instance 60us breaches the 30us cap — the SPE failure
+        // sheds the lighter app
+        let spec = CellSpecBuilder::default()
+            .spes(1)
+            .local_store(ByteSize::kib(256))
+            .code_size(ByteSize::kib(64))
+            .build()
+            .unwrap();
+        let service = ServiceOptions { max_period: Some(30e-6), ..Default::default() };
+        let opts = ClusterOptions { service, ..ClusterOptions::default() };
+        let mut fleet = Cluster::homogeneous(1, &spec, opts);
+        assert!(fleet.admit(&lean_app("heavy"), 2.0).applied());
+        assert!(fleet.admit(&lean_app("light"), 1.0).applied());
+        let spe = PeId(1);
+
+        let r = fleet.pe_failed(NodeId(0), spe).unwrap();
+        let ClusterVerdict::Recovered { rehomed, stranded } = r.verdict else {
+            panic!("{:?}", r.verdict)
+        };
+        assert_eq!(rehomed, 0, "a one-node fleet has nowhere else to go");
+        assert_eq!(stranded, 1, "the lowest-weight app strands");
+        assert_eq!(fleet.status().stranded, vec!["light".to_owned()]);
+        assert_eq!(fleet.n_apps(), 1, "heavy kept running through the fault");
+        assert_eq!(fleet.node_of("light"), None);
+        assert_eq!(fleet.node_of("heavy"), Some(NodeId(0)));
+
+        // the restore replans onto the recovered SPE and the retry
+        // pass drains the ledger back into service
+        let r = fleet.pe_restored(NodeId(0), spe).unwrap();
+        let ClusterVerdict::NodeReturned { readmitted } = r.verdict else {
+            panic!("{:?}", r.verdict)
+        };
+        assert_eq!(readmitted, 1, "the stranded app re-enters on restore");
+        assert!(fleet.status().stranded.is_empty());
+        assert_eq!(fleet.n_apps(), 2);
+        assert_eq!(r.migrations.len(), 1);
+        assert_eq!(r.migrations[0].app, "light");
+    }
+
+    #[test]
+    fn cost_drift_raises_the_period_and_survives_migration() {
+        let mut fleet =
+            Cluster::homogeneous(2, &CellSpec::ps3(), opts_with(Box::<RoundRobin>::default()));
+        assert!(fleet.admit(&app("a", 4, 11), 1.0).applied());
+        let before = fleet.max_period();
+        assert!(before.is_finite());
+
+        let r = fleet.cost_drift("a", 2.0).unwrap();
+        assert!(r.applied(), "{:?}", r.verdict);
+        let after = fleet.max_period();
+        assert!(after > before, "doubled compute slows the round: {before} -> {after}");
+
+        // the coordinator's cache carries the corrected costs: a drain
+        // re-admits the app at its drifted size on the other node
+        let home = fleet.node_of("a").unwrap();
+        let report = fleet.drain(home).unwrap();
+        assert!(matches!(report.verdict, ClusterVerdict::Drained { moved: 1, stranded: 0 }));
+        let moved_period = fleet.max_period();
+        assert!(
+            (moved_period - after).abs() <= 1e-9 * after.max(1.0),
+            "the migrated app kept its drifted costs: {after} vs {moved_period}"
+        );
+
+        // malformed drifts are refused without touching anything
+        let r = fleet.cost_drift("a", 0.0).unwrap();
+        assert!(matches!(r.verdict, ClusterVerdict::Rejected(_)), "{:?}", r.verdict);
+        assert!(matches!(fleet.cost_drift("ghost", 2.0), Err(ClusterError::UnknownApp(_))));
+    }
+
+    #[test]
+    fn bursts_treat_faults_as_barriers() {
+        let spec = CellSpec::ps3();
+        let spe = spec.pe(spec.n_ppe());
+        let mut fleet = Cluster::homogeneous(2, &spec, opts_with(Box::<RoundRobin>::default()));
+        for i in 0..4 {
+            assert!(fleet.admit(&app(&format!("a{i}"), 3, i), 1.0).applied());
+        }
+        let node = fleet.node_of("a0").unwrap();
+        let burst = vec![
+            TraceEvent::Reweight { app: "a1".to_owned(), weight: 2.0 },
+            TraceEvent::PeFailed { node: node.index(), pe: spe },
+            TraceEvent::Admit { graph: app("b0", 3, 100), weight: 1.0 },
+            TraceEvent::CostDrift { app: "a2".to_owned(), factor: 1.5 },
+            TraceEvent::Retire { app: "a3".to_owned() },
+        ];
+        let report = fleet.process_burst(&burst);
+        assert_eq!(report.events.len(), burst.len());
+        assert!(matches!(report.events[0].1, ClusterVerdict::Applied));
+        assert!(
+            matches!(report.events[1].1, ClusterVerdict::Recovered { .. }),
+            "{:?}",
+            report.events[1]
+        );
+        assert!(matches!(report.events[2].1, ClusterVerdict::Admitted(_)));
+        assert!(
+            report.events[3].1 == ClusterVerdict::Applied
+                || matches!(report.events[3].1, ClusterVerdict::Recovered { .. }),
+            "{:?}",
+            report.events[3]
+        );
+        assert!(matches!(report.events[4].1, ClusterVerdict::Applied));
+        assert_eq!(
+            fleet.n_apps() + fleet.status().stranded.len(),
+            4,
+            "churn around the barrier landed and nothing was dropped"
+        );
     }
 }

@@ -11,7 +11,7 @@
 //! there is no separate heartbeat path to race against.
 
 use cellstream_graph::StreamGraph;
-use cellstream_platform::CellSpec;
+use cellstream_platform::{CellSpec, PeId};
 use std::fmt;
 use std::time::Duration;
 
@@ -66,6 +66,37 @@ pub enum ClusterMsg {
     },
     /// No-op: reply with a fresh capacity summary.
     Status,
+    /// One of the receiving node's SPEs failed: evacuate its seats and
+    /// recover. The agent replies [`AgentOutcome::Recovered`] with any
+    /// applications the shrunken node had to shed (the coordinator owns
+    /// their re-placement), or [`AgentOutcome::Applied`] when everyone
+    /// still fits.
+    PeFailed {
+        /// The failed PE on the receiving node's platform.
+        pe: PeId,
+    },
+    /// A previously failed PE on the receiving node returned to service:
+    /// rebalance onto the restored capacity.
+    PeRestored {
+        /// The restored PE.
+        pe: PeId,
+    },
+    /// The named application's declared compute costs were misestimated:
+    /// rescale them by `factor` and re-validate. Like a PE failure this
+    /// can force the node to shed applications.
+    CostDrift {
+        /// Application (graph) name.
+        app: String,
+        /// Multiplicative cost correction (validated by the agent).
+        factor: f64,
+    },
+    /// The receiving node crashed (an in-process stand-in for process
+    /// death): the agent wipes its serving state — resident applications
+    /// and their buffer state are *lost*, not migrated. The coordinator
+    /// re-homes them from its own cache.
+    NodeFailed,
+    /// The crashed node rejoins the fleet, empty and cold.
+    NodeRestored,
 }
 
 /// One name-addressed operation inside a [`ClusterMsg::Batch`].
@@ -119,6 +150,14 @@ pub enum AgentOutcome {
     Batch(Vec<AgentOutcome>),
     /// Reply to a [`ClusterMsg::Status`] probe.
     Status,
+    /// A fault was absorbed but the node had to shed applications to
+    /// stay feasible: their drift-corrected source graphs and weights,
+    /// in shed order. The coordinator owns their re-placement — a shed
+    /// application no longer lives on the replying node.
+    Recovered {
+        /// `(source graph, weight)` of each shed application.
+        shed: Vec<(StreamGraph, f64)>,
+    },
 }
 
 /// An agent → coordinator reply.
@@ -195,6 +234,120 @@ impl NodeSummary {
     }
 }
 
+// Requests are data: everything crossing `Transport::send` is owned
+// values a socket transport could serialise wholesale. They render as
+// tagged objects ({"type": "admit", ...}), the same dialect as the
+// sim's trace events; the unit-enum macro cannot express
+// payload-carrying variants, so the impls are spelled out.
+impl serde::Serialize for BatchOp {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        let obj = |pairs: Vec<(&str, Value)>| {
+            Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+        };
+        match self {
+            BatchOp::Admit { graph, weight } => obj(vec![
+                ("type", Value::Str("admit".into())),
+                ("graph", graph.to_value()),
+                ("weight", Value::Num(*weight)),
+            ]),
+            BatchOp::Retire { app } => {
+                obj(vec![("type", Value::Str("retire".into())), ("app", Value::Str(app.clone()))])
+            }
+            BatchOp::Reweight { app, weight } => obj(vec![
+                ("type", Value::Str("reweight".into())),
+                ("app", Value::Str(app.clone())),
+                ("weight", Value::Num(*weight)),
+            ]),
+        }
+    }
+}
+
+impl serde::Deserialize for BatchOp {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v.field("type")?.as_str()? {
+            "admit" => Ok(BatchOp::Admit {
+                graph: StreamGraph::from_value(v.field("graph")?)?,
+                weight: v.field("weight")?.as_f64()?,
+            }),
+            "retire" => Ok(BatchOp::Retire { app: v.field("app")?.as_str()?.to_owned() }),
+            "reweight" => Ok(BatchOp::Reweight {
+                app: v.field("app")?.as_str()?.to_owned(),
+                weight: v.field("weight")?.as_f64()?,
+            }),
+            other => Err(serde::Error::new(format!("unknown BatchOp type `{other}`"))),
+        }
+    }
+}
+
+impl serde::Serialize for ClusterMsg {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        let obj = |pairs: Vec<(&str, Value)>| {
+            Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+        };
+        match self {
+            ClusterMsg::Admit { graph, weight } => obj(vec![
+                ("type", Value::Str("admit".into())),
+                ("graph", graph.to_value()),
+                ("weight", Value::Num(*weight)),
+            ]),
+            ClusterMsg::Retire { app } => {
+                obj(vec![("type", Value::Str("retire".into())), ("app", Value::Str(app.clone()))])
+            }
+            ClusterMsg::Reweight { app, weight } => obj(vec![
+                ("type", Value::Str("reweight".into())),
+                ("app", Value::Str(app.clone())),
+                ("weight", Value::Num(*weight)),
+            ]),
+            ClusterMsg::Batch { ops } => {
+                obj(vec![("type", Value::Str("batch".into())), ("ops", ops.to_value())])
+            }
+            ClusterMsg::Status => obj(vec![("type", Value::Str("status".into()))]),
+            ClusterMsg::PeFailed { pe } => {
+                obj(vec![("type", Value::Str("pe_failed".into())), ("pe", pe.to_value())])
+            }
+            ClusterMsg::PeRestored { pe } => {
+                obj(vec![("type", Value::Str("pe_restored".into())), ("pe", pe.to_value())])
+            }
+            ClusterMsg::CostDrift { app, factor } => obj(vec![
+                ("type", Value::Str("cost_drift".into())),
+                ("app", Value::Str(app.clone())),
+                ("factor", Value::Num(*factor)),
+            ]),
+            ClusterMsg::NodeFailed => obj(vec![("type", Value::Str("node_failed".into()))]),
+            ClusterMsg::NodeRestored => obj(vec![("type", Value::Str("node_restored".into()))]),
+        }
+    }
+}
+
+impl serde::Deserialize for ClusterMsg {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v.field("type")?.as_str()? {
+            "admit" => Ok(ClusterMsg::Admit {
+                graph: StreamGraph::from_value(v.field("graph")?)?,
+                weight: v.field("weight")?.as_f64()?,
+            }),
+            "retire" => Ok(ClusterMsg::Retire { app: v.field("app")?.as_str()?.to_owned() }),
+            "reweight" => Ok(ClusterMsg::Reweight {
+                app: v.field("app")?.as_str()?.to_owned(),
+                weight: v.field("weight")?.as_f64()?,
+            }),
+            "batch" => Ok(ClusterMsg::Batch { ops: Vec::from_value(v.field("ops")?)? }),
+            "status" => Ok(ClusterMsg::Status),
+            "pe_failed" => Ok(ClusterMsg::PeFailed { pe: PeId::from_value(v.field("pe")?)? }),
+            "pe_restored" => Ok(ClusterMsg::PeRestored { pe: PeId::from_value(v.field("pe")?)? }),
+            "cost_drift" => Ok(ClusterMsg::CostDrift {
+                app: v.field("app")?.as_str()?.to_owned(),
+                factor: v.field("factor")?.as_f64()?,
+            }),
+            "node_failed" => Ok(ClusterMsg::NodeFailed),
+            "node_restored" => Ok(ClusterMsg::NodeRestored),
+            other => Err(serde::Error::new(format!("unknown ClusterMsg type `{other}`"))),
+        }
+    }
+}
+
 impl fmt::Display for NodeSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.period.is_finite() {
@@ -210,6 +363,92 @@ impl fmt::Display for NodeSummary {
             )
         } else {
             write!(f, "{}: idle", self.node)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellstream_graph::TaskSpec;
+
+    fn tiny(name: &str) -> StreamGraph {
+        let mut b = StreamGraph::builder(name);
+        let s = b.add_task(TaskSpec::new("s").uniform_cost(1e-6));
+        let t = b.add_task(TaskSpec::new("t").uniform_cost(1e-6));
+        b.add_edge(s, t, 64.0).unwrap();
+        b.build().unwrap()
+    }
+
+    fn round_trip(msg: &ClusterMsg) -> ClusterMsg {
+        let json = serde_json::to_string(msg).unwrap();
+        serde_json::from_str(&json).unwrap()
+    }
+
+    #[test]
+    fn cluster_msgs_round_trip_through_json() {
+        match round_trip(&ClusterMsg::Admit { graph: tiny("a"), weight: 1.5 }) {
+            ClusterMsg::Admit { graph, weight } => {
+                assert_eq!(graph.name(), "a");
+                assert_eq!(graph.n_tasks(), 2);
+                assert_eq!(weight, 1.5);
+            }
+            other => panic!("expected admit, got {other:?}"),
+        }
+        match round_trip(&ClusterMsg::Retire { app: "x".into() }) {
+            ClusterMsg::Retire { app } => assert_eq!(app, "x"),
+            other => panic!("expected retire, got {other:?}"),
+        }
+        match round_trip(&ClusterMsg::Reweight { app: "x".into(), weight: 2.0 }) {
+            ClusterMsg::Reweight { app, weight } => {
+                assert_eq!(app, "x");
+                assert_eq!(weight, 2.0);
+            }
+            other => panic!("expected reweight, got {other:?}"),
+        }
+        assert!(matches!(round_trip(&ClusterMsg::Status), ClusterMsg::Status));
+    }
+
+    #[test]
+    fn fault_msgs_round_trip_through_json() {
+        match round_trip(&ClusterMsg::PeFailed { pe: PeId(4) }) {
+            ClusterMsg::PeFailed { pe } => assert_eq!(pe, PeId(4)),
+            other => panic!("expected pe_failed, got {other:?}"),
+        }
+        match round_trip(&ClusterMsg::PeRestored { pe: PeId(4) }) {
+            ClusterMsg::PeRestored { pe } => assert_eq!(pe, PeId(4)),
+            other => panic!("expected pe_restored, got {other:?}"),
+        }
+        match round_trip(&ClusterMsg::CostDrift { app: "x".into(), factor: 1.75 }) {
+            ClusterMsg::CostDrift { app, factor } => {
+                assert_eq!(app, "x");
+                assert_eq!(factor, 1.75);
+            }
+            other => panic!("expected cost_drift, got {other:?}"),
+        }
+        assert!(matches!(round_trip(&ClusterMsg::NodeFailed), ClusterMsg::NodeFailed));
+        assert!(matches!(round_trip(&ClusterMsg::NodeRestored), ClusterMsg::NodeRestored));
+        // a bogus tag is rejected, not misparsed
+        assert!(serde_json::from_str::<ClusterMsg>(r#"{"type": "explode"}"#).is_err());
+    }
+
+    #[test]
+    fn batches_round_trip_through_json() {
+        let msg = ClusterMsg::Batch {
+            ops: vec![
+                BatchOp::Admit { graph: tiny("a"), weight: 1.0 },
+                BatchOp::Reweight { app: "a".into(), weight: 3.0 },
+                BatchOp::Retire { app: "a".into() },
+            ],
+        };
+        match round_trip(&msg) {
+            ClusterMsg::Batch { ops } => {
+                assert_eq!(ops.len(), 3);
+                assert_eq!(ops[0].app_name(), "a");
+                assert!(matches!(&ops[1], BatchOp::Reweight { weight, .. } if *weight == 3.0));
+                assert!(matches!(&ops[2], BatchOp::Retire { .. }));
+            }
+            other => panic!("expected batch, got {other:?}"),
         }
     }
 }

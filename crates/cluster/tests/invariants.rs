@@ -1,8 +1,10 @@
 //! `debug_invariants` replay harness for the fleet control plane:
 //! random sequences of admissions, retirements, reweights, drains,
-//! undrains and rebalances against an in-process cluster, with the
-//! coordinator's deep audit (routing table ↔ node summaries, drain-set
-//! honoured at every placement) running after every operation.
+//! undrains, rebalances and injected faults (SPE failure/restore,
+//! whole-node loss/return, cost drift) against an in-process cluster,
+//! with the coordinator's deep audit (routing table ↔ node summaries,
+//! drain- and dead-sets honoured at every placement, stranded ledger
+//! disjoint from the routing table) running after every operation.
 //!
 //! Compiles to nothing without the feature:
 //! `cargo test -p cellstream-cluster --features debug_invariants`.
@@ -43,13 +45,24 @@ enum Step {
     Undrain(usize),
     /// Fleet-wide rebalance pass.
     Rebalance,
+    /// Fail the `k % n_spe`-th SPE on node `k % n_nodes`.
+    PeFail(usize),
+    /// Restore the `k % n_spe`-th SPE on node `k % n_nodes`.
+    PeRestore(usize),
+    /// Kill node `k % n_nodes` outright.
+    NodeFail(usize),
+    /// Bring node `k % n_nodes` back (cold).
+    NodeRestore(usize),
+    /// Drift the `k % placed`-th tracked application's costs.
+    Drift(usize, f64),
 }
 
 fn arb_step() -> impl Strategy<Value = Step> {
     // the vendored proptest has no prop_oneof: draw every variant's
     // operands plus a selector and pick in a map (admissions and churn
-    // weighted heavier than drains so fleets actually fill up)
-    (0u8..11, (2usize..=5, 0u8..4, 0.25f64..4.0), 0usize..8).prop_map(|(sel, (t, c, w), k)| {
+    // weighted heavier than drains and faults so fleets actually fill
+    // up)
+    (0u8..16, (2usize..=5, 0u8..4, 0.25f64..4.0), 0usize..24).prop_map(|(sel, (t, c, w), k)| {
         match sel {
             0..=2 => Step::Admit(t, c, w),
             3 | 4 => Step::Retire(k),
@@ -57,7 +70,12 @@ fn arb_step() -> impl Strategy<Value = Step> {
             7 => Step::RetireUnknown,
             8 => Step::Drain(k),
             9 => Step::Undrain(k),
-            _ => Step::Rebalance,
+            10 => Step::Rebalance,
+            11 => Step::PeFail(k),
+            12 => Step::PeRestore(k),
+            13 => Step::NodeFail(k),
+            14 => Step::NodeRestore(k),
+            _ => Step::Drift(k, 0.5 + w),
         }
     })
 }
@@ -70,7 +88,8 @@ proptest! {
         steps in collection::vec(arb_step(), 1..=14)
     ) {
         let nodes = 3;
-        let mut fleet = Cluster::homogeneous(nodes, &CellSpec::ps3(), ClusterOptions::default());
+        let spec = CellSpec::ps3();
+        let mut fleet = Cluster::homogeneous(nodes, &spec, ClusterOptions::default());
         let mut placed: Vec<String> = Vec::new();
         let mut fresh = 0usize;
         for step in steps {
@@ -116,11 +135,49 @@ proptest! {
                 Step::Rebalance => {
                     fleet.process(ClusterEvent::Rebalance).expect("rebalance never errors");
                 }
+                Step::PeFail(k) => {
+                    let pe = spec.pe(spec.n_ppe() + k % spec.n_spe());
+                    fleet
+                        .process(ClusterEvent::PeFailed(NodeId(k % nodes), pe))
+                        .expect("in-range PE faults never error");
+                }
+                Step::PeRestore(k) => {
+                    let pe = spec.pe(spec.n_ppe() + k % spec.n_spe());
+                    // restoring a PE on a dead node yields a Rejected
+                    // verdict, not an error
+                    fleet
+                        .process(ClusterEvent::PeRestored(NodeId(k % nodes), pe))
+                        .expect("in-range PE restores never error");
+                }
+                Step::NodeFail(k) => {
+                    fleet
+                        .process(ClusterEvent::NodeFailed(NodeId(k % nodes)))
+                        .expect("in-range node faults never error");
+                }
+                Step::NodeRestore(k) => {
+                    fleet
+                        .process(ClusterEvent::NodeRestored(NodeId(k % nodes)))
+                        .expect("in-range node restores never error");
+                }
+                Step::Drift(k, f) => {
+                    if placed.is_empty() {
+                        continue;
+                    }
+                    // the target may be serving or stranded: drift
+                    // reaches both (the ledger copy stays corrected)
+                    let name = placed[k % placed.len()].clone();
+                    fleet.process(ClusterEvent::CostDrift(name, f)).expect("tracked apps drift");
+                }
             }
             // process() audits itself under the feature; keep a sweep
             // here too so the harness pins the between-steps state
             fleet.check_invariants("harness sweep");
-            prop_assert_eq!(placed.len(), fleet.n_apps(), "harness and fleet agree");
+            let stranded = fleet.status().stranded.len();
+            prop_assert_eq!(
+                placed.len(),
+                fleet.n_apps() + stranded,
+                "every tracked app is serving or in the ledger — never dropped"
+            );
         }
     }
 }

@@ -53,6 +53,14 @@ pub enum Violation {
         /// The proxy queue depth.
         limit: u32,
     },
+    /// A task is seated on a PE the [`Availability`] overlay marks
+    /// dead — live capacity is zero there, so the mapping cannot run.
+    DeadPe {
+        /// The dead PE.
+        pe: PeId,
+        /// Tasks seated on it.
+        tasks: usize,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -66,6 +74,9 @@ impl fmt::Display for Violation {
             }
             Violation::DmaPpe { pe, used, limit } => {
                 write!(f, "{pe}: {used} SPE→PPE proxy transfers (limit {limit})")
+            }
+            Violation::DeadPe { pe, tasks } => {
+                write!(f, "{pe}: {tasks} task(s) seated on a dead PE")
             }
         }
     }
@@ -140,9 +151,24 @@ pub fn evaluate(
     spec: &CellSpec,
     mapping: &Mapping,
 ) -> Result<MappingReport, crate::mapping::MappingError> {
+    evaluate_with(g, spec, &crate::avail::Availability::full(spec), mapping)
+}
+
+/// [`evaluate`] against *live* capacity: compute loads are scaled by
+/// each PE's [`Availability::slowdown`](crate::Availability::slowdown),
+/// and any task seated on a dead PE is reported as a
+/// [`Violation::DeadPe`]. With a fully healthy overlay this is exactly
+/// `evaluate` (slowdown `1.0` is an exact multiplicative identity).
+pub fn evaluate_with(
+    g: &StreamGraph,
+    spec: &CellSpec,
+    avail: &crate::avail::Availability,
+    mapping: &Mapping,
+) -> Result<MappingReport, crate::mapping::MappingError> {
     // revalidate (mappings can be deserialised from anywhere) — in place,
     // without cloning the assignment vector
     mapping.validate(g, spec)?;
+    assert_eq!(avail.n_pes(), spec.n_pes(), "availability overlay must cover every PE");
 
     let n = spec.n_pes();
     let bw = spec.interface_bw().as_bytes_per_s();
@@ -154,13 +180,15 @@ pub fn evaluate(
     let mut memory_bytes = vec![0.0; n];
     let mut dma_in = vec![0u32; n];
     let mut dma_ppe = vec![0u32; n];
+    let mut seated = vec![0usize; n];
 
     for t in g.task_ids() {
         let pe = mapping.pe_of(t);
         let task = g.task(t);
-        compute_load[pe.index()] += task.cost_on(spec.kind_of(pe));
+        compute_load[pe.index()] += task.cost_on(spec.kind_of(pe)) * avail.slowdown(pe);
         in_bytes[pe.index()] += task.read_bytes;
         out_bytes[pe.index()] += task.write_bytes;
+        seated[pe.index()] += 1;
         if spec.is_spe(pe) {
             memory_bytes[pe.index()] += plan.for_task(t);
         }
@@ -200,6 +228,11 @@ pub fn evaluate(
     }
 
     let mut violations = Vec::new();
+    for pe in spec.pes() {
+        if avail.is_dead(pe) && seated[pe.index()] > 0 {
+            violations.push(Violation::DeadPe { pe, tasks: seated[pe.index()] });
+        }
+    }
     let budget = spec.local_store_budget() as f64;
     for pe in spec.spes() {
         let i = pe.index();
@@ -386,6 +419,40 @@ mod tests {
         let r = evaluate(&g, &spec2(), &Mapping::all_on(&g, PeId(0))).unwrap();
         assert!(r.throughput.is_finite() && r.throughput > 0.0);
         assert!((r.throughput * r.period - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn availability_scales_compute_and_flags_dead_seats() {
+        use crate::avail::Availability;
+        let g = pair(1000.0, 0.0, 0.0);
+        let spec = spec2();
+        let m = Mapping::new(&g, &spec, vec![PeId(1), PeId(2)]).unwrap();
+
+        // inert overlay reproduces evaluate() exactly
+        let full = Availability::full(&spec);
+        let base = evaluate(&g, &spec, &m).unwrap();
+        let with = evaluate_with(&g, &spec, &full, &m).unwrap();
+        assert_eq!(with.period, base.period);
+        assert_eq!(with.compute_load, base.compute_load);
+        assert_eq!(with.violations.len(), base.violations.len());
+
+        // a half-speed SPE doubles its compute occupation
+        let mut slow = Availability::full(&spec);
+        slow.set_factor(PeId(1), 0.5);
+        let r = evaluate_with(&g, &spec, &slow, &m).unwrap();
+        assert!((r.compute_load[1] - 4e-6).abs() < 1e-12, "2us at half speed");
+        assert!((r.period - 4e-6).abs() < 1e-12);
+        assert!(r.is_feasible(), "degraded is slow, not broken");
+
+        // a dead SPE with a seated task is a capacity violation
+        let mut dead = Availability::full(&spec);
+        dead.fail(PeId(2));
+        let r = evaluate_with(&g, &spec, &dead, &m).unwrap();
+        assert!(!r.is_feasible());
+        assert!(matches!(r.violations[0], Violation::DeadPe { pe: PeId(2), tasks: 1 }));
+        // evacuating the dead PE restores feasibility
+        let m2 = Mapping::new(&g, &spec, vec![PeId(1), PeId(0)]).unwrap();
+        assert!(evaluate_with(&g, &spec, &dead, &m2).unwrap().is_feasible());
     }
 
     #[test]

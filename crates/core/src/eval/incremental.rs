@@ -31,6 +31,7 @@
 //! search heuristics), and the property suite pins the drift below 1e-9
 //! relative.
 
+use crate::avail::Availability;
 use crate::eval::{throughput_of, Bottleneck, MappingReport, Violation};
 use crate::mapping::{Mapping, MappingError};
 use crate::steady::buffers::BufferPlan;
@@ -63,6 +64,7 @@ const F_OUT: u8 = 2;
 const F_MEM: u8 = 3;
 const U_DMA_IN: u8 = 0;
 const U_DMA_PPE: u8 = 1;
+const U_SEATED: u8 = 2;
 
 /// Saved pre-move values of every accumulator entry a move touched.
 /// Restored in reverse order, so repeated writes to the same entry undo
@@ -131,6 +133,15 @@ pub struct EvalState<'a> {
     write_bytes: Vec<f64>,
     /// Per-task local-store buffer bytes from the [`BufferPlan`].
     task_buf: Vec<f64>,
+    /// The availability overlay this state plans against (inert when
+    /// fully healthy; kept for reports and invariant cross-checks).
+    avail: Availability,
+    /// Per-PE compute slowdown (`1 / factor`; `1.0` for dead PEs — see
+    /// [`Availability::slowdown`]). Cached so the relocate hot path
+    /// multiplies a flat table instead of recomputing divisions.
+    slowdown: Vec<f64>,
+    /// Per-PE dead flag: seated tasks there are a capacity violation.
+    dead: Vec<bool>,
     // ---- live accumulators ------------------------------------------------
     assignment: Vec<PeId>,
     compute: Vec<f64>,
@@ -139,6 +150,9 @@ pub struct EvalState<'a> {
     memory_bytes: Vec<f64>,
     dma_in: Vec<u32>,
     dma_ppe: Vec<u32>,
+    /// Per-PE seated-task counts (feeds the dead-PE feasibility check
+    /// in O(1) and the eviction loop's victim scan).
+    seated: Vec<u32>,
     // ---- undo -------------------------------------------------------------
     frame: UndoFrame,
     has_frame: bool,
@@ -154,7 +168,22 @@ impl<'a> EvalState<'a> {
         spec: &'a CellSpec,
         mapping: &Mapping,
     ) -> Result<Self, MappingError> {
+        Self::new_with(g, spec, &Availability::full(spec), mapping)
+    }
+
+    /// [`new`](Self::new) against *live* capacity: compute occupations
+    /// are scaled by each PE's [`Availability::slowdown`], and a task
+    /// seated on a dead PE makes the state infeasible (routing the
+    /// eviction machinery toward evacuating it). With a fully healthy
+    /// overlay this is exactly `new`.
+    pub fn new_with(
+        g: &'a StreamGraph,
+        spec: &'a CellSpec,
+        avail: &Availability,
+        mapping: &Mapping,
+    ) -> Result<Self, MappingError> {
         mapping.validate(g, spec)?;
+        assert_eq!(avail.n_pes(), spec.n_pes(), "availability overlay must cover every PE");
         let plan = BufferPlan::new(g);
         let n = spec.n_pes();
         let mut cost_ppe = Vec::with_capacity(g.n_tasks());
@@ -180,6 +209,9 @@ impl<'a> EvalState<'a> {
             read_bytes,
             write_bytes,
             task_buf: plan.task_bytes,
+            avail: avail.clone(),
+            slowdown: spec.pes().map(|pe| avail.slowdown(pe)).collect(),
+            dead: spec.pes().map(|pe| avail.is_dead(pe)).collect(),
             assignment: mapping.assignment().to_vec(),
             compute: vec![0.0; n],
             in_bytes: vec![0.0; n],
@@ -187,6 +219,7 @@ impl<'a> EvalState<'a> {
             memory_bytes: vec![0.0; n],
             dma_in: vec![0; n],
             dma_ppe: vec![0; n],
+            seated: vec![0; n],
             frame: UndoFrame::default(),
             has_frame: false,
         };
@@ -215,12 +248,15 @@ impl<'a> EvalState<'a> {
         }
         self.dma_in.iter_mut().for_each(|x| *x = 0);
         self.dma_ppe.iter_mut().for_each(|x| *x = 0);
+        self.seated.iter_mut().for_each(|x| *x = 0);
         for k in 0..self.assignment.len() {
             let i = self.assignment[k].index();
             let spe = i >= self.n_ppe;
-            self.compute[i] += if spe { self.cost_spe[k] } else { self.cost_ppe[k] };
+            let base = if spe { self.cost_spe[k] } else { self.cost_ppe[k] };
+            self.compute[i] += base * self.slowdown[i];
             self.in_bytes[i] += self.read_bytes[k];
             self.out_bytes[i] += self.write_bytes[k];
+            self.seated[i] += 1;
             if spe {
                 self.memory_bytes[i] += self.task_buf[k];
             }
@@ -311,11 +347,27 @@ impl<'a> EvalState<'a> {
             if self.memory_bytes[i] > self.ls_budget + 1e-9
                 || self.dma_in[i] > self.dma_in_limit
                 || self.dma_ppe[i] > self.dma_ppe_limit
+                || (self.dead[i] && self.seated[i] > 0)
             {
                 return Some(PeId(i));
             }
         }
         None
+    }
+
+    /// `true` when the availability overlay marks this PE dead.
+    pub fn is_dead(&self, pe: PeId) -> bool {
+        self.dead[pe.index()]
+    }
+
+    /// Tasks currently seated on one PE. O(1).
+    pub fn seated_on(&self, pe: PeId) -> u32 {
+        self.seated[pe.index()]
+    }
+
+    /// The availability overlay this state plans against.
+    pub fn availability(&self) -> &Availability {
+        &self.avail
     }
 
     /// The current assignment as a validated [`Mapping`] (clones the
@@ -369,8 +421,14 @@ impl<'a> EvalState<'a> {
         bottleneck
     }
 
-    /// `true` iff constraints (1i)–(1k) all hold right now. O(n_SPEs).
+    /// `true` iff constraints (1i)–(1k) all hold right now *and* no
+    /// task is seated on a dead PE. O(n_PEs).
     pub fn is_feasible(&self) -> bool {
+        for i in 0..self.compute.len() {
+            if self.dead[i] && self.seated[i] > 0 {
+                return false;
+            }
+        }
         for i in self.n_ppe..self.compute.len() {
             if self.memory_bytes[i] > self.ls_budget + 1e-9
                 || self.dma_in[i] > self.dma_in_limit
@@ -439,7 +497,11 @@ impl<'a> EvalState<'a> {
             v[pe as usize] = old;
         }
         for &(tag, pe, old) in self.frame.ints.iter().rev() {
-            let v = if tag == U_DMA_IN { &mut self.dma_in } else { &mut self.dma_ppe };
+            let v = match tag {
+                U_DMA_IN => &mut self.dma_in,
+                U_DMA_PPE => &mut self.dma_ppe,
+                _ => &mut self.seated,
+            };
             v[pe as usize] = old;
         }
         for &(k, pe) in self.frame.assigns.iter().rev() {
@@ -456,6 +518,14 @@ impl<'a> EvalState<'a> {
     pub fn report(&self) -> MappingReport {
         let period = self.period();
         let mut violations = Vec::new();
+        // dead-PE seats first, id order — mirrors `evaluate_with` so
+        // `assert_matches_full` can compare violation lists exactly
+        for pe in self.spec.pes() {
+            let i = pe.index();
+            if self.dead[i] && self.seated[i] > 0 {
+                violations.push(Violation::DeadPe { pe, tasks: self.seated[i] as usize });
+            }
+        }
         for pe in self.spec.spes() {
             let i = pe.index();
             if self.memory_bytes[i] > self.ls_budget + 1e-9 {
@@ -509,7 +579,11 @@ impl<'a> EvalState<'a> {
     }
 
     fn addu(&mut self, tag: u8, pe: usize, delta: i32) {
-        let v = if tag == U_DMA_IN { &mut self.dma_in } else { &mut self.dma_ppe };
+        let v = match tag {
+            U_DMA_IN => &mut self.dma_in,
+            U_DMA_PPE => &mut self.dma_ppe,
+            _ => &mut self.seated,
+        };
         let old = v[pe];
         v[pe] = (old as i64 + delta as i64) as u32;
         self.frame.ints.push((tag, pe as u32, old));
@@ -531,8 +605,12 @@ impl<'a> EvalState<'a> {
         let to_spe = ti >= self.n_ppe;
 
         // task-attached terms: compute, memory traffic, local-store buffers
-        self.addf(F_COMPUTE, fi, -if from_spe { self.cost_spe[k] } else { self.cost_ppe[k] });
-        self.addf(F_COMPUTE, ti, if to_spe { self.cost_spe[k] } else { self.cost_ppe[k] });
+        let base_from = if from_spe { self.cost_spe[k] } else { self.cost_ppe[k] };
+        let base_to = if to_spe { self.cost_spe[k] } else { self.cost_ppe[k] };
+        self.addf(F_COMPUTE, fi, -base_from * self.slowdown[fi]);
+        self.addf(F_COMPUTE, ti, base_to * self.slowdown[ti]);
+        self.addu(U_SEATED, fi, -1);
+        self.addu(U_SEATED, ti, 1);
         if self.read_bytes[k] != 0.0 {
             self.addf(F_IN, fi, -self.read_bytes[k]);
             self.addf(F_IN, ti, self.read_bytes[k]);
@@ -625,7 +703,9 @@ impl EvalState<'_> {
 /// list exactly.
 #[cfg(any(test, feature = "debug_invariants"))]
 pub(crate) fn assert_matches_full(state: &EvalState<'_>, ctx: &str) {
-    let full = crate::eval::evaluate(state.graph(), state.spec(), &state.mapping()).unwrap();
+    let full =
+        crate::eval::evaluate_with(state.graph(), state.spec(), &state.avail, &state.mapping())
+            .unwrap();
     let rep = state.report();
     let tol = 1e-9 * full.period.abs().max(1e-12);
     assert!(
@@ -716,6 +796,7 @@ mod tests {
             assert_eq!(state.memory_bytes, before.memory_bytes);
             assert_eq!(state.dma_in, before.dma_in);
             assert_eq!(state.dma_ppe, before.dma_ppe);
+            assert_eq!(state.seated, before.seated);
             assert_eq!(state.assignment, before.assignment);
         }
         assert!(!state.undo(), "nothing left to undo");
@@ -812,7 +893,8 @@ mod tests {
         let first = match report.violations.first().expect("report sees it too") {
             Violation::LocalStore { pe, .. }
             | Violation::DmaIn { pe, .. }
-            | Violation::DmaPpe { pe, .. } => *pe,
+            | Violation::DmaPpe { pe, .. }
+            | Violation::DeadPe { pe, .. } => *pe,
         };
         assert_eq!(pe, first, "same PE the report names first");
         // and the buffer accessor matches the plan the state was built from
@@ -820,6 +902,61 @@ mod tests {
         for t in g.task_ids() {
             assert_eq!(state.task_buffer_bytes(t), plan.task_bytes[t.index()]);
         }
+    }
+
+    #[test]
+    fn dead_pe_seats_are_infeasible_and_undo_restores() {
+        let g = chain("c", 5, &CostParams::default(), 3);
+        let spec = CellSpec::ps3();
+        let mut avail = Availability::full(&spec);
+        avail.fail(PeId(3));
+        let m = Mapping::all_on(&g, PeId(0));
+        let mut state = EvalState::new_with(&g, &spec, &avail, &m).unwrap();
+        assert!(state.is_feasible(), "nothing seated on the dead PE yet");
+        assert!(state.is_dead(PeId(3)));
+        assert_eq!(state.seated_on(PeId(0)), g.n_tasks() as u32);
+        assert_matches_full(&state, "healthy seats, dead PE idle");
+
+        state.apply(Move::Relocate { task: TaskId(1), to: PeId(3) });
+        assert!(!state.is_feasible(), "a seat on a dead PE violates capacity");
+        assert_eq!(state.first_violated_spe(), Some(PeId(3)));
+        assert_eq!(state.seated_on(PeId(3)), 1);
+        assert!(state.score().is_infinite());
+        assert_matches_full(&state, "seated on dead PE");
+        let dead = state
+            .report()
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DeadPe { pe: PeId(3), tasks: 1 }));
+        assert!(dead, "report names the dead PE");
+
+        assert!(state.undo());
+        assert!(state.is_feasible());
+        assert_eq!(state.seated_on(PeId(3)), 0);
+        assert_matches_full(&state, "after undo");
+    }
+
+    #[test]
+    fn degraded_pe_scales_compute_and_tracks_full_evaluator() {
+        let g = fork_join("fj", 4, &CostParams::default(), 7);
+        let spec = CellSpec::ps3();
+        let mut avail = Availability::full(&spec);
+        avail.set_factor(PeId(2), 0.5);
+        let m = Mapping::all_on(&g, PeId(0));
+        let mut state = EvalState::new_with(&g, &spec, &avail, &m).unwrap();
+        assert_matches_full(&state, "fresh degraded");
+        for k in 0..g.n_tasks() {
+            let to = spec.pe((k * 5 + 2) % spec.n_pes());
+            state.apply(Move::Relocate { task: TaskId(k), to });
+            assert_matches_full(&state, &format!("degraded, after moving T{k}"));
+        }
+        // half-speed PE doubles the compute occupation it accumulates
+        let healthy = EvalState::new(&g, &spec, &state.mapping()).unwrap();
+        let i = PeId(2).index();
+        assert!(
+            (state.compute[i] - 2.0 * healthy.compute[i]).abs() <= 1e-9 * healthy.compute[i].abs(),
+            "slowdown 2 doubles compute on PE2"
+        );
     }
 
     #[test]

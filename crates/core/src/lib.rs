@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod avail;
 pub mod brute;
 pub mod delta;
 pub mod display;
@@ -54,9 +55,10 @@ pub mod solve;
 pub mod steady;
 pub mod workload;
 
+pub use avail::Availability;
 pub use delta::{MappingDelta, TaskMove};
 pub use eval::incremental::{EvalState, Move};
-pub use eval::{evaluate, MappingReport, Violation};
+pub use eval::{evaluate, evaluate_with, MappingReport, Violation};
 pub use formulation::{FormKind, Formulation, FormulationConfig};
 pub use mapping::{Mapping, MappingError};
 pub use scheduler::{
@@ -64,7 +66,7 @@ pub use scheduler::{
     Scheduler,
 };
 pub use solve::{solve, SolveOptions, SolveOutcome};
-pub use workload::{evaluate_workload, AppReport, WorkloadReport};
+pub use workload::{evaluate_workload, evaluate_workload_with, AppReport, WorkloadReport};
 
 #[cfg(test)]
 mod tests;

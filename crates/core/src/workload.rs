@@ -11,7 +11,8 @@
 //! minimising the composed period is exactly minimising the maximum
 //! weighted per-application period).
 
-use crate::eval::{evaluate, throughput_of, MappingReport};
+use crate::avail::Availability;
+use crate::eval::{evaluate_with, throughput_of, MappingReport};
 use crate::mapping::{Mapping, MappingError};
 use cellstream_graph::{AppId, Workload};
 use cellstream_platform::CellSpec;
@@ -111,6 +112,20 @@ pub fn per_app_reports(
     mapping: &Mapping,
     aggregate: &MappingReport,
 ) -> Vec<AppReport> {
+    per_app_reports_with(w, spec, &Availability::full(spec), mapping, aggregate)
+}
+
+/// [`per_app_reports`] against *live* capacity: each application's
+/// compute occupation is scaled by the seating PE's
+/// [`Availability::slowdown`], matching [`evaluate_with`]. With a fully
+/// healthy overlay this is exactly `per_app_reports`.
+pub fn per_app_reports_with(
+    w: &Workload,
+    spec: &CellSpec,
+    avail: &Availability,
+    mapping: &Mapping,
+    aggregate: &MappingReport,
+) -> Vec<AppReport> {
     let t = aggregate.period;
     let g = w.graph();
     let bw = spec.interface_bw().as_bytes_per_s();
@@ -125,9 +140,10 @@ pub fn per_app_reports(
     for (i, info) in w.apps().iter().enumerate() {
         let row = &mut occ[i];
         for tid in w.tasks_of(AppId(i)) {
-            let pe = mapping.pe_of(tid).index();
+            let seat = mapping.pe_of(tid);
+            let pe = seat.index();
             let task = g.task(tid);
-            row[pe] += task.cost_on(spec.kind_of(mapping.pe_of(tid)));
+            row[pe] += task.cost_on(spec.kind_of(seat)) * avail.slowdown(seat);
             row[n_pes + pe] += task.read_bytes / bw;
             row[2 * n_pes + pe] += task.write_bytes / bw;
         }
@@ -235,8 +251,22 @@ pub fn evaluate_workload(
     spec: &CellSpec,
     mapping: &Mapping,
 ) -> Result<WorkloadReport, MappingError> {
-    let aggregate = evaluate(w.graph(), spec, mapping)?;
-    let per_app = per_app_reports(w, spec, mapping, &aggregate);
+    evaluate_workload_with(w, spec, &Availability::full(spec), mapping)
+}
+
+/// [`evaluate_workload`] against *live* capacity: the aggregate verdict
+/// comes from [`evaluate_with`] (degraded PEs slow their tasks, seats on
+/// dead PEs are capacity violations) and the per-application compute
+/// attribution is scaled the same way. With a fully healthy overlay this
+/// is exactly `evaluate_workload`.
+pub fn evaluate_workload_with(
+    w: &Workload,
+    spec: &CellSpec,
+    avail: &Availability,
+    mapping: &Mapping,
+) -> Result<WorkloadReport, MappingError> {
+    let aggregate = evaluate_with(w.graph(), spec, avail, mapping)?;
+    let per_app = per_app_reports_with(w, spec, avail, mapping, &aggregate);
     Ok(WorkloadReport { aggregate, per_app })
 }
 

@@ -212,6 +212,24 @@ impl StreamGraph {
         g
     }
 
+    /// A copy with every task's compute costs (`wPPE`, `wSPE`) scaled by
+    /// `factor` — traffic and buffer bytes untouched, mirroring
+    /// [`Workload::rescale_costs`](crate::Workload::rescale_costs):
+    /// misestimated compute does not move bytes. Panics on a non-finite
+    /// or non-positive factor (callers validate, as with weights).
+    pub fn rescale_costs(&self, factor: f64) -> StreamGraph {
+        assert!(factor.is_finite() && factor > 0.0, "drift factor must be positive, got {factor}");
+        self.with_scaled(
+            |t| {
+                let mut t = t.clone();
+                t.w_ppe *= factor;
+                t.w_spe *= factor;
+                t
+            },
+            Edge::clone,
+        )
+    }
+
     /// Rebuild with mutated tasks/edges (used by the CCR rescaler).
     /// Cheap revalidation: topology is untouched, so only numeric checks run.
     pub(crate) fn with_scaled(

@@ -401,6 +401,51 @@ impl Workload {
         Ok(())
     }
 
+    /// Re-scale one application's *declared* compute costs by `factor` —
+    /// the cost-drift channel of the fault model, for when the costs an
+    /// application declared at admission turn out wrong at runtime
+    /// (`factor > 1` underestimated, `< 1` overestimated). Drift
+    /// multiplies `w_PPE`/`w_SPE` in the stored **source** specs, so it
+    /// survives every later recomposition (add/retire/reweight rebuild
+    /// from sources); traffic and buffer footprints are not touched —
+    /// misestimated compute does not move bytes. Drift composes
+    /// multiplicatively with the throughput weight and with further
+    /// drift events. The workload is untouched on error.
+    pub fn rescale_costs(&mut self, a: AppId, factor: f64) -> Result<(), WorkloadError> {
+        let Some(src) = self.sources.get_mut(a.index()) else {
+            return Err(WorkloadError::UnknownApp(a));
+        };
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(WorkloadError::InvalidWeight(src.name.clone(), factor));
+        }
+        for spec in &mut src.specs {
+            spec.w_ppe *= factor;
+            spec.w_spe *= factor;
+        }
+        self.recompose().expect("rescaled sources recompose");
+        Ok(())
+    }
+
+    /// Rebuild one application's **unscaled** source graph: the graph as
+    /// originally admitted (original name and task names, no weight
+    /// scaling; accumulated cost drift *is* included — drift corrects the
+    /// declared costs themselves). This is what re-admission wants: the
+    /// serving layer sheds applications back into its retry queue in this
+    /// form, so a later [`Workload::add`] with the same weight reproduces
+    /// the composed slice exactly — [`Workload::subgraph`] would bake the
+    /// weight in and double-scale on re-admission.
+    pub fn source_graph(&self, a: AppId) -> StreamGraph {
+        let src = &self.sources[a.index()];
+        let mut b = StreamGraph::builder(src.name.clone());
+        for spec in &src.specs {
+            b.add_task(spec.clone());
+        }
+        for &(s, d, bytes) in &src.edges {
+            b.add_edge(TaskId(s), TaskId(d), bytes).expect("captured edges are valid");
+        }
+        b.build().expect("a captured source is a valid graph")
+    }
+
     /// Start a batched mutation: add/retire/reweight operations on the
     /// returned guard edit the source list immediately but recompose the
     /// tagged graph **once**, when the guard commits (or drops). A burst
@@ -725,6 +770,72 @@ mod tests {
         assert!(matches!(w.reweight(AppId(1), 0.0), Err(WorkloadError::InvalidWeight(_, _))));
         assert!(matches!(w.reweight(AppId(9), 2.0), Err(WorkloadError::UnknownApp(_))));
         assert_eq!(w, before);
+    }
+
+    #[test]
+    fn cost_drift_scales_compute_and_survives_recomposition() {
+        let (a, b) = (chain("a", 2), chain("b", 2));
+        let mut w = Workload::compose("w", &[&a, &b]).unwrap();
+        let before: Vec<f64> = w.graph().tasks().iter().map(|t| t.w_spe).collect();
+        w.rescale_costs(AppId(0), 2.0).unwrap();
+        for t in w.tasks_of(AppId(0)) {
+            assert_eq!(w.graph().tasks()[t.index()].w_spe, before[t.index()] * 2.0);
+            assert_eq!(w.graph().tasks()[t.index()].w_ppe, w.graph().tasks()[t.index()].w_ppe);
+            // finite
+        }
+        for t in w.tasks_of(AppId(1)) {
+            assert_eq!(
+                w.graph().tasks()[t.index()].w_spe,
+                before[t.index()],
+                "other apps untouched"
+            );
+        }
+        // traffic is not compute: edges and read/write bytes stay put
+        let drifted_reads: Vec<f64> = w.graph().tasks().iter().map(|t| t.read_bytes).collect();
+        // drift survives recompositions triggered by unrelated mutations
+        w.reweight(AppId(1), 3.0).unwrap();
+        for t in w.tasks_of(AppId(0)) {
+            assert_eq!(
+                w.graph().tasks()[t.index()].w_spe,
+                before[t.index()] * 2.0,
+                "drift persisted"
+            );
+            assert_eq!(w.graph().tasks()[t.index()].read_bytes, drifted_reads[t.index()]);
+        }
+        // drift composes multiplicatively
+        w.rescale_costs(AppId(0), 0.5).unwrap();
+        for t in w.tasks_of(AppId(0)) {
+            assert_eq!(w.graph().tasks()[t.index()].w_spe, before[t.index()]);
+        }
+        // invalid factors leave the workload untouched
+        let snap = w.clone();
+        assert!(matches!(w.rescale_costs(AppId(0), 0.0), Err(WorkloadError::InvalidWeight(_, _))));
+        assert!(matches!(
+            w.rescale_costs(AppId(0), f64::NAN),
+            Err(WorkloadError::InvalidWeight(_, _))
+        ));
+        assert!(matches!(w.rescale_costs(AppId(7), 2.0), Err(WorkloadError::UnknownApp(_))));
+        assert_eq!(w, snap);
+    }
+
+    #[test]
+    fn source_graph_round_trips_through_readmission() {
+        let (a, b) = (chain("a", 3), chain("b", 2));
+        let mut w = Workload::compose("w", &[&a, &b]).unwrap();
+        w.reweight(AppId(1), 2.5).unwrap();
+        // shed app 1, re-admit its source graph at the same weight: the
+        // composition must be bit-identical
+        let snap = w.clone();
+        let src = w.source_graph(AppId(1));
+        assert_eq!(src.name(), "b", "unscaled original name");
+        assert_eq!(src, b, "source graph is the graph as admitted");
+        w.retire(AppId(1)).unwrap();
+        w.add(&src, 2.5).unwrap();
+        assert_eq!(w, snap);
+        // after drift, the source graph carries the corrected costs
+        w.rescale_costs(AppId(1), 4.0).unwrap();
+        let drifted = w.source_graph(AppId(1));
+        assert_eq!(drifted.tasks()[0].w_spe, b.tasks()[0].w_spe * 4.0);
     }
 
     #[test]

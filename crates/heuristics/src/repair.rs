@@ -28,9 +28,9 @@
 //! portfolio while staying within a few percent of its quality (the
 //! `online` bench gates both).
 
-use crate::search::{exact_period, refine_in_place, LocalSearchOptions};
+use crate::search::{exact_period, exact_period_with, refine_in_place, LocalSearchOptions};
 use cellstream_core::scheduler::{Plan, PlanContext, PlanError, PlanStats, Scheduler};
-use cellstream_core::{EvalState, Mapping, Move};
+use cellstream_core::{Availability, EvalState, Mapping, Move};
 use cellstream_graph::{StreamGraph, TaskId};
 use cellstream_platform::{CellSpec, PeId};
 use std::time::Instant;
@@ -52,6 +52,14 @@ pub struct RepairOptions {
     /// pool spins up; smaller deltas stay sequential (spawning costs
     /// more than it buys on a handful of O(degree) probes).
     pub parallel_min_probes: usize,
+    /// Live platform capacity. `None` plans against the nominal
+    /// platform (every PE healthy — the common case, zero overhead).
+    /// `Some` overlays per-PE health: the evaluator slows tasks on
+    /// degraded PEs and reads any seat on a dead PE as a §3.2
+    /// violation, so placement avoids dead PEs and the evict pass
+    /// evacuates seats stranded on them — fault recovery reuses the
+    /// ordinary repair machinery unchanged.
+    pub avail: Option<Availability>,
 }
 
 impl Default for RepairOptions {
@@ -60,6 +68,7 @@ impl Default for RepairOptions {
             refine: LocalSearchOptions::default(),
             probe_threads: 1,
             parallel_min_probes: 2048,
+            avail: None,
         }
     }
 }
@@ -95,11 +104,18 @@ pub fn repair_with(
     // seed: retained seats; unplaced tasks start on the PPE (always legal)
     let assignment: Vec<PeId> = partial.iter().map(|p| p.unwrap_or(ppe)).collect();
     let seed = Mapping::new(g, spec, assignment).expect("retained PEs exist on this platform"); // check:allow(hot-path-panic): seed uses only PE ids the caller retained
-    let mut state = EvalState::new(g, spec, &seed).expect("seed is structurally valid"); // check:allow(hot-path-panic): the just-built seed mapping is structurally valid
+    let mut state = match &opts.avail {
+        Some(avail) => EvalState::new_with(g, spec, avail, &seed),
+        None => EvalState::new(g, spec, &seed),
+    }
+    .expect("seed is structurally valid"); // check:allow(hot-path-panic): the just-built seed mapping is structurally valid
     repair_in_place_with(&mut state, partial, opts);
     // publish the exact verifier period, free of incremental drift
     let mapping = state.mapping();
-    let period = exact_period(g, spec, &mapping);
+    let period = match &opts.avail {
+        Some(avail) => exact_period_with(g, spec, avail, &mapping),
+        None => exact_period(g, spec, &mapping),
+    };
     (mapping, period)
 }
 
@@ -550,6 +566,51 @@ mod tests {
             assert!(state.is_feasible());
             assert!((score - fresh_p).abs() <= 1e-9 * fresh_p.max(1e-12), "round {round}");
         }
+    }
+
+    #[test]
+    fn repair_evacuates_dead_pes_and_avoids_them() {
+        // kill an SPE under an incumbent that seats work there: the
+        // repaired mapping must hold zero seats on the dead PE and stay
+        // feasible on the degraded platform
+        let g = chain("c", 8, &CostParams::default(), 5);
+        let spec = CellSpec::ps3();
+        let seed = crate::greedy_cpu(&g, &spec);
+        let dead = seed
+            .assignment()
+            .iter()
+            .copied()
+            .find(|pe| pe.index() > 0)
+            .expect("greedy seats something on an SPE");
+        let mut avail = Availability::full(&spec);
+        avail.fail(dead);
+        let partial: Vec<_> = seed.assignment().iter().map(|&p| Some(p)).collect();
+        let opts = RepairOptions { avail: Some(avail.clone()), ..RepairOptions::default() };
+        let (m, p) = repair_with(&g, &spec, &partial, &opts);
+        assert!(p.is_finite(), "recovery must find a live plan");
+        assert!(m.assignment().iter().all(|pe| *pe != dead), "no seat survives on the dead PE");
+        let r = cellstream_core::evaluate_with(&g, &spec, &avail, &m).unwrap();
+        assert!(r.is_feasible());
+        assert!((r.period - p).abs() < 1e-15);
+        // fresh placements (no partial) must also avoid the dead PE
+        let (m2, p2) = repair_with(&g, &spec, &vec![None; g.n_tasks()], &opts);
+        assert!(p2.is_finite());
+        assert!(m2.assignment().iter().all(|pe| *pe != dead));
+    }
+
+    #[test]
+    fn degraded_pe_shifts_work_elsewhere() {
+        // a half-speed SPE is still usable but less attractive; the
+        // repaired plan must score with the slowdown applied
+        let g = fork_join("fj", 4, &CostParams::default(), 3);
+        let spec = CellSpec::ps3();
+        let mut avail = Availability::full(&spec);
+        avail.set_factor(spec.pe(1), 0.5);
+        let opts = RepairOptions { avail: Some(avail.clone()), ..RepairOptions::default() };
+        let (m, p) = repair_with(&g, &spec, &vec![None; g.n_tasks()], &opts);
+        let r = cellstream_core::evaluate_with(&g, &spec, &avail, &m).unwrap();
+        assert!(r.is_feasible());
+        assert!((r.period - p).abs() < 1e-15, "published period scores live capacity");
     }
 
     #[test]

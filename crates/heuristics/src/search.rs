@@ -23,7 +23,7 @@
 //! worsens the start.
 
 use cellstream_core::scheduler::CancelToken;
-use cellstream_core::{evaluate, EvalState, Mapping, Move};
+use cellstream_core::{evaluate, evaluate_with, Availability, EvalState, Mapping, Move};
 use cellstream_graph::StreamGraph;
 use cellstream_platform::CellSpec;
 use std::time::{Duration, Instant};
@@ -272,6 +272,20 @@ pub fn refine_in_place(state: &mut EvalState<'_>, opts: &LocalSearchOptions) -> 
 /// The full verifier's verdict on a mapping: feasible period or `+∞`.
 pub(crate) fn exact_period(g: &StreamGraph, spec: &CellSpec, m: &Mapping) -> f64 {
     match evaluate(g, spec, m) {
+        Ok(r) if r.is_feasible() => r.period,
+        _ => f64::INFINITY,
+    }
+}
+
+/// [`exact_period`] against live capacity: degraded PEs slow their
+/// tasks and any seat on a dead PE reads as infeasible (`+∞`).
+pub(crate) fn exact_period_with(
+    g: &StreamGraph,
+    spec: &CellSpec,
+    avail: &Availability,
+    m: &Mapping,
+) -> f64 {
+    match evaluate_with(g, spec, avail, m) {
         Ok(r) if r.is_feasible() => r.period,
         _ => f64::INFINITY,
     }

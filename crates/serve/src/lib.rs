@@ -77,6 +77,6 @@ mod service;
 
 pub use pipeline::{PipelineOptions, PipelineStats, ServePipeline};
 pub use service::{
-    BatchReport, Event, EventLabel, RejectReason, ServeError, ServeReport, Service, ServiceOptions,
-    Verdict,
+    BatchReport, Event, EventLabel, RecoveryReport, RejectReason, ServeError, ServeReport, Service,
+    ServiceOptions, Verdict,
 };

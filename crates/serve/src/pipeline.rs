@@ -191,10 +191,33 @@ fn build_batch(
     let mut skipped = 0;
     touched.clear();
     while events.len() < max_batch {
+        // impairment events are batch barriers: they commit alone, in
+        // trace order, never fused with the churn around them (a fault
+        // can shed arbitrary applications, invalidating handles the
+        // rest of the batch resolved)
+        if pending.front().is_some_and(TraceEvent::is_fault) {
+            if !events.is_empty() {
+                break; // flush the churn batch first; the fault goes next
+            }
+            // check:allow(hot-path-panic): the loop peeked Some at the front just above
+            match pending.pop_front().expect("front was Some") {
+                TraceEvent::PeFailed { node: 0, pe } => events.push(Event::PeFailed(pe)),
+                TraceEvent::PeRestored { node: 0, pe } => events.push(Event::PeRestored(pe)),
+                TraceEvent::CostDrift { app, factor } => match service.handle_of(&app) {
+                    Some(id) => events.push(Event::CostDrift(id, factor)),
+                    None => skipped += 1,
+                },
+                // impairments aimed at other fleet nodes — including
+                // whole-node loss, the cluster's event — mean nothing
+                // to a single-node pipeline
+                _ => skipped += 1,
+            }
+            break;
+        }
         let name = match pending.front() {
             Some(TraceEvent::Admit { graph, .. }) => graph.name(),
             Some(TraceEvent::Retire { app }) | Some(TraceEvent::Reweight { app, .. }) => app,
-            None => break,
+            _ => break, // empty (faults were handled above)
         };
         if touched.contains(name) {
             break; // dependency on this batch's own commit: cut here
@@ -219,6 +242,8 @@ fn build_batch(
                 }
                 None => skipped += 1,
             },
+            // check:allow(hot-path-panic): is_fault events never reach the churn path
+            _ => unreachable!("fault events are handled as barriers above"),
         }
     }
     skipped
@@ -328,6 +353,7 @@ mod tests {
                     let id = svc.handle_of(app).expect("trace reweights live apps");
                     svc.reweight(id, *weight).unwrap();
                 }
+                other => panic!("churn traces carry no fault events: {other:?}"),
             }
         }
     }

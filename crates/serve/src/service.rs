@@ -2,7 +2,7 @@
 
 use cellstream_core::scheduler::{CancelToken, PlanContext};
 use cellstream_core::workload::AppReport;
-use cellstream_core::{evaluate_workload, Mapping, MappingDelta};
+use cellstream_core::{evaluate_with, evaluate_workload_with, Availability, Mapping, MappingDelta};
 use cellstream_graph::{AppId, StreamGraph, Workload};
 use cellstream_heuristics::repair::{carry_over_into, repair_with, RepairOptions};
 use cellstream_heuristics::{LocalSearchOptions, Portfolio};
@@ -24,6 +24,18 @@ pub enum Event {
     Retire(AppId),
     /// The application with this handle changes its throughput weight.
     Reweight(AppId, f64),
+    /// An SPE dies. The service evacuates its seats via a recovery
+    /// replan and sheds applications if the shrunken platform cannot
+    /// carry everyone ([`Service::fail_pe`]).
+    PeFailed(PeId),
+    /// A failed or degraded PE returns to nominal health; the service
+    /// rebalances onto it and retries parked admissions
+    /// ([`Service::restore_pe`]).
+    PeRestored(PeId),
+    /// The application's declared compute costs turn out wrong by this
+    /// factor (`> 1` underestimated). The service corrects the declared
+    /// costs and re-validates the incumbent ([`Service::cost_drift`]).
+    CostDrift(AppId, f64),
 }
 
 impl Event {
@@ -35,6 +47,9 @@ impl Event {
             Event::Admit(_, w) => EventLabel::admit(*w),
             Event::Retire(id) => EventLabel::retire(*id),
             Event::Reweight(id, w) => EventLabel::reweight(*id, *w),
+            Event::PeFailed(pe) => EventLabel::pe_failed(*pe),
+            Event::PeRestored(pe) => EventLabel::pe_restored(*pe),
+            Event::CostDrift(id, f) => EventLabel::cost_drift(*id, *f),
         }
     }
 }
@@ -46,6 +61,7 @@ impl Event {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EventLabel {
     /// Event class: `"admit"`, `"retire"`, `"reweight"`,
+    /// `"pe failed"`, `"pe restored"`, `"cost drift"`,
     /// `"background solve"`.
     pub kind: &'static str,
     /// The application handle, once known (admissions get theirs at
@@ -53,27 +69,58 @@ pub struct EventLabel {
     pub app: Option<AppId>,
     /// The requested weight, for admits and reweights.
     pub weight: Option<f64>,
+    /// The processing element, for PE fail/restore events.
+    pub pe: Option<PeId>,
+    /// The drift factor, for cost-drift events.
+    pub factor: Option<f64>,
 }
 
 impl EventLabel {
     /// Label of an admission.
     pub fn admit(weight: f64) -> Self {
-        EventLabel { kind: "admit", app: None, weight: Some(weight) }
+        EventLabel { kind: "admit", app: None, weight: Some(weight), pe: None, factor: None }
     }
 
     /// Label of a retirement.
     pub fn retire(app: AppId) -> Self {
-        EventLabel { kind: "retire", app: Some(app), weight: None }
+        EventLabel { kind: "retire", app: Some(app), weight: None, pe: None, factor: None }
     }
 
     /// Label of a weight change.
     pub fn reweight(app: AppId, weight: f64) -> Self {
-        EventLabel { kind: "reweight", app: Some(app), weight: Some(weight) }
+        EventLabel {
+            kind: "reweight",
+            app: Some(app),
+            weight: Some(weight),
+            pe: None,
+            factor: None,
+        }
+    }
+
+    /// Label of a PE failure.
+    pub fn pe_failed(pe: PeId) -> Self {
+        EventLabel { kind: "pe failed", app: None, weight: None, pe: Some(pe), factor: None }
+    }
+
+    /// Label of a PE restoration.
+    pub fn pe_restored(pe: PeId) -> Self {
+        EventLabel { kind: "pe restored", app: None, weight: None, pe: Some(pe), factor: None }
+    }
+
+    /// Label of a cost-drift correction.
+    pub fn cost_drift(app: AppId, factor: f64) -> Self {
+        EventLabel {
+            kind: "cost drift",
+            app: Some(app),
+            weight: None,
+            pe: None,
+            factor: Some(factor),
+        }
     }
 
     /// Label of a background-solve conclusion.
     pub fn background() -> Self {
-        EventLabel { kind: "background solve", app: None, weight: None }
+        EventLabel { kind: "background solve", app: None, weight: None, pe: None, factor: None }
     }
 
     /// The same label with the handle filled in.
@@ -88,8 +135,14 @@ impl fmt::Display for EventLabel {
         if let Some(app) = self.app {
             write!(f, " {app}")?;
         }
+        if let Some(pe) = self.pe {
+            write!(f, " {pe}")?;
+        }
         if let Some(w) = self.weight {
             write!(f, " w={w}")?;
+        }
+        if let Some(x) = self.factor {
+            write!(f, " x{x}")?;
         }
         Ok(())
     }
@@ -116,6 +169,17 @@ pub enum RejectReason {
         /// The configured cap ([`ServiceOptions::max_period`]).
         guarantee: f64,
     },
+    /// A cost-drift factor was zero, negative or non-finite.
+    InvalidFactor(f64),
+    /// A queued admission exhausted its retry budget
+    /// ([`ServiceOptions::queue_max_attempts`]) and left the queue for
+    /// good — dropped visibly, never silently.
+    Expired {
+        /// The application that gave up waiting.
+        app: String,
+        /// Admission attempts made before expiring.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for RejectReason {
@@ -131,6 +195,12 @@ impl fmt::Display for RejectReason {
                 period * 1e6,
                 guarantee * 1e6
             ),
+            RejectReason::InvalidFactor(x) => {
+                write!(f, "drift factor must be positive finite, got {x}")
+            }
+            RejectReason::Expired { app, attempts } => {
+                write!(f, "'{app}' expired from the admission queue after {attempts} attempts")
+            }
         }
     }
 }
@@ -163,12 +233,19 @@ pub enum Verdict {
 pub enum ServeError {
     /// No live application has this handle.
     UnknownApp(AppId),
+    /// A PE fail/restore named a PE that cannot be failed: out of range,
+    /// or the PPE — the serving loop itself runs there, so a dead PPE
+    /// means a dead node (the cluster layer's event, not this one).
+    InvalidPe(PeId),
 }
 
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::UnknownApp(id) => write!(f, "no live application with handle {id}"),
+            ServeError::InvalidPe(pe) => {
+                write!(f, "{pe} cannot fail or be restored (out of range, or the control PPE)")
+            }
         }
     }
 }
@@ -204,6 +281,25 @@ pub struct ServeReport {
     /// Reports of queued admissions that entered service because this
     /// event freed capacity.
     pub drained: Vec<ServeReport>,
+    /// Recovery metrics when this event was a fault (PE fail/restore,
+    /// cost drift); `None` for ordinary churn events.
+    pub recovery: Option<RecoveryReport>,
+}
+
+/// What recovering from one fault event cost.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Seats the fault stranded on the failed PE — every one was
+    /// evacuated by the recovery replan (or shed with its application).
+    pub evacuated_seats: usize,
+    /// EIB bytes the recovery replan moved (§4.2 migration cost of the
+    /// whole recovery delta, including rebalancing ripple moves).
+    pub migration_bytes: f64,
+    /// Applications shed into the retry queue — lowest weight first —
+    /// because the post-fault platform could not carry everyone within
+    /// feasibility and guarantees. Never silently dropped: shed apps
+    /// retry on every capacity change until admitted or expired.
+    pub shed: Vec<String>,
 }
 
 impl ServeReport {
@@ -306,6 +402,14 @@ pub struct ServiceOptions {
     /// whenever a retire/reweight frees capacity (default: reject
     /// outright).
     pub queue_rejected: bool,
+    /// Retry budget per queued admission. Each failed retry backs the
+    /// entry off exponentially (it sits out `2^attempts` drain passes,
+    /// capped at 64) so one unadmittable application cannot starve the
+    /// drain loop; after this many failed attempts the entry expires
+    /// and is reported as [`RejectReason::Expired`] — visible, never
+    /// silently dropped. Applications shed by fault recovery ride the
+    /// same queue and the same budget.
+    pub queue_max_attempts: u32,
     /// Budget for the asynchronous full-portfolio improver spawned after
     /// every adopted replan. `None` (default) disables background
     /// improvement.
@@ -335,6 +439,7 @@ impl Default for ServiceOptions {
             repair: LocalSearchOptions { sweep: true, ..Default::default() },
             max_period: None,
             queue_rejected: false,
+            queue_max_attempts: 8,
             background: None,
             migration_horizon: 1e6,
             probe_threads: 1,
@@ -350,10 +455,15 @@ struct Live {
     period: f64,
 }
 
-/// A queued (admission-refused) application awaiting capacity.
+/// A queued (admission-refused or fault-shed) application awaiting
+/// capacity, with its retry bookkeeping.
 struct Queued {
     graph: StreamGraph,
     weight: f64,
+    /// Failed admission attempts so far.
+    attempts: u32,
+    /// Drain passes this entry still sits out (exponential backoff).
+    cooldown: u32,
 }
 
 /// An in-flight background portfolio solve.
@@ -380,11 +490,18 @@ pub struct Service {
     /// Delta of the most recent background adoption, surfaced by
     /// [`Service::poll_background`].
     last_adoption_delta: MappingDelta,
+    /// Live per-PE health, mirrored into `repair_opts.avail` so every
+    /// replan plans against real capacity ([`Service::fail_pe`]).
+    avail: Availability,
     /// Replanner configuration derived from `opts` once at construction.
     repair_opts: RepairOptions,
     /// Reusable carry-over scratch — one seat per task, cleared and
     /// refilled per event instead of reallocated.
     scratch_partial: Vec<Option<PeId>>,
+    /// Applications a recovery shed while the retry queue is disabled
+    /// (cluster agents): the caller collects them via
+    /// [`Service::take_shed`] and owns their re-placement.
+    shed_out: Vec<(StreamGraph, f64)>,
 }
 
 impl Service {
@@ -401,6 +518,7 @@ impl Service {
             probe_threads: opts.probe_threads.max(1),
             ..RepairOptions::default()
         };
+        let avail = Availability::full(&spec);
         Service {
             spec,
             opts,
@@ -411,8 +529,10 @@ impl Service {
             queue: VecDeque::new(),
             background: None,
             last_adoption_delta: MappingDelta::default(),
+            avail,
             repair_opts,
             scratch_partial: Vec::new(),
+            shed_out: Vec::new(),
         }
     }
 
@@ -462,6 +582,21 @@ impl Service {
         self.queue.len()
     }
 
+    /// Live per-PE health: what the replanner currently plans against.
+    pub fn availability(&self) -> &Availability {
+        &self.avail
+    }
+
+    /// Hand over the applications a recovery shed while the retry queue
+    /// was disabled ([`ServiceOptions::queue_rejected`] `false`): their
+    /// drift-corrected source graphs and weights, in shed order. The
+    /// caller (a cluster agent's coordinator) owns their re-placement;
+    /// with queueing enabled this is always empty — shed apps park in
+    /// the local queue instead.
+    pub fn take_shed(&mut self) -> Vec<(StreamGraph, f64)> {
+        std::mem::take(&mut self.shed_out)
+    }
+
     /// Per-application reports of the incumbent (empty while idle).
     pub fn app_reports(&self) -> Vec<AppReport> {
         let mut out = Vec::new();
@@ -476,7 +611,7 @@ impl Service {
         out.clear();
         if let Some(l) = &self.live {
             out.extend(
-                evaluate_workload(&l.workload, &self.spec, &l.mapping)
+                evaluate_workload_with(&l.workload, &self.spec, &self.avail, &l.mapping)
                     .expect("incumbents stay structurally valid") // check:allow(hot-path-panic): incumbent mappings were validated when committed
                     .per_app,
             );
@@ -491,6 +626,9 @@ impl Service {
             Event::Admit(g, w) => Ok(self.admit(&g, w)),
             Event::Retire(id) => self.retire(id),
             Event::Reweight(id, w) => self.reweight(id, w),
+            Event::PeFailed(pe) => self.fail_pe(pe),
+            Event::PeRestored(pe) => self.restore_pe(pe),
+            Event::CostDrift(id, f) => self.cost_drift(id, f),
         };
         #[cfg(feature = "debug_invariants")]
         self.check_invariants("process");
@@ -519,17 +657,24 @@ impl Service {
     /// handle the same burst retires, which the canonical order
     /// resolves as retire-first — fails the whole burst with
     /// [`ServeError::UnknownApp`].
+    ///
+    /// Fault events ([`Event::PeFailed`] / [`Event::PeRestored`] /
+    /// [`Event::CostDrift`]) rank *first* — they report reality, which
+    /// precedes requests — and force the sequential path: recovery can
+    /// shed applications mid-burst, which does not fuse.
     pub fn process_batch(&mut self, events: &[Event]) -> Result<BatchReport, ServeError> {
-        // canonical application order: retires, reweights, admits
+        // canonical application order: faults, retires, reweights, admits
         let rank = |ev: &Event| match ev {
-            Event::Retire(_) => 0u8,
-            Event::Reweight(..) => 1,
-            Event::Admit(..) => 2,
+            Event::PeFailed(_) | Event::PeRestored(_) | Event::CostDrift(..) => 0u8,
+            Event::Retire(_) => 1,
+            Event::Reweight(..) => 2,
+            Event::Admit(..) => 3,
         };
         let mut order: Vec<usize> = (0..events.len()).collect();
         order.sort_by_key(|&i| rank(&events[i]));
 
         // upfront validation: the whole burst applies or none of it does
+        let mut faults = false;
         let mut sim = self.handles.clone();
         for &i in &order {
             match &events[i] {
@@ -544,10 +689,28 @@ impl Service {
                     }
                 }
                 Event::Admit(..) => {}
+                Event::PeFailed(pe) => {
+                    if pe.index() >= self.spec.n_pes() || !self.spec.is_spe(*pe) {
+                        return Err(ServeError::InvalidPe(*pe));
+                    }
+                    faults = true;
+                }
+                Event::PeRestored(pe) => {
+                    if pe.index() >= self.spec.n_pes() {
+                        return Err(ServeError::InvalidPe(*pe));
+                    }
+                    faults = true;
+                }
+                Event::CostDrift(id, _) => {
+                    if !sim.contains(id) {
+                        return Err(ServeError::UnknownApp(*id));
+                    }
+                    faults = true;
+                }
             }
         }
 
-        if self.opts.max_period.is_some() {
+        if self.opts.max_period.is_some() || faults {
             return self.process_batch_sequential(events, &order);
         }
 
@@ -612,6 +775,9 @@ impl Service {
                                 Verdict::Admitted(handle),
                             ));
                             applied += 1;
+                        }
+                        Event::PeFailed(_) | Event::PeRestored(_) | Event::CostDrift(..) => {
+                            unreachable!("fault events take the sequential path")
                         }
                     }
                 }
@@ -783,12 +949,19 @@ impl Service {
                     l.workload.n_apps(),
                     "{ctx}: handle table and workload disagree on the app count"
                 );
-                let rep = evaluate_workload(&l.workload, &self.spec, &l.mapping)
+                let rep = evaluate_workload_with(&l.workload, &self.spec, &self.avail, &l.mapping)
                     .expect("audited incumbents evaluate"); // check:allow(hot-path-panic): debug_invariants audit, not the serving path
                 assert!(
                     rep.is_feasible(),
-                    "{ctx}: incumbent mapping violates the placement constraints"
+                    "{ctx}: incumbent mapping violates the placement constraints (live capacity)"
                 );
+                for pe in self.avail.dead_pes() {
+                    assert_eq!(
+                        l.mapping.count_on(pe),
+                        0,
+                        "{ctx}: incumbent seats tasks on dead {pe}"
+                    );
+                }
                 let verified = rep.aggregate.period;
                 let tol = 1e-9 * verified.abs().max(1e-12);
                 assert!(
@@ -813,6 +986,23 @@ impl Service {
                 q.graph.name(),
                 q.weight
             );
+            assert!(
+                q.attempts < self.opts.queue_max_attempts,
+                "{ctx}: queued app {} sits at {} attempts past the {} budget (must have expired)",
+                q.graph.name(),
+                q.attempts,
+                self.opts.queue_max_attempts
+            );
+        }
+        match &self.repair_opts.avail {
+            None => assert!(
+                self.avail.all_healthy(),
+                "{ctx}: impaired platform but the replanner plans nominal capacity"
+            ),
+            Some(a) => assert_eq!(
+                a, &self.avail,
+                "{ctx}: replanner availability drifted from the service's"
+            ),
         }
     }
 
@@ -832,7 +1022,18 @@ impl Service {
         let mut adopted = false;
         let mut drained = Vec::new();
         for &i in order {
-            let mut r = self.process(events[i].clone())?;
+            let mut r = match self.process(events[i].clone()) {
+                Ok(r) => r,
+                // upfront validation saw this handle alive, so the only
+                // way it is gone now is a fault earlier in this burst
+                // shedding the application — record a no-op, don't
+                // abort a half-applied burst
+                Err(ServeError::UnknownApp(_)) => {
+                    outcomes.push((events[i].label(), Verdict::NoChange));
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             adopted |= r.background_adopted;
             outcomes.push((r.event, r.verdict.clone()));
             drained.append(&mut r.drained);
@@ -903,6 +1104,7 @@ impl Service {
                 background_adopted: adopted,
                 background_delta: MappingDelta::default(),
                 drained: Vec::new(),
+                recovery: None,
             }
         } else {
             let mut workload = live.workload.clone();
@@ -929,6 +1131,7 @@ impl Service {
                 background_adopted: adopted,
                 background_delta: MappingDelta::default(),
                 drained: Vec::new(),
+                recovery: None,
             }
         };
         report.background_delta = self.take_adoption_delta(adopted);
@@ -991,6 +1194,7 @@ impl Service {
             background_adopted: adopted,
             background_delta: MappingDelta::default(),
             drained: Vec::new(),
+            recovery: None,
         };
         report.background_delta = self.take_adoption_delta(adopted);
         if report.applied() {
@@ -1002,6 +1206,144 @@ impl Service {
         }
         // respawn even after a refusal (the interrupt above cancelled
         // the previous solve)
+        self.spawn_background();
+        Ok(report)
+    }
+
+    /// An SPE dies (see [`Event::PeFailed`]): mark it dead, evacuate
+    /// every seat it held via a recovery replan (the evaluator reads
+    /// dead-PE occupancy as a §3.2 violation, so the ordinary evict
+    /// machinery does the evacuation), and shed lowest-weight
+    /// applications into the retry queue if the shrunken platform cannot
+    /// carry everyone within feasibility and guarantees. Idempotent on
+    /// an already-dead PE. Failing the PPE — where the serving loop
+    /// itself runs — or an out-of-range id is [`ServeError::InvalidPe`]:
+    /// a dead PPE is a dead *node*, the cluster layer's event.
+    pub fn fail_pe(&mut self, pe: PeId) -> Result<ServeReport, ServeError> {
+        if pe.index() >= self.spec.n_pes() || !self.spec.is_spe(pe) {
+            return Err(ServeError::InvalidPe(pe));
+        }
+        let adopted = self.interrupt_background();
+        let started = Instant::now();
+        let mut recovery = RecoveryReport::default();
+        let (delta, period) = if self.avail.is_dead(pe) {
+            (MappingDelta::default(), self.period())
+        } else {
+            self.avail.fail(pe);
+            self.sync_avail();
+            self.recover_incumbent(Some(pe), &mut recovery)
+        };
+        let mut report = ServeReport {
+            event: EventLabel::pe_failed(pe),
+            verdict: Verdict::Applied,
+            replan: started.elapsed(),
+            delta,
+            period,
+            per_app: Vec::new(),
+            background_adopted: adopted,
+            background_delta: MappingDelta::default(),
+            drained: Vec::new(),
+            recovery: Some(recovery),
+        };
+        self.current_per_app_into(&mut report.per_app);
+        report.background_delta = self.take_adoption_delta(adopted);
+        self.spawn_background();
+        Ok(report)
+    }
+
+    /// A failed or degraded PE returns to nominal health (see
+    /// [`Event::PeRestored`]): rebalance the incumbent onto the restored
+    /// capacity and retry parked admissions — shed applications re-enter
+    /// here. Idempotent on a healthy PE (the queue is still retried).
+    pub fn restore_pe(&mut self, pe: PeId) -> Result<ServeReport, ServeError> {
+        if pe.index() >= self.spec.n_pes() {
+            return Err(ServeError::InvalidPe(pe));
+        }
+        let adopted = self.interrupt_background();
+        let started = Instant::now();
+        let mut recovery = RecoveryReport::default();
+        let (delta, period) = if self.avail.factor(pe) == 1.0 {
+            (MappingDelta::default(), self.period())
+        } else {
+            self.avail.restore(pe);
+            self.sync_avail();
+            self.recover_incumbent(None, &mut recovery)
+        };
+        let mut report = ServeReport {
+            event: EventLabel::pe_restored(pe),
+            verdict: Verdict::Applied,
+            replan: started.elapsed(),
+            delta,
+            period,
+            per_app: Vec::new(),
+            background_adopted: adopted,
+            background_delta: MappingDelta::default(),
+            drained: Vec::new(),
+            recovery: Some(recovery),
+        };
+        report.background_delta = self.take_adoption_delta(adopted);
+        // restored capacity is exactly what parked admissions wait for
+        self.drain_queue_into(&mut report.drained);
+        if !report.drained.is_empty() {
+            report.period = self.period();
+        }
+        self.current_per_app_into(&mut report.per_app);
+        self.spawn_background();
+        Ok(report)
+    }
+
+    /// An application's declared compute costs turn out wrong by
+    /// `factor` (see [`Event::CostDrift`]): correct the declared costs
+    /// in place — the correction sticks across every later
+    /// recomposition — and re-validate the incumbent under them,
+    /// shedding lowest-weight applications if reality no longer fits.
+    /// Drift is a *measurement*, not a request: it cannot be refused,
+    /// only absorbed (malformed factors are rejected, though).
+    pub fn cost_drift(&mut self, id: AppId, factor: f64) -> Result<ServeReport, ServeError> {
+        let idx = self.index_of(id)?;
+        let adopted = self.interrupt_background();
+        let started = Instant::now();
+        let label = EventLabel::cost_drift(id, factor);
+        if !(factor.is_finite() && factor > 0.0) {
+            let mut report = ServeReport {
+                event: label,
+                verdict: Verdict::Rejected(RejectReason::InvalidFactor(factor)),
+                replan: started.elapsed(),
+                delta: MappingDelta::default(),
+                period: self.period(),
+                per_app: Vec::new(),
+                background_adopted: adopted,
+                background_delta: MappingDelta::default(),
+                drained: Vec::new(),
+                recovery: None,
+            };
+            self.current_per_app_into(&mut report.per_app);
+            report.background_delta = self.take_adoption_delta(adopted);
+            self.spawn_background();
+            return Ok(report);
+        }
+        self.live
+            .as_mut()
+            .expect("index_of implies live") // check:allow(hot-path-panic): index_of returned Ok, so a live incumbent exists
+            .workload
+            .rescale_costs(AppId(idx), factor)
+            .expect("index resolved and factor validated"); // check:allow(hot-path-panic): the index came from the handle table and the factor was just validated
+        let mut recovery = RecoveryReport::default();
+        let (delta, period) = self.recover_incumbent(None, &mut recovery);
+        let mut report = ServeReport {
+            event: label,
+            verdict: Verdict::Applied,
+            replan: started.elapsed(),
+            delta,
+            period,
+            per_app: Vec::new(),
+            background_adopted: adopted,
+            background_delta: MappingDelta::default(),
+            drained: Vec::new(),
+            recovery: Some(recovery),
+        };
+        self.current_per_app_into(&mut report.per_app);
+        report.background_delta = self.take_adoption_delta(adopted);
         self.spawn_background();
         Ok(report)
     }
@@ -1029,6 +1371,7 @@ impl Service {
             background_adopted: adopted,
             background_delta: MappingDelta::default(),
             drained: Vec::new(),
+            recovery: None,
         })
     }
 
@@ -1043,6 +1386,89 @@ impl Service {
     /// Workload index of a stable handle.
     fn index_of(&self, id: AppId) -> Result<usize, ServeError> {
         self.handles.iter().position(|&h| h == id).ok_or(ServeError::UnknownApp(id))
+    }
+
+    /// Mirror the health mask into the replanner options. A fully
+    /// healthy platform plans with `avail: None` — the zero-overhead
+    /// nominal path, bitwise identical to pre-fault behaviour.
+    fn sync_avail(&mut self) {
+        self.repair_opts.avail = match self.avail.all_healthy() {
+            true => None,
+            false => Some(self.avail.clone()),
+        };
+    }
+
+    /// The fault-recovery replan: re-repair the incumbent against live
+    /// capacity, then shed lowest-weight applications into the retry
+    /// queue until the survivors are feasible and meet their guarantees
+    /// — graceful degradation instead of serving a §3.2-violating plan.
+    /// Returns the seat delta versus the pre-fault incumbent and the
+    /// recovered period; `recovery` accumulates what recovery cost.
+    fn recover_incumbent(
+        &mut self,
+        evac_pe: Option<PeId>,
+        recovery: &mut RecoveryReport,
+    ) -> (MappingDelta, f64) {
+        let Some(live) = self.live.take() else {
+            return (MappingDelta::default(), f64::INFINITY);
+        };
+        if let Some(pe) = evac_pe {
+            recovery.evacuated_seats =
+                live.mapping.assignment().iter().filter(|&&s| s == pe).count();
+        }
+        let pre_graph = live.workload.graph().clone();
+        let pre_mapping = live.mapping.clone();
+        let mut workload = live.workload;
+        let (mut mapping, mut period) = self.replan(&pre_graph, &pre_mapping, workload.graph());
+        while !period.is_finite() || self.guarantee_violation(&workload, period).is_some() {
+            let idx = workload
+                .apps()
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.weight.total_cmp(&b.1.weight))
+                .map(|(i, _)| i)
+                .expect("a live workload has applications"); // check:allow(hot-path-panic): live workloads are non-empty by construction
+            let weight = workload.apps()[idx].weight;
+            // the *unscaled* source graph (drift corrections included):
+            // what re-admission at the same weight wants
+            let shed_graph = workload.source_graph(AppId(idx));
+            recovery.shed.push(shed_graph.name().to_owned());
+            // with queueing off (cluster agents: the coordinator owns
+            // retry policy fleet-wide) the shed app leaves the node
+            // entirely — the caller re-homes it via `take_shed`
+            if self.opts.queue_rejected {
+                self.queue.push_back(Queued {
+                    graph: shed_graph,
+                    weight,
+                    attempts: 0,
+                    cooldown: 0,
+                });
+            } else {
+                self.shed_out.push((shed_graph, weight));
+            }
+            self.handles.remove(idx);
+            if workload.n_apps() == 1 {
+                // everything shed: the service goes idle, dropping the
+                // whole pre-fault placement
+                let delta = MappingDelta {
+                    dropped: pre_graph.tasks().iter().map(|t| t.name.clone()).collect(),
+                    ..MappingDelta::default()
+                };
+                self.version += 1;
+                return (delta, f64::INFINITY);
+            }
+            let old_graph = workload.graph().clone();
+            let old_mapping = mapping.clone();
+            workload.retire(AppId(idx)).expect("index enumerated from the live app list"); // check:allow(hot-path-panic): the index was just enumerated against this workload
+            let (m, p) = self.replan(&old_graph, &old_mapping, workload.graph());
+            mapping = m;
+            period = p;
+        }
+        let delta = MappingDelta::between(&pre_graph, &pre_mapping, workload.graph(), &mapping);
+        recovery.migration_bytes = delta.migration_bytes;
+        self.version += 1;
+        self.live = Some(Live { workload, mapping, period });
+        (delta, period)
     }
 
     /// Hand over the most recent adoption's delta (empty when nothing
@@ -1160,6 +1586,7 @@ impl Service {
             background_adopted: false,
             background_delta: MappingDelta::default(),
             drained: Vec::new(),
+            recovery: None,
         }
     }
 
@@ -1174,7 +1601,7 @@ impl Service {
         queue: bool,
     ) -> ServeReport {
         let verdict = if queue {
-            self.queue.push_back(Queued { graph: g.clone(), weight });
+            self.queue.push_back(Queued { graph: g.clone(), weight, attempts: 0, cooldown: 0 });
             Verdict::Queued
         } else {
             Verdict::Rejected(reason)
@@ -1191,6 +1618,7 @@ impl Service {
             background_adopted: false,
             background_delta: MappingDelta::default(),
             drained: Vec::new(),
+            recovery: None,
         }
     }
 
@@ -1211,18 +1639,39 @@ impl Service {
         None
     }
 
-    /// Retry queued admissions in FIFO order after capacity freed up.
-    /// An application that is refused again goes back to the *front* of
-    /// the queue (and retries stop), preserving arrival order. Reports
-    /// land in the caller's buffer (empty queues push nothing).
+    /// Retry queued admissions after capacity freed up: one rotation
+    /// over the queue in FIFO order. An entry still cooling down from
+    /// its exponential backoff sits the pass out; a retry that fails
+    /// again deepens the backoff and re-queues — so one unadmittable
+    /// application no longer blocks everything behind it — until the
+    /// entry exhausts [`ServiceOptions::queue_max_attempts`] and expires
+    /// with a visible [`RejectReason::Expired`] report. Reports (both
+    /// admissions and expiries) land in the caller's buffer.
     fn drain_queue_into(&mut self, out: &mut Vec<ServeReport>) {
-        while let Some(q) = self.queue.pop_front() {
-            let report = self.try_admit(&q.graph, q.weight, false);
+        let mut pass = self.queue.len();
+        while pass > 0 {
+            pass -= 1;
+            let Some(mut q) = self.queue.pop_front() else { break };
+            if q.cooldown > 0 {
+                q.cooldown -= 1;
+                self.queue.push_back(q);
+                continue;
+            }
+            let mut report = self.try_admit(&q.graph, q.weight, false);
             if report.applied() {
                 out.push(report);
             } else {
-                self.queue.push_front(q);
-                break;
+                q.attempts += 1;
+                if q.attempts >= self.opts.queue_max_attempts {
+                    report.verdict = Verdict::Rejected(RejectReason::Expired {
+                        app: q.graph.name().to_owned(),
+                        attempts: q.attempts,
+                    });
+                    out.push(report);
+                } else {
+                    q.cooldown = 1u32 << q.attempts.min(6);
+                    self.queue.push_back(q);
+                }
             }
         }
     }
@@ -1249,8 +1698,10 @@ impl Service {
         if !self.opts.per_app_reports {
             return Vec::new();
         }
-        // check:allow(hot-path-panic): repair returns mappings valid by construction
-        evaluate_workload(w, &self.spec, m).expect("repair returns valid mappings").per_app
+        evaluate_workload_with(w, &self.spec, &self.avail, m)
+            // check:allow(hot-path-panic): repair returns mappings valid by construction
+            .expect("repair returns valid mappings")
+            .per_app
     }
 
     /// Per-application reports of the incumbent into `out`, gated by
@@ -1306,13 +1757,24 @@ impl Service {
         }
         let result = bg.handle.join().ok().flatten();
         self.last_adoption_delta = MappingDelta::default();
-        let (mapping, period) = result?;
+        let (mapping, mut period) = result?;
         if bg.version != self.version {
             return Some(false); // stale: the workload changed meanwhile
         }
-        let Some(live) = self.live.as_mut() else {
+        let Some(live) = self.live.as_ref() else {
             return Some(false);
         };
+        // the portfolio plans against the nominal platform; on an
+        // impaired one its candidate must be re-scored (and possibly
+        // refused) against live capacity before adoption
+        if !self.avail.all_healthy() {
+            match evaluate_with(live.workload.graph(), &self.spec, &self.avail, &mapping) {
+                Ok(rep) if rep.is_feasible() => period = rep.period,
+                _ => return Some(false),
+            }
+        }
+        let live = self.live.as_mut().expect("checked above"); // check:allow(hot-path-panic): the incumbent was just observed present
+
         let gain = live.period - period;
         if gain <= 0.0 {
             return Some(false);
@@ -1353,12 +1815,25 @@ impl OnlineSystem for Service {
                 // check:allow(hot-path-panic): handle_of returned a live handle
                 self.handle_of(app).map(|id| self.reweight(id, *weight).expect("live handle"))
             }
+            // a single-node service is fleet index 0; impairments aimed
+            // at other nodes (and whole-node loss, which is the
+            // cluster's event) degrade to "nothing happened"
+            TraceEvent::PeFailed { node: 0, pe } => self.fail_pe(*pe).ok(),
+            TraceEvent::PeRestored { node: 0, pe } => self.restore_pe(*pe).ok(),
+            TraceEvent::CostDrift { app, factor } => {
+                // check:allow(hot-path-panic): handle_of returned a live handle
+                self.handle_of(app).map(|id| self.cost_drift(id, *factor).expect("live handle"))
+            }
+            TraceEvent::PeFailed { .. }
+            | TraceEvent::PeRestored { .. }
+            | TraceEvent::NodeFailed { .. }
+            | TraceEvent::NodeRestored { .. } => None,
         };
         match report {
             Some(r) => EventOutcome {
                 at: 0.0,
                 label: ev.label(),
-                applied: r.applied() || !r.drained.is_empty(),
+                applied: r.applied() || r.drained.iter().any(|d| d.applied()),
                 queued: matches!(r.verdict, Verdict::Queued),
                 replan: r.replan,
                 migration_bytes: r.migration_bytes(),
@@ -1635,9 +2110,10 @@ mod tests {
 
         // sequential reference: canonical order, same events
         let rank = |ev: &Event| match ev {
-            Event::Retire(_) => 0u8,
-            Event::Reweight(..) => 1,
-            Event::Admit(..) => 2,
+            Event::PeFailed(_) | Event::PeRestored(_) | Event::CostDrift(..) => 0u8,
+            Event::Retire(_) => 1,
+            Event::Reweight(..) => 2,
+            Event::Admit(..) => 3,
         };
         let mut order: Vec<usize> = (0..events.len()).collect();
         order.sort_by_key(|&i| rank(&events[i]));
@@ -1804,6 +2280,232 @@ mod tests {
         incumbent_feasible(&svc);
         // polling again finds nothing in flight
         assert!(svc.poll_background().is_none());
+    }
+
+    fn incumbent_feasible_live(svc: &Service) {
+        if let (Some(w), Some(m)) = (svc.workload(), svc.mapping()) {
+            let r = cellstream_core::evaluate_with(w.graph(), svc.spec(), svc.availability(), m)
+                .unwrap();
+            assert!(r.is_feasible(), "incumbent must stay feasible: {:?}", r.violations);
+            assert!((r.period - svc.period()).abs() <= 1e-9 * r.period.max(1e-12));
+        }
+    }
+
+    #[test]
+    fn spe_failure_evacuates_and_restore_rebalances() {
+        let mut svc = Service::new(CellSpec::ps3());
+        svc.admit(&app("a", 8), 1.0).admitted().unwrap();
+        svc.admit(&app("b", 6), 2.0).admitted().unwrap();
+        let pre_period = svc.period();
+        // pick an SPE that actually holds seats
+        let dead = svc
+            .mapping()
+            .unwrap()
+            .assignment()
+            .iter()
+            .copied()
+            .find(|pe| pe.index() > 0)
+            .expect("the plan uses SPEs");
+        let seats = svc.mapping().unwrap().count_on(dead);
+
+        let r = svc.fail_pe(dead).unwrap();
+        let rec = r.recovery.as_ref().expect("fault events report recovery");
+        assert_eq!(rec.evacuated_seats, seats);
+        assert!(rec.shed.is_empty(), "a PS3 absorbs one SPE loss without shedding");
+        assert_eq!(svc.mapping().unwrap().count_on(dead), 0, "dead PE fully evacuated");
+        assert!(svc.period() >= pre_period - 1e-15, "less capacity cannot speed the round up");
+        incumbent_feasible_live(&svc);
+
+        // idempotent second failure
+        let r2 = svc.fail_pe(dead).unwrap();
+        assert_eq!(r2.recovery.as_ref().unwrap().evacuated_seats, 0);
+        assert_eq!(r2.delta.n_moved(), 0);
+
+        // restore: capacity returns, period never worsens
+        let failed_period = svc.period();
+        let r3 = svc.restore_pe(dead).unwrap();
+        assert!(r3.recovery.is_some());
+        assert!(svc.period() <= failed_period + 1e-15);
+        incumbent_feasible_live(&svc);
+
+        // the PPE cannot fail — the serving loop runs there
+        assert!(matches!(svc.fail_pe(PeId(0)), Err(ServeError::InvalidPe(PeId(0)))));
+        assert!(matches!(svc.fail_pe(PeId(99)), Err(ServeError::InvalidPe(PeId(99)))));
+    }
+
+    /// Cheap on the SPE, expensive on the PPE, tiny edge: fits
+    /// anywhere, but PPE-only plans are 5x slower.
+    fn lean_app(name: &str) -> StreamGraph {
+        let mut b = StreamGraph::builder(name);
+        let s = b.add_task(TaskSpec::new("s").ppe_cost(10e-6).spe_cost(2e-6));
+        let t = b.add_task(TaskSpec::new("t").ppe_cost(10e-6).spe_cost(2e-6));
+        b.add_edge(s, t, 1024.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn failure_sheds_lowest_weight_and_restore_readmits() {
+        // one SPE + guarantee sized so both apps fit only with the SPE
+        // alive: its failure must shed the lighter app, visibly.
+        // PPE-only arithmetic: heavy(w=2) 40us + light(w=1) 20us = 60us
+        // round, light's per-instance 60us > 30us cap; heavy alone runs
+        // 40us, per-instance 20us — under the cap
+        let spec = CellSpecBuilder::default()
+            .spes(1)
+            .local_store(ByteSize::kib(256))
+            .code_size(ByteSize::kib(64))
+            .build()
+            .unwrap();
+        let opts =
+            ServiceOptions { max_period: Some(30e-6), queue_rejected: true, ..Default::default() };
+        let mut svc = Service::with_options(spec, opts);
+        svc.admit(&lean_app("heavy"), 2.0).admitted().expect("fits");
+        svc.admit(&lean_app("light"), 1.0).admitted().expect("fits");
+        assert_eq!(svc.n_apps(), 2);
+
+        let r = svc.fail_pe(PeId(1)).unwrap();
+        let rec = r.recovery.as_ref().unwrap();
+        assert_eq!(rec.shed, ["light"], "lowest weight sheds first");
+        assert_eq!(svc.n_apps(), 1);
+        assert_eq!(svc.queued(), 1, "shed apps park in the retry queue");
+        incumbent_feasible_live(&svc);
+
+        // restoring the SPE re-admits the shed app
+        let r2 = svc.restore_pe(PeId(1)).unwrap();
+        assert_eq!(r2.drained.len(), 1, "shed app re-enters on restore");
+        assert!(r2.drained[0].admitted().is_some());
+        assert_eq!(svc.n_apps(), 2);
+        assert_eq!(svc.queued(), 0);
+        incumbent_feasible_live(&svc);
+    }
+
+    #[test]
+    fn cost_drift_rescales_and_revalidates() {
+        let mut svc = Service::new(CellSpec::ps3());
+        let a = svc.admit(&app("a", 5), 1.0).admitted().unwrap();
+        let before = svc.period();
+        let r = svc.cost_drift(a, 3.0).unwrap();
+        assert_eq!(r.verdict, Verdict::Applied);
+        assert!(r.recovery.is_some());
+        assert!(svc.period() > before, "3x heavier tasks slow the round");
+        incumbent_feasible_live(&svc);
+        // drift composes: 3 × (1/3) = declared costs again
+        svc.cost_drift(a, 1.0 / 3.0).unwrap();
+        assert!((svc.period() - before).abs() <= 1e-9 * before);
+        // malformed factors are rejected, incumbent untouched
+        let r = svc.cost_drift(a, f64::NAN).unwrap();
+        assert!(matches!(r.verdict, Verdict::Rejected(RejectReason::InvalidFactor(_))));
+        assert!((svc.period() - before).abs() <= 1e-9 * before);
+        // unknown handles are errors
+        assert!(matches!(svc.cost_drift(AppId(99), 2.0), Err(ServeError::UnknownApp(_))));
+    }
+
+    #[test]
+    fn cost_drift_can_shed_under_guarantee() {
+        let spec = CellSpecBuilder::default()
+            .spes(1)
+            .local_store(ByteSize::kib(96))
+            .code_size(ByteSize::kib(64))
+            .build()
+            .unwrap();
+        // PPE-only arithmetic: a(w=1) 10us + b(w=2) 20us = 30us round,
+        // per-instance a 30us, b 15us — inside the 45us cap. After b's
+        // costs quadruple: 10 + 80 = 90us, a's per-instance 90us > 45us
+        // cap → shed a; b alone runs 80us, per-instance 40us — fits
+        let opts =
+            ServiceOptions { max_period: Some(45e-6), queue_rejected: true, ..Default::default() };
+        let mut svc = Service::with_options(spec, opts);
+        svc.admit(&fat_app("a", 64.0), 1.0).admitted().expect("fits");
+        let b = svc.admit(&fat_app("b", 64.0), 2.0).admitted().expect("fits");
+        // b's costs quadruple: the pair no longer fits the guarantee, so
+        // the lighter app sheds (drift is reality — it cannot be refused)
+        let r = svc.cost_drift(b, 4.0).unwrap();
+        assert_eq!(r.verdict, Verdict::Applied);
+        assert_eq!(r.recovery.as_ref().unwrap().shed, ["a"]);
+        assert_eq!(svc.n_apps(), 1);
+        assert_eq!(svc.queued(), 1);
+        incumbent_feasible_live(&svc);
+    }
+
+    #[test]
+    fn queue_retries_are_bounded_with_backoff_and_expiry() {
+        // a queue entry that can never be admitted must expire after
+        // queue_max_attempts, not starve the drain loop forever
+        let spec = CellSpecBuilder::default()
+            .spes(1)
+            .local_store(ByteSize::kib(96))
+            .code_size(ByteSize::kib(64))
+            .build()
+            .unwrap();
+        let opts = ServiceOptions {
+            max_period: Some(25e-6),
+            queue_rejected: true,
+            queue_max_attempts: 3,
+            ..Default::default()
+        };
+        let mut svc = Service::with_options(spec, opts);
+        let a = svc.admit(&fat_app("a", 64.0), 1.0).admitted().expect("fits");
+        let _b = svc.admit(&fat_app("b", 64.0), 1.0).admitted().expect("fits");
+        // hog can never fit under the guarantee next to a and b, and a
+        // reweight churn keeps triggering drains
+        let hog = fat_app("hog", 64.0);
+        assert_eq!(svc.admit(&hog, 10.0).verdict, Verdict::Queued);
+        assert_eq!(svc.queued(), 1);
+        let mut expired = None;
+        // each reweight triggers one drain pass; with backoff the entry
+        // sits out 2^attempts passes between retries
+        for _ in 0..20 {
+            let r = svc.reweight(a, 1.0).unwrap();
+            if let Some(exp) = r
+                .drained
+                .iter()
+                .find(|d| matches!(d.verdict, Verdict::Rejected(RejectReason::Expired { .. })))
+            {
+                expired = Some(exp.clone());
+                break;
+            }
+        }
+        let exp = expired.expect("the hopeless entry expires within the retry budget");
+        match &exp.verdict {
+            Verdict::Rejected(RejectReason::Expired { app, attempts }) => {
+                assert_eq!(app, "hog");
+                assert_eq!(*attempts, 3);
+            }
+            other => panic!("unexpected verdict {other:?}"),
+        }
+        assert_eq!(svc.queued(), 0, "expired entries leave the queue for good");
+        assert_eq!(svc.n_apps(), 2, "residents were never disturbed");
+    }
+
+    #[test]
+    fn backoff_does_not_starve_later_queue_entries() {
+        // head-of-line: an unadmittable heavy entry in front must not
+        // block a small app behind it once capacity frees up
+        let spec = CellSpecBuilder::default()
+            .spes(1)
+            .local_store(ByteSize::kib(96))
+            .code_size(ByteSize::kib(64))
+            .build()
+            .unwrap();
+        let opts = ServiceOptions {
+            max_period: Some(25e-6),
+            queue_rejected: true,
+            queue_max_attempts: 8,
+            ..Default::default()
+        };
+        let mut svc = Service::with_options(spec, opts);
+        let a = svc.admit(&fat_app("a", 64.0), 1.0).admitted().expect("fits");
+        let _b = svc.admit(&fat_app("b", 64.0), 1.0).admitted().expect("fits");
+        assert_eq!(svc.admit(&fat_app("hog", 64.0), 40.0).verdict, Verdict::Queued);
+        assert_eq!(svc.admit(&fat_app("small", 64.0), 1.0).verdict, Verdict::Queued);
+        // retiring a frees room for "small" but never for "hog"
+        let r = svc.retire(a).unwrap();
+        let admitted: Vec<_> =
+            r.drained.iter().filter_map(|d| d.admitted().map(|_| d.event.kind)).collect();
+        assert_eq!(admitted.len(), 1, "small admitted past the blocked hog: {:?}", r.drained);
+        assert!(svc.handle_of("small").is_some());
+        assert_eq!(svc.n_apps(), 2);
+        assert_eq!(svc.queued(), 1, "hog keeps waiting with deeper backoff");
     }
 
     #[test]

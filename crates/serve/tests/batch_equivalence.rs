@@ -122,11 +122,14 @@ proptest! {
 
         let report = batched.process_batch(&events).expect("valid burst");
 
-        // sequential reference: canonical retire → reweight → admit order
+        // sequential reference: canonical faults → retire → reweight →
+        // admit order (this harness generates no fault events; the
+        // fault-path equivalence is pinned by the invariants suite)
         let rank = |ev: &Event| match ev {
-            Event::Retire(_) => 0u8,
-            Event::Reweight(..) => 1,
-            Event::Admit(..) => 2,
+            Event::PeFailed(_) | Event::PeRestored(_) | Event::CostDrift(..) => 0u8,
+            Event::Retire(_) => 1,
+            Event::Reweight(..) => 2,
+            Event::Admit(..) => 3,
         };
         let mut order: Vec<usize> = (0..events.len()).collect();
         order.sort_by_key(|&i| rank(&events[i]));

@@ -1,9 +1,10 @@
 //! `debug_invariants` replay harness: drive a [`Service`] through
-//! random event sequences — single events and fused bursts, valid and
+//! random event sequences — single events, fused bursts, and injected
+//! impairments (SPE failure/restore, cost drift), valid and
 //! deliberately invalid — and let the deep audit wired into
 //! `process`/`process_batch` (plus an explicit sweep after every step)
 //! catch any divergence between the handle table, the live workload,
-//! the cached period and the admission queue.
+//! the cached period, the availability mask and the admission queue.
 //!
 //! Compiles to nothing without the feature:
 //! `cargo test -p cellstream-serve --features debug_invariants`.
@@ -44,6 +45,13 @@ enum Step {
     RetireUnknown,
     /// Process several admissions as one fused burst.
     Burst(Vec<(usize, u8, f64)>),
+    /// Fail the `k % n_spe`-th SPE (idempotent on a dead one).
+    PeFail(usize),
+    /// Restore the `k % n_spe`-th SPE (no-op on a live one).
+    PeRestore(usize),
+    /// Drift the `k % live`-th handle's costs (occasionally by an
+    /// invalid factor — rejected without corrupting state).
+    Drift(usize, f64),
 }
 
 fn arb_weight() -> impl Strategy<Value = f64> {
@@ -55,7 +63,7 @@ fn arb_step() -> impl Strategy<Value = Step> {
     // operands plus a selector and pick in a map (admissions weighted
     // double so services actually fill up)
     (
-        0u8..6,
+        0u8..9,
         (2usize..=6, 0u8..4, arb_weight()),
         0usize..8,
         collection::vec((2usize..=4, 0u8..4, arb_weight()), 1..=3),
@@ -65,7 +73,11 @@ fn arb_step() -> impl Strategy<Value = Step> {
             2 => Step::Retire(k),
             3 => Step::Reweight(k, w),
             4 => Step::RetireUnknown,
-            _ => Step::Burst(burst),
+            5 => Step::Burst(burst),
+            6 => Step::PeFail(k),
+            7 => Step::PeRestore(k),
+            // w == 0.0 stands in for an invalid drift factor too
+            _ => Step::Drift(k, if w == 0.0 { 0.0 } else { 0.25 + w }),
         })
 }
 
@@ -76,7 +88,8 @@ proptest! {
     fn random_event_sequences_uphold_the_service_invariants(
         steps in collection::vec(arb_step(), 1..=12)
     ) {
-        let mut svc = Service::new(CellSpec::ps3());
+        let spec = CellSpec::ps3();
+        let mut svc = Service::new(spec.clone());
         let mut fresh = 0usize;
         for step in steps {
             // queue drains can admit (and hand out handles) inside any
@@ -117,6 +130,23 @@ proptest! {
                         })
                         .collect();
                     svc.process_batch(&events).expect("admit-only bursts are valid");
+                }
+                Step::PeFail(k) => {
+                    let spe = spec.pe(spec.n_ppe() + k % spec.n_spe());
+                    svc.process(Event::PeFailed(spe)).expect("SPE faults never error");
+                }
+                Step::PeRestore(k) => {
+                    let spe = spec.pe(spec.n_ppe() + k % spec.n_spe());
+                    svc.process(Event::PeRestored(spe)).expect("SPE restores never error");
+                }
+                Step::Drift(k, f) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let h = live[k % live.len()];
+                    // invalid factors come back as Rejected verdicts,
+                    // not errors — either way the audit must hold
+                    svc.process(Event::CostDrift(h, f)).expect("live handles drift");
                 }
             }
             // the entry points audit themselves under the feature; this

@@ -35,6 +35,7 @@
 pub mod engine;
 pub mod fair;
 pub mod online;
+pub mod scenario;
 pub mod trace;
 
 pub use engine::{simulate, SimConfig, SimError};
@@ -42,6 +43,7 @@ pub use online::{
     replay, replay_concurrent, replay_fleet, AppServed, EventOutcome, EventTrace, FleetSystem,
     IntakeReport, IntakeSystem, OnlineReport, OnlineSystem, TimedEvent, TraceEvent,
 };
+pub use scenario::{Arrivals, Impairment, Scenario};
 pub use trace::RunTrace;
 
 #[cfg(test)]

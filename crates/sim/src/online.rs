@@ -25,7 +25,7 @@
 use crate::engine::{simulate, SimConfig};
 use cellstream_core::Mapping;
 use cellstream_graph::{StreamGraph, Workload};
-use cellstream_platform::CellSpec;
+use cellstream_platform::{CellSpec, PeId};
 use std::time::{Duration, Instant};
 
 /// One workload-churn event, application named by graph name.
@@ -50,6 +50,43 @@ pub enum TraceEvent {
         /// New weight.
         weight: f64,
     },
+    /// A processing element fails (dies or is fenced off). `node` is the
+    /// fleet index of the machine hosting it — single-node systems serve
+    /// node 0 and ignore events addressed elsewhere.
+    PeFailed {
+        /// Fleet index of the affected node.
+        node: usize,
+        /// The failed PE on that node's platform.
+        pe: PeId,
+    },
+    /// A previously failed processing element returns to service.
+    PeRestored {
+        /// Fleet index of the affected node.
+        node: usize,
+        /// The restored PE.
+        pe: PeId,
+    },
+    /// The named application's declared compute costs turn out to be
+    /// misestimated: multiply them by `factor` (>1 = heavier than
+    /// declared). Traffic and buffer sizes are untouched — misestimated
+    /// compute does not move bytes.
+    CostDrift {
+        /// Application (graph) name.
+        app: String,
+        /// Multiplicative cost correction.
+        factor: f64,
+    },
+    /// A whole machine drops out of the fleet (power loss, network
+    /// partition). Meaningless for single-node systems.
+    NodeFailed {
+        /// Fleet index of the lost node.
+        node: usize,
+    },
+    /// A failed machine rejoins the fleet, empty and cold.
+    NodeRestored {
+        /// Fleet index of the returning node.
+        node: usize,
+    },
 }
 
 impl TraceEvent {
@@ -59,7 +96,26 @@ impl TraceEvent {
             TraceEvent::Admit { graph, weight } => format!("admit {} w={weight}", graph.name()),
             TraceEvent::Retire { app } => format!("retire {app}"),
             TraceEvent::Reweight { app, weight } => format!("reweight {app} w={weight}"),
+            TraceEvent::PeFailed { node, pe } => format!("fail n{node} {pe}"),
+            TraceEvent::PeRestored { node, pe } => format!("restore n{node} {pe}"),
+            TraceEvent::CostDrift { app, factor } => format!("drift {app} x{factor}"),
+            TraceEvent::NodeFailed { node } => format!("node-fail n{node}"),
+            TraceEvent::NodeRestored { node } => format!("node-restore n{node}"),
         }
+    }
+
+    /// `true` for the impairment variants (PE/node failures, restores,
+    /// cost drift) — the events a scenario's impairment schedule injects,
+    /// as opposed to workload churn.
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::PeFailed { .. }
+                | TraceEvent::PeRestored { .. }
+                | TraceEvent::CostDrift { .. }
+                | TraceEvent::NodeFailed { .. }
+                | TraceEvent::NodeRestored { .. }
+        )
     }
 }
 
@@ -143,6 +199,29 @@ impl serde::Serialize for TraceEvent {
                 ("app", Value::Str(app.clone())),
                 ("weight", Value::Num(*weight)),
             ]),
+            TraceEvent::PeFailed { node, pe } => obj(vec![
+                ("type", Value::Str("pe_failed".into())),
+                ("node", Value::Num(*node as f64)),
+                ("pe", pe.to_value()),
+            ]),
+            TraceEvent::PeRestored { node, pe } => obj(vec![
+                ("type", Value::Str("pe_restored".into())),
+                ("node", Value::Num(*node as f64)),
+                ("pe", pe.to_value()),
+            ]),
+            TraceEvent::CostDrift { app, factor } => obj(vec![
+                ("type", Value::Str("cost_drift".into())),
+                ("app", Value::Str(app.clone())),
+                ("factor", Value::Num(*factor)),
+            ]),
+            TraceEvent::NodeFailed { node } => obj(vec![
+                ("type", Value::Str("node_failed".into())),
+                ("node", Value::Num(*node as f64)),
+            ]),
+            TraceEvent::NodeRestored { node } => obj(vec![
+                ("type", Value::Str("node_restored".into())),
+                ("node", Value::Num(*node as f64)),
+            ]),
         }
     }
 }
@@ -159,6 +238,24 @@ impl serde::Deserialize for TraceEvent {
                 app: v.field("app")?.as_str()?.to_owned(),
                 weight: v.field("weight")?.as_f64()?,
             }),
+            "pe_failed" => Ok(TraceEvent::PeFailed {
+                node: v.field("node")?.as_u64()? as usize,
+                pe: PeId::from_value(v.field("pe")?)?,
+            }),
+            "pe_restored" => Ok(TraceEvent::PeRestored {
+                node: v.field("node")?.as_u64()? as usize,
+                pe: PeId::from_value(v.field("pe")?)?,
+            }),
+            "cost_drift" => Ok(TraceEvent::CostDrift {
+                app: v.field("app")?.as_str()?.to_owned(),
+                factor: v.field("factor")?.as_f64()?,
+            }),
+            "node_failed" => {
+                Ok(TraceEvent::NodeFailed { node: v.field("node")?.as_u64()? as usize })
+            }
+            "node_restored" => {
+                Ok(TraceEvent::NodeRestored { node: v.field("node")?.as_u64()? as usize })
+            }
             other => Err(serde::Error::new(format!("unknown TraceEvent type `{other}`"))),
         }
     }
@@ -576,6 +673,12 @@ mod tests {
                     self.replan(Some(w));
                     self.outcome(ev, applied)
                 }
+                // the toy server models no impairments: faults bounce
+                TraceEvent::PeFailed { .. }
+                | TraceEvent::PeRestored { .. }
+                | TraceEvent::CostDrift { .. }
+                | TraceEvent::NodeFailed { .. }
+                | TraceEvent::NodeRestored { .. } => self.outcome(ev, false),
             }
         }
 
@@ -653,6 +756,41 @@ mod tests {
         assert!(serde_json::from_str::<EventTrace>(bad).is_err());
     }
 
+    #[test]
+    fn fault_events_round_trip_through_json() {
+        let trace = EventTrace::new(4.0)
+            .at(0.0, TraceEvent::Admit { graph: tiny_app("a"), weight: 1.0 })
+            .at(0.5, TraceEvent::PeFailed { node: 0, pe: PeId(3) })
+            .at(1.0, TraceEvent::CostDrift { app: "a".into(), factor: 1.75 })
+            .at(1.5, TraceEvent::NodeFailed { node: 2 })
+            .at(2.0, TraceEvent::PeRestored { node: 0, pe: PeId(3) })
+            .at(2.5, TraceEvent::NodeRestored { node: 2 });
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: EventTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), trace.len());
+        for (orig, re) in trace.events().iter().zip(back.events()) {
+            assert_eq!(orig.at, re.at);
+            assert_eq!(orig.event.label(), re.event.label());
+            assert_eq!(orig.event.is_fault(), re.event.is_fault());
+        }
+        match &back.events()[1].event {
+            TraceEvent::PeFailed { node, pe } => {
+                assert_eq!(*node, 0);
+                assert_eq!(*pe, PeId(3));
+            }
+            other => panic!("expected pe_failed, got {}", other.label()),
+        }
+        match &back.events()[2].event {
+            TraceEvent::CostDrift { app, factor } => {
+                assert_eq!(app, "a");
+                assert_eq!(*factor, 1.75);
+            }
+            other => panic!("expected cost_drift, got {}", other.label()),
+        }
+        assert!(back.events()[1].event.is_fault());
+        assert!(!back.events()[0].event.is_fault());
+    }
+
     /// Two independent [`PpeServer`]s behind a modulo router: enough of
     /// a fleet to pin `replay_fleet`'s cluster-wide crediting.
     struct TwoNode {
@@ -670,9 +808,15 @@ mod tests {
                     self.homes.push((graph.name().to_owned(), n));
                     n
                 }
-                TraceEvent::Retire { app } | TraceEvent::Reweight { app, .. } => {
+                TraceEvent::Retire { app }
+                | TraceEvent::Reweight { app, .. }
+                | TraceEvent::CostDrift { app, .. } => {
                     self.homes.iter().find(|(name, _)| name == app).map_or(0, |&(_, n)| n)
                 }
+                TraceEvent::PeFailed { node, .. }
+                | TraceEvent::PeRestored { node, .. }
+                | TraceEvent::NodeFailed { node }
+                | TraceEvent::NodeRestored { node } => *node % 2,
             };
             self.nodes[node].apply_event(ev)
         }
