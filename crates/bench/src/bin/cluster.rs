@@ -23,13 +23,16 @@
 //! * median admission latency ≤ 50 ms (bounded under churn);
 //! * drain strands nothing and violates no capacity invariant.
 //!
-//! Emits `crates/bench/results/BENCH_cluster.json`.
+//! Emits `crates/bench/results/BENCH_cluster.json`, plus the surviving
+//! scoring fleet's merged telemetry snapshot as
+//! `FLEET_SNAPSHOT.prom`/`FLEET_SNAPSHOT.json` (CI uploads both).
 
 use cellstream_bench::{quick_mode, write_results};
 use cellstream_cluster::{policy_by_name, Cluster, ClusterOptions, ClusterVerdict, NetworkModel};
 use cellstream_daggen::{chain, CostParams};
 use cellstream_platform::CellSpec;
 use cellstream_sim::online::{replay_fleet, EventTrace, OnlineReport, TraceEvent};
+use cellstream_telemetry::Histogram;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::{Path, PathBuf};
@@ -112,15 +115,6 @@ struct PolicyRun {
     migration_bytes: f64,
 }
 
-/// Nearest-rank percentile of an ascending latency series.
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
-}
-
 fn run_policy(policy: &'static str, trace: &EventTrace, instances: u64) -> (PolicyRun, Cluster) {
     let opts = ClusterOptions {
         policy: policy_by_name(policy, None, 42).expect("known policy"),
@@ -141,15 +135,15 @@ fn run_policy(policy: &'static str, trace: &EventTrace, instances: u64) -> (Poli
             );
         }
     }
-    let mut admits: Vec<Duration> = report
-        .events
-        .iter()
-        .filter(|e| e.applied && e.label.starts_with("admit"))
-        .map(|e| e.replan)
-        .collect();
-    admits.sort();
-    let median_admit = percentile(&admits, 0.5);
-    let p99_admit = percentile(&admits, 0.99);
+    // admit latencies go through a telemetry histogram (the same cells
+    // the snapshots expose), not a sorted Vec
+    let admits = Histogram::new();
+    for e in report.events.iter().filter(|e| e.applied && e.label.starts_with("admit")) {
+        admits.record_duration(e.replan);
+    }
+    let admits = admits.snapshot();
+    let median_admit = admits.quantile_duration(50.0);
+    let p99_admit = admits.quantile_duration(99.0);
     (
         PolicyRun {
             policy,
@@ -296,6 +290,17 @@ fn main() {
         "burst demo: {burst_applied}/{burst_events} events applied through {burst_batches} \
          node batches in {burst_ms:.3} ms",
     );
+
+    // the merged fleet snapshot of the surviving scoring fleet, in both
+    // exposition formats — CI uploads these as artifacts
+    let snap = fleet.snapshot();
+    assert_eq!(
+        snap.gauge("cellstream_cluster_placed"),
+        Some(fleet.n_apps() as f64),
+        "snapshot placed gauge tracks the routing table"
+    );
+    write_results("FLEET_SNAPSHOT.prom", &snap.to_prometheus());
+    write_results("FLEET_SNAPSHOT.json", &snap.to_json());
 
     // ---- JSON -------------------------------------------------------------
     let policy_rows: Vec<String> = runs

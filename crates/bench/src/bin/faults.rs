@@ -21,6 +21,15 @@
 //! faults displaced is either serving again or visible in the
 //! coordinator's stranded ledger — never silently dropped.
 //!
+//! Both demos also drain their flight recorders and reconcile the
+//! black box against the independently-measured run: the single-node
+//! recovery's flight shed total must equal the `ServeReport`'s shed
+//! count exactly, and the fleet flight log's migration-byte sum must be
+//! *bitwise* equal to the replayed scenario's
+//! `total_migration_bytes` (same f64 expression, same order), with the
+//! final flight entry's stranded count matching the coordinator's
+//! ledger. The matched totals land in the JSON alongside the run.
+//!
 //! Emits `crates/bench/results/BENCH_faults.json`.
 
 use cellstream_bench::{quick_mode, write_results};
@@ -55,6 +64,11 @@ struct RecoveryRun {
     recovered_rate: f64,
     shed: usize,
     events_to_recover: usize,
+    /// Flight-recorder reconciliation: entries drained, shed total
+    /// summed from the log, recoveries seen in the log.
+    flight_events: usize,
+    flight_shed: u64,
+    flight_recoveries: usize,
 }
 
 /// Kill one SPE under a serving population and measure how fast the
@@ -98,6 +112,11 @@ fn recovery_demo() -> RecoveryRun {
         svc.process(Event::Reweight(h, first.weight)).expect("benign reweight");
         assert_feasible(&svc, "during recovery churn");
     }
+    // reconcile the black box against the measured run: the drained
+    // flight log must tell the same story the ServeReports told
+    let flights = svc.metrics().recorder.drain();
+    let flight_shed: u64 = flights.iter().map(|f| u64::from(f.shed)).sum();
+    let flight_recoveries = flights.iter().filter(|f| f.kind == "pe failed").count();
     RecoveryRun {
         apps: placed,
         pre_rate,
@@ -105,6 +124,9 @@ fn recovery_demo() -> RecoveryRun {
         recovered_rate: agg_rate(&svc),
         shed,
         events_to_recover,
+        flight_events: flights.len(),
+        flight_shed,
+        flight_recoveries,
     }
 }
 
@@ -153,6 +175,14 @@ struct ScenarioRun {
     serving: usize,
     stranded: usize,
     dead: usize,
+    /// The replay engine's migration-byte total (EventOutcome sums).
+    migration_bytes: f64,
+    /// Flight-recorder reconciliation against the above.
+    flight_events: usize,
+    flight_dropped: u64,
+    flight_shed: u64,
+    flight_stranded_final: u32,
+    flight_migration_bytes: f64,
 }
 
 /// Replay the adversarial trace against a fleet and audit the wreckage.
@@ -174,6 +204,15 @@ fn scenario_demo(trace: &EventTrace, instances: u64) -> ScenarioRun {
         }
     }
     let status = fleet.status();
+
+    // drain the fleet's black box: one entry per coordinator operation,
+    // its migration-byte field computed by the same f64 expression the
+    // replay's EventOutcome carries — the sums must be bitwise equal
+    let dropped = fleet.metrics().recorder.dropped();
+    let flights = fleet.metrics().recorder.drain();
+    let flight_shed: u64 = flights.iter().map(|f| u64::from(f.shed)).sum();
+    let flight_migration_bytes: f64 = flights.iter().map(|f| f.migration_bytes).sum();
+    let flight_stranded_final = flights.last().map_or(0, |f| f.stranded);
     ScenarioRun {
         events: trace.len(),
         faults: trace.events().iter().filter(|e| e.event.is_fault()).count(),
@@ -182,6 +221,12 @@ fn scenario_demo(trace: &EventTrace, instances: u64) -> ScenarioRun {
         serving: fleet.n_apps(),
         stranded: status.stranded.len(),
         dead: status.dead.len(),
+        migration_bytes: report.total_migration_bytes,
+        flight_events: flights.len(),
+        flight_dropped: dropped,
+        flight_shed,
+        flight_stranded_final,
+        flight_migration_bytes,
     }
 }
 
@@ -207,16 +252,28 @@ fn main() {
          delivered; end state: {} serving, {} stranded, {} dead node(s)",
         run.events, run.faults, run.applied, run.instances, run.serving, run.stranded, run.dead,
     );
+    println!(
+        "flight log: {} entries ({} dropped), {} shed, {} stranded at close, {:.0} migration \
+         bytes",
+        run.flight_events,
+        run.flight_dropped,
+        run.flight_shed,
+        run.flight_stranded_final,
+        run.flight_migration_bytes,
+    );
 
     // ---- JSON -------------------------------------------------------------
     let json = format!(
         "{{\n  \"bench\": \"faults\",\n  \"spec\": \"qs22\",\n  \"quick\": {},\n  \
          \"recovery\": {{\"apps\": {}, \"pre_rate\": {:.1}, \"post_fault_rate\": {:.1}, \
          \"recovered_rate\": {:.1}, \"recovery_ratio\": {:.4}, \"shed\": {}, \
-         \"events_to_recover\": {}, \"event_bound\": {RECOVERY_EVENT_BOUND}}},\n  \
+         \"events_to_recover\": {}, \"event_bound\": {RECOVERY_EVENT_BOUND}, \
+         \"flight_events\": {}, \"flight_shed\": {}, \"flight_recoveries\": {}}},\n  \
          \"scenario\": {{\"nodes\": {NODES}, \"events\": {}, \"faults\": {}, \"applied\": {}, \
          \"instances\": {:.0}, \"serving\": {}, \"stranded\": {}, \"dead_nodes\": {}, \
-         \"capacity_violations\": 0}}\n}}\n",
+         \"migration_bytes\": {:.1}, \"capacity_violations\": 0}},\n  \
+         \"flight\": {{\"events\": {}, \"dropped\": {}, \"shed\": {}, \"stranded\": {}, \
+         \"migration_bytes\": {:.1}}}\n}}\n",
         quick_mode(),
         rec.apps,
         rec.pre_rate,
@@ -225,6 +282,9 @@ fn main() {
         rec.recovered_rate / rec.pre_rate,
         rec.shed,
         rec.events_to_recover,
+        rec.flight_events,
+        rec.flight_shed,
+        rec.flight_recoveries,
         run.events,
         run.faults,
         run.applied,
@@ -232,6 +292,12 @@ fn main() {
         run.serving,
         run.stranded,
         run.dead,
+        run.migration_bytes,
+        run.flight_events,
+        run.flight_dropped,
+        run.flight_shed,
+        run.flight_stranded_final,
+        run.flight_migration_bytes,
     );
     write_results("BENCH_faults.json", &json);
 
@@ -249,12 +315,42 @@ fn main() {
     );
     assert!(run.faults >= 5, "GATE: the scenario injected {} < 5 fault events", run.faults);
     assert_eq!(run.dead, 0, "GATE: the crashed node never returned");
+
+    // flight-log reconciliation: the black box and the measured run
+    // must agree exactly — a drifting recorder is worse than none
+    assert_eq!(
+        rec.flight_shed, rec.shed as u64,
+        "GATE: recovery flight log summed {} shed, ServeReport said {}",
+        rec.flight_shed, rec.shed,
+    );
+    assert_eq!(rec.flight_recoveries, 1, "GATE: recovery flight log must show exactly one fault");
+    assert_eq!(run.flight_dropped, 0, "GATE: the fleet flight recorder overflowed");
+    assert_eq!(
+        run.flight_stranded_final, run.stranded as u32,
+        "GATE: final flight entry says {} stranded, the coordinator ledger says {}",
+        run.flight_stranded_final, run.stranded,
+    );
+    assert!(
+        run.flight_migration_bytes.to_bits() == run.migration_bytes.to_bits(),
+        "GATE: flight migration bytes {} != replayed scenario total {} (must be bitwise equal)",
+        run.flight_migration_bytes,
+        run.migration_bytes,
+    );
+    assert!(
+        run.flight_shed >= run.stranded as u64,
+        "GATE: {} ledger entries but the flight log only saw {} shed",
+        run.stranded,
+        run.flight_shed,
+    );
     println!(
         "gates passed: recovery {:.1}% >= 90% within {}/{} events; {} faults absorbed with \
-         zero capacity violations; all nodes back up",
+         zero capacity violations; all nodes back up; flight log reconciled (shed {}, stranded \
+         {}, migration bytes bitwise-equal)",
         100.0 * rec.recovered_rate / rec.pre_rate,
         rec.events_to_recover,
         RECOVERY_EVENT_BOUND,
         run.faults,
+        run.flight_shed,
+        run.flight_stranded_final,
     );
 }

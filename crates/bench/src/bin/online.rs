@@ -29,6 +29,7 @@ use cellstream_heuristics::Portfolio;
 use cellstream_platform::CellSpec;
 use cellstream_serve::Service;
 use cellstream_sim::online::{replay, EventTrace, OnlineSystem, TraceEvent};
+use cellstream_telemetry::Histogram;
 use std::time::{Duration, Instant};
 
 struct Row {
@@ -149,12 +150,17 @@ fn main() {
     let geo_quality =
         (compared.iter().map(|r| r.quality.ln()).sum::<f64>() / compared.len() as f64).exp();
     let min_quality = compared.iter().map(|r| r.quality).fold(f64::INFINITY, f64::min);
-    let median = |mut v: Vec<Duration>| -> Duration {
-        v.sort();
-        v[v.len() / 2]
+    // medians come from telemetry histograms (the serving loop's own
+    // latency cells), not a sorted Vec
+    let median = |durations: &mut dyn Iterator<Item = Duration>| -> Duration {
+        let h = Histogram::new();
+        for d in durations {
+            h.record_duration(d);
+        }
+        h.snapshot().quantile_duration(50.0)
     };
-    let med_repair = median(compared.iter().map(|r| r.repair).collect());
-    let med_scratch = median(compared.iter().map(|r| r.scratch).collect());
+    let med_repair = median(&mut compared.iter().map(|r| r.repair));
+    let med_scratch = median(&mut compared.iter().map(|r| r.scratch));
     let speedup = med_scratch.as_secs_f64() / med_repair.as_secs_f64().max(1e-9);
     let total_migration: f64 = rows.iter().map(|r| r.migration_bytes).sum();
 

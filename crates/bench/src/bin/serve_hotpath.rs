@@ -26,15 +26,19 @@
 //! * batched throughput ≥ 10× one-at-a-time on the bursty trace;
 //! * pipelined throughput ≥ 5× one-at-a-time (it does the same batched
 //!   work plus ring hand-off and thread scheduling);
-//! * batched p99 replan latency ≤ 100 ms per burst.
+//! * batched p99 replan latency ≤ 100 ms per burst;
+//! * telemetry overhead: the instrumented batched driver retains ≥ 95%
+//!   of the un-instrumented one's events/s (best of 3 runs each, so a
+//!   single scheduling hiccup cannot fail the gate).
 //!
 //! Emits `crates/bench/results/BENCH_serve_hotpath.json`.
 
 use cellstream_bench::{quick_mode, write_results};
 use cellstream_graph::{StreamGraph, TaskSpec};
 use cellstream_platform::CellSpec;
-use cellstream_serve::{Event, PipelineOptions, ServePipeline, Service};
+use cellstream_serve::{Event, PipelineOptions, ServePipeline, Service, ServiceOptions};
 use cellstream_sim::online::{replay_concurrent, EventTrace, TraceEvent};
+use cellstream_telemetry::Histogram;
 use std::time::{Duration, Instant};
 
 const FILL: usize = 24;
@@ -95,9 +99,13 @@ fn burst_schedule(rounds: usize) -> (Vec<StreamGraph>, Vec<Vec<TraceEvent>>) {
 }
 
 /// A freshly filled service: the steady-state posture every driver
-/// starts from.
-fn filled(fill: &[StreamGraph]) -> Service {
-    let mut svc = Service::new(CellSpec::qs22());
+/// starts from. `telemetry` toggles the metric cells — `false` is the
+/// baseline of the overhead comparison.
+fn filled(fill: &[StreamGraph], telemetry: bool) -> Service {
+    let mut svc = Service::with_options(
+        CellSpec::qs22(),
+        ServiceOptions { telemetry, ..ServiceOptions::default() },
+    );
     for (i, g) in fill.iter().enumerate() {
         let r = svc.admit(g, weight(i));
         assert!(r.admitted().is_some(), "fill app {} must fit: {:?}", g.name(), r.verdict);
@@ -109,25 +117,31 @@ struct Run {
     mode: &'static str,
     events: usize,
     wall: Duration,
-    /// Replan latencies: per event (sequential) or per burst (batched,
-    /// pipelined — a burst commits atomically, so its replan is the
-    /// latency every event in it experiences).
-    replans: Vec<Duration>,
+    /// Replan count and latency distribution: per event (sequential) or
+    /// per burst (batched, pipelined — a burst commits atomically, so
+    /// its replan is the latency every event in it experiences).
+    replans: usize,
+    hist: Histogram,
 }
 
 impl Run {
+    /// Fold per-replan latencies into the histogram the tables and
+    /// gates report from (the telemetry quantile machinery, not a
+    /// sorted `Vec`).
+    fn new(mode: &'static str, events: usize, wall: Duration, replans: &[Duration]) -> Run {
+        let hist = Histogram::new();
+        for d in replans {
+            hist.record_duration(*d);
+        }
+        Run { mode, events, wall, replans: replans.len(), hist }
+    }
+
     fn events_per_sec(&self) -> f64 {
         self.events as f64 / self.wall.as_secs_f64().max(1e-12)
     }
 
     fn percentile(&self, p: f64) -> Duration {
-        let mut sorted = self.replans.clone();
-        sorted.sort();
-        if sorted.is_empty() {
-            return Duration::ZERO;
-        }
-        let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
-        sorted[rank.min(sorted.len() - 1)]
+        self.hist.snapshot().quantile_duration(p * 100.0)
     }
 }
 
@@ -151,7 +165,7 @@ fn apply_sequential(svc: &mut Service, ev: &TraceEvent) -> Duration {
 }
 
 fn run_sequential(fill: &[StreamGraph], bursts: &[Vec<TraceEvent>]) -> (Run, Service) {
-    let mut svc = filled(fill);
+    let mut svc = filled(fill, true);
     let mut replans = Vec::new();
     let started = Instant::now();
     for burst in bursts {
@@ -160,11 +174,15 @@ fn run_sequential(fill: &[StreamGraph], bursts: &[Vec<TraceEvent>]) -> (Run, Ser
         }
     }
     let wall = started.elapsed();
-    (Run { mode: "sequential", events: replans.len(), wall, replans }, svc)
+    (Run::new("sequential", replans.len(), wall, &replans), svc)
 }
 
-fn run_batched(fill: &[StreamGraph], bursts: &[Vec<TraceEvent>]) -> (Run, Service) {
-    let mut svc = filled(fill);
+fn run_batched(
+    fill: &[StreamGraph],
+    bursts: &[Vec<TraceEvent>],
+    telemetry: bool,
+) -> (Run, Service) {
+    let mut svc = filled(fill, telemetry);
     let mut replans = Vec::new();
     let mut events = 0usize;
     let started = Instant::now();
@@ -188,11 +206,11 @@ fn run_batched(fill: &[StreamGraph], bursts: &[Vec<TraceEvent>]) -> (Run, Servic
         replans.push(report.replan);
     }
     let wall = started.elapsed();
-    (Run { mode: "batched", events, wall, replans }, svc)
+    (Run::new("batched", events, wall, &replans), svc)
 }
 
 fn run_pipelined(fill: &[StreamGraph], bursts: &[Vec<TraceEvent>]) -> (Run, Service) {
-    let svc = filled(fill);
+    let svc = filled(fill, true);
     let mut trace = EventTrace::new(1.0);
     for (i, burst) in bursts.iter().enumerate() {
         for ev in burst {
@@ -207,7 +225,19 @@ fn run_pipelined(fill: &[StreamGraph], bursts: &[Vec<TraceEvent>]) -> (Run, Serv
     assert_eq!(stats.events, intake.submitted as u64, "nothing lost in the ring");
     assert_eq!(stats.skipped, 0, "every name resolved");
     assert_eq!(stats.rejected, 0, "hot-path schedule never rejects");
-    (Run { mode: "pipelined", events: stats.events as usize, wall, replans: stats.replans }, svc)
+    (Run::new("pipelined", stats.events as usize, wall, &stats.replans), svc)
+}
+
+/// Best batched events/s over `n` runs with telemetry on or off — the
+/// overhead comparison uses best-of-n on both sides so one scheduling
+/// hiccup cannot skew the ratio.
+fn best_batched_rate(
+    n: usize,
+    fill: &[StreamGraph],
+    bursts: &[Vec<TraceEvent>],
+    telemetry: bool,
+) -> f64 {
+    (0..n).map(|_| run_batched(fill, bursts, telemetry).0.events_per_sec()).fold(0.0f64, f64::max)
 }
 
 fn assert_same_final_state(a: &Service, b: &Service) {
@@ -236,10 +266,21 @@ fn main() {
     );
 
     let (seq, seq_svc) = run_sequential(&fill, &bursts);
-    let (batched, batch_svc) = run_batched(&fill, &bursts);
+    let (batched, batch_svc) = run_batched(&fill, &bursts, true);
     let (piped, pipe_svc) = run_pipelined(&fill, &bursts);
     assert_same_final_state(&seq_svc, &batch_svc);
     assert_same_final_state(&seq_svc, &pipe_svc);
+
+    // telemetry overhead: the same batched workload with the metric
+    // cells on vs off, best of 3 runs each
+    let telem_off = best_batched_rate(3, &fill, &bursts, false);
+    let telem_on = best_batched_rate(3, &fill, &bursts, true);
+    let retention = telem_on / telem_off.max(1e-12);
+    println!(
+        "telemetry overhead: on {telem_on:.0} vs off {telem_off:.0} events/s \
+         ({:.1}% retained)",
+        retention * 100.0,
+    );
 
     let runs = [&seq, &batched, &piped];
     println!(
@@ -254,7 +295,7 @@ fn main() {
             r.percentile(0.5).as_secs_f64() * 1e3,
             r.percentile(0.99).as_secs_f64() * 1e3,
             r.wall.as_secs_f64() * 1e3,
-            r.replans.len(),
+            r.replans,
         );
     }
     let batch_speedup = batched.events_per_sec() / seq.events_per_sec();
@@ -283,6 +324,9 @@ fn main() {
         "{{\n  \"bench\": \"serve_hotpath\",\n  \"spec\": \"qs22\",\n  \"quick\": {},\n  \
          \"fill\": {FILL},\n  \"bursts\": {rounds},\n  \"burst_events\": {burst_len},\n  \
          \"batched_speedup\": {batch_speedup:.2},\n  \"pipelined_speedup\": {pipe_speedup:.2},\n  \
+         \"telemetry_on_events_per_sec\": {telem_on:.1},\n  \
+         \"telemetry_off_events_per_sec\": {telem_off:.1},\n  \
+         \"telemetry_retention\": {retention:.4},\n  \
          \"modes\": [\n{}\n  ]\n}}\n",
         quick_mode(),
         mode_rows.join(",\n"),
@@ -309,9 +353,16 @@ fn main() {
         p99 <= Duration::from_millis(100),
         "GATE: batched p99 replan {p99:?} exceeds 100 ms per burst"
     );
+    assert!(
+        retention >= 0.95,
+        "GATE: telemetry retains only {:.1}% of un-instrumented throughput \
+         ({telem_on:.0} vs {telem_off:.0} events/s, floor 95%)",
+        retention * 100.0,
+    );
     println!(
         "gates passed: batched {batch_speedup:.1}x >= 10x, pipelined {pipe_speedup:.1}x >= 5x, \
-         batched p99 {:.3} ms <= 100 ms",
+         batched p99 {:.3} ms <= 100 ms, telemetry retention {:.1}% >= 95%",
         p99.as_secs_f64() * 1e3,
+        retention * 100.0,
     );
 }

@@ -9,10 +9,14 @@ use super::Finding;
 pub const HOT_PATH_FILES: &[&str] = &[
     "crates/serve/src/service.rs",
     "crates/serve/src/pipeline.rs",
+    "crates/serve/src/metrics.rs",
     "crates/heuristics/src/repair.rs",
     "crates/rt/src/ring.rs",
     "crates/cluster/src/coordinator.rs",
     "crates/cluster/src/agent.rs",
+    "crates/cluster/src/metrics.rs",
+    "crates/telemetry/src/metrics.rs",
+    "crates/telemetry/src/recorder.rs",
 ];
 
 /// Rule id: float comparisons must use `total_cmp`.

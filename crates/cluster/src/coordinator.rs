@@ -12,6 +12,7 @@
 //! horizon, outweighs the network transfer cost. Every cross-node move
 //! is priced by the [`NetworkModel`] and reported as a [`Migration`].
 
+use crate::metrics::ClusterMetrics;
 use crate::msg::{AgentMsg, AgentOutcome, BatchOp, ClusterMsg, NodeId, NodeSummary};
 use crate::net::NetworkModel;
 use crate::placer::{AppDemand, LoadAffinity, PlacePolicy};
@@ -22,6 +23,7 @@ use cellstream_heuristics::scheduler_names;
 use cellstream_platform::{CellSpec, PeId};
 use cellstream_serve::ServiceOptions;
 use cellstream_sim::online::{EventOutcome, FleetSystem, TraceEvent};
+use cellstream_telemetry::Snapshot;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -338,6 +340,9 @@ pub struct Coordinator<T: Transport> {
     /// passes iterate this — keep the order deterministic).
     stranded: BTreeMap<String, Stranded>,
     next_unique: u64,
+    /// The fleet metric cells and flight recorder; every
+    /// [`ClusterReport`] is recorded once, by [`Coordinator::report`].
+    metrics: ClusterMetrics,
 }
 
 impl<T: Transport> Coordinator<T> {
@@ -359,6 +364,7 @@ impl<T: Transport> Coordinator<T> {
             apps: BTreeMap::new(),
             stranded: BTreeMap::new(),
             next_unique: 1,
+            metrics: ClusterMetrics::new(n),
         }
     }
 
@@ -1337,7 +1343,7 @@ impl<T: Transport> Coordinator<T> {
         migrations: Vec<Migration>,
         local_migration_bytes: f64,
     ) -> ClusterReport {
-        ClusterReport {
+        let r = ClusterReport {
             event,
             verdict,
             app,
@@ -1345,7 +1351,77 @@ impl<T: Transport> Coordinator<T> {
             migrations,
             local_migration_bytes,
             max_period: self.max_period(),
+        };
+        self.metrics.note_report(&r, self.stranded.len());
+        r
+    }
+
+    /// The fleet metric cells and flight recorder.
+    pub fn metrics(&self) -> &ClusterMetrics {
+        &self.metrics
+    }
+
+    /// One exposition snapshot of the control plane: the fleet metric
+    /// cells, fleet gauges from the coordinator's own bookkeeping
+    /// (`placed`, `stranded` and their conservation sum `tracked`), and
+    /// per-node load digests from the last-known [`NodeSummary`]s. Node
+    /// *internals* are not here — [`Cluster::snapshot`] merges each
+    /// agent's serving-loop snapshot on top.
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        let m = &self.metrics;
+        let mut s = Snapshot::new();
+        s.push_counter("cellstream_cluster_events_total", &[], m.events_total.get());
+        s.push_counter("cellstream_cluster_applied_total", &[], m.applied_total.get());
+        s.push_counter("cellstream_cluster_rejected_total", &[], m.rejected_total.get());
+        s.push_counter(
+            "cellstream_cluster_local_migration_bytes_total",
+            &[],
+            m.local_migration_bytes_total.get(),
+        );
+        s.push_counter(
+            "cellstream_cluster_network_migrations_total",
+            &[],
+            m.network_migrations_total.get(),
+        );
+        s.push_counter("cellstream_cluster_network_bytes_total", &[], m.network_bytes_total.get());
+        s.push_counter("cellstream_cluster_flight_recorded_total", &[], m.recorder.recorded());
+        s.push_counter("cellstream_cluster_flight_dropped_total", &[], m.recorder.dropped());
+        s.push_histogram("cellstream_cluster_latency_ns", &[], m.latency_ns.snapshot());
+        s.push_gauge("cellstream_cluster_nodes", &[], self.summaries.len() as f64);
+        s.push_gauge(
+            "cellstream_cluster_draining_nodes",
+            &[],
+            self.draining.iter().filter(|d| **d).count() as f64,
+        );
+        s.push_gauge(
+            "cellstream_cluster_dead_nodes",
+            &[],
+            self.dead.iter().filter(|d| **d).count() as f64,
+        );
+        s.push_gauge("cellstream_cluster_placed", &[], self.apps.len() as f64);
+        s.push_gauge("cellstream_cluster_stranded", &[], self.stranded.len() as f64);
+        s.push_gauge(
+            "cellstream_cluster_tracked",
+            &[],
+            (self.apps.len() + self.stranded.len()) as f64,
+        );
+        s.push_gauge("cellstream_cluster_max_period_seconds", &[], self.max_period());
+        for (i, sum) in self.summaries.iter().enumerate() {
+            let node = i.to_string();
+            let labels: &[(&str, &str)] = &[("node", node.as_str())];
+            s.push_counter(
+                "cellstream_cluster_placed_total",
+                labels,
+                m.placed_total.get(i).map_or(0, cellstream_telemetry::Counter::get),
+            );
+            s.push_gauge("cellstream_cluster_node_apps", labels, sum.n_apps as f64);
+            s.push_gauge("cellstream_cluster_node_period_seconds", labels, sum.period);
+            s.push_gauge("cellstream_cluster_node_spe_load", labels, sum.spe_load);
+            s.push_gauge("cellstream_cluster_node_ppe_load", labels, sum.ppe_load);
+            s.push_gauge("cellstream_cluster_node_store_used", labels, sum.store_used);
+            s.push_gauge("cellstream_cluster_node_store_budget", labels, sum.store_budget);
         }
+        s
     }
 }
 
@@ -1368,6 +1444,19 @@ impl Cluster {
     /// The per-node agents (read-only).
     pub fn agents(&self) -> &[crate::agent::Agent] {
         self.transport.agents()
+    }
+
+    /// The whole fleet's exposition snapshot: the coordinator's
+    /// [`telemetry_snapshot`](Coordinator::telemetry_snapshot) plus
+    /// every node's serving-loop snapshot stamped with its
+    /// `node="<id>"` label. The conservation tests check that the
+    /// fleet totals equal the per-node sums on this merged view.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut s = self.telemetry_snapshot();
+        for (i, agent) in self.agents().iter().enumerate() {
+            s.merge(agent.service().telemetry_snapshot(), "node", &i.to_string());
+        }
+        s
     }
 }
 

@@ -47,6 +47,7 @@
 
 pub mod agent;
 pub mod coordinator;
+pub mod metrics;
 pub mod msg;
 pub mod net;
 pub mod placer;
@@ -57,6 +58,7 @@ pub use coordinator::{
     BurstReport, Cluster, ClusterError, ClusterEvent, ClusterOptions, ClusterReport, ClusterStatus,
     ClusterVerdict, Coordinator, Migration,
 };
+pub use metrics::{cluster_verdict_name, event_kind, ClusterMetrics};
 pub use msg::{AgentMsg, AgentOutcome, BatchOp, ClusterMsg, NodeId, NodeSummary};
 pub use net::NetworkModel;
 pub use placer::{

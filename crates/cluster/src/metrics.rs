@@ -1,0 +1,154 @@
+//! Fleet-level telemetry: the coordinator's metric cells and flight
+//! recorder.
+//!
+//! Every [`ClusterReport`] the coordinator constructs passes through
+//! [`ClusterMetrics::note_report`] exactly once, so the cells and the
+//! flight recorder see one entry per fleet operation. The recorded
+//! `migration_bytes` is the *same* expression the trace-replay
+//! [`EventOutcome`](cellstream_sim::online::EventOutcome) carries
+//! (`local_migration_bytes + network_bytes()`), in the same order — the
+//! faults bench checks the drained flight log's totals against the
+//! replayed scenario's totals for exact equality, not tolerance.
+//!
+//! This module is part of the coordinator hot path and is covered by
+//! the `hot-path-panic` and `no-alloc` lint scopes.
+
+use crate::coordinator::{ClusterReport, ClusterVerdict};
+use cellstream_telemetry::{Counter, FlightEvent, FlightRecorder, Gauge, Histogram};
+
+/// A [`ClusterVerdict`] as a static exposition label.
+pub fn cluster_verdict_name(v: &ClusterVerdict) -> &'static str {
+    match v {
+        ClusterVerdict::Admitted(_) => "admitted",
+        ClusterVerdict::Rejected(_) => "rejected",
+        ClusterVerdict::Applied => "applied",
+        ClusterVerdict::Drained { .. } => "drained",
+        ClusterVerdict::Rebalanced { .. } => "rebalanced",
+        ClusterVerdict::Recovered { .. } => "recovered",
+        ClusterVerdict::NodeLost { .. } => "node-lost",
+        ClusterVerdict::NodeReturned { .. } => "node-returned",
+    }
+}
+
+/// The event kinds [`event_kind`] recognises, in match order. Longer
+/// kinds come before their prefixes (`node-fail` before `fail`), and a
+/// match must end at a word boundary, so `fail 3 spe1` is `fail` while
+/// `node-fail 3` is `node-fail`.
+const EVENT_KINDS: [&str; 10] = [
+    "node-fail",
+    "node-restore",
+    "admit",
+    "retire",
+    "reweight",
+    "drain",
+    "rebalance",
+    "fail",
+    "restore",
+    "drift",
+];
+
+/// The static event kind of a [`ClusterEvent::label`] string.
+///
+/// [`ClusterEvent::label`]: crate::ClusterEvent::label
+// check: no-alloc
+pub fn event_kind(label: &str) -> &'static str {
+    for k in EVENT_KINDS {
+        if label.starts_with(k) && matches!(label.as_bytes().get(k.len()), None | Some(b' ')) {
+            return k;
+        }
+    }
+    "other"
+}
+
+/// Every metric cell the coordinator maintains. Field docs double as
+/// the metric catalogue (see DESIGN.md "Observability").
+#[derive(Debug)]
+pub struct ClusterMetrics {
+    /// Fleet operations processed.
+    pub events_total: Counter,
+    /// Operations that changed what some node serves
+    /// ([`ClusterReport::applied`]).
+    pub applied_total: Counter,
+    /// Operations ending [`ClusterVerdict::Rejected`].
+    pub rejected_total: Counter,
+    /// End-to-end operation latency (every agent exchange included),
+    /// nanoseconds.
+    pub latency_ns: Histogram,
+    /// EIB traffic of intra-node replans, bytes (rounded), summed
+    /// across nodes.
+    pub local_migration_bytes_total: Counter,
+    /// Cross-node application moves.
+    pub network_migrations_total: Counter,
+    /// Bytes pushed across the network by those moves (rounded).
+    pub network_bytes_total: Counter,
+    /// Retry-ledger size after the most recent operation.
+    pub stranded: Gauge,
+    /// Admissions landed per node, indexed by node id — the placer's
+    /// decision record.
+    pub placed_total: Vec<Counter>,
+    /// The fleet flight recorder (drain after a storm).
+    pub recorder: FlightRecorder,
+}
+
+impl ClusterMetrics {
+    /// Fresh cells for a fleet of `n_nodes`.
+    pub fn new(n_nodes: usize) -> ClusterMetrics {
+        ClusterMetrics {
+            events_total: Counter::new(),
+            applied_total: Counter::new(),
+            rejected_total: Counter::new(),
+            latency_ns: Histogram::new(),
+            local_migration_bytes_total: Counter::new(),
+            network_migrations_total: Counter::new(),
+            network_bytes_total: Counter::new(),
+            stranded: Gauge::new(),
+            placed_total: (0..n_nodes).map(|_| Counter::new()).collect(),
+            recorder: FlightRecorder::default(),
+        }
+    }
+
+    /// Record one fleet operation: counters, the latency histogram and
+    /// one flight-recorder entry. `stranded` is the retry-ledger size
+    /// after the operation.
+    // check: no-alloc
+    pub fn note_report(&self, r: &ClusterReport, stranded: usize) {
+        self.events_total.inc();
+        match (&r.verdict, r.applied()) {
+            (ClusterVerdict::Rejected(_), _) => self.rejected_total.inc(),
+            (_, true) => self.applied_total.inc(),
+            (_, false) => {}
+        }
+        self.latency_ns.record_duration(r.latency);
+        self.local_migration_bytes_total.add(r.local_migration_bytes as u64);
+        self.network_migrations_total.add(r.migrations.len() as u64);
+        let network_bytes = r.network_bytes();
+        self.network_bytes_total.add(network_bytes as u64);
+        self.stranded.set_usize(stranded);
+        if let ClusterVerdict::Admitted(node) = &r.verdict {
+            if let Some(c) = self.placed_total.get(node.index()) {
+                c.inc();
+            }
+        }
+        let kind = event_kind(&r.event);
+        let shed = match &r.verdict {
+            ClusterVerdict::Recovered { rehomed, stranded }
+            | ClusterVerdict::NodeLost { rehomed, stranded } => (rehomed + stranded) as u32,
+            _ => 0,
+        };
+        self.recorder.record(FlightEvent {
+            seq: 0,
+            kind,
+            verdict: cluster_verdict_name(&r.verdict),
+            replan_ns: u64::try_from(r.latency.as_nanos()).unwrap_or(u64::MAX),
+            migration_bytes: r.local_migration_bytes + network_bytes,
+            shed,
+            stranded: stranded as u32,
+            queued: 0,
+            mask_delta: match kind {
+                "fail" | "node-fail" => -1,
+                "restore" | "node-restore" => 1,
+                _ => 0,
+            },
+        });
+    }
+}

@@ -178,6 +178,24 @@ proptest! {
                 fleet.n_apps() + stranded,
                 "every tracked app is serving or in the ledger — never dropped"
             );
+
+            // snapshot conservation on the merged fleet view: the
+            // coordinator's own gauges obey their law, and the fleet
+            // totals equal the per-node sums through both channels —
+            // the cached summaries and each node's live serving-loop
+            // snapshot
+            let snap = fleet.snapshot();
+            let placed_g = snap.gauge("cellstream_cluster_placed").expect("placed gauge");
+            let stranded_g = snap.gauge("cellstream_cluster_stranded").expect("stranded gauge");
+            let tracked_g = snap.gauge("cellstream_cluster_tracked").expect("tracked gauge");
+            prop_assert_eq!(tracked_g, placed_g + stranded_g);
+            prop_assert_eq!(placed_g, snap.sum_gauge("cellstream_cluster_node_apps"));
+            prop_assert_eq!(placed_g, snap.sum_gauge("cellstream_serve_serving"));
+            // cluster agents never park work locally: the coordinator
+            // owns retry policy, so node queues and node shed ledgers
+            // are empty in every snapshot
+            prop_assert_eq!(snap.sum_gauge("cellstream_serve_queued"), 0.0);
+            prop_assert_eq!(snap.sum_gauge("cellstream_serve_stranded"), 0.0);
         }
     }
 }

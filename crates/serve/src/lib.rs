@@ -72,11 +72,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod metrics;
 mod pipeline;
 mod service;
 
+pub use metrics::{verdict_name, ServeMetrics};
 pub use pipeline::{PipelineOptions, PipelineStats, ServePipeline};
 pub use service::{
-    BatchReport, Event, EventLabel, RecoveryReport, RejectReason, ServeError, ServeReport, Service,
-    ServiceOptions, Verdict,
+    BatchReport, Event, EventLabel, QueueBackoff, RecoveryReport, RejectReason, ServeError,
+    ServeReport, Service, ServiceOptions, Verdict,
 };

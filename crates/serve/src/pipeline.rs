@@ -22,9 +22,11 @@
 //! [`cellstream_sim::online::replay_concurrent`] can drive it straight
 //! from an [`EventTrace`](cellstream_sim::online::EventTrace).
 
+use crate::metrics::ServeMetrics;
 use crate::service::{Event, Service, Verdict};
 use cellstream_rt::SpscRing;
 use cellstream_sim::online::{IntakeSystem, TraceEvent};
+use cellstream_telemetry::percentile_sorted;
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -67,13 +69,9 @@ pub struct PipelineStats {
 impl PipelineStats {
     /// The `p`-th percentile (0.0 ..= 1.0) of per-batch replan latency.
     pub fn replan_percentile(&self, p: f64) -> Duration {
-        if self.replans.is_empty() {
-            return Duration::ZERO;
-        }
         let mut sorted = self.replans.clone();
         sorted.sort();
-        let rank = ((sorted.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
-        sorted[rank]
+        percentile_sorted(&sorted, p.clamp(0.0, 1.0) * 100.0)
     }
 
     /// Mean events per replan — the batching win over one-at-a-time.
@@ -100,6 +98,7 @@ pub struct ServePipeline {
     ring: Arc<SpscRing<TraceEvent>>,
     done: Arc<AtomicBool>,
     planner: Option<JoinHandle<(Service, PipelineStats)>>,
+    metrics: Arc<ServeMetrics>,
 }
 
 impl ServePipeline {
@@ -107,13 +106,21 @@ impl ServePipeline {
     pub fn launch(service: Service, opts: PipelineOptions) -> Self {
         let ring = Arc::new(SpscRing::with_capacity(opts.capacity.max(1)));
         let done = Arc::new(AtomicBool::new(false));
+        let metrics = service.metrics_handle();
         let planner = {
             let ring = Arc::clone(&ring);
             let done = Arc::clone(&done);
             let max_batch = opts.max_batch.max(1);
             std::thread::spawn(move || planner_loop(service, &ring, &done, max_batch))
         };
-        ServePipeline { ring, done, planner: Some(planner) }
+        ServePipeline { ring, done, planner: Some(planner), metrics }
+    }
+
+    /// The service's metric cells, live while the planner runs: the
+    /// submitting side can watch ring occupancy, batch shapes and
+    /// replan latency without joining the planner.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
     }
 
     /// Try to submit one event; a full ring hands it back as `Err`.
@@ -255,6 +262,7 @@ fn planner_loop(
     done: &AtomicBool,
     max_batch: usize,
 ) -> (Service, PipelineStats) {
+    let metrics = service.metrics_handle();
     let mut stats = PipelineStats::default();
     let mut pending: VecDeque<TraceEvent> = VecDeque::with_capacity(max_batch);
     let mut events: Vec<Event> = Vec::with_capacity(max_batch);
@@ -275,9 +283,18 @@ fn planner_loop(
         }
 
         events.clear();
+        let occupancy = pending.len();
         stats.skipped += build_batch(&service, &mut pending, max_batch, &mut events, &mut touched);
         if events.is_empty() {
             continue;
+        }
+        if metrics.enabled() {
+            metrics.ring_occupancy.record(occupancy as u64);
+            if events.len() < max_batch && !pending.is_empty() {
+                // fusion ended early on a same-name dependency or a
+                // fault barrier, not for lack of accumulated events
+                metrics.skipped_fusions_total.inc();
+            }
         }
         match service.process_batch(&events) {
             Ok(report) => {

@@ -8,10 +8,14 @@ use cellstream_heuristics::repair::{carry_over_into, repair_with, RepairOptions}
 use cellstream_heuristics::{LocalSearchOptions, Portfolio};
 use cellstream_platform::{CellSpec, PeId};
 use cellstream_sim::online::{EventOutcome, OnlineSystem, TraceEvent};
+use cellstream_telemetry::Snapshot;
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use crate::metrics::ServeMetrics;
 
 /// One workload-churn event. Applications are addressed by the **stable
 /// handle** [`Service::process`] returned at admission — handles never
@@ -284,6 +288,24 @@ pub struct ServeReport {
     /// Recovery metrics when this event was a fault (PE fail/restore,
     /// cost drift); `None` for ordinary churn events.
     pub recovery: Option<RecoveryReport>,
+    /// Retry-queue depth after this event (drains included).
+    pub queue_depth: usize,
+    /// Per-application backoff state of everything still parked in the
+    /// retry queue after this event, in FIFO order.
+    pub queue_backoff: Vec<QueueBackoff>,
+}
+
+/// One parked admission's retry bookkeeping, itemised in
+/// [`ServeReport::queue_backoff`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueBackoff {
+    /// The queued application's name.
+    pub app: String,
+    /// Failed admission attempts so far.
+    pub attempts: u32,
+    /// Drain passes the entry still sits out (exponential backoff,
+    /// `2^attempts` capped at 64).
+    pub cooldown: u32,
 }
 
 /// What recovering from one fault event cost.
@@ -431,6 +453,10 @@ pub struct ServiceOptions {
     /// path skips a full workload evaluation per event — query
     /// [`Service::app_reports`] explicitly when needed.
     pub per_app_reports: bool,
+    /// Maintain the telemetry cells and the replan flight recorder
+    /// (default). Off, every record call early-returns — the baseline
+    /// of the serve-hot-path overhead comparison.
+    pub telemetry: bool,
 }
 
 impl Default for ServiceOptions {
@@ -444,6 +470,7 @@ impl Default for ServiceOptions {
             migration_horizon: 1e6,
             probe_threads: 1,
             per_app_reports: true,
+            telemetry: true,
         }
     }
 }
@@ -502,6 +529,10 @@ pub struct Service {
     /// (cluster agents): the caller collects them via
     /// [`Service::take_shed`] and owns their re-placement.
     shed_out: Vec<(StreamGraph, f64)>,
+    /// The metric cells and flight recorder, shared (`Arc`) so the
+    /// pipeline planner thread records into the same cells across the
+    /// thread move ([`Service::metrics_handle`]).
+    metrics: Arc<ServeMetrics>,
 }
 
 impl Service {
@@ -519,6 +550,7 @@ impl Service {
             ..RepairOptions::default()
         };
         let avail = Availability::full(&spec);
+        let metrics = Arc::new(ServeMetrics::new(opts.telemetry));
         Service {
             spec,
             opts,
@@ -533,6 +565,7 @@ impl Service {
             repair_opts,
             scratch_partial: Vec::new(),
             shed_out: Vec::new(),
+            metrics,
         }
     }
 
@@ -595,6 +628,109 @@ impl Service {
     /// the local queue instead.
     pub fn take_shed(&mut self) -> Vec<(StreamGraph, f64)> {
         std::mem::take(&mut self.shed_out)
+    }
+
+    /// The serving loop's metric cells and flight recorder.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// A shared handle to the metric cells — how the pipeline planner
+    /// thread keeps recording into the same cells after the service
+    /// moves into it ([`ServePipeline`](crate::ServePipeline)).
+    pub fn metrics_handle(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// One exposition snapshot of the serving loop: every metric cell,
+    /// liveness gauges derived from the live bookkeeping (`serving`,
+    /// `queued`, `stranded` and their conservation sum `tracked`), and
+    /// per-application weight / retry-backoff rows. Render it with
+    /// [`Snapshot::to_prometheus`] or [`Snapshot::to_json`].
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        let m = &self.metrics;
+        let mut s = Snapshot::new();
+        s.push_counter("cellstream_serve_events_total", &[], m.events_total.get());
+        for (verdict, c) in [
+            ("admitted", &m.admitted_total),
+            ("applied", &m.applied_total),
+            ("queued", &m.queued_total),
+            ("rejected", &m.rejected_total),
+            ("adopted", &m.adopted_total),
+            ("nochange", &m.nochange_total),
+        ] {
+            s.push_counter("cellstream_serve_verdicts_total", &[("verdict", verdict)], c.get());
+        }
+        s.push_counter(
+            "cellstream_serve_migration_bytes_total",
+            &[],
+            m.migration_bytes_total.get(),
+        );
+        s.push_counter("cellstream_serve_readmitted_total", &[], m.readmitted_total.get());
+        s.push_counter("cellstream_serve_expired_total", &[], m.expired_total.get());
+        s.push_counter("cellstream_serve_recoveries_total", &[], m.recoveries_total.get());
+        s.push_counter("cellstream_serve_shed_total", &[], m.shed_total.get());
+        s.push_counter(
+            "cellstream_serve_evacuated_seats_total",
+            &[],
+            m.evacuated_seats_total.get(),
+        );
+        s.push_counter("cellstream_serve_batches_total", &[], m.batches_total.get());
+        s.push_counter(
+            "cellstream_serve_skipped_fusions_total",
+            &[],
+            m.skipped_fusions_total.get(),
+        );
+        s.push_counter("cellstream_serve_flight_recorded_total", &[], m.recorder.recorded());
+        s.push_counter("cellstream_serve_flight_dropped_total", &[], m.recorder.dropped());
+        s.push_histogram("cellstream_serve_replan_ns", &[], m.replan_ns.snapshot());
+        s.push_histogram("cellstream_serve_batch_events", &[], m.batch_events.snapshot());
+        s.push_histogram("cellstream_serve_ring_occupancy", &[], m.ring_occupancy.snapshot());
+        // liveness gauges from the live bookkeeping, not the cells: the
+        // conservation law `tracked = serving + queued + stranded` ties
+        // four independent structures together (see tests/invariants.rs)
+        let serving = self.live.as_ref().map_or(0, |l| l.workload.n_apps());
+        s.push_gauge("cellstream_serve_serving", &[], serving as f64);
+        s.push_gauge("cellstream_serve_queued", &[], self.queue.len() as f64);
+        s.push_gauge("cellstream_serve_stranded", &[], self.shed_out.len() as f64);
+        s.push_gauge(
+            "cellstream_serve_tracked",
+            &[],
+            (self.handles.len() + self.queue.len() + self.shed_out.len()) as f64,
+        );
+        s.push_gauge("cellstream_serve_period_seconds", &[], self.period());
+        s.push_gauge("cellstream_serve_queue_depth", &[], m.queue_depth.get());
+        s.push_gauge("cellstream_serve_dead_pes", &[], self.avail.dead_pes().count() as f64);
+        if let Some(l) = &self.live {
+            for a in l.workload.apps() {
+                s.push_gauge("cellstream_serve_app_weight", &[("app", a.name.as_str())], a.weight);
+            }
+        }
+        for q in &self.queue {
+            let app = q.graph.name();
+            s.push_gauge("cellstream_serve_queue_attempts", &[("app", app)], f64::from(q.attempts));
+            s.push_gauge("cellstream_serve_queue_cooldown", &[("app", app)], f64::from(q.cooldown));
+        }
+        s
+    }
+
+    /// Stamp the retry-queue view onto a finished report (its
+    /// `queue_depth` / `queue_backoff` fields) and hand it to the
+    /// metric cells: every public per-event operation returns through
+    /// here, so telemetry sees exactly one entry per event.
+    fn finish(&self, mut r: ServeReport) -> ServeReport {
+        r.queue_depth = self.queue.len();
+        r.queue_backoff = self
+            .queue
+            .iter()
+            .map(|q| QueueBackoff {
+                app: q.graph.name().to_owned(),
+                attempts: q.attempts,
+                cooldown: q.cooldown,
+            })
+            .collect();
+        self.metrics.note_report(&r, self.shed_out.len());
+        r
     }
 
     /// Per-application reports of the incumbent (empty while idle).
@@ -925,6 +1061,7 @@ impl Service {
             self.current_per_app_into(&mut report.per_app);
         }
         self.spawn_background();
+        self.metrics.note_batch(&report, self.queue.len(), self.shed_out.len(), true);
         #[cfg(feature = "debug_invariants")]
         self.check_invariants("process_batch");
         Ok(report)
@@ -1054,7 +1191,7 @@ impl Service {
         };
         let mut per_app = Vec::new();
         self.current_per_app_into(&mut per_app);
-        Ok(BatchReport {
+        let report = BatchReport {
             events: outcomes,
             replan: started.elapsed(),
             delta,
@@ -1063,7 +1200,11 @@ impl Service {
             background_adopted: adopted,
             background_delta: MappingDelta::default(),
             drained,
-        })
+        };
+        // the per-event reports above already fed the cells; this call
+        // records only the batch-shape histograms (`fused: false`)
+        self.metrics.note_batch(&report, self.queue.len(), self.shed_out.len(), false);
+        Ok(report)
     }
 
     /// Admit an application (see [`Event::Admit`]).
@@ -1076,7 +1217,7 @@ impl Service {
         // previous solve, and the (unchanged) workload still deserves
         // its improver
         self.spawn_background();
-        report
+        self.finish(report)
     }
 
     /// Retire an application by handle (see [`Event::Retire`]).
@@ -1105,6 +1246,8 @@ impl Service {
                 background_delta: MappingDelta::default(),
                 drained: Vec::new(),
                 recovery: None,
+                queue_depth: 0,
+                queue_backoff: Vec::new(),
             }
         } else {
             let mut workload = live.workload.clone();
@@ -1132,6 +1275,8 @@ impl Service {
                 background_delta: MappingDelta::default(),
                 drained: Vec::new(),
                 recovery: None,
+                queue_depth: 0,
+                queue_backoff: Vec::new(),
             }
         };
         report.background_delta = self.take_adoption_delta(adopted);
@@ -1145,7 +1290,7 @@ impl Service {
             self.current_per_app_into(&mut report.per_app);
         }
         self.spawn_background();
-        Ok(report)
+        Ok(self.finish(report))
     }
 
     /// Change an application's throughput weight (see
@@ -1195,6 +1340,8 @@ impl Service {
             background_delta: MappingDelta::default(),
             drained: Vec::new(),
             recovery: None,
+            queue_depth: 0,
+            queue_backoff: Vec::new(),
         };
         report.background_delta = self.take_adoption_delta(adopted);
         if report.applied() {
@@ -1207,7 +1354,7 @@ impl Service {
         // respawn even after a refusal (the interrupt above cancelled
         // the previous solve)
         self.spawn_background();
-        Ok(report)
+        Ok(self.finish(report))
     }
 
     /// An SPE dies (see [`Event::PeFailed`]): mark it dead, evacuate
@@ -1244,11 +1391,13 @@ impl Service {
             background_delta: MappingDelta::default(),
             drained: Vec::new(),
             recovery: Some(recovery),
+            queue_depth: 0,
+            queue_backoff: Vec::new(),
         };
         self.current_per_app_into(&mut report.per_app);
         report.background_delta = self.take_adoption_delta(adopted);
         self.spawn_background();
-        Ok(report)
+        Ok(self.finish(report))
     }
 
     /// A failed or degraded PE returns to nominal health (see
@@ -1280,6 +1429,8 @@ impl Service {
             background_delta: MappingDelta::default(),
             drained: Vec::new(),
             recovery: Some(recovery),
+            queue_depth: 0,
+            queue_backoff: Vec::new(),
         };
         report.background_delta = self.take_adoption_delta(adopted);
         // restored capacity is exactly what parked admissions wait for
@@ -1289,7 +1440,7 @@ impl Service {
         }
         self.current_per_app_into(&mut report.per_app);
         self.spawn_background();
-        Ok(report)
+        Ok(self.finish(report))
     }
 
     /// An application's declared compute costs turn out wrong by
@@ -1316,11 +1467,13 @@ impl Service {
                 background_delta: MappingDelta::default(),
                 drained: Vec::new(),
                 recovery: None,
+                queue_depth: 0,
+                queue_backoff: Vec::new(),
             };
             self.current_per_app_into(&mut report.per_app);
             report.background_delta = self.take_adoption_delta(adopted);
             self.spawn_background();
-            return Ok(report);
+            return Ok(self.finish(report));
         }
         self.live
             .as_mut()
@@ -1341,11 +1494,13 @@ impl Service {
             background_delta: MappingDelta::default(),
             drained: Vec::new(),
             recovery: Some(recovery),
+            queue_depth: 0,
+            queue_backoff: Vec::new(),
         };
         self.current_per_app_into(&mut report.per_app);
         report.background_delta = self.take_adoption_delta(adopted);
         self.spawn_background();
-        Ok(report)
+        Ok(self.finish(report))
     }
 
     /// Conclude a finished background solve, if any: adopt it when it
@@ -1361,7 +1516,7 @@ impl Service {
         let delta = self.take_adoption_delta(adopted);
         let mut per_app = Vec::new();
         self.current_per_app_into(&mut per_app);
-        Some(ServeReport {
+        Some(self.finish(ServeReport {
             event: EventLabel::background(),
             verdict: if adopted { Verdict::Adopted } else { Verdict::NoChange },
             replan: started.elapsed(),
@@ -1372,7 +1527,9 @@ impl Service {
             background_delta: MappingDelta::default(),
             drained: Vec::new(),
             recovery: None,
-        })
+            queue_depth: 0,
+            queue_backoff: Vec::new(),
+        }))
     }
 
     /// Cancel and discard any in-flight background solve (used on
@@ -1587,6 +1744,8 @@ impl Service {
             background_delta: MappingDelta::default(),
             drained: Vec::new(),
             recovery: None,
+            queue_depth: 0,
+            queue_backoff: Vec::new(),
         }
     }
 
@@ -1619,6 +1778,8 @@ impl Service {
             background_delta: MappingDelta::default(),
             drained: Vec::new(),
             recovery: None,
+            queue_depth: 0,
+            queue_backoff: Vec::new(),
         }
     }
 

@@ -153,6 +153,17 @@ proptest! {
             // explicit sweep additionally pins the post-event state the
             // harness observes between steps
             svc.check_invariants("harness sweep");
+
+            // snapshot conservation: the liveness gauges come from four
+            // independent structures (handle table, live workload,
+            // retry queue, shed ledger) and their law must hold after
+            // every event, faults and rejections included
+            let snap = svc.telemetry_snapshot();
+            let tracked = snap.gauge("cellstream_serve_tracked").expect("tracked gauge");
+            let serving = snap.gauge("cellstream_serve_serving").expect("serving gauge");
+            let queued = snap.gauge("cellstream_serve_queued").expect("queued gauge");
+            let stranded = snap.gauge("cellstream_serve_stranded").expect("stranded gauge");
+            prop_assert_eq!(tracked, serving + queued + stranded);
         }
     }
 }

@@ -1,0 +1,117 @@
+//! Counting-allocator suite: every telemetry **record path is
+//! allocation-free** — the guarantee that lets metrics live inside
+//! `Service::process_batch` and the pipeline planner thread. Counter
+//! adds, gauge stores, histogram records and flight-recorder appends
+//! must hit the global allocator **zero** times after construction.
+//!
+//! Lives in `tests/` (a separate crate) because the library forbids
+//! `unsafe`, and wrapping the global allocator needs it. The lexical
+//! twin of this suite is the `// check: no-alloc` lint scope in
+//! `cellstream-check`, which covers the same functions.
+
+use cellstream_telemetry::{Counter, FlightEvent, FlightRecorder, Gauge, Histogram};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Passes through to [`System`], counting every allocation the **armed
+/// thread** makes (arming is thread-local so the libtest harness's own
+/// threads cannot pollute the count).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // const-init Cell<bool>: no lazy initialisation and no destructor,
+    // so reading it inside the allocator never allocates or re-enters
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+}
+
+fn armed() -> bool {
+    ARMED.try_with(Cell::get).unwrap_or(false)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if armed() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if armed() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if armed() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocations the closure performed on this thread.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.with(|a| a.set(true));
+    f();
+    ARMED.with(|a| a.set(false));
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn metric_record_paths_do_not_allocate() {
+    let counter = Counter::new();
+    let gauge = Gauge::new();
+    let hist = Histogram::new();
+
+    let allocs = count_allocs(|| {
+        for i in 0..10_000u64 {
+            counter.inc();
+            counter.add(i);
+            gauge.set(i as f64);
+            gauge.set_usize(i as usize);
+            hist.record(i * 37);
+            hist.record_duration(Duration::from_nanos(i));
+        }
+    });
+    assert_eq!(allocs, 0, "metric record paths hit the allocator {allocs} times");
+    assert_eq!(counter.get(), 10_000 + 9_999 * 10_000 / 2);
+    assert_eq!(hist.snapshot().count, 20_000);
+}
+
+#[test]
+fn flight_recorder_record_does_not_allocate() {
+    let recorder = FlightRecorder::with_capacity(256);
+
+    let allocs = count_allocs(|| {
+        for i in 0..10_000u64 {
+            recorder.record(FlightEvent {
+                kind: "admit",
+                verdict: "applied",
+                replan_ns: i,
+                migration_bytes: i as f64,
+                shed: 1,
+                stranded: 2,
+                queued: 3,
+                mask_delta: -1,
+                ..FlightEvent::default()
+            });
+        }
+    });
+    assert_eq!(allocs, 0, "flight-recorder record hit the allocator {allocs} times");
+    assert_eq!(recorder.recorded(), 10_000);
+    assert_eq!(recorder.dropped(), 10_000 - 256);
+}

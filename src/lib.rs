@@ -42,6 +42,8 @@
 //!   the serving loop across many Cell nodes, with network-priced
 //!   cross-node migration
 //! * [`apps`] — audio encoder, video pipeline, cipher farm, DSP chain
+//! * [`telemetry`] — observability: lock-free metrics, the replan
+//!   flight recorder, and Prometheus/JSON exposition snapshots
 
 #![forbid(unsafe_code)]
 
@@ -56,6 +58,7 @@ pub use cellstream_platform as platform;
 pub use cellstream_rt as rt;
 pub use cellstream_serve as serve;
 pub use cellstream_sim as sim;
+pub use cellstream_telemetry as telemetry;
 
 pub mod session;
 
@@ -88,4 +91,5 @@ pub mod prelude {
     pub use cellstream_rt::{RtConfig, RunStats};
     pub use cellstream_serve::{Event, ServeReport, Service, ServiceOptions, Verdict};
     pub use cellstream_sim::{simulate, EventTrace, RunTrace, SimConfig, TraceEvent};
+    pub use cellstream_telemetry::{FlightEvent, FlightRecorder, Snapshot};
 }
